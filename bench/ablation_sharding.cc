@@ -1,0 +1,109 @@
+// Ablation: the client-side sharding strategies the paper identifies as
+// decisive — Cassandra's random vs balanced tokens, the Jedis ring that
+// capped Redis, Voldemort's partition ring, and hash-modulo (MySQL) — and
+// the MySQL scan LIMIT fix, measured on the real B+tree store.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/routing.h"
+#include "common/clock.h"
+#include "common/env.h"
+#include "stores/factory.h"
+#include "ycsb/client.h"
+#include "ycsb/workload.h"
+
+namespace {
+
+using namespace apmbench;
+
+void PrintShareStats(const std::string& label,
+                     const std::vector<double>& shares) {
+  auto [min_it, max_it] = std::minmax_element(shares.begin(), shares.end());
+  double mean = std::accumulate(shares.begin(), shares.end(), 0.0) /
+                static_cast<double>(shares.size());
+  double var = 0;
+  for (double share : shares) var += (share - mean) * (share - mean);
+  double stddev = std::sqrt(var / static_cast<double>(shares.size()));
+  printf("%-28s max/min=%5.2f  stddev/mean=%5.1f%%  (max share %.1f%% of "
+         "keys vs ideal %.1f%%)\n",
+         label.c_str(), *max_it / *min_it, 100.0 * stddev / mean,
+         100.0 * *max_it, 100.0 * mean);
+}
+
+void ShardingBalance() {
+  const int nodes = 12;
+  printf("=== Key-ownership balance at %d nodes ===\n", nodes);
+  cluster::TokenRing balanced(
+      nodes, cluster::TokenRing::TokenAssignment::kBalanced, 1);
+  PrintShareStats("cassandra balanced tokens", balanced.OwnershipShares());
+  for (uint64_t seed = 1; seed <= 3; seed++) {
+    cluster::TokenRing random(
+        nodes, cluster::TokenRing::TokenAssignment::kRandom, seed);
+    PrintShareStats("cassandra random tokens s" + std::to_string(seed),
+                    random.OwnershipShares());
+  }
+  cluster::JedisShardRing jedis(nodes);
+  PrintShareStats("redis jedis ring (160 vn)", jedis.OwnershipShares());
+  cluster::PartitionRing voldemort(nodes, 2, 11);
+  PrintShareStats("voldemort partition ring", voldemort.OwnershipShares());
+  printf("(The paper balanced Cassandra's tokens manually, saw the Jedis "
+         "imbalance drive a Redis node out of memory, and measured "
+         "near-perfect MySQL hash sharding.)\n");
+}
+
+void MySqlScanLimit() {
+  printf("\n=== MySQL scan ablation: faithful 'key >= start' vs LIMIT, on "
+         "the real B+tree store ===\n");
+  const int64_t records = benchutil::ScaleRecords();
+  for (bool limit : {false, true}) {
+    std::string dir = "/tmp/apmbench-ablation-mysqlscan";
+    Env::Default()->RemoveDirRecursively(dir);
+    Env::Default()->CreateDirIfMissing(dir);
+    stores::StoreOptions options;
+    options.base_dir = dir;
+    options.num_nodes = 2;
+    options.mysql_limit_scans = limit;
+    std::unique_ptr<ycsb::DB> db;
+    if (!stores::CreateStore("mysql", options, &db).ok()) return;
+
+    Properties props;
+    props.Set("recordcount", std::to_string(records));
+    ycsb::CoreWorkload workload(props);
+    if (!ycsb::LoadDatabase(db.get(), &workload, 4).ok()) return;
+
+    // Time scans from random start keys.
+    Random rng(3);
+    uint64_t start_us = NowMicros();
+    const int scans = limit ? 2000 : 50;
+    std::vector<ycsb::Record> out;
+    for (int i = 0; i < scans; i++) {
+      std::string key =
+          workload.BuildKeyName(rng.Uniform(static_cast<uint64_t>(records)));
+      db->Scan(workload.table(), Slice(key), 50, &out);
+    }
+    double us_per_scan =
+        static_cast<double>(NowMicros() - start_us) / scans;
+    printf("%-34s %10.1f us/scan\n",
+           limit ? "SELECT ... >= key LIMIT 50" : "SELECT ... >= key (paper)",
+           us_per_scan);
+    db.reset();
+    Env::Default()->RemoveDirRecursively(dir);
+  }
+  printf("(The paper's YCSB RDBMS client issued the unlimited form; this "
+         "is the documented cause of MySQL's scan collapse.)\n");
+}
+
+}  // namespace
+
+int main() {
+  ShardingBalance();
+  MySqlScanLimit();
+  return 0;
+}

@@ -1,0 +1,69 @@
+#ifndef APMBENCH_BENCH_BENCH_UTIL_H_
+#define APMBENCH_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "simstores/runner.h"
+
+namespace apmbench::benchutil {
+
+/// Environment knobs shared by the figure harnesses. Defaults are sized
+/// so the full suite regenerates in minutes; the paper's full parameters
+/// (600 s runs, 3 repetitions) are reproduced by raising them.
+inline double SimSeconds() {
+  const char* env = getenv("APMBENCH_SIM_SECONDS");
+  double v = env != nullptr ? atof(env) : 8.0;
+  return v > 1.0 ? v : 8.0;
+}
+
+inline int SimSeeds() {
+  const char* env = getenv("APMBENCH_SIM_SEEDS");
+  int v = env != nullptr ? atoi(env) : 2;
+  return v >= 1 ? v : 2;
+}
+
+/// Record count per node for real-engine experiments (Figure 17); the
+/// paper loads 10M per node, which the harness extrapolates from this
+/// measured sample.
+inline int64_t ScaleRecords() {
+  const char* env = getenv("APMBENCH_SCALE");
+  int64_t v = env != nullptr ? atoll(env) : 20000;
+  return v >= 1000 ? v : 20000;
+}
+
+inline simstores::SimRunConfig DefaultSimConfig() {
+  simstores::SimRunConfig config;
+  config.duration_seconds = SimSeconds();
+  config.warmup_seconds = SimSeconds() * 0.2;
+  return config;
+}
+
+/// Formats one row of an aligned table.
+inline void PrintRow(const std::string& label,
+                     const std::vector<std::string>& cells) {
+  printf("%-12s", label.c_str());
+  for (const auto& cell : cells) {
+    printf(" %14s", cell.c_str());
+  }
+  printf("\n");
+}
+
+inline std::string FormatOps(double v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+inline std::string FormatMs(double v) {
+  char buf[32];
+  if (v <= 0) return "-";
+  snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace apmbench::benchutil
+
+#endif  // APMBENCH_BENCH_BENCH_UTIL_H_

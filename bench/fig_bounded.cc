@@ -1,0 +1,104 @@
+// Regenerates Figures 15/16: read and write latency under bounded load
+// (50%-95% of each system's maximum throughput), 8 nodes, Workload R,
+// Cluster M. As in the paper, latencies are normalized to the value at
+// 50% load; VoltDB is omitted (its latency was already prohibitive at
+// this scale) and absolute values are printed alongside.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "simstores/runner.h"
+
+namespace {
+
+using namespace apmbench;
+using namespace apmbench::simstores;
+using benchutil::PrintRow;
+
+const std::vector<std::string> kSystems = {"cassandra", "hbase", "voldemort",
+                                           "mysql", "redis"};
+const std::vector<int> kPercentages = {50, 60, 70, 80, 90, 95, 100};
+
+}  // namespace
+
+int main() {
+  const int nodes = 8;
+  WorkloadSpec spec = WorkloadSpec::Preset("R");
+  ClusterParams cluster = ClusterParams::ClusterM(nodes);
+
+  printf("APMBench bounded-throughput harness (Figures 15/16): workload R, "
+         "%d nodes\n", nodes);
+
+  // percentage x system latency matrices.
+  std::vector<std::vector<double>> read_ms(kPercentages.size()),
+      write_ms(kPercentages.size());
+
+  std::vector<double> max_rate(kSystems.size());
+  for (size_t s = 0; s < kSystems.size(); s++) {
+    SimRunConfig config = benchutil::DefaultSimConfig();
+    SimResult result;
+    Status status = RunSimulationSeeds(kSystems[s], cluster, spec, config,
+                                       benchutil::SimSeeds(), &result);
+    if (!status.ok()) {
+      fprintf(stderr, "[warn] %s: %s\n", kSystems[s].c_str(),
+              status.ToString().c_str());
+      continue;
+    }
+    max_rate[s] = result.throughput_ops_sec;
+  }
+
+  for (size_t p = 0; p < kPercentages.size(); p++) {
+    read_ms[p].resize(kSystems.size(), 0);
+    write_ms[p].resize(kSystems.size(), 0);
+    for (size_t s = 0; s < kSystems.size(); s++) {
+      if (max_rate[s] <= 0) continue;
+      SimRunConfig config = benchutil::DefaultSimConfig();
+      if (kPercentages[p] < 100) {
+        config.arrival_rate_ops_sec =
+            max_rate[s] * kPercentages[p] / 100.0;
+      }
+      SimResult result;
+      Status status = RunSimulationSeeds(kSystems[s], cluster, spec, config,
+                                         benchutil::SimSeeds(), &result);
+      if (!status.ok()) continue;
+      read_ms[p][s] = result.MeanLatencyMs(OpKind::kRead);
+      write_ms[p][s] = result.MeanLatencyMs(OpKind::kInsert);
+    }
+  }
+
+  auto print_tables = [&](const char* what, int figure,
+                          const std::vector<std::vector<double>>& ms) {
+    printf("\n=== Figure %d: %s latency under bounded load "
+           "(normalized to 50%%) ===\n", figure, what);
+    PrintRow("load%", kSystems);
+    for (size_t p = 0; p < kPercentages.size(); p++) {
+      std::vector<std::string> row;
+      for (size_t s = 0; s < kSystems.size(); s++) {
+        char buf[32];
+        double base = ms[0][s];
+        if (base <= 0 || ms[p][s] <= 0) {
+          row.push_back("-");
+        } else {
+          snprintf(buf, sizeof(buf), "%.2f", ms[p][s] / base);
+          row.push_back(buf);
+        }
+      }
+      PrintRow(std::to_string(kPercentages[p]), row);
+    }
+    printf("--- absolute values (ms) ---\n");
+    PrintRow("load%", kSystems);
+    for (size_t p = 0; p < kPercentages.size(); p++) {
+      std::vector<std::string> row;
+      for (size_t s = 0; s < kSystems.size(); s++) {
+        row.push_back(benchutil::FormatMs(ms[p][s]));
+      }
+      PrintRow(std::to_string(kPercentages[p]), row);
+    }
+  };
+
+  print_tables("Read", 15, read_ms);
+  print_tables("Write", 16, write_ms);
+  return 0;
+}

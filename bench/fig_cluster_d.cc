@@ -1,0 +1,90 @@
+// Regenerates Figures 18-20: throughput, read latency, and write latency
+// on the disk-bound Cluster D (8 nodes, 150M records total, 4 GB RAM per
+// node) for Cassandra, HBase, and Project Voldemort, workloads R/RW/W.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/env.h"
+#include "common/properties.h"
+#include "simstores/runner.h"
+
+// Usage: fig_cluster_d [out=<dir>]  (writes fig18..fig20 .dat files)
+int main(int argc, char** argv) {
+  using namespace apmbench;
+  using namespace apmbench::simstores;
+  using benchutil::PrintRow;
+
+  std::string out_dir;
+  for (int i = 1; i < argc; i++) {
+    Properties props;
+    if (props.ParseArg(argv[i]).ok() && props.Contains("out")) {
+      out_dir = props.GetString("out");
+      Env::Default()->CreateDirIfMissing(out_dir);
+    }
+  }
+  const int nodes = 8;
+  const std::vector<std::string> systems = {"cassandra", "hbase",
+                                            "voldemort"};
+  const std::vector<std::string> workloads = {"R", "RW", "W"};
+
+  printf("APMBench cluster-D figure harness (Figures 18-20): %d nodes, "
+         "disk-bound\n", nodes);
+
+  // workload x system.
+  std::vector<std::vector<SimResult>> results(workloads.size());
+  for (size_t w = 0; w < workloads.size(); w++) {
+    results[w].resize(systems.size());
+    for (size_t s = 0; s < systems.size(); s++) {
+      ClusterParams cluster = ClusterParams::ClusterD(nodes);
+      WorkloadSpec spec = WorkloadSpec::Preset(workloads[w]);
+      SimRunConfig config = benchutil::DefaultSimConfig();
+      Status status =
+          RunSimulationSeeds(systems[s], cluster, spec, config,
+                             benchutil::SimSeeds(), &results[w][s]);
+      if (!status.ok()) {
+        fprintf(stderr, "[warn] %s/%s: %s\n", systems[s].c_str(),
+                workloads[w].c_str(), status.ToString().c_str());
+      }
+    }
+  }
+
+  auto print_table = [&](int figure, const char* what, auto&& extract) {
+    printf("\n=== Figure %d: %s, Cluster D, 8 nodes ===\n", figure, what);
+    PrintRow("workload", systems);
+    std::string dat = "# workload";
+    for (const auto& system : systems) dat += "\t" + system;
+    dat += "\n";
+    for (size_t w = 0; w < workloads.size(); w++) {
+      std::vector<std::string> row;
+      for (size_t s = 0; s < systems.size(); s++) {
+        row.push_back(extract(results[w][s]));
+      }
+      PrintRow(workloads[w], row);
+      dat += workloads[w];
+      for (const auto& cell : row) dat += "\t" + cell;
+      dat += "\n";
+    }
+    if (!out_dir.empty()) {
+      std::string path = out_dir + "/fig" + std::to_string(figure) + ".dat";
+      Status status = Env::Default()->WriteStringToFile(path, Slice(dat));
+      if (!status.ok()) {
+        fprintf(stderr, "[warn] export %s: %s\n", path.c_str(),
+                status.ToString().c_str());
+      }
+    }
+  };
+
+  print_table(18, "Throughput (ops/sec)", [](const SimResult& r) {
+    return benchutil::FormatOps(r.throughput_ops_sec);
+  });
+  print_table(19, "Read latency (ms)", [](const SimResult& r) {
+    return benchutil::FormatMs(r.MeanLatencyMs(OpKind::kRead));
+  });
+  print_table(20, "Write latency (ms)", [](const SimResult& r) {
+    return benchutil::FormatMs(r.MeanLatencyMs(OpKind::kInsert));
+  });
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Regenerates Figures 3-14 of Rabl et al. (VLDB 2012): maximum sustainable
+// throughput and per-operation latencies for the six stores on the
+// memory-bound Cluster M, 1-12 nodes, workloads R / RW / W / RS / RSW.
+//
+// Usage: fig_cluster_m [workload=R|RW|W|RS|RSW] [nodes=1,2,4,8,12]
+//                      [out=<dir>]
+// Environment: APMBENCH_SIM_SECONDS, APMBENCH_SIM_SEEDS.
+// With out=<dir>, each figure is additionally written as a
+// gnuplot-friendly tab-separated file <dir>/fig<N>.dat.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/env.h"
+#include "common/properties.h"
+#include "simstores/runner.h"
+
+namespace {
+
+using namespace apmbench;
+using namespace apmbench::simstores;
+using benchutil::FormatMs;
+using benchutil::FormatOps;
+using benchutil::PrintRow;
+
+const std::vector<std::string> kAllSystems = {"cassandra", "hbase",
+                                              "voldemort", "redis",
+                                              "voltdb",    "mysql"};
+
+struct FigureSet {
+  const char* workload;
+  int throughput_figure;
+  int read_latency_figure;
+  int write_latency_figure;
+  int scan_latency_figure;  // 0 = none
+};
+
+// The paper's figure numbering.
+const FigureSet kFigures[] = {
+    {"R", 3, 4, 5, 0},    {"RW", 6, 7, 8, 0},  {"W", 9, 10, 11, 0},
+    {"RS", 12, 0, 0, 13}, {"RSW", 14, 0, 0, 0},
+};
+
+struct Cell {
+  bool valid = false;
+  SimResult result;
+};
+
+std::string g_out_dir;  // empty = no .dat export
+
+void ExportDat(int figure, const std::vector<int>& nodes,
+               const std::vector<std::string>& systems,
+               const std::vector<std::vector<std::string>>& rows) {
+  if (g_out_dir.empty() || figure == 0) return;
+  std::string body = "# nodes";
+  for (const auto& system : systems) body += "\t" + system;
+  body += "\n";
+  for (size_t n = 0; n < nodes.size(); n++) {
+    body += std::to_string(nodes[n]);
+    for (const auto& cell : rows[n]) body += "\t" + cell;
+    body += "\n";
+  }
+  std::string path = g_out_dir + "/fig" + std::to_string(figure) + ".dat";
+  Status status = Env::Default()->WriteStringToFile(path, Slice(body));
+  if (!status.ok()) {
+    fprintf(stderr, "[warn] export %s: %s\n", path.c_str(),
+            status.ToString().c_str());
+  }
+}
+
+void RunWorkload(const FigureSet& figures, const std::vector<int>& nodes) {
+  WorkloadSpec spec = WorkloadSpec::Preset(figures.workload);
+  std::vector<std::string> systems;
+  for (const auto& system : kAllSystems) {
+    if (spec.scan > 0 && system == "voldemort") continue;  // as in paper
+    systems.push_back(system);
+  }
+
+  // node-count x system result matrix.
+  std::vector<std::vector<Cell>> cells(nodes.size());
+  for (size_t n = 0; n < nodes.size(); n++) {
+    cells[n].resize(systems.size());
+    for (size_t s = 0; s < systems.size(); s++) {
+      ClusterParams cluster = ClusterParams::ClusterM(nodes[n]);
+      SimRunConfig config = benchutil::DefaultSimConfig();
+      Cell& cell = cells[n][s];
+      Status status =
+          RunSimulationSeeds(systems[s], cluster, spec, config,
+                             benchutil::SimSeeds(), &cell.result);
+      cell.valid = status.ok();
+      if (!status.ok()) {
+        fprintf(stderr, "[warn] %s @%d nodes: %s\n", systems[s].c_str(),
+                nodes[n], status.ToString().c_str());
+      }
+    }
+  }
+
+  auto print_table = [&](int figure, const char* what,
+                         auto&& extract) {
+    if (figure == 0) return;
+    printf("\n=== Figure %d: %s, Workload %s (Cluster M) ===\n", figure,
+           what, figures.workload);
+    PrintRow("nodes", systems);
+    std::vector<std::vector<std::string>> rows;
+    for (size_t n = 0; n < nodes.size(); n++) {
+      std::vector<std::string> row;
+      for (size_t s = 0; s < systems.size(); s++) {
+        row.push_back(cells[n][s].valid ? extract(cells[n][s].result)
+                                        : std::string("-"));
+      }
+      PrintRow(std::to_string(nodes[n]), row);
+      rows.push_back(std::move(row));
+    }
+    ExportDat(figure, nodes, systems, rows);
+  };
+
+  print_table(figures.throughput_figure, "Throughput (ops/sec)",
+              [](const SimResult& r) { return FormatOps(r.throughput_ops_sec); });
+  print_table(figures.read_latency_figure, "Read latency (ms)",
+              [](const SimResult& r) {
+                return FormatMs(r.MeanLatencyMs(OpKind::kRead));
+              });
+  print_table(figures.write_latency_figure, "Write latency (ms)",
+              [](const SimResult& r) {
+                return FormatMs(r.MeanLatencyMs(OpKind::kInsert));
+              });
+  print_table(figures.scan_latency_figure, "Scan latency (ms)",
+              [](const SimResult& r) {
+                return FormatMs(r.MeanLatencyMs(OpKind::kScan));
+              });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string only_workload;
+  std::vector<int> nodes = {1, 2, 4, 8, 12};
+  for (int i = 1; i < argc; i++) {
+    apmbench::Properties props;
+    if (!props.ParseArg(argv[i]).ok()) {
+      fprintf(stderr, "usage: %s [workload=R|RW|W|RS|RSW] [nodes=1,2,4]\n",
+              argv[0]);
+      return 2;
+    }
+    if (props.Contains("workload")) {
+      only_workload = props.GetString("workload");
+    }
+    if (props.Contains("out")) {
+      g_out_dir = props.GetString("out");
+      Env::Default()->CreateDirIfMissing(g_out_dir);
+    }
+    if (props.Contains("nodes")) {
+      nodes.clear();
+      std::string list = props.GetString("nodes");
+      for (size_t pos = 0; pos < list.size();) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        nodes.push_back(atoi(list.substr(pos, comma - pos).c_str()));
+        pos = comma + 1;
+      }
+    }
+  }
+
+  printf("APMBench cluster-M figure harness "
+         "(sim %.0fs x %d seeds per point; set APMBENCH_SIM_SECONDS / "
+         "APMBENCH_SIM_SEEDS to change)\n",
+         apmbench::benchutil::SimSeconds(), apmbench::benchutil::SimSeeds());
+  for (const FigureSet& figures : kFigures) {
+    if (!only_workload.empty() && only_workload != figures.workload) {
+      continue;
+    }
+    RunWorkload(figures, nodes);
+  }
+  return 0;
+}

@@ -1,0 +1,245 @@
+// Google-benchmark microbenchmarks of the four real storage engines.
+// These are the calibration evidence for simstores/calibration.h: the
+// per-operation costs of our engines order the same way the paper's
+// single-node throughputs do (hash table < partition executor < B+tree <
+// LSM read path).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "btree/btree.h"
+#include "common/env.h"
+#include "common/random.h"
+#include "hashkv/hashkv.h"
+#include "lsm/db.h"
+#include "volt/volt.h"
+
+namespace {
+
+using namespace apmbench;
+
+std::string MakeKey(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%021llu",
+           static_cast<unsigned long long>(i));
+  return buf;
+}
+
+std::string MakeValue() { return std::string(50, 'v'); }
+
+// --- LSM engine (cassandra/hbase substrate) ---
+
+class LsmFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    (void)state;
+    dir_ = "/tmp/apmbench-micro-lsm";
+    Env::Default()->RemoveDirRecursively(dir_);
+    lsm::Options options;
+    options.dir = dir_;
+    options.memtable_bytes = 4 * 1024 * 1024;
+    lsm::DB::Open(options, &db_);
+    for (uint64_t i = 0; i < kPreload; i++) {
+      db_->Put(MakeKey(i), MakeValue());
+    }
+    db_->Flush();
+  }
+  void TearDown(const benchmark::State& state) override {
+    (void)state;
+    db_.reset();
+    Env::Default()->RemoveDirRecursively(dir_);
+  }
+
+ protected:
+  static constexpr uint64_t kPreload = 50000;
+  std::string dir_;
+  std::unique_ptr<lsm::DB> db_;
+};
+
+BENCHMARK_F(LsmFixture, Put)(benchmark::State& state) {
+  Random rng(1);
+  uint64_t i = kPreload;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db_->Put(MakeKey(i++), MakeValue()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(LsmFixture, Get)(benchmark::State& state) {
+  Random rng(2);
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db_->Get(lsm::ReadOptions(), MakeKey(rng.Uniform(kPreload)), &value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(LsmFixture, Scan50)(benchmark::State& state) {
+  Random rng(3);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db_->Scan(
+        lsm::ReadOptions(), MakeKey(rng.Uniform(kPreload)), 50, &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// --- B+tree engine (mysql/voldemort substrate) ---
+
+class BTreeFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    (void)state;
+    dir_ = "/tmp/apmbench-micro-btree";
+    Env::Default()->RemoveDirRecursively(dir_);
+    Env::Default()->CreateDirIfMissing(dir_);
+    btree::Options options;
+    options.path = dir_ + "/tree.db";
+    btree::BTree::Open(options, &tree_);
+    for (uint64_t i = 0; i < kPreload; i++) {
+      tree_->Put(MakeKey(i), MakeValue());
+    }
+  }
+  void TearDown(const benchmark::State& state) override {
+    (void)state;
+    tree_.reset();
+    Env::Default()->RemoveDirRecursively(dir_);
+  }
+
+ protected:
+  static constexpr uint64_t kPreload = 50000;
+  std::string dir_;
+  std::unique_ptr<btree::BTree> tree_;
+};
+
+BENCHMARK_F(BTreeFixture, Put)(benchmark::State& state) {
+  uint64_t i = kPreload;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree_->Put(MakeKey(i++), MakeValue()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(BTreeFixture, Get)(benchmark::State& state) {
+  Random rng(4);
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree_->Get(MakeKey(rng.Uniform(kPreload)), &value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(BTreeFixture, Scan50)(benchmark::State& state) {
+  Random rng(5);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree_->Scan(MakeKey(rng.Uniform(kPreload)), 50, &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// --- In-memory dict engine (redis substrate) ---
+
+class HashKvFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    (void)state;
+    hashkv::Options options;
+    hashkv::HashKV::Open(options, &kv_);
+    for (uint64_t i = 0; i < kPreload; i++) {
+      kv_->Set(MakeKey(i), MakeValue());
+    }
+  }
+  void TearDown(const benchmark::State& state) override {
+    (void)state;
+    kv_.reset();
+  }
+
+ protected:
+  static constexpr uint64_t kPreload = 50000;
+  std::unique_ptr<hashkv::HashKV> kv_;
+};
+
+BENCHMARK_F(HashKvFixture, Set)(benchmark::State& state) {
+  uint64_t i = kPreload;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kv_->Set(MakeKey(i++), MakeValue()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(HashKvFixture, Get)(benchmark::State& state) {
+  Random rng(6);
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kv_->Get(MakeKey(rng.Uniform(kPreload)), &value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(HashKvFixture, Scan50)(benchmark::State& state) {
+  Random rng(7);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kv_->Scan(MakeKey(rng.Uniform(kPreload)), 50, &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// --- Partitioned serial executor (voltdb substrate) ---
+
+class VoltFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    (void)state;
+    engine_ = std::make_unique<volt::VoltEngine>(volt::Options{6});
+    for (uint64_t i = 0; i < kPreload; i++) {
+      engine_->Put(MakeKey(i), MakeValue());
+    }
+  }
+  void TearDown(const benchmark::State& state) override {
+    (void)state;
+    engine_.reset();
+  }
+
+ protected:
+  static constexpr uint64_t kPreload = 20000;
+  std::unique_ptr<volt::VoltEngine> engine_;
+};
+
+BENCHMARK_F(VoltFixture, Put)(benchmark::State& state) {
+  uint64_t i = kPreload;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine_->Put(MakeKey(i++), MakeValue()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(VoltFixture, Get)(benchmark::State& state) {
+  Random rng(8);
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine_->Get(MakeKey(rng.Uniform(kPreload)), &value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_F(VoltFixture, MultiPartitionScan50)(benchmark::State& state) {
+  Random rng(9);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine_->Scan(MakeKey(rng.Uniform(kPreload)), 50, &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Quickstart: open an embedded store, write and read APM-style records
+// through the public ycsb::DB API, and run a small benchmark against it.
+//
+//   ./quickstart [store=cassandra] [records=5000]
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/env.h"
+#include "common/properties.h"
+#include "stores/factory.h"
+#include "ycsb/client.h"
+#include "ycsb/workload.h"
+
+using namespace apmbench;
+
+int main(int argc, char** argv) {
+  Properties args;
+  for (int i = 1; i < argc; i++) {
+    if (!args.ParseArg(argv[i]).ok()) {
+      fprintf(stderr, "usage: %s [store=cassandra] [records=5000]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  const std::string store_name = args.GetString("store", "cassandra");
+  const int64_t records = args.GetInt("records", 5000);
+
+  // 1. Open a store (a 3-node embedded deployment of the chosen
+  //    architecture) under a scratch directory.
+  std::string dir = "/tmp/apmbench-quickstart";
+  Env::Default()->RemoveDirRecursively(dir);
+  stores::StoreOptions options;
+  options.base_dir = dir;
+  options.num_nodes = 3;
+  std::unique_ptr<ycsb::DB> db;
+  Status status = stores::CreateStore(store_name, options, &db);
+  if (!status.ok()) {
+    fprintf(stderr, "open %s: %s\n", store_name.c_str(),
+            status.ToString().c_str());
+    return 1;
+  }
+  printf("opened a 3-node embedded '%s' store under %s\n",
+         store_name.c_str(), dir.c_str());
+
+  // 2. Basic CRUD through the DB interface.
+  ycsb::Record record = {{"field0", "42.5      "},
+                         {"field1", "40.1      "},
+                         {"field2", "44.0      "},
+                         {"field3", "1332988833"},
+                         {"field4", "10        "}};
+  status = db->Insert("usertable", "userdemo00000000000000001", record);
+  printf("insert: %s\n", status.ToString().c_str());
+
+  ycsb::Record read_back;
+  status = db->Read("usertable", "userdemo00000000000000001", &read_back);
+  printf("read:   %s (%zu fields)\n", status.ToString().c_str(),
+         read_back.size());
+
+  // 3. Load a YCSB dataset and run the paper's Workload W (the APM mix:
+  //    99% inserts) for a couple of seconds.
+  Properties props;
+  Status preset = ycsb::CoreWorkload::Table1Preset("W", &props);
+  if (!preset.ok()) return 1;
+  props.Set("recordcount", std::to_string(records));
+  ycsb::CoreWorkload workload(props);
+
+  printf("loading %lld records...\n", static_cast<long long>(records));
+  status = ycsb::LoadDatabase(db.get(), &workload, 4);
+  if (!status.ok()) {
+    fprintf(stderr, "load: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  ycsb::RunConfig config;
+  config.threads = 4;
+  config.duration_seconds = 2.0;
+  ycsb::RunResult result;
+  status = ycsb::RunWorkload(db.get(), &workload, config, &result);
+  if (!status.ok()) {
+    fprintf(stderr, "run: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  printf("\nWorkload W against %s:\n%s", store_name.c_str(),
+         result.Summary().c_str());
+
+  uint64_t disk = 0;
+  if (db->DiskUsage(&disk).ok() && disk > 0) {
+    printf("disk usage: %.1f MB\n", static_cast<double>(disk) / 1e6);
+  }
+  db.reset();
+  Env::Default()->RemoveDirRecursively(dir);
+  return 0;
+}

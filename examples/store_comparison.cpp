@@ -1,0 +1,108 @@
+// Mini in-process reproduction of the paper's comparison: runs one
+// workload against all six embedded stores (real engines, real files) and
+// prints a side-by-side table. Useful for sanity-checking the relative
+// behaviors on a laptop before reaching for the cluster simulator.
+//
+//   ./store_comparison [workload=W] [records=10000] [seconds=2]
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/properties.h"
+#include "stores/factory.h"
+#include "ycsb/client.h"
+#include "ycsb/workload.h"
+
+using namespace apmbench;
+
+int main(int argc, char** argv) {
+  Properties args;
+  for (int i = 1; i < argc; i++) {
+    if (!args.ParseArg(argv[i]).ok()) {
+      fprintf(stderr,
+              "usage: %s [workload=W] [records=10000] [seconds=2]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  const std::string workload_name = args.GetString("workload", "W");
+  const int64_t records = args.GetInt("records", 10000);
+  const double seconds = args.GetDouble("seconds", 2.0);
+
+  printf("Embedded store comparison: workload %s, %lld records, %.1fs per "
+         "store (2 nodes each)\n\n",
+         workload_name.c_str(), static_cast<long long>(records), seconds);
+  printf("%-11s %12s %12s %12s %12s %10s\n", "store", "ops/sec", "read ms",
+         "write ms", "scan ms", "disk MB");
+
+  for (const std::string& store_name : stores::StoreNames()) {
+    Properties props;
+    Status status = ycsb::CoreWorkload::Table1Preset(workload_name, &props);
+    if (!status.ok()) {
+      fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 2;
+    }
+    bool has_scans = props.GetDouble("scanproportion") > 0;
+    if (has_scans && !stores::StoreSupportsScans(store_name)) {
+      printf("%-11s %12s (no scan support, as in the paper)\n",
+             store_name.c_str(), "-");
+      continue;
+    }
+
+    std::string dir = "/tmp/apmbench-comparison";
+    Env::Default()->RemoveDirRecursively(dir);
+    stores::StoreOptions options;
+    options.base_dir = dir;
+    options.num_nodes = 2;
+    std::unique_ptr<ycsb::DB> db;
+    status = stores::CreateStore(store_name, options, &db);
+    if (!status.ok()) {
+      printf("%-11s open failed: %s\n", store_name.c_str(),
+             status.ToString().c_str());
+      continue;
+    }
+
+    props.Set("recordcount", std::to_string(records));
+    ycsb::CoreWorkload workload(props);
+    status = ycsb::LoadDatabase(db.get(), &workload, 4);
+    if (!status.ok()) {
+      printf("%-11s load failed: %s\n", store_name.c_str(),
+             status.ToString().c_str());
+      continue;
+    }
+
+    ycsb::RunConfig config;
+    config.threads = 8;
+    config.duration_seconds = seconds;
+    ycsb::RunResult result;
+    status = ycsb::RunWorkload(db.get(), &workload, config, &result);
+    if (!status.ok()) {
+      printf("%-11s run failed: %s\n", store_name.c_str(),
+             status.ToString().c_str());
+      continue;
+    }
+
+    uint64_t disk = 0;
+    db->DiskUsage(&disk);
+    auto ms_or_dash = [&](ycsb::OpType type) {
+      double ms = result.MeanLatencyMs(type);
+      char buf[32];
+      if (ms <= 0) return std::string("-");
+      snprintf(buf, sizeof(buf), "%.3f", ms);
+      return std::string(buf);
+    };
+    printf("%-11s %12.0f %12s %12s %12s %10.1f\n", store_name.c_str(),
+           result.throughput_ops_sec, ms_or_dash(ycsb::OpType::kRead).c_str(),
+           ms_or_dash(ycsb::OpType::kInsert).c_str(),
+           ms_or_dash(ycsb::OpType::kScan).c_str(),
+           static_cast<double>(disk) / 1e6);
+    db.reset();
+    Env::Default()->RemoveDirRecursively(dir);
+  }
+  printf("\nNote: these are real single-process engines; the paper's "
+         "multi-node scaling figures come from bench/fig_cluster_m.\n");
+  return 0;
+}

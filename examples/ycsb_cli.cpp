@@ -1,0 +1,168 @@
+// A YCSB-style command-line benchmark driver, mirroring the original
+// tool's load/run phases:
+//
+//   ./ycsb_cli load store=cassandra dir=/tmp/db recordcount=100000
+//   ./ycsb_cli run  store=cassandra dir=/tmp/db workload=W threads=32 \
+//                   seconds=30
+//   ./ycsb_cli run  ... propertyfile=myworkload.properties
+//
+// With no arguments it runs a short self-contained demo (load + run).
+// Any CoreWorkload property (readproportion=, requestdistribution=, ...)
+// can be passed directly as key=value.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/env.h"
+#include "common/properties.h"
+#include "stores/factory.h"
+#include "ycsb/client.h"
+#include "ycsb/workload.h"
+
+using namespace apmbench;
+
+namespace {
+
+int Usage(const char* argv0) {
+  fprintf(stderr,
+          "usage: %s [load|run|demo] [store=<name>] [dir=<path>] "
+          "[nodes=N] [workload=R|RW|W|RS|RSW] [threads=N]\n"
+          "          [recordcount=N] [operationcount=N] [seconds=S] "
+          "[target=OPS] [propertyfile=F] [<property>=<value> ...]\n"
+          "stores: cassandra hbase voldemort redis voltdb mysql\n",
+          argv0);
+  return 2;
+}
+
+Status OpenStore(const Properties& args, std::unique_ptr<ycsb::DB>* db) {
+  stores::StoreOptions options;
+  options.base_dir = args.GetString("dir", "/tmp/apmbench-ycsb");
+  options.num_nodes = static_cast<int>(args.GetInt("nodes", 1));
+  options.mysql_limit_scans = args.GetBool("mysql_limit_scans", false);
+  options.redis_aof = args.GetBool("redis_aof", false);
+  if (args.GetString("compression") == "lz") {
+    options.lsm_compression = CompressionType::kLz;
+  }
+  return stores::CreateStore(args.GetString("store", "cassandra"), options,
+                             db);
+}
+
+ycsb::CoreWorkload MakeWorkload(const Properties& args) {
+  Properties props;
+  std::string workload_name = args.GetString("workload", "");
+  if (!workload_name.empty()) {
+    Status status = ycsb::CoreWorkload::Table1Preset(workload_name, &props);
+    if (!status.ok()) {
+      fprintf(stderr, "%s\n", status.ToString().c_str());
+    }
+  }
+  // Pass-through of explicit workload properties (override the preset).
+  props.Merge(args);
+  return ycsb::CoreWorkload(props);
+}
+
+int DoLoad(const Properties& args) {
+  std::unique_ptr<ycsb::DB> db;
+  Status status = OpenStore(args, &db);
+  if (!status.ok()) {
+    fprintf(stderr, "open: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  ycsb::CoreWorkload workload = MakeWorkload(args);
+  int threads = static_cast<int>(args.GetInt("threads", 8));
+  printf("[load] %llu records into %s (%lld nodes), %d loader threads\n",
+         static_cast<unsigned long long>(workload.record_count()),
+         args.GetString("store", "cassandra").c_str(),
+         args.GetInt("nodes", 1), threads);
+  uint64_t start = NowMicros();
+  status = ycsb::LoadDatabase(db.get(), &workload, threads);
+  if (!status.ok()) {
+    fprintf(stderr, "load: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  double seconds = static_cast<double>(NowMicros() - start) / 1e6;
+  printf("[load] done in %.2fs (%.0f inserts/sec)\n", seconds,
+         static_cast<double>(workload.record_count()) / seconds);
+  uint64_t disk = 0;
+  if (db->DiskUsage(&disk).ok() && disk > 0) {
+    printf("[load] disk usage %.1f MB (%.1f bytes/record)\n",
+           static_cast<double>(disk) / 1e6,
+           static_cast<double>(disk) /
+               static_cast<double>(workload.record_count()));
+  }
+  return 0;
+}
+
+int DoRun(const Properties& args) {
+  std::unique_ptr<ycsb::DB> db;
+  Status status = OpenStore(args, &db);
+  if (!status.ok()) {
+    fprintf(stderr, "open: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  ycsb::CoreWorkload workload = MakeWorkload(args);
+  ycsb::RunConfig config;
+  config.threads = static_cast<int>(args.GetInt("threads", 8));
+  config.operation_count =
+      static_cast<uint64_t>(args.GetInt("operationcount", 0));
+  config.duration_seconds = args.GetDouble("seconds", 10.0);
+  config.target_ops_per_sec = args.GetDouble("target", 0.0);
+  printf("[run] store=%s workload=%s threads=%d %s\n",
+         args.GetString("store", "cassandra").c_str(),
+         args.GetString("workload", "(custom)").c_str(), config.threads,
+         config.operation_count > 0
+             ? ("ops=" + std::to_string(config.operation_count)).c_str()
+             : ("seconds=" + std::to_string(config.duration_seconds)).c_str());
+  ycsb::RunResult result;
+  status = ycsb::RunWorkload(db.get(), &workload, config, &result);
+  if (!status.ok()) {
+    fprintf(stderr, "run: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  printf("%s", result.Summary().c_str());
+  return 0;
+}
+
+int DoDemo() {
+  printf("No arguments: running the built-in demo (Workload W on an "
+         "embedded 2-node cassandra store).\n\n");
+  Env::Default()->RemoveDirRecursively("/tmp/apmbench-ycsb");
+  Properties args;
+  args.Set("store", "cassandra");
+  args.Set("nodes", "2");
+  args.Set("workload", "W");
+  args.Set("recordcount", "20000");
+  args.Set("seconds", "2");
+  int rc = DoLoad(args);
+  if (rc != 0) return rc;
+  rc = DoRun(args);
+  Env::Default()->RemoveDirRecursively("/tmp/apmbench-ycsb");
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return DoDemo();
+  std::string command = argv[1];
+  Properties args;
+  for (int i = 2; i < argc; i++) {
+    if (!args.ParseArg(argv[i]).ok()) return Usage(argv[0]);
+  }
+  if (args.Contains("propertyfile")) {
+    Properties file_props;
+    Status status = file_props.LoadFile(args.GetString("propertyfile"));
+    if (!status.ok()) {
+      fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    file_props.Merge(args);  // command line wins
+    args = file_props;
+  }
+  if (command == "load") return DoLoad(args);
+  if (command == "run") return DoRun(args);
+  if (command == "demo") return DoDemo();
+  return Usage(argv[0]);
+}

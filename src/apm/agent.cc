@@ -1,0 +1,66 @@
+#include "apm/agent.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apmbench::apm {
+
+AgentFleet::AgentFleet(const FleetConfig& config)
+    : config_(config), rng_(config.seed) {
+  levels_.resize(static_cast<size_t>(config_.hosts) *
+                 static_cast<size_t>(config_.metrics_per_host));
+  for (double& level : levels_) {
+    level = 10.0 + rng_.NextDouble() * 90.0;
+  }
+}
+
+std::string AgentFleet::MetricName(int host, int metric) const {
+  // Mirrors Figure 2's hierarchy: Host/Agent/Component/Metric.
+  return "Host" + std::to_string(host) + "/Agent0/Component" +
+         std::to_string(metric % 10) + "/Metric" + std::to_string(metric);
+}
+
+std::vector<Measurement> AgentFleet::Tick(uint64_t timestamp) {
+  std::vector<Measurement> out;
+  out.reserve(levels_.size());
+  for (int host = 0; host < config_.hosts; host++) {
+    for (int metric = 0; metric < config_.metrics_per_host; metric++) {
+      size_t index = static_cast<size_t>(host) *
+                         static_cast<size_t>(config_.metrics_per_host) +
+                     static_cast<size_t>(metric);
+      // Random walk with reflection at zero; the interval aggregate
+      // carries min/max around the walk's current level.
+      double& level = levels_[index];
+      level += rng_.UniformDouble(-2.0, 2.0);
+      level = std::max(0.0, level);
+      double spread = rng_.NextDouble() * 5.0;
+
+      Measurement m;
+      m.metric = MetricName(host, metric);
+      m.value = level;
+      m.min = std::max(0.0, level - spread);
+      m.max = level + spread;
+      m.timestamp = timestamp;
+      m.duration = config_.interval_seconds;
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+Status AgentFleet::Replay(ycsb::DB* db, const std::string& table,
+                          uint64_t start_timestamp, int intervals,
+                          uint64_t* written) {
+  *written = 0;
+  for (int i = 0; i < intervals; i++) {
+    uint64_t timestamp =
+        start_timestamp + static_cast<uint64_t>(i) * config_.interval_seconds;
+    for (const Measurement& m : Tick(timestamp)) {
+      APM_RETURN_IF_ERROR(MeasurementCodec::Write(db, table, m));
+      (*written)++;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace apmbench::apm

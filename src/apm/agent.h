@@ -1,0 +1,66 @@
+#ifndef APMBENCH_APM_AGENT_H_
+#define APMBENCH_APM_AGENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apm/measurement.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "ycsb/db.h"
+
+namespace apmbench::apm {
+
+/// Configuration of a simulated monitored data center (Section 1's
+/// customer scenario: up to 10K nodes x ~10K metrics at 10-second
+/// intervals; defaults here are laptop-sized).
+struct FleetConfig {
+  int hosts = 10;
+  int metrics_per_host = 100;
+  /// Agents aggregate and report every `interval_seconds`.
+  uint32_t interval_seconds = 10;
+  uint64_t seed = 1;
+};
+
+/// Generates the measurement stream a fleet of monitoring agents would
+/// report: each host owns `metrics_per_host` metrics whose values follow
+/// independent random walks, aggregated per interval into Figure-2
+/// records.
+class AgentFleet {
+ public:
+  explicit AgentFleet(const FleetConfig& config);
+
+  /// Metric name of (host, metric) — hierarchical, as in Figure 2.
+  std::string MetricName(int host, int metric) const;
+
+  /// Produces one reporting interval ending at `timestamp` (all hosts,
+  /// all metrics).
+  std::vector<Measurement> Tick(uint64_t timestamp);
+
+  /// Runs `intervals` ticks starting at `start_timestamp`, writing every
+  /// measurement to `db`. Returns the number of measurements written.
+  Status Replay(ycsb::DB* db, const std::string& table,
+                uint64_t start_timestamp, int intervals,
+                uint64_t* written);
+
+  int64_t measurements_per_interval() const {
+    return static_cast<int64_t>(config_.hosts) * config_.metrics_per_host;
+  }
+  /// The sustained insert rate this fleet generates (measurements/sec) —
+  /// the sizing quantity of Sections 1 and 8.
+  double measurements_per_second() const {
+    return static_cast<double>(measurements_per_interval()) /
+           config_.interval_seconds;
+  }
+
+ private:
+  FleetConfig config_;
+  Random rng_;
+  /// Random-walk state per (host, metric).
+  std::vector<double> levels_;
+};
+
+}  // namespace apmbench::apm
+
+#endif  // APMBENCH_APM_AGENT_H_

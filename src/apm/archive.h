@@ -1,0 +1,60 @@
+#ifndef APMBENCH_APM_ARCHIVE_H_
+#define APMBENCH_APM_ARCHIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apm/measurement.h"
+#include "apm/queries.h"
+#include "common/status.h"
+#include "ycsb/db.h"
+
+namespace apmbench::apm {
+
+/// One bucket of a time-bucketed archive series.
+struct SeriesPoint {
+  uint64_t bucket_start = 0;
+  int samples = 0;
+  double avg = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// Section 2's *analytical* queries over the long-term archive — the ones
+/// that "may finish in the order of minutes" rather than sub-second:
+///
+///   "What was the average total response time for Web requests served by
+///    replications of servlet X in December 2011?"
+///   "What was the maximum average response time of calls from
+///    application Y to database Z within the last month?"
+///
+/// Unlike the on-line window queries, these walk a long key range and
+/// aggregate into coarse buckets.
+
+/// Buckets `metric`'s samples in [from, to] into windows of
+/// `bucket_seconds`, producing one SeriesPoint per non-empty bucket in
+/// time order. NotFound when the range holds no samples.
+Status ArchiveSeries(ycsb::DB* db, const std::string& table,
+                     const std::string& metric, uint64_t from, uint64_t to,
+                     uint64_t bucket_seconds,
+                     std::vector<SeriesPoint>* series);
+
+/// Sample-weighted aggregate of one logical metric measured on several
+/// replicas/hosts over a long window (the "replications of servlet X"
+/// query): avg is weighted by sample count, min/max are global.
+Status ArchiveAggregate(ycsb::DB* db, const std::string& table,
+                        const std::vector<std::string>& metrics,
+                        uint64_t from, uint64_t to, WindowAggregate* result);
+
+/// The "maximum average" query: buckets each metric's series (e.g., per
+/// interval average over replicas) and returns the maximum bucket
+/// average observed in the window.
+Status ArchiveMaxBucketAverage(ycsb::DB* db, const std::string& table,
+                               const std::string& metric, uint64_t from,
+                               uint64_t to, uint64_t bucket_seconds,
+                               double* max_average);
+
+}  // namespace apmbench::apm
+
+#endif  // APMBENCH_APM_ARCHIVE_H_

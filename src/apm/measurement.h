@@ -1,0 +1,59 @@
+#ifndef APMBENCH_APM_MEASUREMENT_H_
+#define APMBENCH_APM_MEASUREMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "ycsb/db.h"
+
+namespace apmbench::apm {
+
+/// One APM measurement, exactly the record of Figure 2: agents aggregate
+/// events over a reporting interval and ship (metric name, aggregate
+/// value, min, max, timestamp, duration).
+struct Measurement {
+  /// Hierarchical metric identifier, e.g.
+  /// "HostA/AgentX/ServletB/AverageResponseTime".
+  std::string metric;
+  double value = 0;
+  double min = 0;
+  double max = 0;
+  /// Unix seconds of the interval end.
+  uint64_t timestamp = 0;
+  /// Interval length in seconds.
+  uint32_t duration = 0;
+};
+
+/// Maps measurements onto the benchmark's generic data model: a 25-byte
+/// key and five 10-byte fields (a 75-byte raw record, Section 3).
+///
+/// The key layout is "m" + 12 hex chars of the metric-name hash + 12
+/// decimal digits of the timestamp, so all samples of one metric are
+/// adjacent and time-ordered — a window query is a seek plus a short
+/// scan, which is precisely the paper's small-scan access pattern.
+class MeasurementCodec {
+ public:
+  static constexpr int kKeyLength = 25;
+  static constexpr int kFieldLength = 10;
+
+  /// The storage key for (metric, timestamp).
+  static std::string Key(const std::string& metric, uint64_t timestamp);
+  /// The 13-byte key prefix shared by every sample of `metric`.
+  static std::string MetricPrefix(const std::string& metric);
+
+  /// Serializes into the 5-field record shape.
+  static ycsb::Record ToRecord(const Measurement& measurement);
+  /// Parses a record back (metric name is not stored in the record; the
+  /// caller supplies it or leaves it empty).
+  static Status FromRecord(const ycsb::Record& record,
+                           Measurement* measurement);
+
+  /// Writes `measurement` into `db`.
+  static Status Write(ycsb::DB* db, const std::string& table,
+                      const Measurement& measurement);
+};
+
+}  // namespace apmbench::apm
+
+#endif  // APMBENCH_APM_MEASUREMENT_H_

@@ -1,0 +1,82 @@
+#include "apm/queries.h"
+
+#include <algorithm>
+
+namespace apmbench::apm {
+
+Status WindowQuery(ycsb::DB* db, const std::string& table,
+                   const std::string& metric, uint64_t from, uint64_t to,
+                   WindowAggregate* result) {
+  *result = WindowAggregate();
+  if (to < from) return Status::InvalidArgument("empty window");
+  // One sample per reporting interval: a 10-minute window at 10-second
+  // resolution is 60 records — the paper's canonical small scan. Fetch in
+  // bounded batches until the window's end.
+  std::string cursor = MeasurementCodec::Key(metric, from);
+  const std::string end_key = MeasurementCodec::Key(metric, to);
+  double sum = 0;
+  bool first = true;
+  for (;;) {
+    std::vector<ycsb::KeyedRecord> records;
+    APM_RETURN_IF_ERROR(db->ScanKeyed(table, Slice(cursor), 64, &records));
+    if (records.empty()) break;
+    bool done = false;
+    for (const ycsb::KeyedRecord& entry : records) {
+      // The key bounds the range exactly: stop at the first key past the
+      // window's end (which includes keys of other metrics).
+      if (entry.key > end_key) {
+        done = true;
+        break;
+      }
+      Measurement m;
+      APM_RETURN_IF_ERROR(MeasurementCodec::FromRecord(entry.record, &m));
+      result->samples++;
+      sum += m.value;
+      if (first) {
+        result->min = m.min;
+        result->max = m.max;
+        first = false;
+      } else {
+        result->min = std::min(result->min, m.min);
+        result->max = std::max(result->max, m.max);
+      }
+    }
+    if (done || static_cast<int>(records.size()) < 64) break;
+    cursor = records.back().key + '\x01';
+    if (cursor > end_key) break;
+  }
+  if (result->samples == 0) return Status::NotFound("no samples in window");
+  result->avg = sum / result->samples;
+  return Status::OK();
+}
+
+Status FleetAverage(ycsb::DB* db, const std::string& table,
+                    const std::vector<std::string>& metrics, uint64_t from,
+                    uint64_t to, WindowAggregate* result) {
+  *result = WindowAggregate();
+  double sum = 0;
+  bool first = true;
+  int with_data = 0;
+  for (const std::string& metric : metrics) {
+    WindowAggregate one;
+    Status s = WindowQuery(db, table, metric, from, to, &one);
+    if (s.IsNotFound()) continue;
+    APM_RETURN_IF_ERROR(s);
+    with_data++;
+    result->samples += one.samples;
+    sum += one.avg;
+    if (first) {
+      result->min = one.min;
+      result->max = one.max;
+      first = false;
+    } else {
+      result->min = std::min(result->min, one.min);
+      result->max = std::max(result->max, one.max);
+    }
+  }
+  if (with_data == 0) return Status::NotFound("no samples in window");
+  result->avg = sum / with_data;
+  return Status::OK();
+}
+
+}  // namespace apmbench::apm

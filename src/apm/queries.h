@@ -1,0 +1,44 @@
+#ifndef APMBENCH_APM_QUERIES_H_
+#define APMBENCH_APM_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apm/measurement.h"
+#include "common/status.h"
+#include "ycsb/db.h"
+
+namespace apmbench::apm {
+
+/// Aggregate over one metric's samples in [from, to] (timestamps in unix
+/// seconds, inclusive).
+struct WindowAggregate {
+  int samples = 0;
+  double avg = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// The on-line monitoring queries of Section 2, implemented as the small
+/// ordered scans the storage benchmark models:
+///
+///   "What was the maximum number of connections on host X within the
+///    last 10 minutes?"         -> WindowQuery(max over one metric)
+///   "What was the average CPU utilization of Web servers of type Y
+///    within the last 15 minutes?" -> FleetAverage(avg across metrics)
+
+/// Scans `metric`'s samples in [from, to]; NotFound when no samples.
+Status WindowQuery(ycsb::DB* db, const std::string& table,
+                   const std::string& metric, uint64_t from, uint64_t to,
+                   WindowAggregate* result);
+
+/// Averages the window aggregates of several metrics (the same metric
+/// measured on different machines), as the multi-host query requires.
+Status FleetAverage(ycsb::DB* db, const std::string& table,
+                    const std::vector<std::string>& metrics, uint64_t from,
+                    uint64_t to, WindowAggregate* result);
+
+}  // namespace apmbench::apm
+
+#endif  // APMBENCH_APM_QUERIES_H_

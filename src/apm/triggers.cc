@@ -1,0 +1,46 @@
+#include "apm/triggers.h"
+
+namespace apmbench::apm {
+
+void TriggerEngine::AddRule(const TriggerRule& rule) {
+  RuleState state;
+  state.rule = rule;
+  rules_.emplace(rule.metric, std::move(state));
+}
+
+bool TriggerEngine::Breaches(const TriggerRule& rule, double value) {
+  return rule.direction == TriggerRule::Direction::kAbove
+             ? value > rule.threshold
+             : value < rule.threshold;
+}
+
+std::vector<Notification> TriggerEngine::Observe(
+    const Measurement& measurement) {
+  std::vector<Notification> fired;
+  auto [begin, end] = rules_.equal_range(measurement.metric);
+  for (auto it = begin; it != end; ++it) {
+    RuleState& state = it->second;
+    if (Breaches(state.rule, measurement.value)) {
+      state.breach_run++;
+      if (!state.active &&
+          state.breach_run >= state.rule.consecutive_intervals) {
+        state.active = true;
+        fired_++;
+        Notification notification;
+        notification.metric = measurement.metric;
+        notification.value = measurement.value;
+        notification.threshold = state.rule.threshold;
+        notification.timestamp = measurement.timestamp;
+        notification.breached_intervals = state.breach_run;
+        fired.push_back(std::move(notification));
+      }
+    } else {
+      // Recovered: re-arm.
+      state.breach_run = 0;
+      state.active = false;
+    }
+  }
+  return fired;
+}
+
+}  // namespace apmbench::apm

@@ -1,0 +1,71 @@
+#ifndef APMBENCH_APM_TRIGGERS_H_
+#define APMBENCH_APM_TRIGGERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apm/measurement.h"
+
+namespace apmbench::apm {
+
+/// A threshold rule over one metric. Section 2: "Some of the metrics are
+/// monitored by certain triggers that issue notifications in extreme
+/// cases."
+struct TriggerRule {
+  enum class Direction { kAbove, kBelow };
+
+  std::string metric;
+  double threshold = 0;
+  Direction direction = Direction::kAbove;
+  /// Number of consecutive breaching intervals before the notification
+  /// fires (debouncing: one noisy sample should not page an operator).
+  int consecutive_intervals = 1;
+};
+
+/// An emitted notification.
+struct Notification {
+  std::string metric;
+  double value = 0;
+  double threshold = 0;
+  uint64_t timestamp = 0;
+  /// How many consecutive intervals were in breach when it fired.
+  int breached_intervals = 0;
+};
+
+/// Evaluates trigger rules against the live measurement stream. Feed
+/// every measurement through Observe as it arrives (before or after
+/// storage — the engine is independent of the store). A rule fires once
+/// when its consecutive-breach count is first reached and re-arms after
+/// the metric recovers.
+///
+/// Thread-compatibility: externally synchronized (the agent pipeline
+/// feeds it from one thread).
+class TriggerEngine {
+ public:
+  void AddRule(const TriggerRule& rule);
+  size_t rule_count() const { return rules_.size(); }
+
+  /// Processes one measurement; returns the notifications it fired.
+  std::vector<Notification> Observe(const Measurement& measurement);
+
+  uint64_t notifications_fired() const { return fired_; }
+
+ private:
+  struct RuleState {
+    TriggerRule rule;
+    int breach_run = 0;
+    bool active = false;  // fired and not yet recovered
+  };
+
+  static bool Breaches(const TriggerRule& rule, double value);
+
+  /// Rules indexed by metric name (multiple rules per metric allowed).
+  std::multimap<std::string, RuleState> rules_;
+  uint64_t fired_ = 0;
+};
+
+}  // namespace apmbench::apm
+
+#endif  // APMBENCH_APM_TRIGGERS_H_

@@ -1,0 +1,267 @@
+#include "btree/node.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace apmbench::btree {
+
+namespace {
+
+// Header field offsets.
+constexpr size_t kTypeOff = 0;       // u8
+constexpr size_t kNKeysOff = 1;      // u16
+constexpr size_t kRightOff = 3;      // u32
+constexpr size_t kCellStartOff = 7;  // u16
+constexpr size_t kFragOff = 9;       // u16
+
+uint16_t LoadU16(const char* p) {
+  return static_cast<uint16_t>(static_cast<unsigned char>(p[0]) |
+                               (static_cast<unsigned char>(p[1]) << 8));
+}
+void StoreU16(char* p, uint16_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>(v >> 8);
+}
+
+}  // namespace
+
+void NodeRef::Init(uint8_t type) {
+  memset(data_, 0, page_size_);
+  set_type(type);
+  set_nkeys(0);
+  set_cell_start(static_cast<uint16_t>(page_size_));
+  set_frag(0);
+  set_right(0);
+}
+
+uint8_t NodeRef::type() const {
+  return static_cast<uint8_t>(data_[kTypeOff]);
+}
+void NodeRef::set_type(uint8_t t) { data_[kTypeOff] = static_cast<char>(t); }
+
+uint16_t NodeRef::nkeys() const { return LoadU16(data_ + kNKeysOff); }
+void NodeRef::set_nkeys(uint16_t n) { StoreU16(data_ + kNKeysOff, n); }
+
+uint32_t NodeRef::right() const { return DecodeFixed32(data_ + kRightOff); }
+void NodeRef::set_right(uint32_t page_id) {
+  EncodeFixed32(data_ + kRightOff, page_id);
+}
+
+uint16_t NodeRef::cell_start() const {
+  return LoadU16(data_ + kCellStartOff);
+}
+void NodeRef::set_cell_start(uint16_t off) {
+  StoreU16(data_ + kCellStartOff, off);
+}
+
+uint16_t NodeRef::frag() const { return LoadU16(data_ + kFragOff); }
+void NodeRef::set_frag(uint16_t f) { StoreU16(data_ + kFragOff, f); }
+
+uint16_t NodeRef::SlotAt(int i) const {
+  return LoadU16(data_ + kHeaderSize + 2 * static_cast<size_t>(i));
+}
+void NodeRef::SetSlotAt(int i, uint16_t off) {
+  StoreU16(data_ + kHeaderSize + 2 * static_cast<size_t>(i), off);
+}
+
+Slice NodeRef::KeyAt(int i) const {
+  Slice in(data_ + SlotAt(i), page_size_ - SlotAt(i));
+  uint32_t klen = 0;
+  GetVarint32(&in, &klen);
+  return Slice(in.data(), klen);
+}
+
+Slice NodeRef::ValueAt(int i) const {
+  assert(is_leaf());
+  Slice in(data_ + SlotAt(i), page_size_ - SlotAt(i));
+  uint32_t klen = 0, vlen = 0;
+  GetVarint32(&in, &klen);
+  in.RemovePrefix(klen);
+  GetVarint32(&in, &vlen);
+  return Slice(in.data(), vlen);
+}
+
+uint32_t NodeRef::ChildAt(int i) const {
+  assert(!is_leaf());
+  Slice in(data_ + SlotAt(i), page_size_ - SlotAt(i));
+  uint32_t klen = 0;
+  GetVarint32(&in, &klen);
+  in.RemovePrefix(klen);
+  return DecodeFixed32(in.data());
+}
+
+void NodeRef::SetChildAt(int i, uint32_t child) {
+  assert(!is_leaf());
+  Slice in(data_ + SlotAt(i), page_size_ - SlotAt(i));
+  uint32_t klen = 0;
+  GetVarint32(&in, &klen);
+  in.RemovePrefix(klen);
+  EncodeFixed32(const_cast<char*>(in.data()), child);
+}
+
+int NodeRef::LowerBound(const Slice& key) const {
+  int lo = 0, hi = nkeys();
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (KeyAt(mid).Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t NodeRef::CellSize(uint16_t off) const {
+  Slice in(data_ + off, page_size_ - off);
+  const char* begin = in.data();
+  uint32_t klen = 0;
+  GetVarint32(&in, &klen);
+  in.RemovePrefix(klen);
+  if (is_leaf()) {
+    uint32_t vlen = 0;
+    GetVarint32(&in, &vlen);
+    in.RemovePrefix(vlen);
+  } else {
+    in.RemovePrefix(4);
+  }
+  return static_cast<size_t>(in.data() - begin);
+}
+
+size_t NodeRef::FreeSpace() const {
+  size_t slots_end = kHeaderSize + 2 * static_cast<size_t>(nkeys());
+  return cell_start() - slots_end;
+}
+
+size_t NodeRef::FragBytes() const { return frag(); }
+
+bool NodeRef::HasRoomFor(size_t cell_bytes) const {
+  return FreeSpace() + FragBytes() >= cell_bytes + 2;
+}
+
+void NodeRef::Compact() {
+  // Copy live cells out, then lay them back contiguously from the end.
+  int n = nkeys();
+  std::vector<std::string> cells(static_cast<size_t>(n));
+  for (int i = 0; i < n; i++) {
+    uint16_t off = SlotAt(i);
+    size_t size = CellSize(off);
+    cells[static_cast<size_t>(i)].assign(data_ + off, size);
+  }
+  uint16_t write = static_cast<uint16_t>(page_size_);
+  for (int i = 0; i < n; i++) {
+    const std::string& cell = cells[static_cast<size_t>(i)];
+    write = static_cast<uint16_t>(write - cell.size());
+    memcpy(data_ + write, cell.data(), cell.size());
+    SetSlotAt(i, write);
+  }
+  set_cell_start(write);
+  set_frag(0);
+}
+
+bool NodeRef::AppendCell(const char* cell, size_t size, uint16_t* off) {
+  size_t slots_end = kHeaderSize + 2 * static_cast<size_t>(nkeys());
+  if (cell_start() < slots_end + size + 2) {
+    if (FreeSpace() + FragBytes() < size + 2) return false;
+    Compact();
+    if (cell_start() < slots_end + size + 2) return false;
+  }
+  uint16_t write = static_cast<uint16_t>(cell_start() - size);
+  memcpy(data_ + write, cell, size);
+  set_cell_start(write);
+  *off = write;
+  return true;
+}
+
+bool NodeRef::InsertCellAt(int index, const std::string& cell) {
+  uint16_t off;
+  if (!AppendCell(cell.data(), cell.size(), &off)) return false;
+  int n = nkeys();
+  for (int i = n; i > index; i--) {
+    SetSlotAt(i, SlotAt(i - 1));
+  }
+  SetSlotAt(index, off);
+  set_nkeys(static_cast<uint16_t>(n + 1));
+  return true;
+}
+
+std::string NodeRef::EncodeLeafCell(const Slice& key,
+                                    const Slice& value) const {
+  std::string cell;
+  PutVarint32(&cell, static_cast<uint32_t>(key.size()));
+  cell.append(key.data(), key.size());
+  PutVarint32(&cell, static_cast<uint32_t>(value.size()));
+  cell.append(value.data(), value.size());
+  return cell;
+}
+
+std::string NodeRef::EncodeInternalCell(const Slice& key,
+                                        uint32_t child) const {
+  std::string cell;
+  PutVarint32(&cell, static_cast<uint32_t>(key.size()));
+  cell.append(key.data(), key.size());
+  char buf[4];
+  EncodeFixed32(buf, child);
+  cell.append(buf, 4);
+  return cell;
+}
+
+bool NodeRef::InsertLeaf(const Slice& key, const Slice& value) {
+  std::string cell = EncodeLeafCell(key, value);
+  return InsertCellAt(LowerBound(key), cell);
+}
+
+bool NodeRef::UpdateLeaf(int i, const Slice& value) {
+  std::string key = KeyAt(i).ToString();
+  Remove(i);
+  std::string cell = EncodeLeafCell(Slice(key), value);
+  return InsertCellAt(i, cell);
+}
+
+bool NodeRef::InsertInternal(const Slice& key, uint32_t child) {
+  std::string cell = EncodeInternalCell(key, child);
+  return InsertCellAt(LowerBound(key), cell);
+}
+
+void NodeRef::Remove(int i) {
+  uint16_t off = SlotAt(i);
+  size_t size = CellSize(off);
+  set_frag(static_cast<uint16_t>(frag() + size));
+  if (off == cell_start()) {
+    // The cell sits at the edge of the cell area; reclaim it directly.
+    set_cell_start(static_cast<uint16_t>(off + size));
+    set_frag(static_cast<uint16_t>(frag() - size));
+  }
+  int n = nkeys();
+  for (int j = i; j < n - 1; j++) {
+    SetSlotAt(j, SlotAt(j + 1));
+  }
+  set_nkeys(static_cast<uint16_t>(n - 1));
+}
+
+std::string NodeRef::SplitInto(NodeRef* dst) {
+  int n = nkeys();
+  int split = n / 2;
+  // Copy the upper half into dst.
+  for (int i = split; i < n; i++) {
+    uint16_t off = SlotAt(i);
+    size_t size = CellSize(off);
+    uint16_t dst_off;
+    bool ok = dst->AppendCell(data_ + off, size, &dst_off);
+    assert(ok);
+    (void)ok;
+    dst->SetSlotAt(i - split, dst_off);
+  }
+  dst->set_nkeys(static_cast<uint16_t>(n - split));
+  // Shrink this node; the removed cells become fragmentation.
+  size_t removed = 0;
+  for (int i = split; i < n; i++) removed += CellSize(SlotAt(i));
+  set_frag(static_cast<uint16_t>(frag() + removed));
+  set_nkeys(static_cast<uint16_t>(split));
+  Compact();
+  return dst->KeyAt(0).ToString();
+}
+
+}  // namespace apmbench::btree

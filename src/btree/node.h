@@ -1,0 +1,109 @@
+#ifndef APMBENCH_BTREE_NODE_H_
+#define APMBENCH_BTREE_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace apmbench::btree {
+
+/// Slotted-page layout shared by leaf and internal B+tree nodes, in the
+/// style of InnoDB/SQLite pages:
+///
+///   [header 16B][slot array: u16 * nkeys][ ...free... ][cells]
+///
+/// Cells grow down from the page end; slots grow up after the header and
+/// hold the byte offset of each cell, kept sorted by key. Deleting a cell
+/// removes its slot and adds its bytes to `frag`; when free space runs
+/// out, the page is compacted in place.
+///
+/// Leaf cell:     varint klen | key | varint vlen | value
+/// Internal cell: varint klen | key | u32 child-page-id
+///
+/// An internal node with n keys has n+1 children: cell i's child holds
+/// keys < key_i; the header's `right` field is the rightmost child
+/// (keys >= key_{n-1}). In leaves `right` is the next-leaf sibling (0 when
+/// none; page 0 is the metadata page so it never appears as a sibling).
+class NodeRef {
+ public:
+  static constexpr size_t kHeaderSize = 16;
+  static constexpr uint8_t kLeaf = 1;
+  static constexpr uint8_t kInternal = 2;
+
+  NodeRef(char* data, size_t page_size) : data_(data), page_size_(page_size) {}
+
+  /// Formats a fresh page.
+  void Init(uint8_t type);
+
+  uint8_t type() const;
+  bool is_leaf() const { return type() == kLeaf; }
+  uint16_t nkeys() const;
+  uint32_t right() const;
+  void set_right(uint32_t page_id);
+
+  /// Key of cell `i` (0 <= i < nkeys).
+  Slice KeyAt(int i) const;
+  /// Leaf only: value of cell `i`.
+  Slice ValueAt(int i) const;
+  /// Internal only: child pointer of cell `i`.
+  uint32_t ChildAt(int i) const;
+  /// Internal only: overwrites the child pointer of cell `i` in place.
+  void SetChildAt(int i, uint32_t child);
+
+  /// Smallest index with KeyAt(i) >= key, or nkeys() when none.
+  int LowerBound(const Slice& key) const;
+
+  /// Inserts a leaf cell at the sorted position; returns false when the
+  /// page is full even after compaction (caller must split).
+  bool InsertLeaf(const Slice& key, const Slice& value);
+  /// Replaces the value of cell `i`. Returns false when the new value no
+  /// longer fits, in which case the old cell has already been removed and
+  /// the caller must re-insert through the splitting path.
+  bool UpdateLeaf(int i, const Slice& value);
+  /// Inserts an internal cell (key, left-child) at the sorted position.
+  bool InsertInternal(const Slice& key, uint32_t child);
+
+  /// Removes cell `i`.
+  void Remove(int i);
+
+  /// Moves the upper half of the cells into `dst` (same type, freshly
+  /// initialized) and returns the first key now in `dst`.
+  std::string SplitInto(NodeRef* dst);
+
+  /// Bytes available for one more cell (including its slot).
+  size_t FreeSpace() const;
+  /// Bytes reclaimable by compaction.
+  size_t FragBytes() const;
+
+  /// True when the node has room for a cell of the given payload size.
+  bool HasRoomFor(size_t cell_bytes) const;
+
+  /// Rewrites the page dropping fragmentation.
+  void Compact();
+
+ private:
+  uint16_t cell_start() const;
+  void set_type(uint8_t t);
+  void set_nkeys(uint16_t n);
+  void set_cell_start(uint16_t off);
+  uint16_t frag() const;
+  void set_frag(uint16_t f);
+  uint16_t SlotAt(int i) const;
+  void SetSlotAt(int i, uint16_t off);
+  /// Size in bytes of the cell at offset `off`.
+  size_t CellSize(uint16_t off) const;
+  /// Appends raw cell bytes to the cell area; returns its offset.
+  bool AppendCell(const char* cell, size_t size, uint16_t* off);
+  bool InsertCellAt(int index, const std::string& cell);
+  std::string EncodeLeafCell(const Slice& key, const Slice& value) const;
+  std::string EncodeInternalCell(const Slice& key, uint32_t child) const;
+
+  char* data_;
+  size_t page_size_;
+};
+
+}  // namespace apmbench::btree
+
+#endif  // APMBENCH_BTREE_NODE_H_

@@ -1,0 +1,217 @@
+#include "btree/pager.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace apmbench::btree {
+
+namespace {
+constexpr uint64_t kPagerMagic = 0x41504d4254524545ull;  // "APMBTREE"
+}  // namespace
+
+void Pager::PageHandle::MarkDirty() {
+  if (pager_ != nullptr) pager_->SetDirty(page_id_);
+}
+
+void Pager::PageHandle::Release() {
+  if (pager_ != nullptr && data_ != nullptr) {
+    pager_->Unpin(page_id_);
+  }
+  pager_ = nullptr;
+  data_ = nullptr;
+}
+
+Pager::Pager(const PagerOptions& options) : options_(options) {
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
+  size_t frame_count = options_.buffer_pool_bytes / options_.page_size;
+  if (frame_count < 8) frame_count = 8;
+  frames_.resize(frame_count);
+}
+
+Pager::~Pager() {
+  Status s = Checkpoint();
+  if (!s.ok()) {
+    APM_LOG_ERROR("pager checkpoint on close failed: %s",
+                  s.ToString().c_str());
+  }
+}
+
+Status Pager::Open(const PagerOptions& options, bool* created,
+                   std::unique_ptr<Pager>* pager) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("PagerOptions::path must be set");
+  }
+  std::unique_ptr<Pager> p(new Pager(options));
+  *created = !p->env_->FileExists(options.path);
+  APM_RETURN_IF_ERROR(p->env_->NewRandomRWFile(options.path, &p->file_));
+  if (*created) {
+    APM_RETURN_IF_ERROR(p->WriteMeta());
+  } else {
+    APM_RETURN_IF_ERROR(p->LoadMeta());
+  }
+  *pager = std::move(p);
+  return Status::OK();
+}
+
+Status Pager::LoadMeta() {
+  std::vector<char> buf(options_.page_size);
+  Slice result;
+  APM_RETURN_IF_ERROR(file_->Read(0, options_.page_size, &result, buf.data()));
+  if (result.size() < 32) return Status::Corruption("meta page too short");
+  Slice in = result;
+  uint64_t magic;
+  uint32_t page_size;
+  GetFixed64(&in, &magic);
+  GetFixed32(&in, &page_size);
+  if (magic != kPagerMagic) return Status::Corruption("bad pager magic");
+  if (page_size != options_.page_size) {
+    return Status::InvalidArgument("page size mismatch");
+  }
+  GetFixed32(&in, &page_count_);
+  GetFixed32(&in, &root_);
+  GetFixed64(&in, &user_counter_);
+  meta_dirty_ = false;
+  return Status::OK();
+}
+
+Status Pager::WriteMeta() {
+  std::string page(options_.page_size, '\0');
+  std::string header;
+  PutFixed64(&header, kPagerMagic);
+  PutFixed32(&header, static_cast<uint32_t>(options_.page_size));
+  PutFixed32(&header, page_count_);
+  PutFixed32(&header, root_);
+  PutFixed64(&header, user_counter_);
+  memcpy(page.data(), header.data(), header.size());
+  APM_RETURN_IF_ERROR(file_->Write(0, Slice(page)));
+  meta_dirty_ = false;
+  return Status::OK();
+}
+
+Status Pager::ReadPageFromDisk(uint32_t page_id, char* data) {
+  Slice result;
+  APM_RETURN_IF_ERROR(file_->Read(
+      static_cast<uint64_t>(page_id) * options_.page_size, options_.page_size,
+      &result, data));
+  if (result.size() != options_.page_size) {
+    return Status::Corruption("short page read");
+  }
+  if (result.data() != data) {
+    memcpy(data, result.data(), options_.page_size);
+  }
+  return Status::OK();
+}
+
+Status Pager::WritePageToDisk(uint32_t page_id, const char* data) {
+  return file_->Write(static_cast<uint64_t>(page_id) * options_.page_size,
+                      Slice(data, options_.page_size));
+}
+
+void Pager::TouchLru(size_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  if (frame.in_lru) {
+    lru_.splice(lru_.begin(), lru_, frame.lru_it);
+  } else {
+    lru_.push_front(frame_index);
+    frame.lru_it = lru_.begin();
+    frame.in_lru = true;
+  }
+}
+
+Status Pager::GetFreeFrame(size_t* frame_index) {
+  // First look for a frame that has never been used.
+  for (size_t i = 0; i < frames_.size(); i++) {
+    if (frames_[i].data == nullptr) {
+      frames_[i].data = std::make_unique<char[]>(options_.page_size);
+      *frame_index = i;
+      return Status::OK();
+    }
+  }
+  // Evict the least recently used unpinned page.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    size_t index = *it;
+    Frame& frame = frames_[index];
+    if (frame.pins > 0) continue;
+    if (frame.dirty) {
+      APM_RETURN_IF_ERROR(WritePageToDisk(frame.page_id, frame.data.get()));
+      frame.dirty = false;
+    }
+    page_table_.erase(frame.page_id);
+    lru_.erase(frame.lru_it);
+    frame.in_lru = false;
+    *frame_index = index;
+    return Status::OK();
+  }
+  return Status::Busy("buffer pool exhausted: all pages pinned");
+}
+
+Status Pager::FetchPage(uint32_t page_id, PageHandle* handle) {
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    hits_++;
+    Frame& frame = frames_[it->second];
+    frame.pins++;
+    TouchLru(it->second);
+    *handle = PageHandle(this, page_id, frame.data.get());
+    return Status::OK();
+  }
+  misses_++;
+  size_t index;
+  APM_RETURN_IF_ERROR(GetFreeFrame(&index));
+  Frame& frame = frames_[index];
+  APM_RETURN_IF_ERROR(ReadPageFromDisk(page_id, frame.data.get()));
+  frame.page_id = page_id;
+  frame.dirty = false;
+  frame.pins = 1;
+  page_table_[page_id] = index;
+  TouchLru(index);
+  *handle = PageHandle(this, page_id, frame.data.get());
+  return Status::OK();
+}
+
+Status Pager::NewPage(uint32_t* page_id, PageHandle* handle) {
+  *page_id = page_count_++;
+  meta_dirty_ = true;
+  size_t index;
+  APM_RETURN_IF_ERROR(GetFreeFrame(&index));
+  Frame& frame = frames_[index];
+  memset(frame.data.get(), 0, options_.page_size);
+  frame.page_id = *page_id;
+  frame.dirty = true;
+  frame.pins = 1;
+  page_table_[*page_id] = index;
+  TouchLru(index);
+  *handle = PageHandle(this, *page_id, frame.data.get());
+  return Status::OK();
+}
+
+void Pager::Unpin(uint32_t page_id) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return;
+  Frame& frame = frames_[it->second];
+  APM_CHECK(frame.pins > 0);
+  frame.pins--;
+}
+
+void Pager::SetDirty(uint32_t page_id) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return;
+  frames_[it->second].dirty = true;
+}
+
+Status Pager::Checkpoint() {
+  for (Frame& frame : frames_) {
+    if (frame.data != nullptr && frame.dirty) {
+      APM_RETURN_IF_ERROR(WritePageToDisk(frame.page_id, frame.data.get()));
+      frame.dirty = false;
+    }
+  }
+  if (meta_dirty_) {
+    APM_RETURN_IF_ERROR(WriteMeta());
+  }
+  return file_->Sync();
+}
+
+}  // namespace apmbench::btree

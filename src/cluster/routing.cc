@@ -1,0 +1,234 @@
+#include "cluster/routing.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace apmbench::cluster {
+
+namespace {
+
+uint64_t KeyHash64(const Slice& key) {
+  return MurmurHash64A(key.data(), key.size(), 0x1234ABCD);
+}
+
+}  // namespace
+
+TokenRing::TokenRing(int num_nodes, TokenAssignment assignment, uint64_t seed)
+    : num_nodes_(num_nodes) {
+  assert(num_nodes > 0);
+  if (assignment == TokenAssignment::kBalanced) {
+    // Evenly spaced tokens: node i owns exactly 1/n of the ring.
+    uint64_t step = UINT64_MAX / static_cast<uint64_t>(num_nodes);
+    for (int i = 0; i < num_nodes; i++) {
+      ring_[static_cast<uint64_t>(i + 1) * step] = i;
+    }
+  } else {
+    Random rng(seed);
+    for (int i = 0; i < num_nodes; i++) {
+      uint64_t token;
+      do {
+        token = rng.Next();
+      } while (ring_.count(token) != 0);
+      ring_[token] = i;
+    }
+  }
+}
+
+int TokenRing::Route(const Slice& key) const {
+  uint64_t hash = KeyHash64(key);
+  auto it = ring_.lower_bound(hash);
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::vector<int> TokenRing::RouteReplicas(const Slice& key,
+                                          int replication_factor) const {
+  std::vector<int> replicas;
+  uint64_t hash = KeyHash64(key);
+  auto it = ring_.lower_bound(hash);
+  if (it == ring_.end()) it = ring_.begin();
+  while (static_cast<int>(replicas.size()) <
+             std::min(replication_factor, num_nodes_)) {
+    if (std::find(replicas.begin(), replicas.end(), it->second) ==
+        replicas.end()) {
+      replicas.push_back(it->second);
+    }
+    ++it;
+    if (it == ring_.end()) it = ring_.begin();
+  }
+  return replicas;
+}
+
+std::vector<double> TokenRing::OwnershipShares() const {
+  std::vector<double> shares(static_cast<size_t>(num_nodes_), 0.0);
+  const double full = static_cast<double>(UINT64_MAX);
+  uint64_t prev = 0;
+  // Arc (prev_token, token] belongs to the node at `token`; the wrap-around
+  // arc (last_token, 2^64) ∪ [0, first_token] belongs to the first node.
+  for (auto it = ring_.begin(); it != ring_.end(); ++it) {
+    shares[static_cast<size_t>(it->second)] +=
+        static_cast<double>(it->first - prev) / full;
+    prev = it->first;
+  }
+  shares[static_cast<size_t>(ring_.begin()->second)] +=
+      static_cast<double>(UINT64_MAX - prev) / full;
+  return shares;
+}
+
+JedisShardRing::JedisShardRing(int num_shards) : num_shards_(num_shards) {
+  assert(num_shards > 0);
+  // Jedis Sharded.initialize(): 160 virtual nodes per (weight-1) shard at
+  // hash("SHARD-<i>-NODE-<n>"), MurmurHash 64A with the seed Jedis uses.
+  for (int i = 0; i < num_shards; i++) {
+    for (int n = 0; n < 160; n++) {
+      std::string vnode =
+          "SHARD-" + std::to_string(i) + "-NODE-" + std::to_string(n);
+      int64_t hash = static_cast<int64_t>(
+          MurmurHash64A(vnode.data(), vnode.size(), 0x1234ABCD));
+      ring_[hash] = i;
+    }
+  }
+}
+
+int JedisShardRing::Route(const Slice& key) const {
+  int64_t hash =
+      static_cast<int64_t>(MurmurHash64A(key.data(), key.size(), 0x1234ABCD));
+  auto it = ring_.lower_bound(hash);  // Jedis: tailMap(hash).firstKey()
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::vector<double> JedisShardRing::OwnershipShares() const {
+  std::vector<double> shares(static_cast<size_t>(num_shards_), 0.0);
+  const double full = 18446744073709551616.0;  // 2^64
+  int64_t prev = INT64_MIN;
+  for (auto it = ring_.begin(); it != ring_.end(); ++it) {
+    shares[static_cast<size_t>(it->second)] +=
+        static_cast<double>(static_cast<uint64_t>(it->first) -
+                            static_cast<uint64_t>(prev)) /
+        full;
+    prev = it->first;
+  }
+  // Wrap-around arc goes to the first virtual node.
+  shares[static_cast<size_t>(ring_.begin()->second)] +=
+      static_cast<double>(static_cast<uint64_t>(INT64_MAX) -
+                          static_cast<uint64_t>(prev) + 1) /
+      full;
+  return shares;
+}
+
+int ModuloSharder::Route(const Slice& key) const {
+  uint64_t hash = MurmurHash64A(key.data(), key.size(), 0x9747b28c);
+  return static_cast<int>(hash % static_cast<uint64_t>(num_shards_));
+}
+
+RegionMap::RegionMap(std::vector<std::string> boundaries, int num_servers)
+    : boundaries_(std::move(boundaries)), num_servers_(num_servers) {
+  assert(num_servers > 0);
+  assert(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+}
+
+RegionMap RegionMap::FromSample(std::vector<std::string> sample,
+                                int num_regions, int num_servers) {
+  std::sort(sample.begin(), sample.end());
+  std::vector<std::string> boundaries;
+  if (num_regions > 1 && !sample.empty()) {
+    for (int i = 1; i < num_regions; i++) {
+      size_t index = sample.size() * static_cast<size_t>(i) /
+                     static_cast<size_t>(num_regions);
+      boundaries.push_back(sample[index]);
+    }
+    boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                     boundaries.end());
+  }
+  return RegionMap(std::move(boundaries), num_servers);
+}
+
+int RegionMap::RegionOf(const Slice& key) const {
+  // Region i spans [boundaries_[i-1], boundaries_[i]).
+  auto it = std::upper_bound(
+      boundaries_.begin(), boundaries_.end(), key,
+      [](const Slice& k, const std::string& b) { return k < Slice(b); });
+  return static_cast<int>(it - boundaries_.begin());
+}
+
+int RegionMap::Route(const Slice& key) const {
+  return RegionOf(key) % num_servers_;
+}
+
+std::vector<int> RegionMap::RouteScan(const Slice& start) const {
+  int region = RegionOf(start);
+  std::vector<int> servers;
+  servers.push_back(region % num_servers_);
+  if (region + 1 < num_regions()) {
+    int next = (region + 1) % num_servers_;
+    if (next != servers[0]) servers.push_back(next);
+  }
+  return servers;
+}
+
+PartitionRing::PartitionRing(int num_nodes, int partitions_per_node,
+                             uint64_t seed)
+    : num_nodes_(num_nodes), partitions_per_node_(partitions_per_node) {
+  assert(num_nodes > 0 && partitions_per_node > 0);
+  // Voldemort randomly permutes partition tokens at cluster-definition
+  // time; we place partitions evenly but shuffle ownership, which gives
+  // each node `partitions_per_node` equal arcs.
+  int total = num_nodes * partitions_per_node;
+  std::vector<int> partitions(static_cast<size_t>(total));
+  for (int p = 0; p < total; p++) partitions[static_cast<size_t>(p)] = p;
+  Random rng(seed);
+  for (size_t i = partitions.size(); i > 1; i--) {
+    std::swap(partitions[i - 1], partitions[rng.Uniform(i)]);
+  }
+  uint64_t step = UINT64_MAX / static_cast<uint64_t>(total);
+  for (int slot = 0; slot < total; slot++) {
+    ring_[static_cast<uint64_t>(slot + 1) * step] =
+        partitions[static_cast<size_t>(slot)];
+  }
+}
+
+int PartitionRing::RoutePartition(const Slice& key) const {
+  uint64_t hash = KeyHash64(key);
+  auto it = ring_.lower_bound(hash);
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+int PartitionRing::NodeOfPartition(int partition) const {
+  // Partitions are striped across nodes: partition p lives on node
+  // p % num_nodes (Voldemort's default layout for N partitions per node).
+  return partition % num_nodes_;
+}
+
+std::vector<double> PartitionRing::OwnershipShares() const {
+  std::vector<double> shares(static_cast<size_t>(num_nodes_), 0.0);
+  const double full = static_cast<double>(UINT64_MAX);
+  uint64_t prev = 0;
+  for (auto it = ring_.begin(); it != ring_.end(); ++it) {
+    shares[static_cast<size_t>(NodeOfPartition(it->second))] +=
+        static_cast<double>(it->first - prev) / full;
+    prev = it->first;
+  }
+  shares[static_cast<size_t>(NodeOfPartition(ring_.begin()->second))] +=
+      static_cast<double>(UINT64_MAX - prev) / full;
+  return shares;
+}
+
+double KeyMovementFraction(
+    const std::function<int(const Slice&)>& route_before,
+    const std::function<int(const Slice&)>& route_after, int samples) {
+  if (samples <= 0) return 0;
+  int moved = 0;
+  for (int i = 0; i < samples; i++) {
+    std::string key =
+        "user" + std::to_string(static_cast<uint64_t>(i) * 2654435761u);
+    if (route_before(key) != route_after(key)) moved++;
+  }
+  return static_cast<double>(moved) / samples;
+}
+
+}  // namespace apmbench::cluster

@@ -1,0 +1,165 @@
+#ifndef APMBENCH_CLUSTER_ROUTING_H_
+#define APMBENCH_CLUSTER_ROUTING_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace apmbench::cluster {
+
+/// Cassandra-style token ring: each node owns the arc of the hash ring
+/// ending at its token. The paper found the default *random* token
+/// selection "frequently resulted in a highly unbalanced workload" and
+/// assigned balanced tokens manually before loading; both modes are
+/// provided (and compared in tests and the ablation bench).
+class TokenRing {
+ public:
+  enum class TokenAssignment { kRandom, kBalanced };
+
+  TokenRing(int num_nodes, TokenAssignment assignment, uint64_t seed);
+
+  /// Node owning `key`.
+  int Route(const Slice& key) const;
+
+  /// The `replication_factor` distinct nodes holding `key` (ring walk, as
+  /// Cassandra's SimpleStrategy places replicas).
+  std::vector<int> RouteReplicas(const Slice& key,
+                                 int replication_factor) const;
+
+  /// Fraction of the hash space owned by each node; balanced assignment
+  /// yields 1/n each, random assignment yields the skew the paper warns
+  /// about.
+  std::vector<double> OwnershipShares() const;
+
+  int num_nodes() const { return num_nodes_; }
+
+ private:
+  int num_nodes_;
+  /// token -> node, ordered.
+  std::map<uint64_t, int> ring_;
+};
+
+/// Faithful reimplementation of the Jedis `Sharded` router the paper used
+/// for Redis: 160 virtual nodes per shard, placed at
+/// MurmurHash64A("SHARD-<i>-NODE-<n>") on a *signed* 64-bit ring (Java
+/// long ordering), keys routed to the first virtual node at or after
+/// their hash. Its placement is what left the paper's 12-node Redis
+/// setup unbalanced enough to drive one node out of memory.
+class JedisShardRing {
+ public:
+  explicit JedisShardRing(int num_shards);
+
+  int Route(const Slice& key) const;
+
+  /// Fraction of the (signed) hash ring owned by each shard — the key
+  /// share each Redis instance receives under uniform keys.
+  std::vector<double> OwnershipShares() const;
+
+  int num_shards() const { return num_shards_; }
+
+ private:
+  int num_shards_;
+  /// virtual-node hash -> shard index, signed ordering as in Java.
+  std::map<int64_t, int> ring_;
+};
+
+/// Hash-modulo sharding as used by the YCSB RDBMS client for MySQL; for
+/// uniformly distributed keys this balances almost perfectly, which is
+/// why the paper saw near-linear MySQL scaling while Redis stalled.
+class ModuloSharder {
+ public:
+  explicit ModuloSharder(int num_shards) : num_shards_(num_shards) {}
+
+  int Route(const Slice& key) const;
+
+  int num_shards() const { return num_shards_; }
+
+ private:
+  int num_shards_;
+};
+
+/// HBase-style ordered regions: the key space is split at boundary keys
+/// into contiguous regions, each hosted by a region server. Ordered
+/// partitioning is what gives HBase cheap range scans (the scan touches
+/// one or a few regions) at the cost of hot-spotting under skewed keys.
+class RegionMap {
+ public:
+  /// Builds `num_regions` regions from explicit split keys
+  /// (`boundaries[i]` is the first key of region i+1) and assigns them
+  /// round-robin to `num_servers` servers.
+  RegionMap(std::vector<std::string> boundaries, int num_servers);
+
+  /// Builds regions by sampling: splits `sample` (sorted or not) into
+  /// equal-count regions.
+  static RegionMap FromSample(std::vector<std::string> sample,
+                              int num_regions, int num_servers);
+
+  /// Region index containing `key`.
+  int RegionOf(const Slice& key) const;
+  /// Server hosting `key`.
+  int Route(const Slice& key) const;
+  /// Servers covering the scan [start, start+count) assuming uniform
+  /// region population; conservatively the server of `start` plus the
+  /// next region's server when the scan may cross a boundary.
+  std::vector<int> RouteScan(const Slice& start) const;
+
+  int num_regions() const { return static_cast<int>(boundaries_.size()) + 1; }
+  int num_servers() const { return num_servers_; }
+
+  /// First key NOT in region `i`; empty for the last (unbounded) region.
+  std::string RegionEndKey(int region) const {
+    return region < static_cast<int>(boundaries_.size())
+               ? boundaries_[static_cast<size_t>(region)]
+               : std::string();
+  }
+
+ private:
+  std::vector<std::string> boundaries_;
+  int num_servers_;
+};
+
+/// Voldemort-style partition ring: a fixed set of partitions (the paper
+/// configured two per node) is scattered on a hash ring; keys map to
+/// partitions, partitions map to nodes. Cluster growth reassigns
+/// partitions rather than rehashing keys.
+class PartitionRing {
+ public:
+  PartitionRing(int num_nodes, int partitions_per_node, uint64_t seed);
+
+  int RoutePartition(const Slice& key) const;
+  int NodeOfPartition(int partition) const;
+  int Route(const Slice& key) const {
+    return NodeOfPartition(RoutePartition(key));
+  }
+
+  /// Hash-space share per node.
+  std::vector<double> OwnershipShares() const;
+
+  int num_nodes() const { return num_nodes_; }
+  int num_partitions() const { return num_nodes_ * partitions_per_node_; }
+
+ private:
+  int num_nodes_;
+  int partitions_per_node_;
+  /// token -> partition id.
+  std::map<uint64_t, int> ring_;
+};
+
+/// Fraction of (uniformly sampled YCSB-style) keys whose owner changes
+/// between two router configurations — the data-movement cost of growing
+/// a cluster. Quantifies the elasticity claims around the paper:
+/// consistent-hash rings move ~1/(n+1) of keys per added node, modulo
+/// sharding moves ~n/(n+1), and Cassandra's *balanced* token assignment
+/// must repartition heavily (the "costly repartitioning" of Section 6).
+double KeyMovementFraction(
+    const std::function<int(const Slice&)>& route_before,
+    const std::function<int(const Slice&)>& route_after,
+    int samples = 20000);
+
+}  // namespace apmbench::cluster
+
+#endif  // APMBENCH_CLUSTER_ROUTING_H_

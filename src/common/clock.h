@@ -1,0 +1,28 @@
+#ifndef APMBENCH_COMMON_CLOCK_H_
+#define APMBENCH_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace apmbench {
+
+/// Monotonic time in microseconds; the unit used by all latency
+/// measurements in the benchmark framework.
+inline uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Wall-clock seconds since the epoch, for APM measurement timestamps.
+inline uint64_t NowUnixSeconds() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace apmbench
+
+#endif  // APMBENCH_COMMON_CLOCK_H_

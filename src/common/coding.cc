@@ -1,0 +1,125 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace apmbench {
+
+void EncodeFixed32(char* dst, uint32_t value) {
+  dst[0] = static_cast<char>(value & 0xff);
+  dst[1] = static_cast<char>((value >> 8) & 0xff);
+  dst[2] = static_cast<char>((value >> 16) & 0xff);
+  dst[3] = static_cast<char>((value >> 24) & 0xff);
+}
+
+void EncodeFixed64(char* dst, uint64_t value) {
+  for (int i = 0; i < 8; i++) {
+    dst[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+}
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  EncodeFixed32(buf, value);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  EncodeFixed64(buf, value);
+  dst->append(buf, 8);
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+uint32_t DecodeFixed32(const char* ptr) {
+  const auto* p = reinterpret_cast<const unsigned char*>(ptr);
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t DecodeFixed64(const char* ptr) {
+  const auto* p = reinterpret_cast<const unsigned char*>(ptr);
+  uint64_t value = 0;
+  for (int i = 7; i >= 0; i--) {
+    value = (value << 8) | p[i];
+  }
+  return value;
+}
+
+bool GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < 4) return false;
+  *value = DecodeFixed32(input->data());
+  input->RemovePrefix(4);
+  return true;
+}
+
+bool GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < 8) return false;
+  *value = DecodeFixed64(input->data());
+  input->RemovePrefix(8);
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  for (int shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(*p);
+    p++;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      input->RemovePrefix(p - input->data());
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v;
+  if (!GetVarint64(input, &v) || v > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint64_t len;
+  if (!GetVarint64(input, &len) || input->size() < len) return false;
+  *result = Slice(input->data(), len);
+  input->RemovePrefix(len);
+  return true;
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    len++;
+  }
+  return len;
+}
+
+}  // namespace apmbench

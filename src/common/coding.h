@@ -1,0 +1,39 @@
+#ifndef APMBENCH_COMMON_CODING_H_
+#define APMBENCH_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace apmbench {
+
+/// Little-endian fixed-width and varint encodings shared by the on-disk
+/// formats of the storage engines (log records, SSTable blocks, pages).
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+/// Appends varint length followed by the bytes of `value`.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+uint32_t DecodeFixed32(const char* ptr);
+uint64_t DecodeFixed64(const char* ptr);
+void EncodeFixed32(char* dst, uint32_t value);
+void EncodeFixed64(char* dst, uint64_t value);
+
+/// Each GetXxx consumes bytes from the front of `input` on success and
+/// returns false (leaving `input` unspecified) on malformed data.
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// Number of bytes a varint encoding of `value` occupies.
+int VarintLength(uint64_t value);
+
+}  // namespace apmbench
+
+#endif  // APMBENCH_COMMON_CODING_H_

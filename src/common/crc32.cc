@@ -1,0 +1,55 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace apmbench {
+
+namespace {
+
+constexpr uint32_t kCrc32cPoly = 0x82f63b78;  // reversed Castagnoli
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; j++) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kCrc32cPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+constexpr uint32_t kMaskDelta = 0xa282ead8u;
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t init_crc, const char* data, size_t n) {
+  const auto& table = Table();
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; i++) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+uint32_t Crc32c(const char* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace apmbench

@@ -1,0 +1,355 @@
+#include "common/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace apmbench {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  if (err == ENOENT) {
+    return Status::NotFound(context + ": " + strerror(err));
+  }
+  return Status::IOError(context + ": " + strerror(err));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd, uint64_t initial_size)
+      : path_(std::move(path)), fd_(fd), size_(initial_size) {
+    buffer_.reserve(kBufferSize);
+  }
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) {
+      Close();
+    }
+  }
+
+  Status Append(const Slice& data) override {
+    size_ += data.size();
+    if (buffer_.size() + data.size() <= kBufferSize) {
+      buffer_.append(data.data(), data.size());
+      return Status::OK();
+    }
+    APM_RETURN_IF_ERROR(FlushBuffer());
+    if (data.size() <= kBufferSize) {
+      buffer_.append(data.data(), data.size());
+      return Status::OK();
+    }
+    return WriteRaw(data.data(), data.size());
+  }
+
+  Status Flush() override { return FlushBuffer(); }
+
+  Status Sync() override {
+    APM_RETURN_IF_ERROR(FlushBuffer());
+    if (fdatasync(fd_) != 0) {
+      return PosixError("fdatasync " + path_, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    Status s = FlushBuffer();
+    if (close(fd_) != 0 && s.ok()) {
+      s = PosixError("close " + path_, errno);
+    }
+    fd_ = -1;
+    return s;
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  static constexpr size_t kBufferSize = 64 * 1024;
+
+  Status FlushBuffer() {
+    if (buffer_.empty()) return Status::OK();
+    Status s = WriteRaw(buffer_.data(), buffer_.size());
+    buffer_.clear();
+    return s;
+  }
+
+  Status WriteRaw(const char* data, size_t n) {
+    while (n > 0) {
+      ssize_t w = write(fd_, data, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("write " + path_, errno);
+      }
+      data += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+  std::string buffer_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  ~PosixRandomAccessFile() override { close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    ssize_t r = pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (r < 0) {
+      return PosixError("pread " + path_, errno);
+    }
+    *result = Slice(scratch, static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+};
+
+class PosixRandomRWFile final : public RandomRWFile {
+ public:
+  PosixRandomRWFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixRandomRWFile() override { close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    ssize_t r = pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (r < 0) {
+      return PosixError("pread " + path_, errno);
+    }
+    *result = Slice(scratch, static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    const char* p = data.data();
+    size_t n = data.size();
+    while (n > 0) {
+      ssize_t w = pwrite(fd_, p, n, static_cast<off_t>(offset));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("pwrite " + path_, errno);
+      }
+      p += w;
+      offset += static_cast<uint64_t>(w);
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fdatasync(fd_) != 0) {
+      return PosixError("fdatasync " + path_, errno);
+    }
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    struct stat st;
+    if (fstat(fd_, &st) != 0) return 0;
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* file) override {
+    int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return PosixError("open " + path, errno);
+    file->reset(new PosixWritableFile(path, fd, 0));
+    return Status::OK();
+  }
+
+  Status NewAppendableFile(const std::string& path,
+                           std::unique_ptr<WritableFile>* file) override {
+    int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return PosixError("open " + path, errno);
+    struct stat st;
+    uint64_t size = 0;
+    if (fstat(fd, &st) == 0) size = static_cast<uint64_t>(st.st_size);
+    file->reset(new PosixWritableFile(path, fd, size));
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& path,
+      std::unique_ptr<RandomAccessFile>* file) override {
+    int fd = open(path.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError("open " + path, errno);
+    struct stat st;
+    if (fstat(fd, &st) != 0) {
+      int err = errno;
+      close(fd);
+      return PosixError("fstat " + path, err);
+    }
+    file->reset(new PosixRandomAccessFile(path, fd,
+                                          static_cast<uint64_t>(st.st_size)));
+    return Status::OK();
+  }
+
+  Status NewRandomRWFile(const std::string& path,
+                         std::unique_ptr<RandomRWFile>* file) override {
+    int fd = open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) return PosixError("open " + path, errno);
+    file->reset(new PosixRandomRWFile(path, fd));
+    return Status::OK();
+  }
+
+  Status ReadFileToString(const std::string& path, std::string* data) override {
+    data->clear();
+    int fd = open(path.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError("open " + path, errno);
+    char buf[8192];
+    for (;;) {
+      ssize_t r = read(fd, buf, sizeof(buf));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        int err = errno;
+        close(fd);
+        return PosixError("read " + path, err);
+      }
+      if (r == 0) break;
+      data->append(buf, static_cast<size_t>(r));
+    }
+    close(fd);
+    return Status::OK();
+  }
+
+  Status WriteStringToFile(const std::string& path,
+                           const Slice& data) override {
+    std::unique_ptr<WritableFile> file;
+    APM_RETURN_IF_ERROR(NewWritableFile(path, &file));
+    APM_RETURN_IF_ERROR(file->Append(data));
+    APM_RETURN_IF_ERROR(file->Sync());
+    return file->Close();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return access(path.c_str(), F_OK) == 0;
+  }
+
+  Status GetFileSize(const std::string& path, uint64_t* size) override {
+    struct stat st;
+    if (stat(path.c_str(), &st) != 0) {
+      return PosixError("stat " + path, errno);
+    }
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* names) override {
+    names->clear();
+    DIR* d = opendir(dir.c_str());
+    if (d == nullptr) return PosixError("opendir " + dir, errno);
+    struct dirent* entry;
+    while ((entry = readdir(d)) != nullptr) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") names->push_back(name);
+    }
+    closedir(d);
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& dir) override {
+    // Create all missing components, mkdir -p style.
+    std::string partial;
+    size_t pos = 0;
+    while (pos != std::string::npos) {
+      pos = dir.find('/', pos + 1);
+      partial = dir.substr(0, pos);
+      if (partial.empty()) continue;
+      if (mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+        return PosixError("mkdir " + partial, errno);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (unlink(path.c_str()) != 0) {
+      return PosixError("unlink " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (rename(from.c_str(), to.c_str()) != 0) {
+      return PosixError("rename " + from, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveDirRecursively(const std::string& dir) override {
+    std::vector<std::string> children;
+    Status s = GetChildren(dir, &children);
+    if (s.IsNotFound() || s.IsIOError()) return Status::OK();
+    for (const auto& child : children) {
+      std::string path = dir + "/" + child;
+      struct stat st;
+      if (lstat(path.c_str(), &st) != 0) continue;
+      if (S_ISDIR(st.st_mode)) {
+        APM_RETURN_IF_ERROR(RemoveDirRecursively(path));
+      } else {
+        unlink(path.c_str());
+      }
+    }
+    if (rmdir(dir.c_str()) != 0 && errno != ENOENT) {
+      return PosixError("rmdir " + dir, errno);
+    }
+    return Status::OK();
+  }
+
+  Status GetDirectorySize(const std::string& dir, uint64_t* bytes) override {
+    *bytes = 0;
+    return AccumulateSize(dir, bytes);
+  }
+
+ private:
+  Status AccumulateSize(const std::string& dir, uint64_t* bytes) {
+    std::vector<std::string> children;
+    APM_RETURN_IF_ERROR(GetChildren(dir, &children));
+    for (const auto& child : children) {
+      std::string path = dir + "/" + child;
+      struct stat st;
+      if (lstat(path.c_str(), &st) != 0) continue;
+      if (S_ISDIR(st.st_mode)) {
+        APM_RETURN_IF_ERROR(AccumulateSize(path, bytes));
+      } else if (S_ISREG(st.st_mode)) {
+        *bytes += static_cast<uint64_t>(st.st_size);
+      }
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace apmbench

@@ -1,0 +1,88 @@
+#ifndef APMBENCH_COMMON_ENV_H_
+#define APMBENCH_COMMON_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace apmbench {
+
+/// Append-only file used for logs (WAL, commit log, binlog, AOF) and
+/// SSTable construction. Buffered; `Sync` flushes to the OS and fsyncs.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Positional-read file for SSTables and B+tree page files.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  /// Reads up to `n` bytes at `offset` into `scratch`, pointing `*result`
+  /// at the bytes read (may be fewer than n at end of file).
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Read/write file with positional access, used by the B+tree pager.
+class RandomRWFile {
+ public:
+  virtual ~RandomRWFile() = default;
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+  virtual Status Write(uint64_t offset, const Slice& data) = 0;
+  virtual Status Sync() = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Minimal filesystem abstraction (POSIX-backed). Keeping all file access
+/// behind Env makes the engines testable and the I/O accounting visible.
+class Env {
+ public:
+  /// The process-wide default POSIX environment.
+  static Env* Default();
+
+  virtual ~Env() = default;
+
+  virtual Status NewWritableFile(const std::string& path,
+                                 std::unique_ptr<WritableFile>* file) = 0;
+  /// Opens an existing file for appending (creating it if absent).
+  virtual Status NewAppendableFile(const std::string& path,
+                                   std::unique_ptr<WritableFile>* file) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& path, std::unique_ptr<RandomAccessFile>* file) = 0;
+  virtual Status NewRandomRWFile(const std::string& path,
+                                 std::unique_ptr<RandomRWFile>* file) = 0;
+
+  virtual Status ReadFileToString(const std::string& path,
+                                  std::string* data) = 0;
+  virtual Status WriteStringToFile(const std::string& path,
+                                   const Slice& data) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Status GetFileSize(const std::string& path, uint64_t* size) = 0;
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* names) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  /// Recursively removes `dir` and everything under it.
+  virtual Status RemoveDirRecursively(const std::string& dir) = 0;
+  /// Total bytes of all regular files under `dir`, recursively.
+  virtual Status GetDirectorySize(const std::string& dir, uint64_t* bytes) = 0;
+};
+
+}  // namespace apmbench
+
+#endif  // APMBENCH_COMMON_ENV_H_

@@ -1,0 +1,115 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace apmbench {
+
+uint64_t MurmurHash64A(const void* key, size_t len, uint64_t seed) {
+  const uint64_t m = 0xc6a4a7935bd1e995ULL;
+  const int r = 47;
+
+  uint64_t h = seed ^ (len * m);
+
+  const auto* data = static_cast<const unsigned char*>(key);
+  const unsigned char* end = data + (len / 8) * 8;
+
+  while (data != end) {
+    uint64_t k;
+    memcpy(&k, data, 8);
+    data += 8;
+
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+
+    h ^= k;
+    h *= m;
+  }
+
+  size_t remaining = len & 7;
+  uint64_t tail = 0;
+  for (size_t i = remaining; i > 0; i--) {
+    tail = (tail << 8) | data[i - 1];
+  }
+  if (remaining > 0) {
+    h ^= tail;
+    h *= m;
+  }
+
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+
+  return h;
+}
+
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int8_t r) {
+  return (x << r) | (x >> (32 - r));
+}
+
+}  // namespace
+
+uint32_t MurmurHash3_32(const void* key, size_t len, uint32_t seed) {
+  const auto* data = static_cast<const unsigned char*>(key);
+  const size_t nblocks = len / 4;
+
+  uint32_t h1 = seed;
+  const uint32_t c1 = 0xcc9e2d51;
+  const uint32_t c2 = 0x1b873593;
+
+  for (size_t i = 0; i < nblocks; i++) {
+    uint32_t k1;
+    memcpy(&k1, data + i * 4, 4);
+
+    k1 *= c1;
+    k1 = Rotl32(k1, 15);
+    k1 *= c2;
+
+    h1 ^= k1;
+    h1 = Rotl32(h1, 13);
+    h1 = h1 * 5 + 0xe6546b64;
+  }
+
+  const unsigned char* tail = data + nblocks * 4;
+  uint32_t k1 = 0;
+  switch (len & 3) {
+    case 3:
+      k1 ^= static_cast<uint32_t>(tail[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      k1 ^= static_cast<uint32_t>(tail[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      k1 ^= tail[0];
+      k1 *= c1;
+      k1 = Rotl32(k1, 15);
+      k1 *= c2;
+      h1 ^= k1;
+  }
+
+  h1 ^= static_cast<uint32_t>(len);
+  h1 ^= h1 >> 16;
+  h1 *= 0x85ebca6b;
+  h1 ^= h1 >> 13;
+  h1 *= 0xc2b2ae35;
+  h1 ^= h1 >> 16;
+
+  return h1;
+}
+
+uint64_t FnvHash64(uint64_t value) {
+  const uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+  const uint64_t kFnvPrime = 1099511628211ULL;
+  uint64_t hash = kFnvOffset;
+  for (int i = 0; i < 8; i++) {
+    uint64_t octet = value & 0xff;
+    value >>= 8;
+    hash ^= octet;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace apmbench

@@ -1,0 +1,29 @@
+#ifndef APMBENCH_COMMON_HASH_H_
+#define APMBENCH_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace apmbench {
+
+/// MurmurHash2, 64-bit variant "64A" (Austin Appleby). This is the exact
+/// algorithm behind Jedis' `Hashing.MURMUR_HASH`, which the paper's sharded
+/// Redis client used; `cluster::JedisShardRing` depends on it to reproduce
+/// the key imbalance the paper observed.
+uint64_t MurmurHash64A(const void* key, size_t len, uint64_t seed);
+
+/// MurmurHash3 x86 32-bit. Used for in-memory hash tables and bloom filters.
+uint32_t MurmurHash3_32(const void* key, size_t len, uint32_t seed);
+
+/// FNV-1a 64-bit, used by the YCSB key chooser (matches YCSB's FNVhash64).
+uint64_t FnvHash64(uint64_t value);
+
+inline uint32_t HashSlice(const Slice& s, uint32_t seed = 0xbc9f1d34) {
+  return MurmurHash3_32(s.data(), s.size(), seed);
+}
+
+}  // namespace apmbench
+
+#endif  // APMBENCH_COMMON_HASH_H_

@@ -1,0 +1,109 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace apmbench {
+
+Histogram::Histogram()
+    : buckets_(kBucketGroups * kSubBuckets, 0) {}
+
+size_t Histogram::BucketIndex(uint64_t value) const {
+  if (value == 0) value = 1;
+  // Group g covers values with bit_width in [kSubBucketBits + g,
+  // kSubBucketBits + g + 1); within a group, values map linearly onto
+  // kSubBuckets sub-buckets.
+  int width = std::bit_width(value);
+  int group = width <= kSubBucketBits ? 0 : width - kSubBucketBits;
+  if (group >= kBucketGroups) {
+    group = kBucketGroups - 1;
+    // Saturate at the top sub-bucket.
+    return static_cast<size_t>(group) * kSubBuckets + (kSubBuckets - 1);
+  }
+  uint64_t sub;
+  if (group == 0) {
+    sub = value & (kSubBuckets - 1);
+  } else {
+    sub = (value >> (group - 1)) & (kSubBuckets - 1);
+  }
+  return static_cast<size_t>(group) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) const {
+  size_t group = index / kSubBuckets;
+  uint64_t sub = index % kSubBuckets;
+  if (group == 0) return sub;
+  // Inverse of BucketIndex: highest value mapping to this bucket.
+  uint64_t base = kSubBuckets << (group - 1);
+  (void)base;
+  uint64_t unit = 1ULL << (group - 1);
+  uint64_t high_bit = 1ULL << (kSubBucketBits + group - 1);
+  return high_bit + sub * unit + (unit - 1);
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketIndex(value)]++;
+  count_++;
+  sum_ += static_cast<double>(value);
+  min_ = std::min(min_, value == 0 ? uint64_t{1} : value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t threshold =
+      static_cast<uint64_t>(q * static_cast<double>(count_) + 0.5);
+  if (threshold == 0) threshold = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    cumulative += buckets_[i];
+    if (cumulative >= threshold) {
+      // The final bucket saturates (values above ~2^40); its nominal
+      // upper bound is meaningless, so report the observed maximum.
+      if (i == buckets_.size() - 1) return max_;
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu mean=%.2f min=%llu p50=%llu p95=%llu p99=%llu "
+           "p999=%llu max=%llu",
+           static_cast<unsigned long long>(count_), Mean(),
+           static_cast<unsigned long long>(min()),
+           static_cast<unsigned long long>(Percentile(0.50)),
+           static_cast<unsigned long long>(Percentile(0.95)),
+           static_cast<unsigned long long>(Percentile(0.99)),
+           static_cast<unsigned long long>(Percentile(0.999)),
+           static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace apmbench

@@ -1,0 +1,61 @@
+#ifndef APMBENCH_COMMON_HISTOGRAM_H_
+#define APMBENCH_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apmbench {
+
+/// A fixed-memory latency histogram with HdrHistogram-style log-linear
+/// buckets: values are grouped into buckets whose width doubles every
+/// `kSubBuckets` buckets, giving a bounded relative error (< 1/kSubBuckets)
+/// over the full range [1, kMaxValue]. Values are recorded in microseconds
+/// by the benchmark framework but the class is unit-agnostic.
+///
+/// Thread-compatibility: not internally synchronized; the benchmark runner
+/// keeps one histogram per client thread and merges at the end.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 7;  // 128 sub-buckets per half-decade
+  static constexpr uint64_t kSubBuckets = 1ULL << kSubBucketBits;
+  /// Values above ~2^40 (about 12 days in microseconds) saturate.
+  static constexpr int kBucketGroups = 34;
+
+  Histogram();
+
+  /// Records one observation of `value` (values of 0 count as 1).
+  void Add(uint64_t value);
+
+  /// Adds all observations from `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  double Sum() const { return sum_; }
+
+  /// Value at quantile q in [0, 1]; returns an upper bound of the bucket
+  /// containing the quantile. Returns 0 for an empty histogram.
+  uint64_t Percentile(double q) const;
+
+  /// Multi-line summary: count, mean, min, median, p95, p99, p999, max.
+  std::string ToString() const;
+
+ private:
+  size_t BucketIndex(uint64_t value) const;
+  uint64_t BucketUpperBound(size_t index) const;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace apmbench
+
+#endif  // APMBENCH_COMMON_HISTOGRAM_H_

@@ -1,0 +1,41 @@
+#ifndef APMBENCH_COMMON_LOGGING_H_
+#define APMBENCH_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Minimal logging used for operational messages from engines and the
+/// benchmark driver. Not on any hot path.
+#define APM_LOG_INFO(...)                  \
+  do {                                     \
+    fprintf(stderr, "[info ] ");           \
+    fprintf(stderr, __VA_ARGS__);          \
+    fprintf(stderr, "\n");                 \
+  } while (0)
+
+#define APM_LOG_WARN(...)                  \
+  do {                                     \
+    fprintf(stderr, "[warn ] ");           \
+    fprintf(stderr, __VA_ARGS__);          \
+    fprintf(stderr, "\n");                 \
+  } while (0)
+
+#define APM_LOG_ERROR(...)                 \
+  do {                                     \
+    fprintf(stderr, "[error] ");           \
+    fprintf(stderr, __VA_ARGS__);          \
+    fprintf(stderr, "\n");                 \
+  } while (0)
+
+/// Fatal invariant violation: logs and aborts. Used for conditions that
+/// indicate a programming error, never for expected runtime failures.
+#define APM_CHECK(cond)                                               \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      fprintf(stderr, "[fatal] check failed at %s:%d: %s\n", __FILE__, \
+              __LINE__, #cond);                                       \
+      abort();                                                        \
+    }                                                                 \
+  } while (0)
+
+#endif  // APMBENCH_COMMON_LOGGING_H_

@@ -1,0 +1,76 @@
+#include "common/properties.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace apmbench {
+
+void Properties::Set(const std::string& key, const std::string& value) {
+  map_[key] = value;
+}
+
+bool Properties::Contains(const std::string& key) const {
+  return map_.find(key) != map_.end();
+}
+
+std::string Properties::GetString(const std::string& key,
+                                  const std::string& default_value) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? default_value : it->second;
+}
+
+int64_t Properties::GetInt(const std::string& key,
+                           int64_t default_value) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return default_value;
+  return strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Properties::GetDouble(const std::string& key,
+                             double default_value) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return default_value;
+  return strtod(it->second.c_str(), nullptr);
+}
+
+bool Properties::GetBool(const std::string& key, bool default_value) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return default_value;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+Status Properties::ParseArg(const std::string& arg) {
+  size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("expected key=value, got: " + arg);
+  }
+  Set(arg.substr(0, eq), arg.substr(eq + 1));
+  return Status::OK();
+}
+
+Status Properties::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open properties file: " + path);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim leading whitespace.
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+    size_t end = line.find_last_not_of(" \t\r");
+    APM_RETURN_IF_ERROR(ParseArg(line.substr(start, end - start + 1)));
+  }
+  return Status::OK();
+}
+
+void Properties::Merge(const Properties& other) {
+  for (const auto& [k, v] : other.map_) {
+    map_[k] = v;
+  }
+}
+
+}  // namespace apmbench

@@ -1,0 +1,47 @@
+#ifndef APMBENCH_COMMON_PROPERTIES_H_
+#define APMBENCH_COMMON_PROPERTIES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace apmbench {
+
+/// A YCSB-style property bag: string keys to string values with typed,
+/// defaulted getters. Workloads, stores, and benchmark harnesses are all
+/// configured through Properties so any parameter can be set from the
+/// command line (`key=value` arguments) or a properties file.
+class Properties {
+ public:
+  void Set(const std::string& key, const std::string& value);
+
+  bool Contains(const std::string& key) const;
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value = "") const;
+  int64_t GetInt(const std::string& key, int64_t default_value = 0) const;
+  double GetDouble(const std::string& key, double default_value = 0.0) const;
+  bool GetBool(const std::string& key, bool default_value = false) const;
+
+  /// Parses a single `key=value` token; returns InvalidArgument when there
+  /// is no '=' separator.
+  Status ParseArg(const std::string& arg);
+
+  /// Parses a properties file: one `key=value` per line, '#' comments and
+  /// blank lines ignored.
+  Status LoadFile(const std::string& path);
+
+  /// Merges `other` into this bag; existing keys are overwritten.
+  void Merge(const Properties& other);
+
+  const std::map<std::string, std::string>& map() const { return map_; }
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+}  // namespace apmbench
+
+#endif  // APMBENCH_COMMON_PROPERTIES_H_

@@ -1,0 +1,109 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace apmbench {
+
+Random::Random(uint64_t seed) {
+  // SplitMix64 to expand the seed into two nonzero state words.
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+  auto mix = [](uint64_t v) {
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+    return v ^ (v >> 31);
+  };
+  s0_ = mix(z);
+  z += 0x9e3779b97f4a7c15ULL;
+  s1_ = mix(z);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias on small n.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Random::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Random::Exponential(double mean) {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Random::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t min, uint64_t max_exclusive,
+                                   double theta)
+    : base_(min), item_count_(max_exclusive - min), theta_(theta) {
+  assert(max_exclusive > min);
+  zeta_n_ = Zeta(item_count_, theta_);
+  zeta2_theta_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(item_count_),
+                         1.0 - theta_)) /
+         (1.0 - zeta2_theta_ / zeta_n_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next(Random* rng) {
+  double u = rng->NextDouble();
+  double uz = u * zeta_n_;
+  uint64_t v;
+  if (uz < 1.0) {
+    v = base_;
+  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+    v = base_ + 1;
+  } else {
+    v = base_ + static_cast<uint64_t>(
+                    static_cast<double>(item_count_) *
+                    std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (v >= base_ + item_count_) v = base_ + item_count_ - 1;
+  }
+  last_.store(v, std::memory_order_relaxed);
+  return v;
+}
+
+ScrambledZipfianGenerator::ScrambledZipfianGenerator(uint64_t min,
+                                                     uint64_t max_exclusive)
+    : base_(min),
+      item_count_(max_exclusive - min),
+      zipfian_(0, max_exclusive - min) {}
+
+uint64_t ScrambledZipfianGenerator::Next(Random* rng) {
+  uint64_t v = zipfian_.Next(rng);
+  return base_ + FnvHash64(v) % item_count_;
+}
+
+}  // namespace apmbench

@@ -1,0 +1,89 @@
+#ifndef APMBENCH_COMMON_RANDOM_H_
+#define APMBENCH_COMMON_RANDOM_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace apmbench {
+
+/// Fast, reproducible pseudo-random generator (xorshift128+). Every
+/// benchmark and simulation component takes an explicit seed so runs are
+/// repeatable; we deliberately avoid std::mt19937 in hot paths.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (0 <= p <= 1).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed with the given mean (> 0). Used for
+  /// service-time and inter-arrival sampling in the cluster simulator.
+  double Exponential(double mean);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipfian-distributed integers in [0, item_count), YCSB-compatible
+/// (Gray et al. algorithm with incremental support for growing item counts).
+/// Used by the request-distribution options of the workload generator; the
+/// paper's experiments use the uniform distribution, but zipfian/latest are
+/// part of the framework (and exercised by tests and the workload explorer).
+class ZipfianGenerator {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  ZipfianGenerator(uint64_t min, uint64_t max_exclusive,
+                   double theta = kDefaultTheta);
+
+  /// Thread-safe given a caller-owned Random (the shared state is
+  /// read-only after construction; `last` is atomic).
+  uint64_t Next(Random* rng);
+
+  /// Supports the "latest" distribution: reports the most recently returned
+  /// value without consuming randomness.
+  uint64_t last() const { return last_.load(std::memory_order_relaxed); }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t base_;
+  uint64_t item_count_;
+  double theta_;
+  double zeta_n_;
+  double alpha_;
+  double eta_;
+  double zeta2_theta_;
+  std::atomic<uint64_t> last_{0};
+};
+
+/// Zipfian with the popular items scattered across the keyspace (YCSB's
+/// "scrambled zipfian"), so hot keys do not cluster in one shard.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t min, uint64_t max_exclusive);
+
+  uint64_t Next(Random* rng);
+
+ private:
+  uint64_t base_;
+  uint64_t item_count_;
+  ZipfianGenerator zipfian_;
+};
+
+}  // namespace apmbench
+
+#endif  // APMBENCH_COMMON_RANDOM_H_

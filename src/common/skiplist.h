@@ -1,0 +1,180 @@
+#ifndef APMBENCH_COMMON_SKIPLIST_H_
+#define APMBENCH_COMMON_SKIPLIST_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+#include "common/random.h"
+
+namespace apmbench {
+
+/// An ordered map implemented as a skip list, the structure behind both the
+/// LSM memtable (as in BigTable/Cassandra/HBase memstores) and the sorted
+/// key index of the Redis-like store (Redis uses a skip list for sorted
+/// sets). Supports insert-or-assign, point lookup, and ordered iteration
+/// with seek. Not internally synchronized.
+///
+/// `Comparator` is a stateless functor returning <0/0/>0 like memcmp.
+template <typename Key, typename Value, typename Comparator>
+class SkipList {
+ public:
+  static constexpr int kMaxHeight = 12;
+
+  SkipList() : rng_(0xdecafbadULL), head_(NewNode(Key(), Value(), kMaxHeight)) {}
+
+  ~SkipList() {
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = node->next[0];
+      DeleteNode(node);
+      node = next;
+    }
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts `key` with `value`, overwriting the value if the key exists.
+  /// Returns true if a new key was inserted, false if overwritten.
+  bool Insert(const Key& key, const Value& value) {
+    Node* prev[kMaxHeight];
+    Node* node = FindGreaterOrEqual(key, prev);
+    if (node != nullptr && Equal(node->key, key)) {
+      node->value = value;
+      return false;
+    }
+    int height = RandomHeight();
+    if (height > height_) {
+      for (int level = height_; level < height; level++) {
+        prev[level] = head_;
+      }
+      height_ = height;
+    }
+    Node* fresh = NewNode(key, value, height);
+    for (int level = 0; level < height; level++) {
+      fresh->next[level] = prev[level]->next[level];
+      prev[level]->next[level] = fresh;
+    }
+    size_++;
+    return true;
+  }
+
+  /// Removes `key`; returns true when the key was present.
+  bool Erase(const Key& key) {
+    Node* prev[kMaxHeight];
+    Node* node = FindGreaterOrEqual(key, prev);
+    if (node == nullptr || !Equal(node->key, key)) return false;
+    for (int level = 0; level < height_; level++) {
+      if (prev[level]->next[level] == node) {
+        prev[level]->next[level] = node->next[level];
+      }
+    }
+    DeleteNode(node);
+    size_--;
+    return true;
+  }
+
+  /// Returns the value for `key`, or nullptr when absent. The pointer is
+  /// valid until the next Erase of this key or list destruction.
+  const Value* Find(const Key& key) const {
+    Node* node = FindGreaterOrEqual(key, nullptr);
+    if (node != nullptr && Equal(node->key, key)) return &node->value;
+    return nullptr;
+  }
+
+  Value* FindMutable(const Key& key) {
+    Node* node = FindGreaterOrEqual(key, nullptr);
+    if (node != nullptr && Equal(node->key, key)) return &node->value;
+    return nullptr;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Forward iterator over entries in key order.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    const Value& value() const {
+      assert(Valid());
+      return node_->value;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->next[0];
+    }
+    void SeekToFirst() { node_ = list_->head_->next[0]; }
+    /// Positions at the first entry with key >= target.
+    void Seek(const Key& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+
+   private:
+    const SkipList* list_;
+    typename SkipList::Node* node_;
+  };
+
+ private:
+  struct Node {
+    Key key;
+    Value value;
+    Node* next[1];  // over-allocated to `height` pointers
+  };
+
+  static Node* NewNode(const Key& key, const Value& value, int height) {
+    char* mem = new char[sizeof(Node) +
+                         sizeof(Node*) * static_cast<size_t>(height - 1)];
+    Node* node = new (mem) Node();
+    node->key = key;
+    node->value = value;
+    for (int i = 0; i < height; i++) node->next[i] = nullptr;
+    return node;
+  }
+
+  static void DeleteNode(Node* node) {
+    node->~Node();
+    delete[] reinterpret_cast<char*>(node);
+  }
+
+  int RandomHeight() {
+    // Increase height with probability 1/4 per level, as in LevelDB.
+    int height = 1;
+    while (height < kMaxHeight && rng_.Uniform(4) == 0) height++;
+    return height;
+  }
+
+  bool Equal(const Key& a, const Key& b) const { return cmp_(a, b) == 0; }
+
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
+    Node* node = head_;
+    int level = height_ - 1;
+    for (;;) {
+      Node* next = node->next[level];
+      if (next != nullptr && cmp_(next->key, key) < 0) {
+        node = next;
+      } else {
+        if (prev != nullptr) prev[level] = node;
+        if (level == 0) return next;
+        level--;
+      }
+    }
+  }
+
+  Comparator cmp_;
+  Random rng_;
+  Node* head_;
+  int height_ = 1;
+  size_t size_ = 0;
+};
+
+}  // namespace apmbench
+
+#endif  // APMBENCH_COMMON_SKIPLIST_H_

@@ -1,0 +1,82 @@
+#ifndef APMBENCH_COMMON_SLICE_H_
+#define APMBENCH_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace apmbench {
+
+/// A non-owning view of a byte range, in the style of leveldb::Slice.
+/// The referenced storage must outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}
+  Slice(std::string_view sv) : data_(sv.data()), size_(sv.size()) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t n) const {
+    assert(n < size_);
+    return data_[n];
+  }
+
+  void Clear() {
+    data_ = "";
+    size_ = 0;
+  }
+
+  /// Drops the first `n` bytes from this slice.
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToView() const { return std::string_view(data_, size_); }
+
+  /// Three-way comparison: <0, ==0, >0 like memcmp.
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) {
+        r = -1;
+      } else if (size_ > other.size_) {
+        r = +1;
+      }
+    }
+    return r;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() && memcmp(a.data(), b.data(), a.size()) == 0;
+}
+
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.Compare(b) < 0;
+}
+
+}  // namespace apmbench
+
+#endif  // APMBENCH_COMMON_SLICE_H_

@@ -1,0 +1,115 @@
+#ifndef APMBENCH_COMMON_STATUS_H_
+#define APMBENCH_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace apmbench {
+
+/// Error handling in APMBench follows the Status idiom used by storage
+/// engines such as RocksDB: no exceptions are thrown; fallible operations
+/// return a `Status` (or a `Result<T>`, see below) that callers must check.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kNotSupported = 5,
+    kBusy = 6,
+    kAborted = 7,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable representation, e.g. "IOError: open failed".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// A value-or-error holder, analogous to absl::StatusOr. The value is only
+/// accessible when `ok()` is true.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites terse (`return 42;` / `return Status::NotFound();`).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK status to the caller. Usable in any function that
+/// returns `Status`.
+#define APM_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::apmbench::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace apmbench
+
+#endif  // APMBENCH_COMMON_STATUS_H_

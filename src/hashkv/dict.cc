@@ -1,0 +1,155 @@
+#include "hashkv/dict.h"
+
+#include "common/hash.h"
+
+namespace apmbench::hashkv {
+
+namespace {
+constexpr size_t kEntryOverhead = 48;
+}  // namespace
+
+Dict::Dict(size_t initial_buckets) {
+  size_t n = 1;
+  while (n < initial_buckets) n <<= 1;
+  ht_[0].buckets.assign(n, nullptr);
+}
+
+Dict::~Dict() {
+  FreeTable(&ht_[0]);
+  FreeTable(&ht_[1]);
+}
+
+void Dict::FreeTable(HashTable* table) {
+  for (Entry* entry : table->buckets) {
+    while (entry != nullptr) {
+      Entry* next = entry->next;
+      delete entry;
+      entry = next;
+    }
+  }
+  table->buckets.clear();
+  table->used = 0;
+}
+
+uint32_t Dict::HashKey(const Slice& key) {
+  return MurmurHash3_32(key.data(), key.size(), 0x9747b28c);
+}
+
+size_t Dict::bucket_count() const {
+  return ht_[0].buckets.size() + ht_[1].buckets.size();
+}
+
+void Dict::StartRehash() {
+  ht_[1].buckets.assign(ht_[0].buckets.size() * 2, nullptr);
+  rehash_index_ = 0;
+}
+
+void Dict::RehashStep() {
+  if (rehash_index_ < 0) return;
+  // Migrate up to one non-empty bucket (plus skip a bounded number of
+  // empty ones), as redis dictRehash does.
+  int empty_visits = 10;
+  while (empty_visits-- > 0 &&
+         rehash_index_ < static_cast<int64_t>(ht_[0].buckets.size())) {
+    Entry*& bucket = ht_[0].buckets[static_cast<size_t>(rehash_index_)];
+    if (bucket == nullptr) {
+      rehash_index_++;
+      continue;
+    }
+    while (bucket != nullptr) {
+      Entry* entry = bucket;
+      bucket = entry->next;
+      uint32_t hash = HashKey(Slice(entry->key));
+      size_t index = hash & (ht_[1].buckets.size() - 1);
+      entry->next = ht_[1].buckets[index];
+      ht_[1].buckets[index] = entry;
+      ht_[0].used--;
+      ht_[1].used++;
+    }
+    rehash_index_++;
+    break;
+  }
+  if (rehash_index_ >= static_cast<int64_t>(ht_[0].buckets.size())) {
+    // Rehash complete; promote table 1.
+    ht_[0].buckets = std::move(ht_[1].buckets);
+    ht_[0].used = ht_[1].used;
+    ht_[1].buckets.clear();
+    ht_[1].used = 0;
+    rehash_index_ = -1;
+  }
+}
+
+Dict::Entry** Dict::FindRef(HashTable* table, const Slice& key,
+                            uint32_t hash) const {
+  if (table->buckets.empty()) return nullptr;
+  size_t index = hash & (table->buckets.size() - 1);
+  Entry** ref = &table->buckets[index];
+  while (*ref != nullptr) {
+    if (Slice((*ref)->key) == key) return ref;
+    ref = &(*ref)->next;
+  }
+  return nullptr;
+}
+
+bool Dict::Set(const Slice& key, const Slice& value) {
+  RehashStep();
+  uint32_t hash = HashKey(key);
+  for (int t = 0; t < 2; t++) {
+    HashTable* table = &ht_[t];
+    Entry** ref = FindRef(table, key, hash);
+    if (ref != nullptr) {
+      memory_bytes_ -= (*ref)->value.size();
+      (*ref)->value = value.ToString();
+      memory_bytes_ += value.size();
+      return false;
+    }
+    if (rehash_index_ < 0) break;  // only table 0 when not rehashing
+  }
+  // Insert into the newest table.
+  HashTable* target = rehashing() ? &ht_[1] : &ht_[0];
+  size_t index = hash & (target->buckets.size() - 1);
+  Entry* entry = new Entry();
+  entry->key = key.ToString();
+  entry->value = value.ToString();
+  entry->next = target->buckets[index];
+  target->buckets[index] = entry;
+  target->used++;
+  size_++;
+  memory_bytes_ += key.size() + value.size() + kEntryOverhead;
+  if (!rehashing() && ht_[0].used >= ht_[0].buckets.size()) {
+    StartRehash();
+  }
+  return true;
+}
+
+const std::string* Dict::Get(const Slice& key) const {
+  uint32_t hash = HashKey(key);
+  for (int t = 0; t < 2; t++) {
+    Entry** ref = FindRef(const_cast<HashTable*>(&ht_[t]), key, hash);
+    if (ref != nullptr) return &(*ref)->value;
+    if (rehash_index_ < 0) break;
+  }
+  return nullptr;
+}
+
+bool Dict::Del(const Slice& key) {
+  RehashStep();
+  uint32_t hash = HashKey(key);
+  for (int t = 0; t < 2; t++) {
+    Entry** ref = FindRef(&ht_[t], key, hash);
+    if (ref != nullptr) {
+      Entry* entry = *ref;
+      *ref = entry->next;
+      memory_bytes_ -= entry->key.size() + entry->value.size() +
+                       kEntryOverhead;
+      delete entry;
+      ht_[t].used--;
+      size_--;
+      return true;
+    }
+    if (rehash_index_ < 0) break;
+  }
+  return false;
+}
+
+}  // namespace apmbench::hashkv

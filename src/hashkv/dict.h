@@ -1,0 +1,68 @@
+#ifndef APMBENCH_HASHKV_DICT_H_
+#define APMBENCH_HASHKV_DICT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace apmbench::hashkv {
+
+/// A chained hash table with Redis-style incremental rehashing: when the
+/// load factor reaches 1, a second table of twice the size is allocated
+/// and buckets migrate one step per operation, so no single request pays
+/// the full rehash cost (the behavior that keeps Redis latency flat).
+class Dict {
+ public:
+  explicit Dict(size_t initial_buckets = 16);
+  ~Dict();
+
+  Dict(const Dict&) = delete;
+  Dict& operator=(const Dict&) = delete;
+
+  /// Inserts or overwrites; returns true when the key is new.
+  bool Set(const Slice& key, const Slice& value);
+
+  /// Returns the stored value pointer or nullptr. Valid until the next
+  /// mutation of this key.
+  const std::string* Get(const Slice& key) const;
+
+  /// Removes the key; returns true when it was present.
+  bool Del(const Slice& key);
+
+  size_t size() const { return size_; }
+  bool rehashing() const { return rehash_index_ >= 0; }
+  size_t bucket_count() const;
+
+  /// Approximate heap bytes used by entries (keys + values + overhead).
+  size_t MemoryBytes() const { return memory_bytes_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    Entry* next = nullptr;
+  };
+  struct HashTable {
+    std::vector<Entry*> buckets;
+    size_t used = 0;
+  };
+
+  static uint32_t HashKey(const Slice& key);
+  void RehashStep();
+  void StartRehash();
+  Entry** FindRef(HashTable* table, const Slice& key, uint32_t hash) const;
+  static void FreeTable(HashTable* table);
+
+  HashTable ht_[2];
+  /// Bucket index currently being migrated, or -1 when not rehashing.
+  int64_t rehash_index_ = -1;
+  size_t size_ = 0;
+  size_t memory_bytes_ = 0;
+};
+
+}  // namespace apmbench::hashkv
+
+#endif  // APMBENCH_HASHKV_DICT_H_

@@ -1,0 +1,213 @@
+#include "hashkv/hashkv.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace apmbench::hashkv {
+
+namespace {
+constexpr uint8_t kAofSet = 1;
+constexpr uint8_t kAofDel = 2;
+}  // namespace
+
+HashKV::HashKV(const Options& options)
+    : options_(options), dict_(options.initial_buckets) {
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
+}
+
+Status HashKV::Open(const Options& options, std::unique_ptr<HashKV>* store) {
+  std::unique_ptr<HashKV> kv(new HashKV(options));
+  if (!options.aof_path.empty()) {
+    APM_RETURN_IF_ERROR(kv->ReplayAof());
+    APM_RETURN_IF_ERROR(
+        kv->env_->NewAppendableFile(options.aof_path, &kv->aof_));
+  }
+  *store = std::move(kv);
+  return Status::OK();
+}
+
+Status HashKV::ReplayAof() {
+  if (!env_->FileExists(options_.aof_path)) return Status::OK();
+  std::string contents;
+  APM_RETURN_IF_ERROR(env_->ReadFileToString(options_.aof_path, &contents));
+  size_t offset = 0;
+  while (offset + 8 <= contents.size()) {
+    uint32_t masked_crc = DecodeFixed32(contents.data() + offset);
+    uint32_t length = DecodeFixed32(contents.data() + offset + 4);
+    if (offset + 8 + length > contents.size()) break;  // torn tail
+    const char* data = contents.data() + offset + 8;
+    if (UnmaskCrc(masked_crc) != Crc32c(data, length)) break;
+    Slice in(data, length);
+    if (in.empty()) break;
+    uint8_t op = static_cast<uint8_t>(in[0]);
+    in.RemovePrefix(1);
+    Slice key, value;
+    if (!GetLengthPrefixedSlice(&in, &key) ||
+        !GetLengthPrefixedSlice(&in, &value)) {
+      break;
+    }
+    if (op == kAofSet) {
+      if (dict_.Set(key, value)) index_.Insert(key.ToString(), 0);
+    } else if (op == kAofDel) {
+      if (dict_.Del(key)) index_.Erase(key.ToString());
+    }
+    offset += 8 + length;
+  }
+  return Status::OK();
+}
+
+Status HashKV::AppendAof(uint8_t op, const Slice& key, const Slice& value) {
+  if (aof_ == nullptr) return Status::OK();
+  std::string payload;
+  payload.push_back(static_cast<char>(op));
+  PutLengthPrefixedSlice(&payload, key);
+  PutLengthPrefixedSlice(&payload, value);
+  std::string framed;
+  PutFixed32(&framed, MaskCrc(Crc32c(payload.data(), payload.size())));
+  PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
+  framed.append(payload);
+  APM_RETURN_IF_ERROR(aof_->Append(framed));
+  if (options_.sync_aof) return aof_->Sync();
+  return aof_->Flush();
+}
+
+Status HashKV::Set(const Slice& key, const Slice& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dict_.Set(key, value)) {
+    index_.Insert(key.ToString(), 0);
+  }
+  return AppendAof(kAofSet, key, value);
+}
+
+Status HashKV::Get(const Slice& key, std::string* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string* stored = dict_.Get(key);
+  if (stored == nullptr) return Status::NotFound();
+  *value = *stored;
+  return Status::OK();
+}
+
+Status HashKV::Del(const Slice& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!dict_.Del(key)) return Status::NotFound();
+  index_.Erase(key.ToString());
+  return AppendAof(kAofDel, key, Slice());
+}
+
+Status HashKV::Scan(const Slice& start, int count,
+                    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  KeyIndex::Iterator iter(&index_);
+  iter.Seek(start.ToString());
+  while (iter.Valid() && static_cast<int>(out->size()) < count) {
+    const std::string* value = dict_.Get(Slice(iter.key()));
+    if (value != nullptr) {
+      out->emplace_back(iter.key(), *value);
+    }
+    iter.Next();
+  }
+  return Status::OK();
+}
+
+namespace {
+constexpr uint64_t kSnapshotMagic = 0x41504d524442310aull;  // "APMRDB1\n"
+}  // namespace
+
+Status HashKV::SaveSnapshot(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string body;
+  PutFixed64(&body, kSnapshotMagic);
+  PutFixed64(&body, dict_.size());
+  // Iterate via the sorted index so snapshots are deterministic.
+  KeyIndex::Iterator iter(&index_);
+  for (iter.SeekToFirst(); iter.Valid(); iter.Next()) {
+    const std::string* value = dict_.Get(Slice(iter.key()));
+    if (value == nullptr) continue;
+    PutLengthPrefixedSlice(&body, Slice(iter.key()));
+    PutLengthPrefixedSlice(&body, Slice(*value));
+  }
+  PutFixed32(&body, MaskCrc(Crc32c(body.data(), body.size())));
+  std::string tmp = path + ".tmp";
+  APM_RETURN_IF_ERROR(env_->WriteStringToFile(tmp, Slice(body)));
+  return env_->RenameFile(tmp, path);
+}
+
+Status HashKV::LoadSnapshot(const std::string& path) {
+  std::string body;
+  APM_RETURN_IF_ERROR(env_->ReadFileToString(path, &body));
+  if (body.size() < 8 + 8 + 4) return Status::Corruption("snapshot too short");
+  uint32_t stored = UnmaskCrc(DecodeFixed32(body.data() + body.size() - 4));
+  if (stored != Crc32c(body.data(), body.size() - 4)) {
+    return Status::Corruption("snapshot checksum mismatch");
+  }
+  Slice in(body.data(), body.size() - 4);
+  uint64_t magic, count;
+  GetFixed64(&in, &magic);
+  if (magic != kSnapshotMagic) return Status::Corruption("bad snapshot magic");
+  GetFixed64(&in, &count);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Replace contents.
+  std::vector<std::string> existing;
+  {
+    KeyIndex::Iterator iter(&index_);
+    for (iter.SeekToFirst(); iter.Valid(); iter.Next()) {
+      existing.push_back(iter.key());
+    }
+  }
+  for (const std::string& key : existing) {
+    dict_.Del(Slice(key));
+    index_.Erase(key);
+  }
+  for (uint64_t i = 0; i < count; i++) {
+    Slice key, value;
+    if (!GetLengthPrefixedSlice(&in, &key) ||
+        !GetLengthPrefixedSlice(&in, &value)) {
+      return Status::Corruption("truncated snapshot entry");
+    }
+    if (dict_.Set(key, value)) index_.Insert(key.ToString(), 0);
+  }
+  return Status::OK();
+}
+
+Status HashKV::RewriteAof() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (aof_ == nullptr) return Status::OK();
+  // Write the compacted log to a temp file, then swap it in.
+  std::string tmp = options_.aof_path + ".rewrite";
+  std::unique_ptr<WritableFile> fresh;
+  APM_RETURN_IF_ERROR(env_->NewWritableFile(tmp, &fresh));
+  KeyIndex::Iterator iter(&index_);
+  for (iter.SeekToFirst(); iter.Valid(); iter.Next()) {
+    const std::string* value = dict_.Get(Slice(iter.key()));
+    if (value == nullptr) continue;
+    std::string payload;
+    payload.push_back(static_cast<char>(kAofSet));
+    PutLengthPrefixedSlice(&payload, Slice(iter.key()));
+    PutLengthPrefixedSlice(&payload, Slice(*value));
+    std::string framed;
+    PutFixed32(&framed, MaskCrc(Crc32c(payload.data(), payload.size())));
+    PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
+    framed.append(payload);
+    APM_RETURN_IF_ERROR(fresh->Append(framed));
+  }
+  APM_RETURN_IF_ERROR(fresh->Sync());
+  APM_RETURN_IF_ERROR(fresh->Close());
+  APM_RETURN_IF_ERROR(aof_->Close());
+  APM_RETURN_IF_ERROR(env_->RenameFile(tmp, options_.aof_path));
+  return env_->NewAppendableFile(options_.aof_path, &aof_);
+}
+
+HashKV::Stats HashKV::GetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.num_keys = dict_.size();
+  stats.bucket_count = dict_.bucket_count();
+  stats.rehashing = dict_.rehashing();
+  stats.memory_bytes = dict_.MemoryBytes();
+  stats.aof_bytes = aof_ != nullptr ? aof_->Size() : 0;
+  return stats;
+}
+
+}  // namespace apmbench::hashkv

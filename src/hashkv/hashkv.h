@@ -1,0 +1,100 @@
+#ifndef APMBENCH_HASHKV_HASHKV_H_
+#define APMBENCH_HASHKV_HASHKV_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+#include "common/skiplist.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "hashkv/dict.h"
+
+namespace apmbench::hashkv {
+
+/// HashKV engine configuration.
+struct Options {
+  Env* env = nullptr;
+  /// When set, every mutation is appended to a Redis-style append-only
+  /// file, replayed on open. Empty disables persistence (pure in-memory,
+  /// as the paper ran Redis).
+  std::string aof_path;
+  /// fsync the AOF on every mutation (appendfsync always).
+  bool sync_aof = false;
+  size_t initial_buckets = 16;
+};
+
+/// A Redis-architecture in-memory store: a chained hash table with
+/// incremental rehash holds the records, a skip list (the structure behind
+/// Redis sorted sets) indexes the keys for range scans — mirroring how the
+/// YCSB Redis binding pairs each record with a sorted-set index entry —
+/// and an optional append-only file provides persistence.
+///
+/// Thread-safety: all public methods are safe to call concurrently
+/// (internally serialized, matching Redis' single-threaded execution).
+class HashKV {
+ public:
+  struct Stats {
+    size_t num_keys = 0;
+    size_t bucket_count = 0;
+    bool rehashing = false;
+    size_t memory_bytes = 0;
+    uint64_t aof_bytes = 0;
+  };
+
+  static Status Open(const Options& options, std::unique_ptr<HashKV>* store);
+
+  HashKV(const HashKV&) = delete;
+  HashKV& operator=(const HashKV&) = delete;
+
+  Status Set(const Slice& key, const Slice& value);
+  Status Get(const Slice& key, std::string* value);
+  Status Del(const Slice& key);
+
+  /// Redis SAVE: writes a point-in-time snapshot of the whole dataset to
+  /// `path` (atomically, via temp file + rename).
+  Status SaveSnapshot(const std::string& path);
+
+  /// Loads a snapshot written by SaveSnapshot, replacing current
+  /// contents. Used instead of AOF replay when both exist.
+  Status LoadSnapshot(const std::string& path);
+
+  /// Redis BGREWRITEAOF (done inline): rewrites the append-only file to
+  /// contain exactly one Set per live key, discarding the operation
+  /// history. No-op without an AOF.
+  Status RewriteAof();
+
+  /// Up to `count` records with key >= start in key order (served from
+  /// the skip-list index).
+  Status Scan(const Slice& start, int count,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+  Stats GetStats();
+
+ private:
+  struct KeyCompare {
+    int operator()(const std::string& a, const std::string& b) const {
+      return Slice(a).Compare(Slice(b));
+    }
+  };
+  using KeyIndex = SkipList<std::string, char, KeyCompare>;
+
+  explicit HashKV(const Options& options);
+
+  Status ReplayAof();
+  Status AppendAof(uint8_t op, const Slice& key, const Slice& value);
+
+  Options options_;
+  Env* env_;
+  std::mutex mu_;
+  Dict dict_;
+  KeyIndex index_;
+  std::unique_ptr<WritableFile> aof_;
+};
+
+}  // namespace apmbench::hashkv
+
+#endif  // APMBENCH_HASHKV_HASHKV_H_

@@ -1,0 +1,67 @@
+#include "lsm/block_cache.h"
+
+namespace apmbench::lsm {
+
+BlockCache::BlockCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+BlockCache::BlockHandle BlockCache::Lookup(uint64_t file_number,
+                                           uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(CacheKey{file_number, offset});
+  if (it == index_.end()) {
+    misses_++;
+    return nullptr;
+  }
+  hits_++;
+  // Move to front.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->block;
+}
+
+void BlockCache::Insert(uint64_t file_number, uint64_t offset,
+                        BlockHandle block) {
+  if (capacity_ == 0 || block == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheKey key{file_number, offset};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    charge_ -= it->second->block->size();
+    charge_ += block->size();
+    it->second->block = std::move(block);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    charge_ += block->size();
+    lru_.push_front(CacheEntry{key, std::move(block)});
+    index_[key] = lru_.begin();
+  }
+  EvictIfNeeded();
+}
+
+void BlockCache::EvictFile(uint64_t file_number) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.file_number == file_number) {
+      charge_ -= it->block->size();
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t BlockCache::charge() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charge_;
+}
+
+void BlockCache::EvictIfNeeded() {
+  while (charge_ > capacity_ && !lru_.empty()) {
+    const CacheEntry& victim = lru_.back();
+    charge_ -= victim.block->size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace apmbench::lsm

@@ -1,0 +1,69 @@
+#ifndef APMBENCH_LSM_BLOCK_CACHE_H_
+#define APMBENCH_LSM_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace apmbench::lsm {
+
+/// A sharded-free, mutex-protected LRU cache of SSTable data blocks,
+/// keyed by (file number, block offset). Models the key/row caches the
+/// paper's stores rely on for their memory-bound performance.
+class BlockCache {
+ public:
+  explicit BlockCache(size_t capacity_bytes);
+
+  using BlockHandle = std::shared_ptr<const std::string>;
+
+  /// Returns the cached block or nullptr.
+  BlockHandle Lookup(uint64_t file_number, uint64_t offset);
+
+  /// Inserts `block`, evicting least-recently-used entries beyond capacity.
+  void Insert(uint64_t file_number, uint64_t offset, BlockHandle block);
+
+  /// Drops every block belonging to `file_number` (called when a table is
+  /// deleted by compaction).
+  void EvictFile(uint64_t file_number);
+
+  size_t charge() const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct CacheKey {
+    uint64_t file_number;
+    uint64_t offset;
+    bool operator==(const CacheKey& other) const {
+      return file_number == other.file_number && offset == other.offset;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const {
+      return std::hash<uint64_t>()(k.file_number * 0x9e3779b97f4a7c15ULL ^
+                                   k.offset);
+    }
+  };
+  struct CacheEntry {
+    CacheKey key;
+    BlockHandle block;
+  };
+
+  void EvictIfNeeded();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<CacheEntry> lru_;  // front = most recent
+  std::unordered_map<CacheKey, std::list<CacheEntry>::iterator, CacheKeyHash>
+      index_;
+  size_t charge_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace apmbench::lsm
+
+#endif  // APMBENCH_LSM_BLOCK_CACHE_H_

@@ -1,0 +1,837 @@
+#include "lsm/db.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace apmbench::lsm {
+
+namespace {
+
+constexpr uint8_t kWalPut = 1;
+constexpr uint8_t kWalDelete = 2;
+constexpr uint8_t kWalBatch = 3;
+
+void EncodeWalRecord(std::string* dst, uint64_t seq, uint8_t type,
+                     const Slice& key, const Slice& value) {
+  PutFixed64(dst, seq);
+  dst->push_back(static_cast<char>(type));
+  PutLengthPrefixedSlice(dst, key);
+  PutLengthPrefixedSlice(dst, value);
+}
+
+bool DecodeWalRecord(Slice input, uint64_t* seq, uint8_t* type, Slice* key,
+                     Slice* value) {
+  if (!GetFixed64(&input, seq) || input.empty()) return false;
+  *type = static_cast<uint8_t>(input[0]);
+  input.RemovePrefix(1);
+  return GetLengthPrefixedSlice(&input, key) &&
+         GetLengthPrefixedSlice(&input, value);
+}
+
+}  // namespace
+
+void WriteBatch::Put(const Slice& key, const Slice& value) {
+  rep_.push_back(static_cast<char>(kWalPut));
+  PutLengthPrefixedSlice(&rep_, key);
+  PutLengthPrefixedSlice(&rep_, value);
+  count_++;
+}
+
+void WriteBatch::Delete(const Slice& key) {
+  rep_.push_back(static_cast<char>(kWalDelete));
+  PutLengthPrefixedSlice(&rep_, key);
+  PutLengthPrefixedSlice(&rep_, Slice());
+  count_++;
+}
+
+DB::DB(const Options& options) : options_(options) {
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
+  options_.env = env_;
+  cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes);
+  versions_ = std::make_unique<VersionSet>(options_, env_);
+  mem_ = std::make_shared<MemTable>();
+}
+
+Status DB::Open(const Options& options, std::unique_ptr<DB>* db) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("Options::dir must be set");
+  }
+  std::unique_ptr<DB> impl(new DB(options));
+  APM_RETURN_IF_ERROR(impl->OpenImpl());
+  *db = std::move(impl);
+  return Status::OK();
+}
+
+std::string DB::TablePath(uint64_t number) const {
+  return options_.dir + "/" + std::to_string(number) + ".sst";
+}
+
+std::string DB::WalPath(uint64_t number) const {
+  return options_.dir + "/wal-" + std::to_string(number) + ".log";
+}
+
+Status DB::OpenTable(const FileMeta& meta) {
+  std::unique_ptr<Table> table;
+  APM_RETURN_IF_ERROR(Table::Open(options_, env_, TablePath(meta.number),
+                                  meta.number, cache_.get(), &table));
+  tables_[meta.number] = std::move(table);
+  return Status::OK();
+}
+
+Status DB::OpenImpl() {
+  APM_RETURN_IF_ERROR(env_->CreateDirIfMissing(options_.dir));
+  bool manifest_found = false;
+  APM_RETURN_IF_ERROR(versions_->Recover(&manifest_found));
+  if (!manifest_found) {
+    APM_RETURN_IF_ERROR(versions_->Persist());
+  }
+  for (int level = 0; level < versions_->NumLevels(); level++) {
+    for (const auto& meta : versions_->files(level)) {
+      APM_RETURN_IF_ERROR(OpenTable(meta));
+    }
+  }
+  APM_RETURN_IF_ERROR(ReplayWals());
+
+  // Start the fresh WAL for the live memtable.
+  wal_number_ = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> wal_file;
+  APM_RETURN_IF_ERROR(env_->NewWritableFile(WalPath(wal_number_), &wal_file));
+  wal_ = std::make_unique<LogWriter>(std::move(wal_file));
+
+  bg_thread_ = std::thread(&DB::BackgroundThread, this);
+  return Status::OK();
+}
+
+Status DB::ReplayWals() {
+  std::vector<std::string> children;
+  APM_RETURN_IF_ERROR(env_->GetChildren(options_.dir, &children));
+  std::vector<uint64_t> wal_numbers;
+  for (const auto& name : children) {
+    if (name.rfind("wal-", 0) == 0 && name.size() > 8 &&
+        name.substr(name.size() - 4) == ".log") {
+      uint64_t number =
+          strtoull(name.substr(4, name.size() - 8).c_str(), nullptr, 10);
+      wal_numbers.push_back(number);
+    }
+  }
+  std::sort(wal_numbers.begin(), wal_numbers.end());
+
+  uint64_t max_seq = versions_->last_seq();
+  for (uint64_t number : wal_numbers) {
+    versions_->BumpFileNumber(number);
+    std::unique_ptr<LogReader> reader;
+    APM_RETURN_IF_ERROR(LogReader::Open(env_, WalPath(number), &reader));
+    std::string payload;
+    while (reader->ReadRecord(&payload)) {
+      uint64_t seq;
+      uint8_t type;
+      Slice key, value;
+      if (!DecodeWalRecord(Slice(payload), &seq, &type, &key, &value)) {
+        break;  // treat a malformed record as a torn tail
+      }
+      if (type == kWalPut) {
+        mem_->Put(key, value, seq);
+      } else if (type == kWalDelete) {
+        mem_->Delete(key, seq);
+      } else if (type == kWalBatch) {
+        // `value` holds the batch body; ops get seq, seq+1, ...
+        Slice ops = value;
+        uint64_t op_seq = seq;
+        while (!ops.empty()) {
+          uint8_t op_type = static_cast<uint8_t>(ops[0]);
+          ops.RemovePrefix(1);
+          Slice op_key, op_value;
+          if (!GetLengthPrefixedSlice(&ops, &op_key) ||
+              !GetLengthPrefixedSlice(&ops, &op_value)) {
+            break;
+          }
+          if (op_type == kWalPut) {
+            mem_->Put(op_key, op_value, op_seq);
+          } else if (op_type == kWalDelete) {
+            mem_->Delete(op_key, op_seq);
+          }
+          op_seq++;
+        }
+        seq = op_seq > seq ? op_seq - 1 : seq;
+      }
+      max_seq = std::max(max_seq, seq);
+    }
+  }
+  versions_->set_last_seq(max_seq);
+
+  // Persist replayed data so the old WAL files can be removed.
+  if (mem_->EntryCount() > 0) {
+    auto iter = mem_->NewIterator();
+    iter->SeekToFirst();
+    std::vector<FileMeta> outputs;
+    std::vector<uint64_t> numbers;
+    APM_RETURN_IF_ERROR(WriteTables(iter.get(), /*single_output=*/true,
+                                    &outputs, &numbers));
+    VersionEdit edit;
+    for (const auto& meta : outputs) {
+      edit.added.push_back({0, meta});
+      APM_RETURN_IF_ERROR(OpenTable(meta));
+    }
+    APM_RETURN_IF_ERROR(versions_->LogAndApply(edit));
+    mem_ = std::make_shared<MemTable>();
+    num_flushes_++;
+  }
+  for (uint64_t number : wal_numbers) {
+    env_->RemoveFile(WalPath(number));
+  }
+  return Status::OK();
+}
+
+DB::~DB() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    cv_.notify_all();
+  }
+  if (bg_thread_.joinable()) bg_thread_.join();
+  if (wal_ != nullptr) wal_->Close();
+}
+
+Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock) {
+  while (mem_->ApproximateBytes() >= options_.memtable_bytes) {
+    if (!bg_error_.ok()) return bg_error_;
+    if (imm_ != nullptr) {
+      // Backpressure: the previous memtable is still being flushed.
+      cv_.wait(*lock);
+      continue;
+    }
+    // Rotate memtable and WAL.
+    uint64_t new_wal_number = versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> wal_file;
+    APM_RETURN_IF_ERROR(
+        env_->NewWritableFile(WalPath(new_wal_number), &wal_file));
+    wal_->Close();
+    wal_ = std::make_unique<LogWriter>(std::move(wal_file));
+    imm_ = std::move(mem_);
+    imm_wal_number_ = wal_number_;
+    wal_number_ = new_wal_number;
+    mem_ = std::make_shared<MemTable>();
+    cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+Status DB::Put(const Slice& key, const Slice& value) {
+  std::unique_lock<std::mutex> lock(mu_);
+  APM_RETURN_IF_ERROR(MakeRoomForWrite(&lock));
+  uint64_t seq = versions_->last_seq() + 1;
+  versions_->set_last_seq(seq);
+  std::string record;
+  EncodeWalRecord(&record, seq, kWalPut, key, value);
+  APM_RETURN_IF_ERROR(wal_->AddRecord(record, options_.sync_writes));
+  mem_->Put(key, value, seq);
+  return Status::OK();
+}
+
+Status DB::Delete(const Slice& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  APM_RETURN_IF_ERROR(MakeRoomForWrite(&lock));
+  uint64_t seq = versions_->last_seq() + 1;
+  versions_->set_last_seq(seq);
+  std::string record;
+  EncodeWalRecord(&record, seq, kWalDelete, key, Slice());
+  APM_RETURN_IF_ERROR(wal_->AddRecord(record, options_.sync_writes));
+  mem_->Delete(key, seq);
+  return Status::OK();
+}
+
+Status DB::Write(const WriteBatch& batch) {
+  if (batch.Count() == 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  APM_RETURN_IF_ERROR(MakeRoomForWrite(&lock));
+  uint64_t base_seq = versions_->last_seq() + 1;
+  versions_->set_last_seq(base_seq + batch.Count() - 1);
+  // One WAL record for the whole batch: crash atomicity.
+  std::string record;
+  EncodeWalRecord(&record, base_seq, kWalBatch, Slice(), Slice(batch.rep_));
+  APM_RETURN_IF_ERROR(wal_->AddRecord(record, options_.sync_writes));
+  Slice ops(batch.rep_);
+  uint64_t seq = base_seq;
+  while (!ops.empty()) {
+    uint8_t op_type = static_cast<uint8_t>(ops[0]);
+    ops.RemovePrefix(1);
+    Slice key, value;
+    if (!GetLengthPrefixedSlice(&ops, &key) ||
+        !GetLengthPrefixedSlice(&ops, &value)) {
+      return Status::Corruption("malformed write batch");
+    }
+    if (op_type == kWalPut) {
+      mem_->Put(key, value, seq);
+    } else {
+      mem_->Delete(key, seq);
+    }
+    seq++;
+  }
+  return Status::OK();
+}
+
+Status DB::Get(const ReadOptions& read_options, const Slice& key,
+               std::string* value) {
+  std::vector<std::shared_ptr<Table>> candidates;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The live and immutable memtables hold the newest entries; a hit
+    // there is authoritative.
+    MemTable::GetResult r = mem_->Get(key, value);
+    if (r == MemTable::GetResult::kFound) return Status::OK();
+    if (r == MemTable::GetResult::kDeleted) return Status::NotFound();
+    if (imm_ != nullptr) {
+      r = imm_->Get(key, value);
+      if (r == MemTable::GetResult::kFound) return Status::OK();
+      if (r == MemTable::GetResult::kDeleted) return Status::NotFound();
+    }
+    candidates.reserve(tables_.size());
+    for (const auto& [number, table] : tables_) {
+      candidates.push_back(table);
+    }
+  }
+
+  // Search every table that may contain the key and keep the entry with
+  // the highest sequence number: with size-tiered compaction, no total
+  // order exists between tables (see Iterator::seq()).
+  uint64_t best_seq = 0;
+  bool found = false;
+  bool deleted = false;
+  std::string candidate_value;
+  for (const auto& table : candidates) {
+    Table::GetResult result;
+    uint64_t seq = 0;
+    std::string v;
+    APM_RETURN_IF_ERROR(table->Get(read_options, key, &result, &v, &seq));
+    if (result == Table::GetResult::kAbsent) continue;
+    if (!found || seq > best_seq) {
+      found = true;
+      best_seq = seq;
+      deleted = (result == Table::GetResult::kDeleted);
+      candidate_value = std::move(v);
+    }
+  }
+  if (!found || deleted) return Status::NotFound();
+  *value = std::move(candidate_value);
+  return Status::OK();
+}
+
+Status DB::Scan(const ReadOptions& read_options, const Slice& start,
+                int count,
+                std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  // Scans run under the mutex: the memtable skip list is not safe to
+  // traverse concurrently with inserts. APM scans are short (tens of
+  // records), so the hold time is bounded.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(mem_->NewIterator());
+  if (imm_ != nullptr) children.push_back(imm_->NewIterator());
+  for (const auto& [number, table] : tables_) {
+    children.push_back(table->NewIterator(read_options));
+  }
+  auto iter = NewDedupIterator(NewMergingIterator(std::move(children)),
+                               /*skip_tombstones=*/true);
+  iter->Seek(start);
+  while (iter->Valid() && static_cast<int>(out->size()) < count) {
+    out->emplace_back(iter->key().ToString(), iter->value().ToString());
+    iter->Next();
+  }
+  return iter->status();
+}
+
+namespace {
+
+/// Ordered in-memory entries, used for the frozen copy of the live
+/// memtable inside snapshot iterators.
+class VectorIterator final : public Iterator {
+ public:
+  struct Entry {
+    std::string key;
+    std::string value;
+    uint64_t seq;
+    bool tombstone;
+  };
+
+  explicit VectorIterator(std::vector<Entry> entries)
+      : entries_(std::move(entries)) {}
+
+  bool Valid() const override {
+    return index_ >= 0 && index_ < static_cast<int>(entries_.size());
+  }
+  void SeekToFirst() override { index_ = entries_.empty() ? -1 : 0; }
+  void Seek(const Slice& target) override {
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), target,
+        [](const Entry& e, const Slice& t) { return Slice(e.key) < t; });
+    index_ = it == entries_.end() ? static_cast<int>(entries_.size())
+                                  : static_cast<int>(it - entries_.begin());
+  }
+  void Next() override { index_++; }
+  Slice key() const override { return Slice(entries_[index_].key); }
+  Slice value() const override { return Slice(entries_[index_].value); }
+  bool IsTombstone() const override { return entries_[index_].tombstone; }
+  uint64_t seq() const override { return entries_[index_].seq; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::vector<Entry> entries_;
+  int index_ = -1;
+};
+
+/// Owns the pinned resources of a snapshot and forwards to the merged
+/// view over them.
+class SnapshotIterator final : public Iterator {
+ public:
+  SnapshotIterator(std::unique_ptr<Iterator> merged,
+                   std::shared_ptr<MemTable> imm,
+                   std::vector<std::shared_ptr<Table>> tables)
+      : merged_(std::move(merged)),
+        imm_(std::move(imm)),
+        tables_(std::move(tables)) {}
+
+  bool Valid() const override { return merged_->Valid(); }
+  void SeekToFirst() override { merged_->SeekToFirst(); }
+  void Seek(const Slice& target) override { merged_->Seek(target); }
+  void Next() override { merged_->Next(); }
+  Slice key() const override { return merged_->key(); }
+  Slice value() const override { return merged_->value(); }
+  bool IsTombstone() const override { return merged_->IsTombstone(); }
+  uint64_t seq() const override { return merged_->seq(); }
+  Status status() const override { return merged_->status(); }
+
+ private:
+  std::unique_ptr<Iterator> merged_;
+  std::shared_ptr<MemTable> imm_;
+  std::vector<std::shared_ptr<Table>> tables_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> DB::NewSnapshotIterator(
+    const ReadOptions& read_options) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  std::shared_ptr<MemTable> imm;
+  std::vector<std::shared_ptr<Table>> tables;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Freeze the live memtable by copying it (bounded by memtable_bytes).
+    std::vector<VectorIterator::Entry> frozen;
+    frozen.reserve(mem_->EntryCount());
+    auto mem_iter = mem_->NewIterator();
+    for (mem_iter->SeekToFirst(); mem_iter->Valid(); mem_iter->Next()) {
+      frozen.push_back(VectorIterator::Entry{
+          mem_iter->key().ToString(), mem_iter->value().ToString(),
+          mem_iter->seq(), mem_iter->IsTombstone()});
+    }
+    children.push_back(std::make_unique<VectorIterator>(std::move(frozen)));
+    if (imm_ != nullptr) {
+      imm = imm_;
+      children.push_back(imm_->NewIterator());
+    }
+    for (const auto& [number, table] : tables_) {
+      tables.push_back(table);
+      children.push_back(table->NewIterator(read_options));
+    }
+  }
+  auto merged = NewDedupIterator(NewMergingIterator(std::move(children)),
+                                 /*skip_tombstones=*/true);
+  return std::make_unique<SnapshotIterator>(std::move(merged), std::move(imm),
+                                            std::move(tables));
+}
+
+Status DB::WriteTables(Iterator* iter, bool single_output,
+                       std::vector<FileMeta>* outputs,
+                       std::vector<uint64_t>* numbers) {
+  std::unique_ptr<TableBuilder> builder;
+  uint64_t current_number = 0;
+  auto open_builder = [&]() -> Status {
+    current_number = versions_->NewFileNumber();
+    builder = std::make_unique<TableBuilder>(options_, env_,
+                                             TablePath(current_number));
+    return builder->Open();
+  };
+  auto finish_builder = [&]() -> Status {
+    if (builder == nullptr || builder->NumEntries() == 0) {
+      if (builder != nullptr) builder->Abandon();
+      builder.reset();
+      return Status::OK();
+    }
+    APM_RETURN_IF_ERROR(builder->Finish());
+    FileMeta meta;
+    meta.number = current_number;
+    meta.file_size = builder->FileSize();
+    meta.num_entries = builder->NumEntries();
+    meta.smallest = builder->smallest_key();
+    meta.largest = builder->largest_key();
+    outputs->push_back(std::move(meta));
+    numbers->push_back(current_number);
+    compaction_bytes_written_ += builder->FileSize();
+    builder.reset();
+    return Status::OK();
+  };
+
+  const uint64_t max_output = options_.memtable_bytes * 2;
+  for (; iter->Valid(); iter->Next()) {
+    if (builder == nullptr) {
+      APM_RETURN_IF_ERROR(open_builder());
+    }
+    APM_RETURN_IF_ERROR(builder->Add(iter->key(), iter->value(), iter->seq(),
+                                     iter->IsTombstone()));
+    if (!single_output && builder->CurrentSizeEstimate() >= max_output) {
+      APM_RETURN_IF_ERROR(finish_builder());
+    }
+  }
+  APM_RETURN_IF_ERROR(iter->status());
+  return finish_builder();
+}
+
+void DB::BackgroundThread() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutting_down_) {
+    CompactionJob job;
+    if (imm_ != nullptr) {
+      bg_active_ = true;
+      lock.unlock();
+      BackgroundFlush();
+      lock.lock();
+      bg_active_ = false;
+      cv_.notify_all();
+      continue;
+    }
+    if (bg_error_.ok() && PickCompaction(&job)) {
+      bg_active_ = true;
+      lock.unlock();
+      BackgroundCompact(job);
+      lock.lock();
+      bg_active_ = false;
+      manual_compaction_ = false;
+      cv_.notify_all();
+      continue;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void DB::BackgroundFlush() {
+  // imm_ is immutable; safe to read without the mutex.
+  auto iter = imm_->NewIterator();
+  iter->SeekToFirst();
+  std::vector<FileMeta> outputs;
+  std::vector<uint64_t> numbers;
+  // File numbers come from an atomic counter, so the flush I/O can run
+  // without blocking foreground operations.
+  Status s = WriteTables(iter.get(), /*single_output=*/true, &outputs,
+                         &numbers);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!s.ok()) {
+    bg_error_ = s;
+    return;
+  }
+  VersionEdit edit;
+  for (const auto& meta : outputs) {
+    edit.added.push_back({0, meta});
+    Status open_status = OpenTable(meta);
+    if (!open_status.ok()) {
+      bg_error_ = open_status;
+      return;
+    }
+  }
+  edit.has_log_number = true;
+  edit.log_number = wal_number_;
+  s = versions_->LogAndApply(edit);
+  if (!s.ok()) {
+    bg_error_ = s;
+    return;
+  }
+  env_->RemoveFile(WalPath(imm_wal_number_));
+  imm_.reset();
+  num_flushes_++;
+}
+
+uint64_t DB::MaxBytesForLevel(int level) const {
+  uint64_t bytes = options_.level1_max_bytes;
+  for (int i = 1; i < level; i++) bytes *= 10;
+  return bytes;
+}
+
+bool DB::PickCompaction(CompactionJob* job) {
+  // Called with mu_ held.
+  if (manual_compaction_) {
+    job->inputs.clear();
+    for (int level = 0; level < versions_->NumLevels(); level++) {
+      for (const auto& f : versions_->files(level)) job->inputs.push_back(f);
+    }
+    if (job->inputs.empty()) {
+      // Nothing to do; release the waiter in CompactAll.
+      manual_compaction_ = false;
+      cv_.notify_all();
+      return false;
+    }
+    job->output_level =
+        options_.compaction_style == CompactionStyle::kLeveled
+            ? versions_->NumLevels() - 1
+            : 0;
+    job->drop_tombstones = true;
+    job->single_output = true;
+    return true;
+  }
+
+  if (options_.compaction_style == CompactionStyle::kSizeTiered) {
+    // Bucket level-0 files by similar size (Cassandra STCS).
+    std::vector<FileMeta> files = versions_->files(0);
+    if (static_cast<int>(files.size()) < options_.size_tiered_min_files) {
+      return false;
+    }
+    std::sort(files.begin(), files.end(),
+              [](const FileMeta& a, const FileMeta& b) {
+                return a.file_size < b.file_size;
+              });
+    std::vector<FileMeta> bucket;
+    double bucket_avg = 0;
+    for (const auto& f : files) {
+      double size = static_cast<double>(f.file_size);
+      if (bucket.empty() ||
+          (size >= bucket_avg * options_.size_tiered_bucket_low &&
+           size <= bucket_avg * options_.size_tiered_bucket_high)) {
+        double total = bucket_avg * static_cast<double>(bucket.size()) + size;
+        bucket.push_back(f);
+        bucket_avg = total / static_cast<double>(bucket.size());
+      } else {
+        if (static_cast<int>(bucket.size()) >= options_.size_tiered_min_files) {
+          break;  // compact the smallest eligible bucket first
+        }
+        bucket.clear();
+        bucket.push_back(f);
+        bucket_avg = size;
+      }
+      if (bucket.size() >= 32) break;  // cap one compaction's width
+    }
+    if (static_cast<int>(bucket.size()) < options_.size_tiered_min_files) {
+      return false;
+    }
+    job->inputs = std::move(bucket);
+    job->output_level = 0;
+    job->drop_tombstones = job->inputs.size() == versions_->TotalFiles();
+    job->single_output = true;
+    return true;
+  }
+
+  // Leveled compaction.
+  if (versions_->NumFiles(0) >= options_.level0_compaction_trigger) {
+    job->inputs = versions_->files(0);
+    // Level-0 files overlap; take all of level 1 that intersects any of
+    // them. Level-1 ranges are disjoint, so a linear filter suffices.
+    std::string smallest, largest;
+    for (const auto& f : job->inputs) {
+      if (smallest.empty() || Slice(f.smallest).Compare(smallest) < 0) {
+        smallest = f.smallest;
+      }
+      if (largest.empty() || Slice(f.largest).Compare(largest) > 0) {
+        largest = f.largest;
+      }
+    }
+    for (const auto& f : versions_->files(1)) {
+      if (Slice(f.largest).Compare(smallest) >= 0 &&
+          Slice(f.smallest).Compare(largest) <= 0) {
+        job->inputs.push_back(f);
+      }
+    }
+    job->output_level = 1;
+    job->drop_tombstones = job->inputs.size() == versions_->TotalFiles();
+    job->single_output = false;
+    return true;
+  }
+  for (int level = 1; level < versions_->NumLevels() - 1; level++) {
+    if (versions_->LevelBytes(level) <= MaxBytesForLevel(level)) continue;
+    const auto& files = versions_->files(level);
+    if (files.empty()) continue;
+    const FileMeta& pick = files.front();
+    job->inputs.push_back(pick);
+    for (const auto& f : versions_->files(level + 1)) {
+      if (Slice(f.largest).Compare(pick.smallest) >= 0 &&
+          Slice(f.smallest).Compare(pick.largest) <= 0) {
+        job->inputs.push_back(f);
+      }
+    }
+    job->output_level = level + 1;
+    job->drop_tombstones = job->inputs.size() == versions_->TotalFiles();
+    job->single_output = false;
+    return true;
+  }
+  return false;
+}
+
+void DB::BackgroundCompact(const CompactionJob& job) {
+  // Snapshot the input tables (immutable; no mutex needed to read them,
+  // but fetching the shared_ptrs requires it).
+  std::vector<std::shared_ptr<Table>> inputs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& meta : job.inputs) {
+      auto it = tables_.find(meta.number);
+      if (it == tables_.end()) {
+        bg_error_ = Status::Corruption("compaction input table missing");
+        return;
+      }
+      inputs.push_back(it->second);
+      compaction_bytes_read_ += meta.file_size;
+    }
+  }
+
+  ReadOptions read_options;
+  read_options.fill_cache = false;
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.reserve(inputs.size());
+  for (const auto& table : inputs) {
+    children.push_back(table->NewIterator(read_options));
+  }
+  auto merged = NewDedupIterator(NewMergingIterator(std::move(children)),
+                                 /*skip_tombstones=*/job.drop_tombstones);
+  merged->SeekToFirst();
+
+  std::vector<FileMeta> outputs;
+  std::vector<uint64_t> numbers;
+  Status s = WriteTables(merged.get(), job.single_output, &outputs, &numbers);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!s.ok()) {
+    bg_error_ = s;
+    return;
+  }
+  VersionEdit edit;
+  for (const auto& meta : job.inputs) edit.removed.push_back(meta.number);
+  for (const auto& meta : outputs) {
+    edit.added.push_back({job.output_level, meta});
+    Status open_status = OpenTable(meta);
+    if (!open_status.ok()) {
+      bg_error_ = open_status;
+      return;
+    }
+  }
+  s = versions_->LogAndApply(edit);
+  if (!s.ok()) {
+    bg_error_ = s;
+    return;
+  }
+  for (const auto& meta : job.inputs) {
+    tables_.erase(meta.number);
+    cache_->EvictFile(meta.number);
+    env_->RemoveFile(TablePath(meta.number));
+  }
+  num_compactions_++;
+}
+
+Status DB::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (mem_->EntryCount() > 0) {
+    // Rotate even a partially full memtable.
+    while (imm_ != nullptr) {
+      if (!bg_error_.ok()) return bg_error_;
+      cv_.wait(lock);
+    }
+    uint64_t new_wal_number = versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> wal_file;
+    APM_RETURN_IF_ERROR(
+        env_->NewWritableFile(WalPath(new_wal_number), &wal_file));
+    wal_->Close();
+    wal_ = std::make_unique<LogWriter>(std::move(wal_file));
+    imm_ = std::move(mem_);
+    imm_wal_number_ = wal_number_;
+    wal_number_ = new_wal_number;
+    mem_ = std::make_shared<MemTable>();
+    cv_.notify_all();
+  }
+  while (imm_ != nullptr && bg_error_.ok()) {
+    cv_.wait(lock);
+  }
+  return bg_error_;
+}
+
+Status DB::CompactAll() {
+  APM_RETURN_IF_ERROR(Flush());
+  std::unique_lock<std::mutex> lock(mu_);
+  manual_compaction_ = true;
+  cv_.notify_all();
+  while ((manual_compaction_ || bg_active_) && bg_error_.ok()) {
+    cv_.wait(lock);
+  }
+  return bg_error_;
+}
+
+Status DB::DiskUsage(uint64_t* bytes) {
+  return env_->GetDirectorySize(options_.dir, bytes);
+}
+
+Status DB::VerifyIntegrity() {
+  // Snapshot the file set and table handles.
+  std::vector<std::pair<FileMeta, std::shared_ptr<Table>>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int level = 0; level < versions_->NumLevels(); level++) {
+      for (const FileMeta& meta : versions_->files(level)) {
+        auto it = tables_.find(meta.number);
+        if (it == tables_.end()) {
+          return Status::Corruption("manifest lists unopened table " +
+                                    std::to_string(meta.number));
+        }
+        snapshot.emplace_back(meta, it->second);
+      }
+    }
+  }
+  for (const auto& [meta, table] : snapshot) {
+    ReadOptions read_options;
+    read_options.fill_cache = false;
+    auto iter = table->NewIterator(read_options);
+    uint64_t entries = 0;
+    std::string prev_key;
+    std::string first_key, last_key;
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      std::string key = iter->key().ToString();
+      if (entries == 0) {
+        first_key = key;
+      } else if (key <= prev_key) {
+        return Status::Corruption("table " + std::to_string(meta.number) +
+                                  " keys out of order");
+      }
+      prev_key = key;
+      last_key = key;
+      entries++;
+    }
+    APM_RETURN_IF_ERROR(iter->status());
+    if (entries != meta.num_entries) {
+      return Status::Corruption(
+          "table " + std::to_string(meta.number) + " has " +
+          std::to_string(entries) + " entries, manifest says " +
+          std::to_string(meta.num_entries));
+    }
+    if (entries > 0 &&
+        (first_key != meta.smallest || last_key != meta.largest)) {
+      return Status::Corruption("table " + std::to_string(meta.number) +
+                                " key range disagrees with manifest");
+    }
+  }
+  return Status::OK();
+}
+
+DB::Stats DB::GetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.num_flushes = num_flushes_;
+  stats.num_compactions = num_compactions_;
+  stats.compaction_bytes_read = compaction_bytes_read_;
+  stats.compaction_bytes_written = compaction_bytes_written_;
+  stats.cache_hits = cache_->hits();
+  stats.cache_misses = cache_->misses();
+  stats.memtable_bytes = mem_->ApproximateBytes();
+  for (int level = 0; level < versions_->NumLevels(); level++) {
+    stats.files_per_level.push_back(versions_->NumFiles(level));
+    stats.bytes_per_level.push_back(versions_->LevelBytes(level));
+  }
+  return stats;
+}
+
+}  // namespace apmbench::lsm

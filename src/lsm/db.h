@@ -1,0 +1,186 @@
+#ifndef APMBENCH_LSM_DB_H_
+#define APMBENCH_LSM_DB_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "lsm/block_cache.h"
+#include "lsm/iterator.h"
+#include "lsm/memtable.h"
+#include "lsm/options.h"
+#include "lsm/sstable.h"
+#include "lsm/version.h"
+#include "lsm/wal.h"
+
+namespace apmbench::lsm {
+
+/// A batch of writes applied atomically: one WAL record covers the whole
+/// batch, so after a crash either every operation in the batch is
+/// recovered or none is. Used by the HBase-like store to keep a row's
+/// cells consistent.
+class WriteBatch {
+ public:
+  void Put(const Slice& key, const Slice& value);
+  void Delete(const Slice& key);
+  size_t Count() const { return count_; }
+  void Clear() {
+    rep_.clear();
+    count_ = 0;
+  }
+
+ private:
+  friend class DB;
+  std::string rep_;  // sequence of (type, key, value) triples
+  size_t count_ = 0;
+};
+
+/// A log-structured merge-tree storage engine: writes go to a write-ahead
+/// log and an in-memory memtable; full memtables are flushed to immutable
+/// SSTables by a background thread, which also merges tables according to
+/// the configured compaction style (size-tiered as in Cassandra, or
+/// leveled as in LevelDB/HBase major compactions).
+///
+/// Thread-safety: all public methods are safe to call concurrently.
+class DB {
+ public:
+  /// Counters exposed for tests, benchmarks, and calibration.
+  struct Stats {
+    uint64_t num_flushes = 0;
+    uint64_t num_compactions = 0;
+    uint64_t compaction_bytes_read = 0;
+    uint64_t compaction_bytes_written = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t memtable_bytes = 0;
+    std::vector<int> files_per_level;
+    std::vector<uint64_t> bytes_per_level;
+  };
+
+  /// Opens (creating or recovering) the database in `options.dir`.
+  static Status Open(const Options& options, std::unique_ptr<DB>* db);
+
+  ~DB();
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+
+  /// Applies every operation in `batch` atomically (single WAL record,
+  /// contiguous sequence numbers).
+  Status Write(const WriteBatch& batch);
+
+  /// Reads the newest value of `key`; NotFound for absent or deleted keys.
+  Status Get(const ReadOptions& read_options, const Slice& key,
+             std::string* value);
+
+  /// Collects up to `count` live records with key >= start, in key order.
+  Status Scan(const ReadOptions& read_options, const Slice& start, int count,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+  /// A point-in-time iterator over the whole database. The live memtable
+  /// is copied at creation and the immutable memtable / SSTables are
+  /// pinned, so the iterator is safe under concurrent writes and sees
+  /// exactly the data present when it was created. Tombstones are hidden.
+  /// Creation cost is O(live memtable); iteration streams from disk.
+  std::unique_ptr<Iterator> NewSnapshotIterator(
+      const ReadOptions& read_options);
+
+  /// Flushes the memtable to an SSTable and waits for completion.
+  Status Flush();
+
+  /// Merges every table into one run, dropping tombstones (major
+  /// compaction). Waits for completion.
+  Status CompactAll();
+
+  /// Total bytes currently on disk under the database directory
+  /// (SSTables + WAL + MANIFEST).
+  Status DiskUsage(uint64_t* bytes);
+
+  /// Walks every SSTable end to end: block checksums, key ordering
+  /// within tables, and agreement between the manifest's key ranges /
+  /// entry counts and the table contents. Returns Corruption with a
+  /// description on the first violation. An operational scrub — the kind
+  /// of tooling Section 6's debugging stories call for.
+  Status VerifyIntegrity();
+
+  Stats GetStats();
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct CompactionJob {
+    std::vector<FileMeta> inputs;
+    int output_level = 0;
+    bool drop_tombstones = false;
+    bool single_output = false;  // size-tiered merges a bucket into 1 table
+  };
+
+  explicit DB(const Options& options);
+
+  Status OpenImpl();
+  Status ReplayWals();
+  Status OpenTable(const FileMeta& meta);
+  std::string TablePath(uint64_t number) const;
+  std::string WalPath(uint64_t number) const;
+
+  /// Blocks the writer until the memtable has room, rotating it to
+  /// immutable (and the WAL) when full. Requires `lock` held.
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>* lock);
+
+  void BackgroundThread();
+  /// Flushes imm_ to a level-0 table. Called on the background thread
+  /// without the mutex held (imm_ is immutable); re-acquires it to apply.
+  void BackgroundFlush();
+  bool PickCompaction(CompactionJob* job);
+  void BackgroundCompact(const CompactionJob& job);
+  uint64_t MaxBytesForLevel(int level) const;
+
+  /// Writes the contents of `iter` into one or more new tables at
+  /// `output_level`. Requires the mutex NOT held.
+  Status WriteTables(Iterator* iter, bool single_output,
+                     std::vector<FileMeta>* outputs,
+                     std::vector<uint64_t>* numbers);
+
+  Options options_;
+  Env* env_;
+  std::unique_ptr<BlockCache> cache_;
+  std::unique_ptr<VersionSet> versions_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+
+  std::shared_ptr<MemTable> mem_;
+  std::shared_ptr<MemTable> imm_;  // being flushed; null when none
+  std::unique_ptr<LogWriter> wal_;
+  uint64_t wal_number_ = 0;
+  uint64_t imm_wal_number_ = 0;
+
+  std::unordered_map<uint64_t, std::shared_ptr<Table>> tables_;
+
+  std::thread bg_thread_;
+  bool shutting_down_ = false;
+  bool bg_active_ = false;
+  bool manual_compaction_ = false;
+  Status bg_error_;
+
+  uint64_t num_flushes_ = 0;
+  uint64_t num_compactions_ = 0;
+  uint64_t compaction_bytes_read_ = 0;
+  uint64_t compaction_bytes_written_ = 0;
+};
+
+}  // namespace apmbench::lsm
+
+#endif  // APMBENCH_LSM_DB_H_

@@ -1,0 +1,61 @@
+#include "lsm/memtable.h"
+
+namespace apmbench::lsm {
+
+namespace {
+// Per-entry bookkeeping overhead charged against the memtable budget
+// (skip list node, pointers, string headers).
+constexpr size_t kEntryOverhead = 64;
+}  // namespace
+
+void MemTable::Put(const Slice& key, const Slice& value, uint64_t seq) {
+  Entry entry;
+  entry.seq = seq;
+  entry.tombstone = false;
+  entry.value = value.ToString();
+  bytes_ += key.size() + value.size() + kEntryOverhead;
+  table_.Insert(key.ToString(), std::move(entry));
+}
+
+void MemTable::Delete(const Slice& key, uint64_t seq) {
+  Entry entry;
+  entry.seq = seq;
+  entry.tombstone = true;
+  bytes_ += key.size() + kEntryOverhead;
+  table_.Insert(key.ToString(), std::move(entry));
+}
+
+MemTable::GetResult MemTable::Get(const Slice& key, std::string* value,
+                                  uint64_t* seq) const {
+  const Entry* entry = table_.Find(key.ToString());
+  if (entry == nullptr) return GetResult::kAbsent;
+  if (seq != nullptr) *seq = entry->seq;
+  if (entry->tombstone) return GetResult::kDeleted;
+  *value = entry->value;
+  return GetResult::kFound;
+}
+
+class MemTableIterator final : public Iterator {
+ public:
+  explicit MemTableIterator(const MemTable::Table* table) : iter_(table) {}
+
+  bool Valid() const override { return iter_.Valid(); }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+  void Seek(const Slice& target) override { iter_.Seek(target.ToString()); }
+  void Next() override { iter_.Next(); }
+
+  Slice key() const override { return Slice(iter_.key()); }
+  Slice value() const override { return Slice(iter_.value().value); }
+  bool IsTombstone() const override { return iter_.value().tombstone; }
+  uint64_t seq() const override { return iter_.value().seq; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  MemTable::Table::Iterator iter_;
+};
+
+std::unique_ptr<Iterator> MemTable::NewIterator() const {
+  return std::make_unique<MemTableIterator>(&table_);
+}
+
+}  // namespace apmbench::lsm

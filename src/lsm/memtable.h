@@ -1,0 +1,68 @@
+#ifndef APMBENCH_LSM_MEMTABLE_H_
+#define APMBENCH_LSM_MEMTABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/skiplist.h"
+#include "common/slice.h"
+#include "lsm/iterator.h"
+
+namespace apmbench::lsm {
+
+/// In-memory write buffer backed by a skip list, as in Cassandra's
+/// memtable / HBase's memstore. Stores at most one entry per user key
+/// (newest wins); deletions are tombstone entries so they shadow older
+/// SSTable data after a flush. Not internally synchronized — the DB
+/// serializes writers and uses an immutable handoff for flushes.
+class MemTable {
+ public:
+  MemTable() = default;
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Put(const Slice& key, const Slice& value, uint64_t seq);
+  void Delete(const Slice& key, uint64_t seq);
+
+  enum class GetResult { kFound, kDeleted, kAbsent };
+  /// Looks up `key`; on kFound, `*value` receives the stored value. `*seq`
+  /// (optional) receives the entry's write sequence number on any hit.
+  GetResult Get(const Slice& key, std::string* value,
+                uint64_t* seq = nullptr) const;
+
+  /// Approximate heap footprint of stored entries, used against
+  /// Options::memtable_bytes.
+  size_t ApproximateBytes() const { return bytes_; }
+  size_t EntryCount() const { return table_.size(); }
+
+  /// Iterator over current contents. The MemTable must outlive it and must
+  /// not be mutated while the iterator is live (the DB guarantees this by
+  /// only iterating the immutable memtable or under its mutex).
+  std::unique_ptr<Iterator> NewIterator() const;
+
+ private:
+  struct Entry {
+    uint64_t seq = 0;
+    bool tombstone = false;
+    std::string value;
+  };
+
+  struct KeyCompare {
+    int operator()(const std::string& a, const std::string& b) const {
+      return Slice(a).Compare(Slice(b));
+    }
+  };
+
+  using Table = SkipList<std::string, Entry, KeyCompare>;
+
+  friend class MemTableIterator;
+
+  Table table_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace apmbench::lsm
+
+#endif  // APMBENCH_LSM_MEMTABLE_H_

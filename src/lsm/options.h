@@ -1,0 +1,83 @@
+#ifndef APMBENCH_LSM_OPTIONS_H_
+#define APMBENCH_LSM_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/compression.h"
+
+namespace apmbench {
+class Env;
+}
+
+namespace apmbench::lsm {
+
+/// How SSTables are grouped for compaction.
+enum class CompactionStyle {
+  /// Cassandra-style: merge runs of similar-sized tables once
+  /// `size_tiered_min_files` of them accumulate in a size bucket.
+  kSizeTiered,
+  /// LevelDB/HBase-major-compaction style: tiered levels with size budgets;
+  /// a table from level n is merged with the overlapping tables of n+1.
+  kLeveled,
+};
+
+/// Tuning knobs of the LSM engine. Defaults are sized for benchmark
+/// datasets of a few hundred MB per instance.
+struct Options {
+  /// Directory holding WAL, SSTables, and MANIFEST. Must be set.
+  std::string dir;
+
+  /// Filesystem to use; Env::Default() when null.
+  Env* env = nullptr;
+
+  /// Memtable capacity; a full memtable becomes immutable and is flushed
+  /// to an SSTable in the background.
+  size_t memtable_bytes = 8 * 1024 * 1024;
+
+  /// Target uncompressed size of one SSTable data block.
+  size_t block_size = 4 * 1024;
+
+  /// Bloom filter bits per key in each SSTable (0 disables filters).
+  int bloom_bits_per_key = 10;
+
+  /// Per-block compression of SSTable data blocks. The paper ran all
+  /// systems uncompressed ("the disk usage can be reduced by using
+  /// compression which, however, will decrease the throughput"); the
+  /// tradeoff is measured by bench/ablation_compression.
+  CompressionType compression = CompressionType::kNone;
+
+  /// Capacity of the shared LRU block cache.
+  size_t block_cache_bytes = 32 * 1024 * 1024;
+
+  /// fsync the WAL on every write (the paper's systems run with
+  /// group-commit / periodic sync; default off to match).
+  bool sync_writes = false;
+
+  CompactionStyle compaction_style = CompactionStyle::kSizeTiered;
+
+  /// Size-tiered: minimum number of similar-sized tables to merge.
+  int size_tiered_min_files = 4;
+  /// Size-tiered: tables within [avg*low, avg*high] form one bucket.
+  double size_tiered_bucket_low = 0.5;
+  double size_tiered_bucket_high = 1.5;
+
+  /// Leveled: level-0 file count that triggers a compaction.
+  int level0_compaction_trigger = 4;
+  /// Leveled: byte budget of level 1; each deeper level is 10x larger.
+  uint64_t level1_max_bytes = 32ull * 1024 * 1024;
+
+  /// Number of levels maintained by the leveled strategy.
+  static constexpr int kNumLevels = 7;
+};
+
+/// Read-time options.
+struct ReadOptions {
+  /// Fill the block cache with blocks read by this operation.
+  bool fill_cache = true;
+};
+
+}  // namespace apmbench::lsm
+
+#endif  // APMBENCH_LSM_OPTIONS_H_

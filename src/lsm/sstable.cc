@@ -1,0 +1,405 @@
+#include "lsm/sstable.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/compression.h"
+#include "common/crc32.h"
+#include "lsm/bloom.h"
+
+namespace apmbench::lsm {
+
+namespace {
+
+constexpr uint64_t kTableMagic = 0x41504d424e434831ull;  // "APMBNCH1"
+constexpr size_t kFooterSize = 8 + 4 + 8 + 4 + 8;
+
+constexpr uint8_t kFlagTombstone = 0x1;
+
+void AppendEntry(std::string* dst, const Slice& key, const Slice& value,
+                 uint64_t seq, bool tombstone) {
+  PutVarint32(dst, static_cast<uint32_t>(key.size()));
+  dst->append(key.data(), key.size());
+  dst->push_back(static_cast<char>(tombstone ? kFlagTombstone : 0));
+  PutVarint64(dst, seq);
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+}  // namespace
+
+bool BlockParser::Next() {
+  if (input_.empty() || corrupt_) return false;
+  uint32_t klen;
+  if (!GetVarint32(&input_, &klen) || input_.size() < klen + 1) {
+    corrupt_ = true;
+    return false;
+  }
+  key_ = Slice(input_.data(), klen);
+  input_.RemovePrefix(klen);
+  uint8_t flags = static_cast<uint8_t>(input_[0]);
+  input_.RemovePrefix(1);
+  tombstone_ = (flags & kFlagTombstone) != 0;
+  if (!GetVarint64(&input_, &seq_)) {
+    corrupt_ = true;
+    return false;
+  }
+  uint32_t vlen;
+  if (!GetVarint32(&input_, &vlen) || input_.size() < vlen) {
+    corrupt_ = true;
+    return false;
+  }
+  value_ = Slice(input_.data(), vlen);
+  input_.RemovePrefix(vlen);
+  return true;
+}
+
+TableBuilder::TableBuilder(const Options& options, Env* env, std::string path)
+    : options_(options), env_(env), path_(std::move(path)) {
+  if (options_.bloom_bits_per_key > 0) {
+    filter_ = std::make_unique<BloomFilterBuilder>(options_.bloom_bits_per_key);
+  }
+}
+
+TableBuilder::~TableBuilder() = default;
+
+Status TableBuilder::Open() { return env_->NewWritableFile(path_, &file_); }
+
+Status TableBuilder::Add(const Slice& key, const Slice& value, uint64_t seq,
+                         bool tombstone) {
+  if (num_entries_ == 0) {
+    smallest_key_ = key.ToString();
+  }
+  largest_key_ = key.ToString();
+  AppendEntry(&data_block_, key, value, seq, tombstone);
+  if (filter_ != nullptr) filter_->AddKey(key);
+  num_entries_++;
+  if (data_block_.size() >= options_.block_size) {
+    return FlushDataBlock();
+  }
+  return Status::OK();
+}
+
+Status TableBuilder::FlushDataBlock() {
+  if (data_block_.empty()) return Status::OK();
+  // Optionally compress; fall back to the raw block when compression
+  // does not pay.
+  const std::string* payload = &data_block_;
+  CompressionType type = CompressionType::kNone;
+  std::string compressed;
+  if (options_.compression == CompressionType::kLz) {
+    lz::Compress(Slice(data_block_), &compressed);
+    if (compressed.size() < data_block_.size()) {
+      payload = &compressed;
+      type = CompressionType::kLz;
+    }
+  }
+  // Trailer: 1-byte compression type + crc32c over payload+type.
+  std::string trailer;
+  trailer.push_back(static_cast<char>(type));
+  uint32_t crc = Crc32cExtend(Crc32c(payload->data(), payload->size()),
+                              trailer.data(), 1);
+  PutFixed32(&trailer, MaskCrc(crc));
+  APM_RETURN_IF_ERROR(file_->Append(*payload));
+  APM_RETURN_IF_ERROR(file_->Append(trailer));
+
+  uint64_t span = payload->size() + trailer.size();
+  PutVarint32(&index_block_, static_cast<uint32_t>(largest_key_.size()));
+  index_block_.append(largest_key_);
+  PutFixed64(&index_block_, offset_);
+  PutFixed32(&index_block_, static_cast<uint32_t>(span));
+
+  offset_ += span;
+  data_block_.clear();
+  return Status::OK();
+}
+
+Status TableBuilder::Finish() {
+  APM_RETURN_IF_ERROR(FlushDataBlock());
+
+  uint64_t filter_offset = offset_;
+  std::string filter_data;
+  if (filter_ != nullptr) {
+    filter_data = filter_->Finish();
+    APM_RETURN_IF_ERROR(file_->Append(filter_data));
+    offset_ += filter_data.size();
+  }
+
+  uint64_t index_offset = offset_;
+  APM_RETURN_IF_ERROR(file_->Append(index_block_));
+  offset_ += index_block_.size();
+
+  std::string footer;
+  PutFixed64(&footer, index_offset);
+  PutFixed32(&footer, static_cast<uint32_t>(index_block_.size()));
+  PutFixed64(&footer, filter_offset);
+  PutFixed32(&footer, static_cast<uint32_t>(filter_data.size()));
+  PutFixed64(&footer, kTableMagic);
+  APM_RETURN_IF_ERROR(file_->Append(footer));
+  offset_ += footer.size();
+
+  APM_RETURN_IF_ERROR(file_->Sync());
+  APM_RETURN_IF_ERROR(file_->Close());
+  file_size_ = offset_;
+  finished_ = true;
+  return Status::OK();
+}
+
+void TableBuilder::Abandon() {
+  if (file_ != nullptr) {
+    file_->Close();
+    file_.reset();
+  }
+  env_->RemoveFile(path_);
+}
+
+Status Table::Open(const Options& options, Env* env, const std::string& path,
+                   uint64_t file_number, BlockCache* cache,
+                   std::unique_ptr<Table>* table) {
+  std::unique_ptr<Table> t(new Table());
+  t->options_ = options;
+  t->file_number_ = file_number;
+  t->cache_ = cache;
+  APM_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &t->file_));
+  t->file_size_ = t->file_->Size();
+  if (t->file_size_ < kFooterSize) {
+    return Status::Corruption("table too short: " + path);
+  }
+
+  char footer_buf[kFooterSize];
+  Slice footer;
+  APM_RETURN_IF_ERROR(t->file_->Read(t->file_size_ - kFooterSize, kFooterSize,
+                                     &footer, footer_buf));
+  if (footer.size() != kFooterSize) {
+    return Status::Corruption("short footer read: " + path);
+  }
+  uint64_t index_offset, filter_offset, magic;
+  uint32_t index_size, filter_size;
+  Slice f = footer;
+  GetFixed64(&f, &index_offset);
+  GetFixed32(&f, &index_size);
+  GetFixed64(&f, &filter_offset);
+  GetFixed32(&f, &filter_size);
+  GetFixed64(&f, &magic);
+  if (magic != kTableMagic) {
+    return Status::Corruption("bad table magic: " + path);
+  }
+
+  // Load the index block.
+  std::string index_data(index_size, '\0');
+  Slice index_slice;
+  APM_RETURN_IF_ERROR(
+      t->file_->Read(index_offset, index_size, &index_slice, index_data.data()));
+  if (index_slice.size() != index_size) {
+    return Status::Corruption("short index read: " + path);
+  }
+  Slice in = index_slice;
+  while (!in.empty()) {
+    uint32_t klen;
+    if (!GetVarint32(&in, &klen) || in.size() < klen + 12) {
+      return Status::Corruption("bad index entry: " + path);
+    }
+    IndexEntry entry;
+    entry.last_key.assign(in.data(), klen);
+    in.RemovePrefix(klen);
+    GetFixed64(&in, &entry.offset);
+    GetFixed32(&in, &entry.size);
+    t->index_.push_back(std::move(entry));
+  }
+
+  // Load the bloom filter.
+  if (filter_size > 0) {
+    std::string filter_data(filter_size, '\0');
+    Slice filter_slice;
+    APM_RETURN_IF_ERROR(t->file_->Read(filter_offset, filter_size,
+                                       &filter_slice, filter_data.data()));
+    if (filter_slice.size() != filter_size) {
+      return Status::Corruption("short filter read: " + path);
+    }
+    t->filter_.assign(filter_slice.data(), filter_slice.size());
+  }
+
+  *table = std::move(t);
+  return Status::OK();
+}
+
+Status Table::ReadBlock(uint64_t offset, uint32_t size,
+                        BlockCache::BlockHandle* block, bool fill_cache) {
+  if (cache_ != nullptr) {
+    *block = cache_->Lookup(file_number_, offset);
+    if (*block != nullptr) return Status::OK();
+  }
+  if (size < 5) return Status::Corruption("block too small");
+  std::string raw(size, '\0');
+  Slice result;
+  APM_RETURN_IF_ERROR(file_->Read(offset, size, &result, raw.data()));
+  if (result.size() != size) return Status::Corruption("short block read");
+  uint32_t stored_crc = UnmaskCrc(DecodeFixed32(result.data() + size - 4));
+  if (stored_crc != Crc32c(result.data(), size - 4)) {
+    return Status::Corruption("block checksum mismatch");
+  }
+  auto type = static_cast<CompressionType>(
+      static_cast<uint8_t>(result.data()[size - 5]));
+  std::shared_ptr<std::string> data;
+  if (type == CompressionType::kLz) {
+    auto decompressed = std::make_shared<std::string>();
+    if (!lz::Uncompress(Slice(result.data(), size - 5),
+                        decompressed.get())) {
+      return Status::Corruption("block decompression failed");
+    }
+    data = std::move(decompressed);
+  } else if (type == CompressionType::kNone) {
+    data = std::make_shared<std::string>(result.data(), size - 5);
+  } else {
+    return Status::Corruption("unknown block compression type");
+  }
+  *block = data;
+  if (cache_ != nullptr && fill_cache) {
+    cache_->Insert(file_number_, offset, data);
+  }
+  return Status::OK();
+}
+
+int Table::FindBlock(const Slice& key) const {
+  // Binary search for the first block whose last_key >= key.
+  int lo = 0;
+  int hi = static_cast<int>(index_.size()) - 1;
+  int result = -1;
+  while (lo <= hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (Slice(index_[mid].last_key).Compare(key) >= 0) {
+      result = mid;
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return result;
+}
+
+Status Table::Get(const ReadOptions& read_options, const Slice& key,
+                  GetResult* result, std::string* value, uint64_t* seq) {
+  *result = GetResult::kAbsent;
+  if (!filter_.empty() && !BloomFilterMayMatch(filter_, key)) {
+    return Status::OK();
+  }
+  int block_index = FindBlock(key);
+  if (block_index < 0) return Status::OK();
+
+  BlockCache::BlockHandle block;
+  APM_RETURN_IF_ERROR(ReadBlock(index_[block_index].offset,
+                                index_[block_index].size, &block,
+                                read_options.fill_cache));
+  Slice block_contents(*block);
+  BlockParser parser(block_contents);
+  while (parser.Next()) {
+    int cmp = parser.key().Compare(key);
+    if (cmp == 0) {
+      if (seq != nullptr) *seq = parser.seq();
+      if (parser.tombstone()) {
+        *result = GetResult::kDeleted;
+      } else {
+        *result = GetResult::kFound;
+        value->assign(parser.value().data(), parser.value().size());
+      }
+      return Status::OK();
+    }
+    if (cmp > 0) break;
+  }
+  if (parser.corrupt()) return Status::Corruption("corrupt data block");
+  return Status::OK();
+}
+
+/// Iterator walking a table's blocks in order.
+class TableIterator final : public Iterator {
+ public:
+  TableIterator(Table* table, const ReadOptions& read_options)
+      : table_(table), read_options_(read_options) {}
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    block_index_ = -1;
+    valid_ = false;
+    NextBlock();
+  }
+
+  void Seek(const Slice& target) override {
+    valid_ = false;
+    int idx = table_->FindBlock(target);
+    if (idx < 0) return;
+    if (!LoadBlock(idx)) return;
+    // Advance within the block to the first key >= target.
+    while (parser_->Next()) {
+      if (parser_->key().Compare(target) >= 0) {
+        valid_ = true;
+        return;
+      }
+    }
+    // Target is past this block's last key; move on.
+    NextBlock();
+  }
+
+  void Next() override {
+    if (!valid_) return;
+    if (parser_->Next()) return;
+    if (parser_->corrupt()) {
+      status_ = Status::Corruption("corrupt data block");
+      valid_ = false;
+      return;
+    }
+    NextBlock();
+  }
+
+  Slice key() const override { return parser_->key(); }
+  Slice value() const override { return parser_->value(); }
+  bool IsTombstone() const override { return parser_->tombstone(); }
+  uint64_t seq() const override { return parser_->seq(); }
+  Status status() const override { return status_; }
+
+ private:
+  bool LoadBlock(int index) {
+    block_index_ = index;
+    Status s = table_->ReadBlock(table_->index_[index].offset,
+                                 table_->index_[index].size, &block_,
+                                 read_options_.fill_cache);
+    if (!s.ok()) {
+      status_ = s;
+      return false;
+    }
+    parser_ = std::make_unique<BlockParser>(Slice(*block_));
+    return true;
+  }
+
+  void NextBlock() {
+    for (;;) {
+      int next = block_index_ + 1;
+      if (next >= static_cast<int>(table_->index_.size())) {
+        valid_ = false;
+        return;
+      }
+      if (!LoadBlock(next)) {
+        valid_ = false;
+        return;
+      }
+      if (parser_->Next()) {
+        valid_ = true;
+        return;
+      }
+    }
+  }
+
+  Table* table_;
+  ReadOptions read_options_;
+  int block_index_ = -1;
+  BlockCache::BlockHandle block_;
+  std::unique_ptr<BlockParser> parser_;
+  bool valid_ = false;
+  Status status_;
+};
+
+std::unique_ptr<Iterator> Table::NewIterator(const ReadOptions& read_options) {
+  return std::make_unique<TableIterator>(this, read_options);
+}
+
+}  // namespace apmbench::lsm

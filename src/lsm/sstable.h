@@ -1,0 +1,149 @@
+#ifndef APMBENCH_LSM_SSTABLE_H_
+#define APMBENCH_LSM_SSTABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "lsm/block_cache.h"
+#include "lsm/iterator.h"
+#include "lsm/options.h"
+
+namespace apmbench::lsm {
+
+/// On-disk immutable sorted table (SSTable). File layout:
+///
+///   [data block]*          entries: varint klen, key, 1-byte flags,
+///                          varint64 seq, varint vlen, value — sorted,
+///                          unique keys; optionally LZ-compressed
+///   [filter block]         bloom filter over all keys (optional)
+///   [index block]          per data block: varint klen, last key,
+///                          fixed64 offset, fixed32 size
+///   [footer]               fixed64 index_off, fixed32 index_sz,
+///                          fixed64 filter_off, fixed32 filter_sz,
+///                          fixed32 block crc of footer prefix,
+///                          fixed64 magic
+///
+/// Each data block additionally carries a fixed32 crc32c trailer.
+class TableBuilder {
+ public:
+  /// Starts building table `file_number` at `path`.
+  TableBuilder(const Options& options, Env* env, std::string path);
+  ~TableBuilder();
+
+  TableBuilder(const TableBuilder&) = delete;
+  TableBuilder& operator=(const TableBuilder&) = delete;
+
+  Status Open();
+
+  /// Adds an entry; keys must arrive in strictly increasing order.
+  Status Add(const Slice& key, const Slice& value, uint64_t seq,
+             bool tombstone);
+
+  /// Writes filter, index, and footer, and syncs the file.
+  Status Finish();
+
+  /// Abandons the build and removes the partial file.
+  void Abandon();
+
+  uint64_t FileSize() const { return file_size_; }
+  /// Bytes written plus the pending data block; valid while building.
+  uint64_t CurrentSizeEstimate() const { return offset_ + data_block_.size(); }
+  uint64_t NumEntries() const { return num_entries_; }
+  const std::string& smallest_key() const { return smallest_key_; }
+  const std::string& largest_key() const { return largest_key_; }
+
+ private:
+  Status FlushDataBlock();
+
+  const Options& options_;
+  Env* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> file_;
+
+  std::string data_block_;
+  std::string index_block_;
+  std::unique_ptr<class BloomFilterBuilder> filter_;
+
+  std::string smallest_key_;
+  std::string largest_key_;
+  uint64_t offset_ = 0;
+  uint64_t file_size_ = 0;
+  uint64_t num_entries_ = 0;
+  bool finished_ = false;
+};
+
+/// Reader for an SSTable. The index and bloom filter live in memory; data
+/// blocks are fetched through the shared BlockCache.
+class Table {
+ public:
+  /// Opens the table at `path`; `file_number` identifies it in the cache.
+  static Status Open(const Options& options, Env* env,
+                     const std::string& path, uint64_t file_number,
+                     BlockCache* cache, std::unique_ptr<Table>* table);
+
+  enum class GetResult { kFound, kDeleted, kAbsent };
+  /// On kFound/kDeleted, `*seq` receives the entry's sequence number.
+  Status Get(const ReadOptions& read_options, const Slice& key,
+             GetResult* result, std::string* value, uint64_t* seq);
+
+  /// Iterator over the full table. The Table must outlive it.
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions& read_options);
+
+  uint64_t file_number() const { return file_number_; }
+  uint64_t file_size() const { return file_size_; }
+
+ private:
+  friend class TableIterator;
+
+  struct IndexEntry {
+    std::string last_key;
+    uint64_t offset;
+    uint32_t size;
+  };
+
+  Table() = default;
+
+  Status ReadBlock(uint64_t offset, uint32_t size,
+                   BlockCache::BlockHandle* block, bool fill_cache);
+  /// Index of the first block whose last_key >= key, or -1 if past the end.
+  int FindBlock(const Slice& key) const;
+
+  Options options_;
+  std::unique_ptr<RandomAccessFile> file_;
+  uint64_t file_number_ = 0;
+  uint64_t file_size_ = 0;
+  BlockCache* cache_ = nullptr;
+  std::vector<IndexEntry> index_;
+  std::string filter_;
+};
+
+/// Parses the entries of one data block; used by Table::Get and iterators.
+class BlockParser {
+ public:
+  explicit BlockParser(Slice block) : input_(block) {}
+
+  /// Advances to the next entry; returns false at end or on corruption.
+  bool Next();
+
+  Slice key() const { return key_; }
+  Slice value() const { return value_; }
+  uint64_t seq() const { return seq_; }
+  bool tombstone() const { return tombstone_; }
+  bool corrupt() const { return corrupt_; }
+
+ private:
+  Slice input_;
+  Slice key_;
+  Slice value_;
+  uint64_t seq_ = 0;
+  bool tombstone_ = false;
+  bool corrupt_ = false;
+};
+
+}  // namespace apmbench::lsm
+
+#endif  // APMBENCH_LSM_SSTABLE_H_

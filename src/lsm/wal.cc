@@ -1,0 +1,47 @@
+#include "lsm/wal.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace apmbench::lsm {
+
+LogWriter::LogWriter(std::unique_ptr<WritableFile> file)
+    : file_(std::move(file)) {}
+
+Status LogWriter::AddRecord(const Slice& payload, bool sync) {
+  std::string header;
+  uint32_t crc = MaskCrc(Crc32c(payload.data(), payload.size()));
+  PutFixed32(&header, crc);
+  PutFixed32(&header, static_cast<uint32_t>(payload.size()));
+  APM_RETURN_IF_ERROR(file_->Append(header));
+  APM_RETURN_IF_ERROR(file_->Append(payload));
+  if (sync) {
+    return file_->Sync();
+  }
+  return file_->Flush();
+}
+
+Status LogWriter::Close() { return file_->Close(); }
+
+Status LogReader::Open(Env* env, const std::string& path,
+                       std::unique_ptr<LogReader>* reader) {
+  std::string contents;
+  APM_RETURN_IF_ERROR(env->ReadFileToString(path, &contents));
+  reader->reset(new LogReader(std::move(contents)));
+  return Status::OK();
+}
+
+bool LogReader::ReadRecord(std::string* payload) {
+  if (offset_ + 8 > contents_.size()) return false;
+  const char* base = contents_.data() + offset_;
+  uint32_t masked_crc = DecodeFixed32(base);
+  uint32_t length = DecodeFixed32(base + 4);
+  if (offset_ + 8 + length > contents_.size()) return false;  // torn tail
+  const char* data = base + 8;
+  if (UnmaskCrc(masked_crc) != Crc32c(data, length)) return false;
+  payload->assign(data, length);
+  offset_ += 8 + length;
+  return true;
+}
+
+}  // namespace apmbench::lsm

@@ -1,0 +1,54 @@
+#ifndef APMBENCH_LSM_WAL_H_
+#define APMBENCH_LSM_WAL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/env.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace apmbench::lsm {
+
+/// Write-ahead log (Cassandra's commit log / HBase's HLog). Records are
+/// framed as [masked crc32c fixed32][length fixed32][payload]; a torn tail
+/// is tolerated on recovery (everything before it is replayed).
+class LogWriter {
+ public:
+  /// Takes ownership of `file`.
+  explicit LogWriter(std::unique_ptr<WritableFile> file);
+
+  Status AddRecord(const Slice& payload, bool sync);
+  Status Close();
+  uint64_t Size() const { return file_->Size(); }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+};
+
+/// Sequential reader for recovery.
+class LogReader {
+ public:
+  /// Loads the whole log into memory; APM log segments are bounded by the
+  /// memtable size, so this is small.
+  static Status Open(Env* env, const std::string& path,
+                     std::unique_ptr<LogReader>* reader);
+
+  /// Reads the next record; returns false at end of log (including at a
+  /// corrupt/torn tail, which truncates recovery at the last good record).
+  bool ReadRecord(std::string* payload);
+
+  /// Number of bytes of valid records consumed so far.
+  uint64_t ValidOffset() const { return offset_; }
+
+ private:
+  explicit LogReader(std::string contents)
+      : contents_(std::move(contents)) {}
+
+  std::string contents_;
+  uint64_t offset_ = 0;
+};
+
+}  // namespace apmbench::lsm
+
+#endif  // APMBENCH_LSM_WAL_H_

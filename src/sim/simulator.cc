@@ -1,0 +1,57 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace apmbench::sim {
+
+void Simulator::ScheduleAt(Time when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the function is moved out via a
+  // const_cast that is safe because pop() follows immediately.
+  Event& top = const_cast<Event&>(queue_.top());
+  Time when = top.when;
+  std::function<void()> fn = std::move(top.fn);
+  queue_.pop();
+  now_ = when;
+  events_processed_++;
+  if (fn) fn();
+  return true;
+}
+
+void Simulator::RunUntil(Time until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    Step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Resource::Request(double service_seconds, std::function<void()> done) {
+  if (busy_ < servers_) {
+    StartService(service_seconds, std::move(done));
+  } else {
+    queue_.push_back(Pending{service_seconds, std::move(done)});
+  }
+}
+
+void Resource::StartService(double service_seconds,
+                            std::function<void()> done) {
+  busy_++;
+  busy_seconds_ += service_seconds;
+  sim_->Schedule(service_seconds, [this, done = std::move(done)]() {
+    busy_--;
+    completed_++;
+    if (!queue_.empty()) {
+      Pending next = std::move(queue_.front());
+      queue_.pop_front();
+      StartService(next.service, std::move(next.done));
+    }
+    if (done) done();
+  });
+}
+
+}  // namespace apmbench::sim

@@ -1,0 +1,113 @@
+#ifndef APMBENCH_SIM_SIMULATOR_H_
+#define APMBENCH_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace apmbench::sim {
+
+/// Virtual time in seconds.
+using Time = double;
+
+/// A single-threaded discrete-event scheduler. Events fire in timestamp
+/// order (FIFO among equal timestamps). This is the substrate on which
+/// the paper's two clusters are modeled: real wall-clock benchmarking of
+/// six distributed systems on 12+ machines is replaced by virtual-time
+/// execution of closed-loop clients against queueing models of each
+/// system (see simstores/).
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (>= 0).
+  void Schedule(Time delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  void ScheduleAt(Time when, std::function<void()> fn);
+
+  /// Runs events until the queue empties or virtual time passes `until`.
+  void RunUntil(Time until);
+
+  /// Executes the next event; false when the queue is empty.
+  bool Step();
+
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    Time when;
+    uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+};
+
+/// A FIFO queueing station with `servers` identical servers — the model
+/// of a node's CPU cores (m = cores), its disk (m = 1), or a serial
+/// executor site (m = 1). Requests are served in arrival order; the
+/// `done` callback fires when service completes.
+class Resource {
+ public:
+  Resource(Simulator* sim, std::string name, int servers)
+      : sim_(sim), name_(std::move(name)), servers_(servers) {}
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Enqueues a request needing `service_seconds` of one server.
+  void Request(double service_seconds, std::function<void()> done);
+
+  /// Work executed without a completion callback (background load such as
+  /// compaction debt).
+  void RequestBackground(double service_seconds) {
+    Request(service_seconds, nullptr);
+  }
+
+  const std::string& name() const { return name_; }
+  int servers() const { return servers_; }
+  size_t queue_length() const { return queue_.size(); }
+  int busy_servers() const { return busy_; }
+  uint64_t completed() const { return completed_; }
+  /// Aggregate busy server-seconds, for utilization reporting.
+  double busy_seconds() const { return busy_seconds_; }
+
+ private:
+  struct Pending {
+    double service;
+    std::function<void()> done;
+  };
+
+  void StartService(double service_seconds, std::function<void()> done);
+
+  Simulator* sim_;
+  std::string name_;
+  int servers_;
+  int busy_ = 0;
+  std::deque<Pending> queue_;
+  uint64_t completed_ = 0;
+  double busy_seconds_ = 0;
+};
+
+}  // namespace apmbench::sim
+
+#endif  // APMBENCH_SIM_SIMULATOR_H_

@@ -1,0 +1,117 @@
+#ifndef APMBENCH_SIMSTORES_CALIBRATION_H_
+#define APMBENCH_SIMSTORES_CALIBRATION_H_
+
+namespace apmbench::simstores {
+
+/// Calibration constants for the six system models.
+///
+/// Methodology: the *mechanisms* in each model (token-ring balance, Jedis
+/// imbalance, synchronous-client coordination, per-cell reads, buffer-pool
+/// misses, scan-without-LIMIT, client connection caps) come from the
+/// paper's system descriptions and our real engine implementations; the
+/// *service-time constants* below are calibrated against the paper's
+/// single-node anchors (Section 5.1: Redis > 50K ops/s, VoltDB ~45K,
+/// Cassandra ≈ MySQL ≈ 25K, Voldemort ~12K, HBase ~2.5K on Workload R)
+/// and checked against the microbenchmarks of our own engines
+/// (bench/micro_engines). Latencies are then *emergent* from closed-loop
+/// queueing (Little's law), not fitted.
+///
+/// All times in seconds.
+namespace calib {
+
+// --- Cassandra: LSM, balanced token ring, all cores, full 128 conns ---
+inline constexpr double kCassandraReadCpu = 330e-6;
+inline constexpr double kCassandraWriteCpu = 250e-6;
+// Flush + size-tiered compaction debt per write (amortized CPU).
+inline constexpr double kCassandraWriteBgCpu = 90e-6;
+// In a multi-node ring the client contacts a random node; with
+// probability (n-1)/n that node is not the token owner and acts as a
+// coordinator, forwarding the request (extra CPU + a LAN hop). This is
+// why the paper's Cassandra throughput is linear per added node but at a
+// lower per-node rate than the single-node run (25K -> ~14.6K/node).
+inline constexpr double kCassandraCoordinatorCpu = 190e-6;
+// Scans observed ~4x slower than reads (Section 5.4): a range slice is
+// token-contiguous, so it stays on (essentially) one node, but the
+// coordinator pages through it in several sequential rounds, each
+// waiting in the same queue a read does.
+inline constexpr int kCassandraScanRounds = 4;
+
+// --- HBase: LSM on a replicated FS; reads traverse HDFS layers ---
+inline constexpr double kHBaseReadCpu = 3.2e-3;
+inline constexpr double kHBaseWriteCpu = 180e-6;
+// Memstore flush + compaction + HDFS pipeline debt per write.
+inline constexpr double kHBaseWriteBgCpu = 1.35e-3;
+// The YCSB HBase client buffers writes; roughly 1 in kHBaseFlushEvery
+// writes pays a synchronous server round trip, the rest complete in the
+// client buffer — which is why the paper's HBase write latency is far
+// below every queueing latency in the system.
+inline constexpr int kHBaseFlushEvery = 100;
+inline constexpr double kHBaseBufferedWriteDelay = 250e-6;
+// Scans are region-local sequential reads.
+inline constexpr double kHBaseScanFactor = 1.15;
+
+// --- Voldemort: BDB B+tree; client capped at few in-flight requests ---
+inline constexpr double kVoldemortReadCpu = 250e-6;
+inline constexpr double kVoldemortWriteCpu = 260e-6;
+// Section 6: the Voldemort client's thread/connection pool limits kept
+// effective concurrency per node tiny (observed 230-260us latencies at
+// 12K ops/s/node imply ~3 in flight per node by Little's law).
+inline constexpr int kVoldemortConnectionsPerNode = 4;
+
+// --- Redis: single-threaded event loop; Jedis client-side sharding ---
+inline constexpr double kRedisOpCpu = 17e-6;
+// A scan is a sorted-set range plus the per-key fetches, all on the
+// owning shard's single-threaded loop.
+inline constexpr double kRedisScanCpu = 150e-6;
+// Client-side sharding + network floor per op.
+inline constexpr double kRedisClientDelay = 0.45e-3;
+// The sharded client stack saturated: doubling client machines still
+// left total in-flight requests roughly constant (Section 5.1/6).
+inline constexpr int kRedisTotalConnections = 30;
+
+// --- VoltDB: 6 serial sites per host; synchronous client ---
+inline constexpr int kVoltSitesPerHost = 6;
+inline constexpr double kVoltOpCpu = 130e-6;
+// Cross-node transaction initiation serializes on a cluster-wide
+// ordering agreement; with the synchronous YCSB client this is the
+// scaling killer the paper observed.
+inline constexpr double kVoltGlobalCoordCpu = 60e-6;
+inline constexpr double kVoltRemoteRtt = 0.4e-3;
+inline constexpr double kVoltScanSiteCpu = 100e-6;
+
+// --- MySQL: InnoDB B+tree + binlog; hash-sharded client ---
+inline constexpr double kMySqlReadCpu = 310e-6;
+inline constexpr double kMySqlWriteCpu = 630e-6;
+// Client concurrency grew with cluster size until the 5 client machines
+// saturated (Section 3: at most 5 client nodes).
+inline constexpr int kMySqlConnectionsPerNode = 40;
+inline constexpr int kMySqlMaxConnections = 144;
+// JDBC client + connector stack per-request overhead.
+inline constexpr double kMySqlClientDelay = 0.6e-3;
+// Scans: SELECT ... >= key streamed from InnoDB. Small clusters stream
+// efficiently; beyond 2 nodes the client drags the shard tail
+// (Section 5.4), and under heavy insert mixes next-key locking between
+// the tail scan and inserts collapses throughput (Section 5.5: 20 ops/s
+// at 1 node, < 1 op/s at 4+).
+inline constexpr double kMySqlScanCpuSmall = 0.45e-3;
+inline constexpr double kMySqlScanTailFactor = 40.0;      // nodes > 2
+inline constexpr double kMySqlScanInsertHeavyCpu = 0.15;  // RSW regime
+inline constexpr double kMySqlInsertHeavyThreshold = 0.25;
+
+// --- Cluster D (disk-bound) cache hit ratios ---
+// Page-cache hit probability ~ cacheable bytes / on-disk bytes; the
+// on-disk footprints differ per system (Figure 17), so the hit ratios
+// do too.
+inline constexpr double kCassandraHitRatioD = 0.62;
+inline constexpr double kHBaseHitRatioD = 0.35;
+inline constexpr double kVoldemortHitRatioD = 0.55;
+// LSM writes are sequential appends: bytes-amortized disk time plus a
+// rare forced seek; B+tree writes dirty random leaves.
+inline constexpr double kLsmWriteAmplification = 4.0;
+inline constexpr double kBTreeWritebackMissFactor = 0.3;
+
+}  // namespace calib
+
+}  // namespace apmbench::simstores
+
+#endif  // APMBENCH_SIMSTORES_CALIBRATION_H_

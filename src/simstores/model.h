@@ -1,0 +1,144 @@
+#ifndef APMBENCH_SIMSTORES_MODEL_H_
+#define APMBENCH_SIMSTORES_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/simulator.h"
+
+namespace apmbench::simstores {
+
+/// Hardware model of one benchmark cluster (Section 3 of the paper).
+struct ClusterParams {
+  int num_nodes = 1;
+  int cores_per_node = 8;
+  double ram_gb = 16.0;
+  int disks_per_node = 2;  // RAID-0 pair on Cluster M
+  double disk_seek_seconds = 0.008;
+  double disk_mb_per_second = 80.0;
+  /// One-way client<->server network delay (GbE LAN).
+  double net_delay_seconds = 0.00005;
+  /// Client connections per server node (128 on Cluster M; 2 per core on
+  /// Cluster D).
+  int connections_per_node = 128;
+  /// Records loaded per node (10M on Cluster M; Cluster D holds 150M
+  /// total over 8 nodes).
+  double records_per_node = 10e6;
+  /// True for the disk-bound Cluster D configuration.
+  bool disk_bound = false;
+  /// Replicas per key (the paper runs 1; Section 8 lists measuring the
+  /// impact of replication as future work — the Cassandra model honors
+  /// this, writing to all replicas and reading from one).
+  int replication_factor = 1;
+
+  /// Cluster M: 16 nodes, 2x quad-core Xeon, 16 GB RAM, 2x74 GB RAID-0.
+  static ClusterParams ClusterM(int num_nodes);
+  /// Cluster D: 24 nodes, 2x dual-core Xeon, 4 GB RAM, one disk.
+  static ClusterParams ClusterD(int num_nodes);
+};
+
+/// Operation mix (Table 1) plus record geometry.
+struct WorkloadSpec {
+  std::string name;
+  double read = 0.95;
+  double scan = 0.0;
+  double insert = 0.05;
+  int scan_length = 50;
+  double record_bytes = 75.0;
+
+  /// Table 1 preset by name (R, RW, W, RS, RSW).
+  static WorkloadSpec Preset(const std::string& name);
+};
+
+enum class OpKind { kRead = 0, kScan = 1, kInsert = 2 };
+
+/// One resource demand within a stage.
+struct SubRequest {
+  sim::Resource* resource;
+  double seconds;
+};
+
+/// Stages run sequentially; a stage's subrequests run in parallel and the
+/// stage completes when all of them do, after which `fixed_delay` elapses
+/// (used for network round trips and client-side work).
+struct Stage {
+  std::vector<SubRequest> parallel;
+  double fixed_delay = 0;
+};
+
+/// The full resource plan of one operation, plus background work enqueued
+/// at issue time that the operation does not wait for (flush/compaction
+/// debt, client-buffered writes).
+struct OpPlan {
+  std::vector<Stage> stages;
+  std::vector<SubRequest> background;
+
+  void Clear() {
+    stages.clear();
+    background.clear();
+  }
+  Stage* AddStage() {
+    stages.emplace_back();
+    return &stages.back();
+  }
+};
+
+/// Owns the simulator and the resources a model builds.
+class SimContext {
+ public:
+  SimContext() = default;
+
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  sim::Simulator* simulator() { return &sim_; }
+
+  sim::Resource* MakeResource(const std::string& name, int servers) {
+    resources_.push_back(
+        std::make_unique<sim::Resource>(&sim_, name, servers));
+    return resources_.back().get();
+  }
+
+  const std::vector<std::unique_ptr<sim::Resource>>& resources() const {
+    return resources_;
+  }
+
+ private:
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<sim::Resource>> resources_;
+};
+
+/// Queueing/cost model of one of the six systems. A model builds its
+/// resources (node CPUs, disks, serial sites, coordinators, locks) in
+/// Setup and then translates each operation into an OpPlan. All
+/// mechanism-relevant behavior — routing imbalance, fan-out, serial
+/// bottlenecks, cache misses — lives here; the runner is system-agnostic.
+class SystemModel {
+ public:
+  virtual ~SystemModel() = default;
+
+  virtual const char* name() const = 0;
+
+  virtual void Setup(SimContext* context, const ClusterParams& cluster,
+                     const WorkloadSpec& workload) = 0;
+
+  /// Total concurrent client connections the paper's client setup
+  /// achieved against this system (several clients were capped by
+  /// connection-pool limits; see Section 6).
+  virtual int TotalConnections(const ClusterParams& cluster) const = 0;
+
+  /// True when the system's YCSB binding supports scans.
+  virtual bool SupportsScans() const { return true; }
+
+  virtual void PlanOp(OpKind kind, Random* rng, OpPlan* plan) = 0;
+};
+
+/// Instantiates a model by paper name (cassandra, hbase, voldemort,
+/// redis, voltdb, mysql).
+std::unique_ptr<SystemModel> CreateModel(const std::string& name);
+
+}  // namespace apmbench::simstores
+
+#endif  // APMBENCH_SIMSTORES_MODEL_H_

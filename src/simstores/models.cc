@@ -1,0 +1,519 @@
+#include <algorithm>
+#include <string>
+
+#include "cluster/routing.h"
+#include "common/logging.h"
+#include "simstores/calibration.h"
+#include "simstores/model.h"
+
+namespace apmbench::simstores {
+
+ClusterParams ClusterParams::ClusterM(int num_nodes) {
+  ClusterParams params;
+  params.num_nodes = num_nodes;
+  params.cores_per_node = 8;
+  params.ram_gb = 16.0;
+  params.disks_per_node = 2;
+  params.connections_per_node = 128;
+  params.records_per_node = 10e6;
+  params.disk_bound = false;
+  return params;
+}
+
+ClusterParams ClusterParams::ClusterD(int num_nodes) {
+  ClusterParams params;
+  params.num_nodes = num_nodes;
+  params.cores_per_node = 4;
+  params.ram_gb = 4.0;
+  params.disks_per_node = 1;
+  params.connections_per_node = 8;  // 2 per core
+  params.records_per_node = 150e6 / num_nodes;
+  params.disk_bound = true;
+  return params;
+}
+
+WorkloadSpec WorkloadSpec::Preset(const std::string& name) {
+  WorkloadSpec spec;
+  spec.name = name;
+  if (name == "R") {
+    spec.read = 0.95;
+    spec.scan = 0.0;
+    spec.insert = 0.05;
+  } else if (name == "RW") {
+    spec.read = 0.50;
+    spec.scan = 0.0;
+    spec.insert = 0.50;
+  } else if (name == "W") {
+    spec.read = 0.01;
+    spec.scan = 0.0;
+    spec.insert = 0.99;
+  } else if (name == "RS") {
+    spec.read = 0.47;
+    spec.scan = 0.47;
+    spec.insert = 0.06;
+  } else if (name == "RSW") {
+    spec.read = 0.25;
+    spec.scan = 0.25;
+    spec.insert = 0.50;
+  } else {
+    APM_CHECK(false && "unknown workload preset");
+  }
+  return spec;
+}
+
+namespace {
+
+using namespace calib;
+
+/// Shared plumbing: per-node CPU (and, on Cluster D, disk) resources.
+class NodeModelBase : public SystemModel {
+ protected:
+  void BuildNodes(SimContext* context, int cpu_servers) {
+    for (int i = 0; i < cluster_.num_nodes; i++) {
+      cpus_.push_back(context->MakeResource(
+          "cpu" + std::to_string(i), cpu_servers));
+      disks_.push_back(context->MakeResource(
+          "disk" + std::to_string(i), cluster_.disks_per_node));
+    }
+  }
+
+  int UniformNode(Random* rng) const {
+    return static_cast<int>(rng->Uniform(
+        static_cast<uint64_t>(cluster_.num_nodes)));
+  }
+
+  /// Random-read disk time: seek plus a 4 KB transfer.
+  double DiskReadTime() const {
+    return cluster_.disk_seek_seconds +
+           4096.0 / (cluster_.disk_mb_per_second * 1e6);
+  }
+
+  /// Amortized sequential-write disk time for one record, given a write
+  /// amplification (log + flush + compaction rewrites).
+  double SequentialWriteTime(double amplification) const {
+    return workload_.record_bytes * amplification /
+           (cluster_.disk_mb_per_second * 1e6);
+  }
+
+  ClusterParams cluster_;
+  WorkloadSpec workload_;
+  std::vector<sim::Resource*> cpus_;
+  std::vector<sim::Resource*> disks_;
+};
+
+/// Cassandra: LSM engine behind a balanced token ring. Every core serves
+/// requests; writes are cheap (commit log + memtable) with compaction
+/// debt in the background; a range slice stays on the token-owning node.
+/// With replication_factor > 1 (the paper's future-work experiment),
+/// writes fan out to every replica at consistency level ONE and reads go
+/// to a single replica.
+class CassandraSim final : public NodeModelBase {
+ public:
+  const char* name() const override { return "cassandra"; }
+
+  void Setup(SimContext* context, const ClusterParams& cluster,
+             const WorkloadSpec& workload) override {
+    cluster_ = cluster;
+    workload_ = workload;
+    replication_ = std::min(std::max(1, cluster.replication_factor),
+                            cluster.num_nodes);
+    BuildNodes(context, cluster.cores_per_node);
+  }
+
+  int TotalConnections(const ClusterParams& cluster) const override {
+    return cluster.connections_per_node * cluster.num_nodes;
+  }
+
+  void PlanOp(OpKind kind, Random* rng, OpPlan* plan) override {
+    int node = UniformNode(rng);
+    // The contacted node coordinates; when it does not own the key it
+    // forwards to the owner (extra CPU + LAN hop).
+    bool forwarded =
+        cluster_.num_nodes > 1 &&
+        rng->NextDouble() <
+            static_cast<double>(cluster_.num_nodes - 1) / cluster_.num_nodes;
+    int coordinator = node;
+    if (forwarded) node = UniformNode(rng);
+    switch (kind) {
+      case OpKind::kRead: {
+        if (forwarded) {
+          Stage* hop = plan->AddStage();
+          hop->parallel.push_back({cpus_[coordinator], kCassandraCoordinatorCpu});
+          hop->fixed_delay = cluster_.net_delay_seconds * 2;
+        }
+        Stage* stage = plan->AddStage();
+        stage->parallel.push_back({cpus_[node], kCassandraReadCpu});
+        if (cluster_.disk_bound && rng->NextDouble() > kCassandraHitRatioD) {
+          stage->parallel.push_back({disks_[node], DiskReadTime()});
+        }
+        stage->fixed_delay = cluster_.net_delay_seconds * 2;
+        break;
+      }
+      case OpKind::kInsert: {
+        if (forwarded) {
+          Stage* hop = plan->AddStage();
+          hop->parallel.push_back({cpus_[coordinator], kCassandraCoordinatorCpu});
+          hop->fixed_delay = cluster_.net_delay_seconds * 2;
+        }
+        // Consistency level ONE: the client waits for the first replica;
+        // the ring-walk replicas apply the same write (and compaction
+        // debt) concurrently.
+        Stage* stage = plan->AddStage();
+        stage->parallel.push_back({cpus_[node], kCassandraWriteCpu});
+        stage->fixed_delay = cluster_.net_delay_seconds * 2;
+        for (int r = 0; r < replication_; r++) {
+          int replica = (node + r) % cluster_.num_nodes;
+          if (r > 0) {
+            plan->background.push_back({cpus_[replica], kCassandraWriteCpu});
+          }
+          plan->background.push_back({cpus_[replica], kCassandraWriteBgCpu});
+          if (cluster_.disk_bound) {
+            plan->background.push_back(
+                {disks_[replica],
+                 SequentialWriteTime(kLsmWriteAmplification)});
+          }
+        }
+        break;
+      }
+      case OpKind::kScan: {
+        // A range slice is contiguous in token order, so the 50-key
+        // window lives on one node; the coordinator pages through it in
+        // sequential rounds (which is why scans cost ~4 reads).
+        for (int round = 0; round < kCassandraScanRounds; round++) {
+          Stage* stage = plan->AddStage();
+          stage->parallel.push_back({cpus_[node], kCassandraReadCpu});
+          stage->fixed_delay = cluster_.net_delay_seconds * 2;
+        }
+        break;
+      }
+    }
+  }
+
+ private:
+  int replication_ = 1;
+};
+
+/// HBase: LSM on a replicated filesystem. Reads are expensive (layered
+/// lookups through HDFS); writes land in the client-side buffer almost
+/// always and in the memstore otherwise, with flush/compaction debt
+/// queued behind foreground work — which is what drags read latency into
+/// the hundreds of milliseconds under write-heavy mixes.
+class HBaseSim final : public NodeModelBase {
+ public:
+  const char* name() const override { return "hbase"; }
+
+  void Setup(SimContext* context, const ClusterParams& cluster,
+             const WorkloadSpec& workload) override {
+    cluster_ = cluster;
+    workload_ = workload;
+    BuildNodes(context, cluster.cores_per_node);
+  }
+
+  int TotalConnections(const ClusterParams& cluster) const override {
+    return cluster.connections_per_node * cluster.num_nodes;
+  }
+
+  void PlanOp(OpKind kind, Random* rng, OpPlan* plan) override {
+    int node = UniformNode(rng);
+    switch (kind) {
+      case OpKind::kRead: {
+        Stage* stage = plan->AddStage();
+        stage->parallel.push_back({cpus_[node], kHBaseReadCpu});
+        if (cluster_.disk_bound && rng->NextDouble() > kHBaseHitRatioD) {
+          stage->parallel.push_back({disks_[node], DiskReadTime()});
+        }
+        stage->fixed_delay = cluster_.net_delay_seconds * 2;
+        break;
+      }
+      case OpKind::kInsert: {
+        // Server-side work always happens eventually...
+        plan->background.push_back({cpus_[node], kHBaseWriteBgCpu});
+        if (cluster_.disk_bound) {
+          plan->background.push_back(
+              {disks_[node],
+               SequentialWriteTime(kLsmWriteAmplification)});
+        }
+        // ...but the client only waits when its write buffer flushes.
+        if (++insert_counter_ % kHBaseFlushEvery == 0) {
+          Stage* stage = plan->AddStage();
+          stage->parallel.push_back({cpus_[node], kHBaseWriteCpu});
+          stage->fixed_delay = cluster_.net_delay_seconds * 2;
+        } else {
+          Stage* stage = plan->AddStage();
+          stage->fixed_delay = kHBaseBufferedWriteDelay;
+        }
+        break;
+      }
+      case OpKind::kScan: {
+        // Ordered regions: the scan stays on one region server.
+        Stage* stage = plan->AddStage();
+        stage->parallel.push_back(
+            {cpus_[node], kHBaseReadCpu * kHBaseScanFactor});
+        if (cluster_.disk_bound && rng->NextDouble() > kHBaseHitRatioD) {
+          stage->parallel.push_back({disks_[node], DiskReadTime()});
+        }
+        stage->fixed_delay = cluster_.net_delay_seconds * 2;
+        break;
+      }
+    }
+  }
+
+ private:
+  uint64_t insert_counter_ = 0;
+};
+
+/// Voldemort: BDB B+tree behind a partition ring; the client pool caps
+/// in-flight requests (Section 6), so per-node concurrency is tiny and
+/// latencies stay at service time.
+class VoldemortSim final : public NodeModelBase {
+ public:
+  const char* name() const override { return "voldemort"; }
+
+  bool SupportsScans() const override { return false; }
+
+  void Setup(SimContext* context, const ClusterParams& cluster,
+             const WorkloadSpec& workload) override {
+    cluster_ = cluster;
+    workload_ = workload;
+    BuildNodes(context, cluster.cores_per_node);
+  }
+
+  int TotalConnections(const ClusterParams& cluster) const override {
+    // The client pool cap binds on both clusters; Cluster D ran far
+    // fewer client threads (2 per core), which squeezes Voldemort's
+    // effective in-flight requests further.
+    if (cluster.disk_bound) {
+      return 2 * cluster.num_nodes;
+    }
+    return kVoldemortConnectionsPerNode * cluster.num_nodes;
+  }
+
+  void PlanOp(OpKind kind, Random* rng, OpPlan* plan) override {
+    int node = UniformNode(rng);
+    Stage* stage = plan->AddStage();
+    if (kind == OpKind::kRead) {
+      stage->parallel.push_back({cpus_[node], kVoldemortReadCpu});
+      if (cluster_.disk_bound &&
+          rng->NextDouble() > kVoldemortHitRatioD) {
+        stage->parallel.push_back({disks_[node], DiskReadTime()});
+      }
+    } else {
+      stage->parallel.push_back({cpus_[node], kVoldemortWriteCpu});
+      // A B+tree write dirties a random leaf: when the leaf is cold the
+      // write-back path pays a (partially deferred) random I/O.
+      if (cluster_.disk_bound &&
+          rng->NextDouble() >
+              kVoldemortHitRatioD +
+                  (1 - kVoldemortHitRatioD) * (1 - kBTreeWritebackMissFactor)) {
+        stage->parallel.push_back({disks_[node], DiskReadTime()});
+      } else if (cluster_.disk_bound) {
+        plan->background.push_back(
+            {disks_[node], SequentialWriteTime(1.5)});
+      }
+    }
+    stage->fixed_delay = cluster_.net_delay_seconds * 2;
+  }
+};
+
+/// Redis: one single-threaded event loop per instance, sharded by the
+/// Jedis ring. Keys route according to the ring's measured ownership
+/// shares (imbalanced), and the sharded client stack caps total
+/// in-flight requests.
+class RedisSim final : public NodeModelBase {
+ public:
+  const char* name() const override { return "redis"; }
+
+  void Setup(SimContext* context, const ClusterParams& cluster,
+             const WorkloadSpec& workload) override {
+    cluster_ = cluster;
+    workload_ = workload;
+    BuildNodes(context, /*cpu_servers=*/1);  // single-threaded
+    cluster::JedisShardRing ring(cluster.num_nodes);
+    shares_ = ring.OwnershipShares();
+    cumulative_.resize(shares_.size());
+    double acc = 0;
+    for (size_t i = 0; i < shares_.size(); i++) {
+      acc += shares_[i];
+      cumulative_[i] = acc;
+    }
+  }
+
+  int TotalConnections(const ClusterParams& cluster) const override {
+    (void)cluster;
+    return kRedisTotalConnections;
+  }
+
+  void PlanOp(OpKind kind, Random* rng, OpPlan* plan) override {
+    if (kind == OpKind::kScan) {
+      // ShardedJedis cannot fan a range out; the scan runs against the
+      // sorted-set index of the shard owning the start key.
+      int node = JedisNode(rng);
+      Stage* stage = plan->AddStage();
+      stage->parallel.push_back({cpus_[node], kRedisScanCpu});
+      stage->fixed_delay = kRedisClientDelay;
+      return;
+    }
+    int node = JedisNode(rng);
+    Stage* stage = plan->AddStage();
+    stage->parallel.push_back({cpus_[node], kRedisOpCpu});
+    stage->fixed_delay = kRedisClientDelay;
+  }
+
+ private:
+  int JedisNode(Random* rng) const {
+    double u = rng->NextDouble();
+    auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    size_t index = static_cast<size_t>(it - cumulative_.begin());
+    if (index >= cumulative_.size()) index = cumulative_.size() - 1;
+    return static_cast<int>(index);
+  }
+
+  std::vector<double> shares_;
+  std::vector<double> cumulative_;
+};
+
+/// VoltDB: 6 serial execution sites per host. Cross-node transactions
+/// (fraction (n-1)/n of requests under uniform keys) pay a cluster-wide
+/// ordering hop — a serial resource — plus a network round trip, which
+/// with the synchronous YCSB client erases all multi-node gains.
+class VoltSim final : public NodeModelBase {
+ public:
+  const char* name() const override { return "voltdb"; }
+
+  void Setup(SimContext* context, const ClusterParams& cluster,
+             const WorkloadSpec& workload) override {
+    cluster_ = cluster;
+    workload_ = workload;
+    BuildNodes(context, kVoltSitesPerHost);
+    coordinator_ = context->MakeResource("global-coordinator", 1);
+  }
+
+  int TotalConnections(const ClusterParams& cluster) const override {
+    return cluster.connections_per_node * cluster.num_nodes;
+  }
+
+  void PlanOp(OpKind kind, Random* rng, OpPlan* plan) override {
+    int node = UniformNode(rng);
+    if (kind == OpKind::kScan) {
+      // Multi-partition transaction: fences every site everywhere.
+      Stage* coord = plan->AddStage();
+      coord->parallel.push_back({coordinator_, kVoltGlobalCoordCpu});
+      coord->fixed_delay = kVoltRemoteRtt;
+      Stage* stage = plan->AddStage();
+      for (int i = 0; i < cluster_.num_nodes; i++) {
+        for (int s = 0; s < kVoltSitesPerHost; s++) {
+          stage->parallel.push_back({cpus_[i], kVoltScanSiteCpu});
+        }
+      }
+      stage->fixed_delay = cluster_.net_delay_seconds * 2;
+      return;
+    }
+    bool remote =
+        cluster_.num_nodes > 1 &&
+        rng->NextDouble() <
+            static_cast<double>(cluster_.num_nodes - 1) / cluster_.num_nodes;
+    if (remote) {
+      Stage* coord = plan->AddStage();
+      coord->parallel.push_back({coordinator_, kVoltGlobalCoordCpu});
+      coord->fixed_delay = kVoltRemoteRtt;
+    }
+    Stage* stage = plan->AddStage();
+    stage->parallel.push_back({cpus_[node], kVoltOpCpu});
+    stage->fixed_delay = cluster_.net_delay_seconds * 2;
+  }
+
+ private:
+  sim::Resource* coordinator_ = nullptr;
+};
+
+/// MySQL: InnoDB B+trees sharded by key hash (well balanced). Reads and
+/// writes cost buffer-pool CPU; scans stream `key >= start` with no
+/// LIMIT. Scans serialize on a per-shard resource that inserts also
+/// touch, so the insert-heavy scan mix (RSW) hits next-key-lock collapse.
+class MySqlSim final : public NodeModelBase {
+ public:
+  const char* name() const override { return "mysql"; }
+
+  void Setup(SimContext* context, const ClusterParams& cluster,
+             const WorkloadSpec& workload) override {
+    cluster_ = cluster;
+    workload_ = workload;
+    BuildNodes(context, cluster.cores_per_node);
+    for (int i = 0; i < cluster.num_nodes; i++) {
+      locks_.push_back(
+          context->MakeResource("lock" + std::to_string(i), 1));
+    }
+    // Three regimes (Sections 5.4/5.5): small clusters stream the range
+    // efficiently; beyond two nodes the unlimited query drags the shard
+    // tail; and when the mix is insert-heavy, next-key locking between
+    // the tail scan and inserts serializes the shard.
+    scan_contended_ = cluster.num_nodes > 2 ||
+                      (workload.scan > 0 &&
+                       workload.insert >= kMySqlInsertHeavyThreshold);
+    double base = (workload.scan > 0 &&
+                   workload.insert >= kMySqlInsertHeavyThreshold)
+                      ? kMySqlScanInsertHeavyCpu
+                      : kMySqlScanCpuSmall;
+    scan_cpu_ = base;
+    if (cluster.num_nodes > 2) scan_cpu_ *= kMySqlScanTailFactor;
+  }
+
+  int TotalConnections(const ClusterParams& cluster) const override {
+    return std::min(kMySqlConnectionsPerNode * cluster.num_nodes,
+                    kMySqlMaxConnections);
+  }
+
+  void PlanOp(OpKind kind, Random* rng, OpPlan* plan) override {
+    int node = UniformNode(rng);
+    switch (kind) {
+      case OpKind::kRead: {
+        Stage* stage = plan->AddStage();
+        stage->parallel.push_back({cpus_[node], kMySqlReadCpu});
+        stage->fixed_delay = kMySqlClientDelay;
+        break;
+      }
+      case OpKind::kInsert: {
+        // Inserts briefly take the shard's index/lock path, then do the
+        // B+tree + binlog work.
+        Stage* lock_stage = plan->AddStage();
+        lock_stage->parallel.push_back({locks_[node], 5e-6});
+        Stage* stage = plan->AddStage();
+        stage->parallel.push_back({cpus_[node], kMySqlWriteCpu});
+        stage->fixed_delay = kMySqlClientDelay;
+        break;
+      }
+      case OpKind::kScan: {
+        Stage* stage = plan->AddStage();
+        if (scan_contended_) {
+          // The tail scan occupies the shard's scan/lock path for its
+          // whole duration; inserts queue behind it.
+          stage->parallel.push_back({locks_[node], scan_cpu_});
+          stage->parallel.push_back({cpus_[node], scan_cpu_ * 0.5});
+        } else {
+          stage->parallel.push_back({cpus_[node], scan_cpu_});
+        }
+        stage->fixed_delay = kMySqlClientDelay;
+        break;
+      }
+    }
+  }
+
+ private:
+  std::vector<sim::Resource*> locks_;
+  double scan_cpu_ = kMySqlScanCpuSmall;
+  bool scan_contended_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<SystemModel> CreateModel(const std::string& name) {
+  if (name == "cassandra") return std::make_unique<CassandraSim>();
+  if (name == "hbase") return std::make_unique<HBaseSim>();
+  if (name == "voldemort") return std::make_unique<VoldemortSim>();
+  if (name == "redis") return std::make_unique<RedisSim>();
+  if (name == "voltdb") return std::make_unique<VoltSim>();
+  if (name == "mysql") return std::make_unique<MySqlSim>();
+  return nullptr;
+}
+
+}  // namespace apmbench::simstores

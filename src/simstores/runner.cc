@@ -1,0 +1,226 @@
+#include "simstores/runner.h"
+
+#include <memory>
+#include <unordered_set>
+#include <utility>
+
+namespace apmbench::simstores {
+
+namespace {
+
+class OpExecution;
+
+/// Shared state of one simulation run.
+struct RunState {
+  sim::Simulator* sim = nullptr;
+  SystemModel* model = nullptr;
+  const WorkloadSpec* workload = nullptr;
+  SimRunConfig config;
+  Random rng{1};
+  SimResult* result = nullptr;
+  bool closed_loop = true;
+  /// Operations still in flight; whatever the run leaves unfinished is
+  /// reclaimed after the event loop stops.
+  std::unordered_set<OpExecution*> live;
+
+  OpKind SampleKind() {
+    double u = rng.NextDouble();
+    if (u < workload->read) return OpKind::kRead;
+    u -= workload->read;
+    if (u < workload->scan) return OpKind::kScan;
+    return OpKind::kInsert;
+  }
+
+  void Record(OpKind kind, double latency_seconds) {
+    if (sim->now() < config.warmup_seconds) return;
+    auto index = static_cast<size_t>(kind);
+    result->latency_us[index].Add(
+        static_cast<uint64_t>(latency_seconds * 1e6));
+    // Throughput counts only completions inside the measurement window;
+    // the drain period past `duration` contributes latency samples only.
+    if (sim->now() <= config.duration_seconds) {
+      result->completed[index]++;
+      result->total_completed++;
+    }
+  }
+};
+
+/// Executes one operation's OpPlan stage by stage, then (in closed-loop
+/// mode) issues the connection's next operation.
+class OpExecution {
+ public:
+  OpExecution(RunState* state, OpKind kind)
+      : state_(state), kind_(kind), start_(state->sim->now()) {
+    state->live.insert(this);
+    state->model->PlanOp(kind, &state->rng, &plan_);
+    for (const SubRequest& bg : plan_.background) {
+      bg.resource->RequestBackground(bg.seconds);
+    }
+  }
+
+  void Run() { RunStage(0); }
+
+ private:
+  void RunStage(size_t index) {
+    if (index >= plan_.stages.size()) {
+      Finish();
+      return;
+    }
+    const Stage& stage = plan_.stages[index];
+    if (stage.parallel.empty()) {
+      AfterParallel(index);
+      return;
+    }
+    remaining_ = stage.parallel.size();
+    for (const SubRequest& sub : stage.parallel) {
+      sub.resource->Request(sub.seconds, [this, index]() {
+        if (--remaining_ == 0) AfterParallel(index);
+      });
+    }
+  }
+
+  void AfterParallel(size_t index) {
+    const Stage& stage = plan_.stages[index];
+    if (stage.fixed_delay > 0) {
+      state_->sim->Schedule(stage.fixed_delay,
+                            [this, index]() { RunStage(index + 1); });
+    } else {
+      RunStage(index + 1);
+    }
+  }
+
+  void Finish() {
+    state_->Record(kind_, state_->sim->now() - start_);
+    RunState* state = state_;
+    bool closed_loop = state_->closed_loop;
+    state->live.erase(this);
+    delete this;
+    if (closed_loop &&
+        state->sim->now() < state->config.duration_seconds) {
+      auto* next = new OpExecution(state, state->SampleKind());
+      next->Run();
+    }
+  }
+
+  RunState* state_;
+  OpKind kind_;
+  sim::Time start_;
+  OpPlan plan_;
+  size_t remaining_ = 0;
+};
+
+}  // namespace
+
+Status RunSimulation(const std::string& model_name,
+                     const ClusterParams& cluster,
+                     const WorkloadSpec& workload,
+                     const SimRunConfig& config, SimResult* result) {
+  std::unique_ptr<SystemModel> model = CreateModel(model_name);
+  if (model == nullptr) {
+    return Status::InvalidArgument("unknown system model: " + model_name);
+  }
+  if (workload.scan > 0 && !model->SupportsScans()) {
+    return Status::NotSupported(model_name +
+                                " does not support scan workloads");
+  }
+  if (config.duration_seconds <= config.warmup_seconds) {
+    return Status::InvalidArgument("duration must exceed warmup");
+  }
+
+  SimContext context;
+  model->Setup(&context, cluster, workload);
+
+  RunState state;
+  state.sim = context.simulator();
+  state.model = model.get();
+  state.workload = &workload;
+  state.config = config;
+  state.rng = Random(config.seed);
+  state.result = result;
+  state.closed_loop = config.arrival_rate_ops_sec <= 0;
+
+  *result = SimResult();
+
+  // Must outlive RunUntil below: scheduled arrival events re-enter it.
+  std::function<void()> arrive;
+  if (state.closed_loop) {
+    int connections = model->TotalConnections(cluster);
+    for (int c = 0; c < connections; c++) {
+      // Small start jitter avoids a lockstep start transient.
+      double jitter = state.rng.NextDouble() * 1e-3;
+      context.simulator()->Schedule(jitter, [&state]() {
+        auto* op = new OpExecution(&state, state.SampleKind());
+        op->Run();
+      });
+    }
+  } else {
+    // Open loop: self-rescheduling Poisson arrivals until the end of the
+    // run.
+    double rate = config.arrival_rate_ops_sec;
+    arrive = [&state, rate, &arrive]() {
+      auto* op = new OpExecution(&state, state.SampleKind());
+      op->Run();
+      double gap = state.rng.Exponential(1.0 / rate);
+      if (state.sim->now() + gap < state.config.duration_seconds) {
+        state.sim->Schedule(gap, arrive);
+      }
+    };
+    context.simulator()->Schedule(state.rng.Exponential(1.0 / rate), arrive);
+  }
+
+  context.simulator()->RunUntil(config.duration_seconds);
+  // Let in-flight operations drain a little so open-loop runs do not
+  // censor the slowest requests.
+  context.simulator()->RunUntil(config.duration_seconds +
+                                config.warmup_seconds);
+
+  // Reclaim operations that were still queued when the clock stopped
+  // (their pending resource callbacks die with the SimContext below and
+  // can never fire).
+  for (OpExecution* op : state.live) {
+    delete op;
+  }
+  state.live.clear();
+
+  double measured_window =
+      config.duration_seconds - config.warmup_seconds;
+  result->throughput_ops_sec =
+      static_cast<double>(result->total_completed) / measured_window;
+  result->events = context.simulator()->events_processed();
+  for (const auto& resource : context.resources()) {
+    double capacity =
+        config.duration_seconds * static_cast<double>(resource->servers());
+    result->utilization.emplace_back(
+        resource->name(),
+        capacity > 0 ? resource->busy_seconds() / capacity : 0.0);
+  }
+  return Status::OK();
+}
+
+Status RunSimulationSeeds(const std::string& model_name,
+                          const ClusterParams& cluster,
+                          const WorkloadSpec& workload,
+                          const SimRunConfig& config, int seeds,
+                          SimResult* result) {
+  if (seeds < 1) seeds = 1;
+  *result = SimResult();
+  double throughput_sum = 0;
+  for (int i = 0; i < seeds; i++) {
+    SimRunConfig seeded = config;
+    seeded.seed = config.seed + static_cast<uint64_t>(i);
+    SimResult one;
+    APM_RETURN_IF_ERROR(
+        RunSimulation(model_name, cluster, workload, seeded, &one));
+    throughput_sum += one.throughput_ops_sec;
+    for (size_t k = 0; k < result->latency_us.size(); k++) {
+      result->latency_us[k].Merge(one.latency_us[k]);
+      result->completed[k] += one.completed[k];
+    }
+    result->total_completed += one.total_completed;
+    result->events += one.events;
+  }
+  result->throughput_ops_sec = throughput_sum / seeds;
+  return Status::OK();
+}
+
+}  // namespace apmbench::simstores

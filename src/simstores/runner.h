@@ -1,0 +1,66 @@
+#ifndef APMBENCH_SIMSTORES_RUNNER_H_
+#define APMBENCH_SIMSTORES_RUNNER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "simstores/model.h"
+
+namespace apmbench::simstores {
+
+/// Simulation-run parameters. The paper runs 600 wall-clock seconds and
+/// averages 3 executions; closed-loop virtual-time runs converge much
+/// faster, so shorter defaults are used and the bench harnesses read
+/// APMBENCH_SIM_SECONDS / APMBENCH_SIM_SEEDS to raise them.
+struct SimRunConfig {
+  double duration_seconds = 20.0;
+  double warmup_seconds = 2.0;
+  uint64_t seed = 1;
+  /// 0 = closed loop at maximum sustainable throughput (the paper's main
+  /// mode). Non-zero = open-loop Poisson arrivals at this aggregate rate
+  /// (Figures 15/16: 50%-95% of maximum).
+  double arrival_rate_ops_sec = 0.0;
+};
+
+/// Outcome of one simulated benchmark run.
+struct SimResult {
+  double throughput_ops_sec = 0.0;
+  /// Latency (microseconds) per operation kind.
+  std::array<Histogram, 3> latency_us;
+  std::array<uint64_t, 3> completed{};
+  uint64_t total_completed = 0;
+  uint64_t events = 0;
+  /// Busy fraction of each modeled resource (name, busy server-seconds /
+  /// (run length * servers)) — identifies the bottleneck of a run.
+  std::vector<std::pair<std::string, double>> utilization;
+
+  const Histogram& latency(OpKind kind) const {
+    return latency_us[static_cast<size_t>(kind)];
+  }
+  double MeanLatencyMs(OpKind kind) const {
+    const Histogram& h = latency(kind);
+    return h.count() == 0 ? 0.0 : h.Mean() / 1000.0;
+  }
+};
+
+/// Runs `model_name` ("cassandra", ..., "mysql") on the modeled cluster
+/// under the given workload; one seed per call. Fails on unknown models
+/// or scan workloads against scan-less systems.
+Status RunSimulation(const std::string& model_name,
+                     const ClusterParams& cluster,
+                     const WorkloadSpec& workload,
+                     const SimRunConfig& config, SimResult* result);
+
+/// Averages `seeds` runs (seed, seed+1, ...), merging latency histograms.
+Status RunSimulationSeeds(const std::string& model_name,
+                          const ClusterParams& cluster,
+                          const WorkloadSpec& workload,
+                          const SimRunConfig& config, int seeds,
+                          SimResult* result);
+
+}  // namespace apmbench::simstores
+
+#endif  // APMBENCH_SIMSTORES_RUNNER_H_

@@ -1,0 +1,179 @@
+#include "stores/cassandra_store.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/coding.h"
+
+namespace apmbench::stores {
+
+CassandraStore::CassandraStore(const StoreOptions& options)
+    : options_(options),
+      ring_(options.num_nodes, cluster::TokenRing::TokenAssignment::kBalanced,
+            /*seed=*/1),
+      replication_factor_(
+          std::max(1, std::min(options.replication_factor,
+                               options.num_nodes))) {}
+
+Status CassandraStore::Open(const StoreOptions& options,
+                            std::unique_ptr<CassandraStore>* store) {
+  if (options.base_dir.empty()) {
+    return Status::InvalidArgument("StoreOptions::base_dir must be set");
+  }
+  std::unique_ptr<CassandraStore> s(new CassandraStore(options));
+  for (int i = 0; i < options.num_nodes; i++) {
+    lsm::Options db_options;
+    db_options.dir = options.base_dir + "/node" + std::to_string(i);
+    db_options.env = options.env;
+    db_options.memtable_bytes = options.memtable_bytes;
+    db_options.block_cache_bytes = options.block_cache_bytes;
+    db_options.bloom_bits_per_key = options.bloom_bits_per_key;
+    db_options.compression = options.lsm_compression;
+    db_options.compaction_style = lsm::CompactionStyle::kSizeTiered;
+    std::unique_ptr<lsm::DB> db;
+    APM_RETURN_IF_ERROR(lsm::DB::Open(db_options, &db));
+    s->nodes_.push_back(std::move(db));
+  }
+  *store = std::move(s);
+  return Status::OK();
+}
+
+namespace {
+
+// Cassandra 1.0 serializes each column as (name, flags, timestamp,
+// value); the per-column timestamp is what drives last-write-wins
+// reconciliation — and part of why Figure 17's on-disk footprint is a
+// multiple of the 75-byte raw record.
+void EncodeRow(const ycsb::Record& record, std::string* out) {
+  out->clear();
+  PutVarint32(out, static_cast<uint32_t>(record.size()));
+  uint64_t now = NowMicros();
+  for (const auto& [name, value] : record) {
+    PutLengthPrefixedSlice(out, Slice(name));
+    out->push_back('\0');  // column flags
+    PutFixed64(out, now);  // column timestamp
+    PutLengthPrefixedSlice(out, Slice(value));
+  }
+}
+
+bool DecodeRow(const Slice& data, ycsb::Record* record) {
+  record->clear();
+  Slice in = data;
+  uint32_t count;
+  if (!GetVarint32(&in, &count)) return false;
+  record->reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    Slice name, value;
+    uint64_t timestamp;
+    if (!GetLengthPrefixedSlice(&in, &name) || in.empty()) return false;
+    in.RemovePrefix(1);  // flags
+    if (!GetFixed64(&in, &timestamp) ||
+        !GetLengthPrefixedSlice(&in, &value)) {
+      return false;
+    }
+    record->emplace_back(name.ToString(), value.ToString());
+  }
+  return true;
+}
+
+}  // namespace
+
+Status CassandraStore::Read(const std::string& table, const Slice& key,
+                            ycsb::Record* record) {
+  (void)table;
+  int node = ring_.Route(key);
+  std::string value;
+  APM_RETURN_IF_ERROR(
+      nodes_[static_cast<size_t>(node)]->Get(lsm::ReadOptions(), key, &value));
+  if (!DecodeRow(Slice(value), record)) {
+    return Status::Corruption("undecodable record");
+  }
+  return Status::OK();
+}
+
+Status CassandraStore::ScanKeyed(const std::string& table,
+                                 const Slice& start_key, int count,
+                                 std::vector<ycsb::KeyedRecord>* records) {
+  (void)table;
+  records->clear();
+  // Random partitioning scatters the key range over every node; the
+  // coordinator collects each node's candidates and merges by key.
+  std::vector<std::pair<std::string, std::string>> merged;
+  for (auto& node : nodes_) {
+    std::vector<std::pair<std::string, std::string>> partial;
+    APM_RETURN_IF_ERROR(
+        node->Scan(lsm::ReadOptions(), start_key, count, &partial));
+    merged.insert(merged.end(), std::make_move_iterator(partial.begin()),
+                  std::make_move_iterator(partial.end()));
+  }
+  std::sort(merged.begin(), merged.end());
+  // Replicas contribute duplicate keys; keep the first of each.
+  merged.erase(std::unique(merged.begin(), merged.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }),
+               merged.end());
+  if (static_cast<int>(merged.size()) > count) {
+    merged.resize(static_cast<size_t>(count));
+  }
+  records->reserve(merged.size());
+  for (const auto& [key, value] : merged) {
+    ycsb::KeyedRecord entry;
+    entry.key = key;
+    if (!DecodeRow(Slice(value), &entry.record)) {
+      return Status::Corruption("undecodable record in scan");
+    }
+    records->push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+Status CassandraStore::Insert(const std::string& table, const Slice& key,
+                              const ycsb::Record& record) {
+  (void)table;
+  std::string value;
+  EncodeRow(record, &value);
+  // SimpleStrategy ring walk: the write lands on every replica.
+  for (int node : ring_.RouteReplicas(key, replication_factor_)) {
+    APM_RETURN_IF_ERROR(
+        nodes_[static_cast<size_t>(node)]->Put(key, Slice(value)));
+  }
+  return Status::OK();
+}
+
+Status CassandraStore::Update(const std::string& table, const Slice& key,
+                              const ycsb::Record& record) {
+  // Cassandra updates are writes (last-write-wins cells).
+  return Insert(table, key, record);
+}
+
+Status CassandraStore::Delete(const std::string& table, const Slice& key) {
+  (void)table;
+  for (int node : ring_.RouteReplicas(key, replication_factor_)) {
+    APM_RETURN_IF_ERROR(nodes_[static_cast<size_t>(node)]->Delete(key));
+  }
+  return Status::OK();
+}
+
+Status CassandraStore::DiskUsage(uint64_t* bytes) {
+  *bytes = 0;
+  for (auto& node : nodes_) {
+    uint64_t node_bytes = 0;
+    APM_RETURN_IF_ERROR(node->DiskUsage(&node_bytes));
+    *bytes += node_bytes;
+  }
+  return Status::OK();
+}
+
+lsm::DB::Stats CassandraStore::NodeStats(int node) {
+  return nodes_[static_cast<size_t>(node)]->GetStats();
+}
+
+Status CassandraStore::VerifyIntegrity() {
+  for (auto& node : nodes_) {
+    APM_RETURN_IF_ERROR(node->VerifyIntegrity());
+  }
+  return Status::OK();
+}
+
+}  // namespace apmbench::stores

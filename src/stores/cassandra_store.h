@@ -1,0 +1,57 @@
+#ifndef APMBENCH_STORES_CASSANDRA_STORE_H_
+#define APMBENCH_STORES_CASSANDRA_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/routing.h"
+#include "lsm/db.h"
+#include "stores/store_options.h"
+#include "ycsb/db.h"
+
+namespace apmbench::stores {
+
+/// Cassandra-architecture store: one LSM engine (commit log + memtable +
+/// size-tiered SSTables) per node, keys placed on a token ring. The paper
+/// assigned balanced tokens before loading ("an optimal set of tokens");
+/// this store does the same. Scans fan out to every node (the random
+/// partitioner gives no single-node key locality) and merge, as a
+/// Cassandra coordinator does for range slices.
+class CassandraStore final : public ycsb::DB {
+ public:
+  static Status Open(const StoreOptions& options,
+                     std::unique_ptr<CassandraStore>* store);
+
+  Status Read(const std::string& table, const Slice& key,
+              ycsb::Record* record) override;
+  Status ScanKeyed(const std::string& table, const Slice& start_key,
+                   int count,
+                   std::vector<ycsb::KeyedRecord>* records) override;
+  Status Insert(const std::string& table, const Slice& key,
+                const ycsb::Record& record) override;
+  Status Update(const std::string& table, const Slice& key,
+                const ycsb::Record& record) override;
+  /// Cassandra deletes are blind tombstone writes: they succeed whether
+  /// or not the key exists (no read-before-write).
+  Status Delete(const std::string& table, const Slice& key) override;
+  Status DiskUsage(uint64_t* bytes) override;
+
+  /// Engine stats of one node, for calibration and tests.
+  lsm::DB::Stats NodeStats(int node);
+  /// Scrubs every node's engine (checksums, ordering, manifest
+  /// agreement); Corruption on the first violation.
+  Status VerifyIntegrity();
+  const cluster::TokenRing& ring() const { return ring_; }
+
+ private:
+  explicit CassandraStore(const StoreOptions& options);
+
+  StoreOptions options_;
+  cluster::TokenRing ring_;
+  int replication_factor_;
+  std::vector<std::unique_ptr<lsm::DB>> nodes_;
+};
+
+}  // namespace apmbench::stores
+
+#endif  // APMBENCH_STORES_CASSANDRA_STORE_H_

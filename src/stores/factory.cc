@@ -1,0 +1,57 @@
+#include "stores/factory.h"
+
+#include "stores/cassandra_store.h"
+#include "stores/hbase_store.h"
+#include "stores/mysql_store.h"
+#include "stores/redis_store.h"
+#include "stores/voldemort_store.h"
+#include "stores/voltdb_store.h"
+
+namespace apmbench::stores {
+
+bool StoreSupportsScans(const std::string& name) {
+  return name != "voldemort";
+}
+
+Status CreateStore(const std::string& name, const StoreOptions& options,
+                   std::unique_ptr<ycsb::DB>* db) {
+  if (name == "cassandra") {
+    std::unique_ptr<CassandraStore> store;
+    APM_RETURN_IF_ERROR(CassandraStore::Open(options, &store));
+    *db = std::move(store);
+    return Status::OK();
+  }
+  if (name == "hbase") {
+    std::unique_ptr<HBaseStore> store;
+    APM_RETURN_IF_ERROR(HBaseStore::Open(options, &store));
+    *db = std::move(store);
+    return Status::OK();
+  }
+  if (name == "voldemort") {
+    std::unique_ptr<VoldemortStore> store;
+    APM_RETURN_IF_ERROR(VoldemortStore::Open(options, &store));
+    *db = std::move(store);
+    return Status::OK();
+  }
+  if (name == "redis") {
+    std::unique_ptr<RedisStore> store;
+    APM_RETURN_IF_ERROR(RedisStore::Open(options, &store));
+    *db = std::move(store);
+    return Status::OK();
+  }
+  if (name == "voltdb") {
+    std::unique_ptr<VoltDBStore> store;
+    APM_RETURN_IF_ERROR(VoltDBStore::Open(options, &store));
+    *db = std::move(store);
+    return Status::OK();
+  }
+  if (name == "mysql") {
+    std::unique_ptr<MySQLStore> store;
+    APM_RETURN_IF_ERROR(MySQLStore::Open(options, &store));
+    *db = std::move(store);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown store: " + name);
+}
+
+}  // namespace apmbench::stores

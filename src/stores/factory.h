@@ -1,0 +1,31 @@
+#ifndef APMBENCH_STORES_FACTORY_H_
+#define APMBENCH_STORES_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stores/store_options.h"
+#include "ycsb/db.h"
+
+namespace apmbench::stores {
+
+/// The six systems the paper benchmarks, by their paper names.
+inline const std::vector<std::string>& StoreNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "cassandra", "hbase", "voldemort", "redis", "voltdb", "mysql"};
+  return *names;
+}
+
+/// Whether the store's YCSB binding supports scans (Voldemort's does not;
+/// the paper omits it from workloads RS and RSW).
+bool StoreSupportsScans(const std::string& name);
+
+/// Instantiates a store by paper name ("cassandra", "hbase", "voldemort",
+/// "redis", "voltdb", "mysql").
+Status CreateStore(const std::string& name, const StoreOptions& options,
+                   std::unique_ptr<ycsb::DB>* db);
+
+}  // namespace apmbench::stores
+
+#endif  // APMBENCH_STORES_FACTORY_H_

@@ -1,0 +1,278 @@
+#include "stores/hbase_store.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace apmbench::stores {
+
+namespace {
+
+constexpr char kFamily[] = "f";
+/// Cells fetched per engine scan batch while assembling rows.
+constexpr int kCellBatch = 256;
+
+/// HBase's on-disk KeyValue carries full framing around every cell:
+/// key length (4), value length (4), row length (2), family length (1),
+/// type (1), and the 8-byte timestamp. We store that framing verbatim —
+/// it is the structural reason a 75-byte record costs HBase several
+/// hundred bytes on disk (Figure 17).
+constexpr size_t kKeyValueFraming = 4 + 4 + 2 + 1 + 1 + 8;
+
+std::string EncodeCellValue(const Slice& row_key, const Slice& value) {
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(row_key.size() + 2 + 8));
+  PutFixed32(&out, static_cast<uint32_t>(value.size()));
+  out.push_back(static_cast<char>(row_key.size() & 0xff));
+  out.push_back(static_cast<char>((row_key.size() >> 8) & 0xff));
+  out.push_back(1);  // family length
+  out.push_back(4);  // type = Put
+  PutFixed64(&out, NowMicros());
+  out.append(value.data(), value.size());
+  return out;
+}
+
+bool DecodeCellValue(const Slice& cell_value, Slice* value) {
+  if (cell_value.size() < kKeyValueFraming) return false;
+  *value = Slice(cell_value.data() + kKeyValueFraming,
+                 cell_value.size() - kKeyValueFraming);
+  return true;
+}
+
+/// Default pre-split sample: the YCSB key space ("user" + FNV-hashed
+/// sequence numbers), which is what the benchmark loads.
+std::vector<std::string> DefaultSplitSample() {
+  std::vector<std::string> sample;
+  sample.reserve(4096);
+  for (uint64_t i = 0; i < 4096; i++) {
+    uint64_t hashed = apmbench::FnvHash64(i);
+    std::string digits = std::to_string(hashed);
+    std::string key = "user";
+    int pad = 25 - 4 - static_cast<int>(digits.size());
+    for (int j = 0; j < pad; j++) key.push_back('0');
+    key.append(digits);
+    sample.push_back(std::move(key));
+  }
+  return sample;
+}
+
+}  // namespace
+
+std::string HBaseStore::CellKey(const Slice& row, const Slice& qualifier) {
+  std::string key = row.ToString();
+  key.push_back('\0');
+  key.append(kFamily);
+  key.push_back(':');
+  key.append(qualifier.data(), qualifier.size());
+  return key;
+}
+
+bool HBaseStore::ParseCellKey(const Slice& cell_key, Slice* row,
+                              Slice* qualifier) {
+  const char* sep = static_cast<const char*>(
+      memchr(cell_key.data(), '\0', cell_key.size()));
+  if (sep == nullptr) return false;
+  size_t row_len = static_cast<size_t>(sep - cell_key.data());
+  *row = Slice(cell_key.data(), row_len);
+  // Skip '\0' + family + ':'.
+  size_t prefix = row_len + 1 + sizeof(kFamily) - 1 + 1;
+  if (cell_key.size() < prefix) return false;
+  *qualifier = Slice(cell_key.data() + prefix, cell_key.size() - prefix);
+  return true;
+}
+
+HBaseStore::HBaseStore(const StoreOptions& options,
+                       cluster::RegionMap regions)
+    : options_(options), regions_(std::move(regions)) {}
+
+Status HBaseStore::Open(const StoreOptions& options,
+                        std::unique_ptr<HBaseStore>* store) {
+  if (options.base_dir.empty()) {
+    return Status::InvalidArgument("StoreOptions::base_dir must be set");
+  }
+  std::vector<std::string> sample = options.region_split_sample;
+  if (sample.empty()) sample = DefaultSplitSample();
+  int num_regions = options.num_nodes * options.regions_per_server;
+  cluster::RegionMap regions = cluster::RegionMap::FromSample(
+      std::move(sample), num_regions, options.num_nodes);
+
+  std::unique_ptr<HBaseStore> s(new HBaseStore(options, std::move(regions)));
+  for (int i = 0; i < options.num_nodes; i++) {
+    lsm::Options db_options;
+    db_options.dir = options.base_dir + "/node" + std::to_string(i);
+    db_options.env = options.env;
+    db_options.memtable_bytes = options.memtable_bytes;
+    db_options.block_cache_bytes = options.block_cache_bytes;
+    db_options.bloom_bits_per_key = options.bloom_bits_per_key;
+    db_options.compression = options.lsm_compression;
+    db_options.compaction_style = lsm::CompactionStyle::kLeveled;
+    std::unique_ptr<lsm::DB> db;
+    APM_RETURN_IF_ERROR(lsm::DB::Open(db_options, &db));
+    s->nodes_.push_back(std::move(db));
+  }
+  *store = std::move(s);
+  return Status::OK();
+}
+
+Status HBaseStore::Insert(const std::string& table, const Slice& key,
+                          const ycsb::Record& record) {
+  (void)table;
+  int node = regions_.Route(key);
+  lsm::DB* db = nodes_[static_cast<size_t>(node)].get();
+  // A row put is atomic in HBase: all cells go through one WAL append.
+  lsm::WriteBatch batch;
+  for (const auto& [field, value] : record) {
+    std::string cell_key = CellKey(key, Slice(field));
+    std::string cell_value = EncodeCellValue(key, Slice(value));
+    batch.Put(Slice(cell_key), Slice(cell_value));
+  }
+  return db->Write(batch);
+}
+
+Status HBaseStore::Update(const std::string& table, const Slice& key,
+                          const ycsb::Record& record) {
+  // HBase puts write new cell versions; identical path.
+  return Insert(table, key, record);
+}
+
+Status HBaseStore::Read(const std::string& table, const Slice& key,
+                        ycsb::Record* record) {
+  (void)table;
+  record->clear();
+  int node = regions_.Route(key);
+  lsm::DB* db = nodes_[static_cast<size_t>(node)].get();
+  std::string prefix = key.ToString();
+  prefix.push_back('\0');
+  std::vector<std::pair<std::string, std::string>> cells;
+  APM_RETURN_IF_ERROR(
+      db->Scan(lsm::ReadOptions(), Slice(prefix), kCellBatch, &cells));
+  for (const auto& [cell_key, cell_value] : cells) {
+    if (!Slice(cell_key).StartsWith(Slice(prefix))) break;
+    Slice row, qualifier, value;
+    if (!ParseCellKey(Slice(cell_key), &row, &qualifier) ||
+        !DecodeCellValue(Slice(cell_value), &value)) {
+      return Status::Corruption("bad cell");
+    }
+    record->emplace_back(qualifier.ToString(), value.ToString());
+  }
+  if (record->empty()) return Status::NotFound();
+  return Status::OK();
+}
+
+Status HBaseStore::CollectRows(
+    int node, const std::string& cursor, const std::string& region_end,
+    int max_rows, std::vector<std::pair<std::string, ycsb::Record>>* rows) {
+  lsm::DB* db = nodes_[static_cast<size_t>(node)].get();
+  std::string scan_from = cursor;
+  std::string current_row;
+  ycsb::Record current_record;
+  for (;;) {
+    std::vector<std::pair<std::string, std::string>> cells;
+    APM_RETURN_IF_ERROR(
+        db->Scan(lsm::ReadOptions(), Slice(scan_from), kCellBatch, &cells));
+    if (cells.empty()) break;
+    for (const auto& [cell_key, cell_value] : cells) {
+      Slice row, qualifier, value;
+      if (!ParseCellKey(Slice(cell_key), &row, &qualifier)) {
+        continue;  // not a cell (defensive)
+      }
+      if (!region_end.empty() && row.Compare(Slice(region_end)) >= 0) {
+        // Past this region: flush the open row and stop.
+        if (!current_row.empty() &&
+            static_cast<int>(rows->size()) < max_rows) {
+          rows->emplace_back(current_row, std::move(current_record));
+        }
+        return Status::OK();
+      }
+      if (row.ToView() != current_row) {
+        if (!current_row.empty()) {
+          rows->emplace_back(current_row, std::move(current_record));
+          current_record = ycsb::Record();
+          if (static_cast<int>(rows->size()) >= max_rows) {
+            return Status::OK();
+          }
+        }
+        current_row = row.ToString();
+      }
+      if (!DecodeCellValue(Slice(cell_value), &value)) {
+        return Status::Corruption("bad cell value");
+      }
+      current_record.emplace_back(qualifier.ToString(), value.ToString());
+    }
+    if (static_cast<int>(cells.size()) < kCellBatch) break;  // exhausted
+    // Continue after the last cell seen.
+    scan_from = cells.back().first + '\x01';
+  }
+  if (!current_row.empty() && static_cast<int>(rows->size()) < max_rows) {
+    rows->emplace_back(current_row, std::move(current_record));
+  }
+  return Status::OK();
+}
+
+Status HBaseStore::ScanKeyed(const std::string& table,
+                             const Slice& start_key, int count,
+                             std::vector<ycsb::KeyedRecord>* records) {
+  (void)table;
+  records->clear();
+  std::vector<std::pair<std::string, ycsb::Record>> rows;
+  int region = regions_.RegionOf(start_key);
+  std::string cursor = start_key.ToString();
+  while (static_cast<int>(rows.size()) < count &&
+         region < regions_.num_regions()) {
+    int node = region % regions_.num_servers();
+    std::string region_end = regions_.RegionEndKey(region);
+    APM_RETURN_IF_ERROR(CollectRows(node, cursor, region_end,
+                                    count, &rows));
+    region++;
+    cursor = region_end;
+  }
+  records->reserve(rows.size());
+  for (auto& [row, record] : rows) {
+    records->push_back(ycsb::KeyedRecord{row, std::move(record)});
+  }
+  return Status::OK();
+}
+
+Status HBaseStore::Delete(const std::string& table, const Slice& key) {
+  (void)table;
+  int node = regions_.Route(key);
+  lsm::DB* db = nodes_[static_cast<size_t>(node)].get();
+  std::string prefix = key.ToString();
+  prefix.push_back('\0');
+  std::vector<std::pair<std::string, std::string>> cells;
+  APM_RETURN_IF_ERROR(
+      db->Scan(lsm::ReadOptions(), Slice(prefix), kCellBatch, &cells));
+  lsm::WriteBatch batch;
+  for (const auto& [cell_key, cell_value] : cells) {
+    (void)cell_value;
+    if (!Slice(cell_key).StartsWith(Slice(prefix))) break;
+    batch.Delete(Slice(cell_key));
+  }
+  if (batch.Count() == 0) return Status::NotFound();
+  return db->Write(batch);
+}
+
+Status HBaseStore::DiskUsage(uint64_t* bytes) {
+  *bytes = 0;
+  for (auto& node : nodes_) {
+    uint64_t node_bytes = 0;
+    APM_RETURN_IF_ERROR(node->DiskUsage(&node_bytes));
+    *bytes += node_bytes;
+  }
+  return Status::OK();
+}
+
+lsm::DB::Stats HBaseStore::NodeStats(int node) {
+  return nodes_[static_cast<size_t>(node)]->GetStats();
+}
+
+Status HBaseStore::VerifyIntegrity() {
+  for (auto& node : nodes_) {
+    APM_RETURN_IF_ERROR(node->VerifyIntegrity());
+  }
+  return Status::OK();
+}
+
+}  // namespace apmbench::stores

@@ -1,0 +1,71 @@
+#ifndef APMBENCH_STORES_STORE_OPTIONS_H_
+#define APMBENCH_STORES_STORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/compression.h"
+
+namespace apmbench {
+class Env;
+}
+
+namespace apmbench::stores {
+
+/// Shared configuration for the six embedded stores. Each store lays its
+/// node-local engines out under `base_dir/node<i>/`.
+struct StoreOptions {
+  /// Root directory for persistent engines. Must be set for the stores
+  /// that touch disk (cassandra, hbase, voldemort, mysql; redis only when
+  /// AOF is enabled).
+  std::string base_dir;
+
+  /// Simulated cluster size: the store runs one engine instance per node
+  /// and routes between them exactly as the paper's deployments did.
+  int num_nodes = 1;
+
+  /// Replicas per key for the Cassandra-like store (the paper runs 1;
+  /// Section 8 lists replication as future work). Writes go to all
+  /// replicas, reads to the primary (consistency ONE, synchronous).
+  int replication_factor = 1;
+
+  Env* env = nullptr;
+
+  /// LSM engines (cassandra-like, hbase-like).
+  size_t memtable_bytes = 8 * 1024 * 1024;
+  size_t block_cache_bytes = 32 * 1024 * 1024;
+  int bloom_bits_per_key = 10;
+  /// SSTable block compression (the paper runs uncompressed; Section 8
+  /// lists the compression tradeoff as future work).
+  CompressionType lsm_compression = CompressionType::kNone;
+
+  /// B+tree engines (mysql-like, voldemort-like).
+  size_t buffer_pool_bytes = 32 * 1024 * 1024;
+
+  /// Redis-like store: enable the append-only file.
+  bool redis_aof = false;
+
+  /// VoltDB-like store: execution sites per host (partitions per node).
+  int volt_sites_per_host = 6;
+
+  /// HBase-like store: pre-split regions per region server.
+  int regions_per_server = 8;
+
+  /// MySQL-like store: when false (the default, matching the paper's YCSB
+  /// RDBMS client), a scan issues "key >= start" with no LIMIT and drags
+  /// the whole tail of the shard — the behavior behind MySQL's collapse
+  /// in workloads RS/RSW. Set true for the LIMIT-clause ablation.
+  bool mysql_limit_scans = false;
+
+  /// MySQL-like store: write a binary log (doubles disk usage, Fig. 17).
+  bool mysql_binlog = true;
+
+  /// Sample keys used to pre-split HBase regions; when empty a sample of
+  /// the YCSB key space is generated internally.
+  std::vector<std::string> region_split_sample;
+};
+
+}  // namespace apmbench::stores
+
+#endif  // APMBENCH_STORES_STORE_OPTIONS_H_

@@ -1,0 +1,66 @@
+#include "stores/voltdb_store.h"
+
+namespace apmbench::stores {
+
+VoltDBStore::VoltDBStore(const StoreOptions& options) {
+  volt::Options engine_options;
+  engine_options.sites_per_host =
+      options.num_nodes * options.volt_sites_per_host;
+  engine_ = std::make_unique<volt::VoltEngine>(engine_options);
+}
+
+Status VoltDBStore::Open(const StoreOptions& options,
+                         std::unique_ptr<VoltDBStore>* store) {
+  store->reset(new VoltDBStore(options));
+  return Status::OK();
+}
+
+Status VoltDBStore::Read(const std::string& table, const Slice& key,
+                         ycsb::Record* record) {
+  (void)table;
+  std::string value;
+  APM_RETURN_IF_ERROR(engine_->Get(key, &value));
+  if (!ycsb::DecodeRecord(Slice(value), record)) {
+    return Status::Corruption("undecodable record");
+  }
+  return Status::OK();
+}
+
+Status VoltDBStore::ScanKeyed(const std::string& table,
+                              const Slice& start_key, int count,
+                              std::vector<ycsb::KeyedRecord>* records) {
+  (void)table;
+  records->clear();
+  std::vector<std::pair<std::string, std::string>> rows;
+  APM_RETURN_IF_ERROR(engine_->Scan(start_key, count, &rows));
+  records->reserve(rows.size());
+  for (const auto& [key, value] : rows) {
+    ycsb::KeyedRecord entry;
+    entry.key = key;
+    if (!ycsb::DecodeRecord(Slice(value), &entry.record)) {
+      return Status::Corruption("undecodable record in scan");
+    }
+    records->push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+Status VoltDBStore::Insert(const std::string& table, const Slice& key,
+                           const ycsb::Record& record) {
+  (void)table;
+  std::string value;
+  ycsb::EncodeRecord(record, &value);
+  return engine_->Put(key, Slice(value));
+}
+
+Status VoltDBStore::Update(const std::string& table, const Slice& key,
+                           const ycsb::Record& record) {
+  return Insert(table, key, record);
+}
+
+Status VoltDBStore::Delete(const std::string& table, const Slice& key) {
+  (void)table;
+  return engine_->Delete(key);
+}
+
+}  // namespace apmbench::stores

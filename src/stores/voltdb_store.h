@@ -1,0 +1,43 @@
+#ifndef APMBENCH_STORES_VOLTDB_STORE_H_
+#define APMBENCH_STORES_VOLTDB_STORE_H_
+
+#include <memory>
+
+#include "stores/store_options.h"
+#include "volt/volt.h"
+#include "ycsb/db.h"
+
+namespace apmbench::stores {
+
+/// VoltDB-architecture store: one partitioned in-memory engine whose
+/// site count is nodes x sites-per-host (the paper ran 6 sites per host).
+/// Reads, writes, and deletes are single-partition stored procedures;
+/// scans are multi-partition transactions. The store is in-memory only,
+/// as the paper ran it (no snapshot/command-log configured).
+class VoltDBStore final : public ycsb::DB {
+ public:
+  static Status Open(const StoreOptions& options,
+                     std::unique_ptr<VoltDBStore>* store);
+
+  Status Read(const std::string& table, const Slice& key,
+              ycsb::Record* record) override;
+  Status ScanKeyed(const std::string& table, const Slice& start_key,
+                   int count,
+                   std::vector<ycsb::KeyedRecord>* records) override;
+  Status Insert(const std::string& table, const Slice& key,
+                const ycsb::Record& record) override;
+  Status Update(const std::string& table, const Slice& key,
+                const ycsb::Record& record) override;
+  Status Delete(const std::string& table, const Slice& key) override;
+
+  volt::VoltEngine::Stats EngineStats() { return engine_->GetStats(); }
+
+ private:
+  explicit VoltDBStore(const StoreOptions& options);
+
+  std::unique_ptr<volt::VoltEngine> engine_;
+};
+
+}  // namespace apmbench::stores
+
+#endif  // APMBENCH_STORES_VOLTDB_STORE_H_

@@ -1,0 +1,116 @@
+#ifndef APMBENCH_VOLT_VOLT_H_
+#define APMBENCH_VOLT_VOLT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace apmbench::volt {
+
+/// Engine configuration. VoltDB calls its partitions "sites"; the paper
+/// ran 6 sites per host as recommended for its platform.
+struct Options {
+  int sites_per_host = 6;
+  /// When set, every mutating stored procedure is appended to a command
+  /// log (VoltDB's durability mechanism) and replayed on construction.
+  std::string command_log_path;
+  /// fsync the command log per transaction (VoltDB's synchronous mode).
+  bool sync_command_log = false;
+};
+
+/// An H-Store/VoltDB-architecture in-memory engine: the key space is hash
+/// partitioned across "sites", each site executes its transactions
+/// serially on its own thread with no locks or latches, and transactions
+/// are stored procedures routed to the partition that owns their key.
+/// Single-partition procedures (get/put/delete by key) run on exactly one
+/// site; scans are multi-partition transactions that fence every site, the
+/// behavior that makes them expensive — and that makes the synchronous
+/// YCSB client scale poorly, as the paper observed.
+class VoltEngine {
+ public:
+  struct Stats {
+    uint64_t single_partition_txns = 0;
+    uint64_t multi_partition_txns = 0;
+    std::vector<size_t> rows_per_partition;
+  };
+
+  explicit VoltEngine(const Options& options);
+  ~VoltEngine();
+
+  /// Replays the command log (if configured and present). Called by the
+  /// store after construction; exposed for tests.
+  Status Recover();
+
+  VoltEngine(const VoltEngine&) = delete;
+  VoltEngine& operator=(const VoltEngine&) = delete;
+
+  /// Synchronous stored-procedure calls (the paper's YCSB client used
+  /// synchronous invocation; see §6 "VoltDB").
+  Status Put(const Slice& key, const Slice& value);
+  Status Get(const Slice& key, std::string* value);
+  Status Delete(const Slice& key);
+
+  /// Multi-partition transaction: collects up to `count` records with
+  /// key >= start across all partitions, in key order.
+  Status Scan(const Slice& start, int count,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+  int partition_count() const { return static_cast<int>(sites_.size()); }
+  /// Partition owning `key` (exposed for routing tests).
+  int PartitionOf(const Slice& key) const;
+
+  Stats GetStats();
+
+ private:
+  /// One single-threaded execution site.
+  class Site {
+   public:
+    Site();
+    ~Site();
+
+    /// Enqueues `work` and returns immediately; work items run serially
+    /// in submission order.
+    void Submit(std::function<void()> work);
+    /// Enqueues `work` and blocks until it has run.
+    void Execute(const std::function<void()>& work);
+
+    /// Single-threaded table with a primary-key tree index.
+    std::map<std::string, std::string, std::less<>> rows;
+
+   private:
+    void Loop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stop_ = false;
+    std::thread thread_;
+  };
+
+  Status LogCommand(uint8_t op, const Slice& key, const Slice& value);
+
+  Options options_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::mutex log_mu_;
+  std::unique_ptr<WritableFile> command_log_;
+  bool recovering_ = false;
+  std::atomic<uint64_t> single_partition_txns_{0};
+  std::atomic<uint64_t> multi_partition_txns_{0};
+};
+
+}  // namespace apmbench::volt
+
+#endif  // APMBENCH_VOLT_VOLT_H_

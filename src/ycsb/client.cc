@@ -1,0 +1,242 @@
+#include "ycsb/client.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace apmbench::ycsb {
+
+double RunResult::MeanLatencyMs(OpType type) const {
+  const Histogram& h = measurements.histogram(type);
+  return h.count() == 0 ? 0.0 : h.Mean() / 1000.0;
+}
+
+std::string RunResult::Summary() const {
+  char head[128];
+  snprintf(head, sizeof(head), "throughput=%.0f ops/sec elapsed=%.1fs\n",
+           throughput_ops_sec, elapsed_seconds);
+  return head + measurements.Summary();
+}
+
+Status LoadDatabase(DB* db, CoreWorkload* workload, int threads,
+                    uint64_t seed) {
+  APM_RETURN_IF_ERROR(db->Init());
+  uint64_t total = workload->record_count();
+  if (threads < 1) threads = 1;
+  std::atomic<uint64_t> next{0};
+  std::vector<Status> statuses(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t]() {
+      Random rng(seed + static_cast<uint64_t>(t) * 7919);
+      for (;;) {
+        uint64_t keynum = next.fetch_add(1, std::memory_order_relaxed);
+        if (keynum >= total) break;
+        std::string key = workload->BuildKeyName(keynum);
+        Record record = workload->BuildRecord(&rng);
+        Status s = db->Insert(workload->table(), Slice(key), record);
+        if (!s.ok()) {
+          statuses[static_cast<size_t>(t)] = s;
+          break;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// One closed-loop client connection.
+class ClientThread {
+ public:
+  /// Operations completed so far (read by the status reporter).
+  uint64_t ops_done() const {
+    return ops_done_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> ops_done_{0};
+
+ public:
+  ClientThread(DB* db, CoreWorkload* workload, uint64_t seed,
+               double target_ops_per_sec)
+      : db_(db),
+        workload_(workload),
+        rng_(seed),
+        target_interval_us_(target_ops_per_sec > 0
+                                ? 1e6 / target_ops_per_sec
+                                : 0.0) {}
+
+  /// Runs until `stop` is set or `ops_budget` operations are done
+  /// (budget of 0 means unbounded).
+  void Run(const std::atomic<bool>& stop, std::atomic<int64_t>* ops_budget) {
+    uint64_t next_deadline = NowMicros();
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (ops_budget != nullptr) {
+        if (ops_budget->fetch_sub(1, std::memory_order_relaxed) <= 0) break;
+      }
+      if (target_interval_us_ > 0) {
+        // Open-loop pacing for the bounded-throughput experiments.
+        next_deadline += static_cast<uint64_t>(target_interval_us_);
+        uint64_t now = NowMicros();
+        if (now < next_deadline) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(next_deadline - now));
+        }
+      }
+      DoOne();
+    }
+  }
+
+  Measurements* measurements() { return &measurements_; }
+
+ private:
+  void DoOne() {
+    OpType op = workload_->NextOperation(&rng_);
+    uint64_t start = NowMicros();
+    bool ok = true;
+    switch (op) {
+      case OpType::kRead: {
+        std::string key =
+            workload_->BuildKeyName(workload_->NextTransactionKeyNum(&rng_));
+        Record record;
+        Status s = db_->Read(workload_->table(), Slice(key), &record);
+        if (s.IsNotFound()) {
+          measurements_.RecordReadMiss();
+        } else {
+          ok = s.ok();
+        }
+        break;
+      }
+      case OpType::kUpdate: {
+        std::string key =
+            workload_->BuildKeyName(workload_->NextTransactionKeyNum(&rng_));
+        Record record = workload_->BuildRecord(&rng_);
+        ok = db_->Update(workload_->table(), Slice(key), record).ok();
+        break;
+      }
+      case OpType::kInsert: {
+        std::string key =
+            workload_->BuildKeyName(workload_->NextInsertKeyNum());
+        Record record = workload_->BuildRecord(&rng_);
+        ok = db_->Insert(workload_->table(), Slice(key), record).ok();
+        break;
+      }
+      case OpType::kScan: {
+        std::string key =
+            workload_->BuildKeyName(workload_->NextTransactionKeyNum(&rng_));
+        std::vector<Record> records;
+        ok = db_->Scan(workload_->table(), Slice(key),
+                       workload_->NextScanLength(&rng_), &records)
+                 .ok();
+        break;
+      }
+      case OpType::kDelete: {
+        std::string key =
+            workload_->BuildKeyName(workload_->NextTransactionKeyNum(&rng_));
+        Status s = db_->Delete(workload_->table(), Slice(key));
+        ok = s.ok() || s.IsNotFound();
+        break;
+      }
+    }
+    uint64_t latency = NowMicros() - start;
+    measurements_.Record(op, latency, ok);
+    ops_done_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  DB* db_;
+  CoreWorkload* workload_;
+  Random rng_;
+  Measurements measurements_;
+  double target_interval_us_;
+};
+
+}  // namespace
+
+Status RunWorkload(DB* db, CoreWorkload* workload, const RunConfig& config,
+                   RunResult* result) {
+  APM_RETURN_IF_ERROR(db->Init());
+  int threads = config.threads < 1 ? 1 : config.threads;
+
+  std::vector<std::unique_ptr<ClientThread>> clients;
+  clients.reserve(static_cast<size_t>(threads));
+  double per_thread_target =
+      config.target_ops_per_sec > 0 ? config.target_ops_per_sec / threads
+                                    : 0.0;
+  for (int t = 0; t < threads; t++) {
+    clients.push_back(std::make_unique<ClientThread>(
+        db, workload, config.seed + static_cast<uint64_t>(t) * 104729,
+        per_thread_target));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> budget{
+      config.operation_count > 0
+          ? static_cast<int64_t>(config.operation_count)
+          : 0};
+  std::atomic<int64_t>* budget_ptr =
+      config.operation_count > 0 ? &budget : nullptr;
+
+  uint64_t start = NowMicros();
+  std::vector<std::thread> workers;
+  workers.reserve(clients.size());
+  for (auto& client : clients) {
+    workers.emplace_back(
+        [&stop, budget_ptr, c = client.get()]() { c->Run(stop, budget_ptr); });
+  }
+
+  // Optional periodic status reporting (the YCSB status thread).
+  std::thread status_thread;
+  std::atomic<bool> status_stop{false};
+  if (config.status_interval_seconds > 0 && config.status_callback) {
+    status_thread = std::thread([&]() {
+      uint64_t last_total = 0;
+      double elapsed = 0;
+      while (!status_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            config.status_interval_seconds));
+        elapsed += config.status_interval_seconds;
+        uint64_t total = 0;
+        for (auto& client : clients) total += client->ops_done();
+        config.status_callback(
+            elapsed, total,
+            static_cast<double>(total - last_total) /
+                config.status_interval_seconds);
+        last_total = total;
+      }
+    });
+  }
+
+  if (config.operation_count == 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(config.duration_seconds));
+    stop.store(true, std::memory_order_relaxed);
+  }
+  for (auto& worker : workers) worker.join();
+  status_stop.store(true, std::memory_order_relaxed);
+  if (status_thread.joinable()) status_thread.join();
+  uint64_t end = NowMicros();
+
+  result->measurements.Reset();
+  for (auto& client : clients) {
+    result->measurements.Merge(*client->measurements());
+  }
+  result->elapsed_seconds = static_cast<double>(end - start) / 1e6;
+  result->throughput_ops_sec =
+      result->elapsed_seconds > 0
+          ? static_cast<double>(result->measurements.total_ops()) /
+                result->elapsed_seconds
+          : 0.0;
+  return Status::OK();
+}
+
+}  // namespace apmbench::ycsb

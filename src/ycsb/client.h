@@ -1,0 +1,62 @@
+#ifndef APMBENCH_YCSB_CLIENT_H_
+#define APMBENCH_YCSB_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "ycsb/db.h"
+#include "ycsb/measurements.h"
+#include "ycsb/workload.h"
+
+namespace apmbench::ycsb {
+
+/// Benchmark-run parameters (YCSB's client knobs). Either a fixed
+/// operation count or a wall-clock duration bounds the run; the paper
+/// runs each configuration for 600 seconds at maximum throughput.
+struct RunConfig {
+  /// Simulated client connections; the paper uses 128 per server node.
+  int threads = 8;
+  /// Total operations; 0 means duration-bound.
+  uint64_t operation_count = 0;
+  /// Run length when operation_count is 0.
+  double duration_seconds = 10.0;
+  /// Target aggregate throughput (ops/sec); 0 means unthrottled (the
+  /// paper's "maximum sustainable throughput" mode). Figures 15/16 sweep
+  /// this between 50% and 95% of the maximum.
+  double target_ops_per_sec = 0.0;
+  uint64_t seed = 42;
+  /// When > 0 and status_callback is set, the runner reports progress
+  /// every interval (elapsed seconds, total ops, ops/sec over the last
+  /// interval) — YCSB's periodic status line.
+  double status_interval_seconds = 0.0;
+  std::function<void(double elapsed_seconds, uint64_t total_ops,
+                     double interval_ops_sec)>
+      status_callback;
+};
+
+/// Outcome of one run.
+struct RunResult {
+  double throughput_ops_sec = 0.0;
+  double elapsed_seconds = 0.0;
+  Measurements measurements;
+
+  /// Mean latency in ms for one operation type (0 when none executed).
+  double MeanLatencyMs(OpType type) const;
+  std::string Summary() const;
+};
+
+/// Loads `workload.record_count()` records into `db` using `threads`
+/// parallel loaders (the YCSB load phase).
+Status LoadDatabase(DB* db, CoreWorkload* workload, int threads,
+                    uint64_t seed = 7);
+
+/// Executes the transaction phase: `config.threads` closed-loop clients
+/// issuing the workload mix against `db`, measuring every operation.
+Status RunWorkload(DB* db, CoreWorkload* workload, const RunConfig& config,
+                   RunResult* result);
+
+}  // namespace apmbench::ycsb
+
+#endif  // APMBENCH_YCSB_CLIENT_H_

@@ -1,0 +1,61 @@
+#include "ycsb/db.h"
+
+#include "common/coding.h"
+
+namespace apmbench::ycsb {
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kRead:
+      return "READ";
+    case OpType::kUpdate:
+      return "UPDATE";
+    case OpType::kInsert:
+      return "INSERT";
+    case OpType::kScan:
+      return "SCAN";
+    case OpType::kDelete:
+      return "DELETE";
+  }
+  return "UNKNOWN";
+}
+
+Status DB::Scan(const std::string& table, const Slice& start_key, int count,
+                std::vector<Record>* records) {
+  records->clear();
+  std::vector<KeyedRecord> keyed;
+  APM_RETURN_IF_ERROR(ScanKeyed(table, start_key, count, &keyed));
+  records->reserve(keyed.size());
+  for (auto& entry : keyed) {
+    records->push_back(std::move(entry.record));
+  }
+  return Status::OK();
+}
+
+void EncodeRecord(const Record& record, std::string* out) {
+  out->clear();
+  PutVarint32(out, static_cast<uint32_t>(record.size()));
+  for (const auto& [field, value] : record) {
+    PutLengthPrefixedSlice(out, Slice(field));
+    PutLengthPrefixedSlice(out, Slice(value));
+  }
+}
+
+bool DecodeRecord(const Slice& data, Record* record) {
+  record->clear();
+  Slice in = data;
+  uint32_t count;
+  if (!GetVarint32(&in, &count)) return false;
+  record->reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    Slice field, value;
+    if (!GetLengthPrefixedSlice(&in, &field) ||
+        !GetLengthPrefixedSlice(&in, &value)) {
+      return false;
+    }
+    record->emplace_back(field.ToString(), value.ToString());
+  }
+  return true;
+}
+
+}  // namespace apmbench::ycsb

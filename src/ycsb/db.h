@@ -1,0 +1,88 @@
+#ifndef APMBENCH_YCSB_DB_H_
+#define APMBENCH_YCSB_DB_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace apmbench::ycsb {
+
+/// A record is an ordered list of (field name, value) pairs, matching
+/// YCSB's data model: records have a fixed number of fields and are
+/// logically indexed by a key.
+using Record = std::vector<std::pair<std::string, std::string>>;
+
+/// A scan result entry: the record plus its key (the key is needed by
+/// range consumers such as the APM window queries; plain YCSB drivers use
+/// the record-only Scan wrapper).
+struct KeyedRecord {
+  std::string key;
+  Record record;
+};
+
+/// The operation mix executed by a workload (CRUD + scan).
+enum class OpType {
+  kRead = 0,
+  kUpdate = 1,
+  kInsert = 2,
+  kScan = 3,
+  kDelete = 4,
+};
+
+constexpr int kNumOpTypes = 5;
+
+const char* OpTypeName(OpType type);
+
+/// The storage-system binding interface, equivalent to YCSB's `DB` class.
+/// One instance serves all client threads; implementations must be
+/// thread-safe.
+class DB {
+ public:
+  virtual ~DB() = default;
+
+  /// Called once before the workload starts.
+  virtual Status Init() { return Status::OK(); }
+
+  /// Reads the record stored under `key`. NotFound when absent.
+  virtual Status Read(const std::string& table, const Slice& key,
+                      Record* record) = 0;
+
+  /// Reads up to `count` records with key >= start_key in key order,
+  /// returning keys alongside records.
+  virtual Status ScanKeyed(const std::string& table, const Slice& start_key,
+                           int count, std::vector<KeyedRecord>* records) = 0;
+
+  /// YCSB-shaped scan (records only); forwards to ScanKeyed.
+  Status Scan(const std::string& table, const Slice& start_key, int count,
+              std::vector<Record>* records);
+
+  /// Inserts a new record (APM data is append-only: inserts dominate).
+  virtual Status Insert(const std::string& table, const Slice& key,
+                        const Record& record) = 0;
+
+  /// Replaces the record stored under `key`.
+  virtual Status Update(const std::string& table, const Slice& key,
+                        const Record& record) = 0;
+
+  virtual Status Delete(const std::string& table, const Slice& key) = 0;
+
+  /// Bytes of durable storage used, for the disk-usage experiment
+  /// (Figure 17). Stores without a disk footprint return 0.
+  virtual Status DiskUsage(uint64_t* bytes) {
+    *bytes = 0;
+    return Status::OK();
+  }
+};
+
+/// Default record serialization (length-prefixed field/value pairs) used
+/// by stores that keep whole records as opaque values. Stores modeling
+/// per-cell layouts (the HBase-like store) use their own codecs.
+void EncodeRecord(const Record& record, std::string* out);
+bool DecodeRecord(const Slice& data, Record* record);
+
+}  // namespace apmbench::ycsb
+
+#endif  // APMBENCH_YCSB_DB_H_

@@ -1,0 +1,69 @@
+#include "ycsb/measurements.h"
+
+#include <cstdio>
+
+namespace apmbench::ycsb {
+
+void Measurements::Record(OpType type, uint64_t latency_us, bool ok) {
+  size_t index = static_cast<size_t>(type);
+  histograms_[index].Add(latency_us);
+  if (ok) {
+    ok_counts_[index]++;
+  } else {
+    error_counts_[index]++;
+  }
+}
+
+void Measurements::Merge(const Measurements& other) {
+  for (size_t i = 0; i < histograms_.size(); i++) {
+    histograms_[i].Merge(other.histograms_[i]);
+    ok_counts_[i] += other.ok_counts_[i];
+    error_counts_[i] += other.error_counts_[i];
+  }
+  read_misses_ += other.read_misses_;
+}
+
+void Measurements::Reset() {
+  for (size_t i = 0; i < histograms_.size(); i++) {
+    histograms_[i].Reset();
+    ok_counts_[i] = 0;
+    error_counts_[i] = 0;
+  }
+  read_misses_ = 0;
+}
+
+uint64_t Measurements::total_ops() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < histograms_.size(); i++) {
+    total += ok_counts_[i] + error_counts_[i];
+  }
+  return total;
+}
+
+std::string Measurements::Summary() const {
+  std::string out;
+  char line[256];
+  for (int i = 0; i < kNumOpTypes; i++) {
+    const Histogram& h = histograms_[static_cast<size_t>(i)];
+    if (h.count() == 0) continue;
+    snprintf(line, sizeof(line),
+             "%-6s count=%llu mean=%.1fus p95=%lluus p99=%lluus max=%lluus "
+             "errors=%llu\n",
+             OpTypeName(static_cast<OpType>(i)),
+             static_cast<unsigned long long>(h.count()), h.Mean(),
+             static_cast<unsigned long long>(h.Percentile(0.95)),
+             static_cast<unsigned long long>(h.Percentile(0.99)),
+             static_cast<unsigned long long>(h.max()),
+             static_cast<unsigned long long>(
+                 error_counts_[static_cast<size_t>(i)]));
+    out += line;
+  }
+  if (read_misses_ > 0) {
+    snprintf(line, sizeof(line), "read misses=%llu\n",
+             static_cast<unsigned long long>(read_misses_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace apmbench::ycsb

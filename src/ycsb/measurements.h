@@ -1,0 +1,49 @@
+#ifndef APMBENCH_YCSB_MEASUREMENTS_H_
+#define APMBENCH_YCSB_MEASUREMENTS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "ycsb/db.h"
+
+namespace apmbench::ycsb {
+
+/// Latency and outcome accounting for one client thread; merged across
+/// threads when a run finishes. Latencies are recorded in microseconds.
+class Measurements {
+ public:
+  void Record(OpType type, uint64_t latency_us, bool ok);
+  /// A read that returned NotFound (possible when reads race in-flight
+  /// inserts); counted separately, not as an error.
+  void RecordReadMiss() { read_misses_++; }
+
+  void Merge(const Measurements& other);
+  void Reset();
+
+  const Histogram& histogram(OpType type) const {
+    return histograms_[static_cast<size_t>(type)];
+  }
+  uint64_t ok_count(OpType type) const {
+    return ok_counts_[static_cast<size_t>(type)];
+  }
+  uint64_t error_count(OpType type) const {
+    return error_counts_[static_cast<size_t>(type)];
+  }
+  uint64_t total_ops() const;
+  uint64_t read_misses() const { return read_misses_; }
+
+  /// One line per op type with count/mean/percentiles.
+  std::string Summary() const;
+
+ private:
+  std::array<Histogram, kNumOpTypes> histograms_;
+  std::array<uint64_t, kNumOpTypes> ok_counts_{};
+  std::array<uint64_t, kNumOpTypes> error_counts_{};
+  uint64_t read_misses_ = 0;
+};
+
+}  // namespace apmbench::ycsb
+
+#endif  // APMBENCH_YCSB_MEASUREMENTS_H_

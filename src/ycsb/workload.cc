@@ -1,0 +1,181 @@
+#include "ycsb/workload.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/hash.h"
+
+namespace apmbench::ycsb {
+
+CoreWorkload::CoreWorkload(const Properties& properties) {
+  table_ = properties.GetString("table", "usertable");
+  record_count_ =
+      static_cast<uint64_t>(properties.GetInt("recordcount", 1000));
+  field_count_ = static_cast<int>(properties.GetInt("fieldcount", 5));
+  field_length_ = static_cast<int>(properties.GetInt("fieldlength", 10));
+  key_length_ = static_cast<int>(properties.GetInt("keylength", 25));
+  max_scan_length_ = static_cast<int>(properties.GetInt("maxscanlength", 50));
+  p_read_ = properties.GetDouble("readproportion", 0.95);
+  p_update_ = properties.GetDouble("updateproportion", 0.0);
+  p_insert_ = properties.GetDouble("insertproportion", 0.05);
+  p_scan_ = properties.GetDouble("scanproportion", 0.0);
+  p_delete_ = properties.GetDouble("deleteproportion", 0.0);
+
+  ordered_inserts_ =
+      properties.GetString("insertorder", "hashed") == "ordered";
+  hotspot_data_fraction_ =
+      properties.GetDouble("hotspotdatafraction", 0.2);
+  hotspot_opn_fraction_ = properties.GetDouble("hotspotopnfraction", 0.8);
+
+  std::string dist = properties.GetString("requestdistribution", "uniform");
+  if (dist == "hotspot") {
+    request_distribution_ = Distribution::kHotspot;
+  } else if (dist == "zipfian") {
+    request_distribution_ = Distribution::kZipfian;
+    zipfian_ = std::make_unique<ScrambledZipfianGenerator>(
+        0, record_count_ > 0 ? record_count_ : 1);
+  } else if (dist == "latest") {
+    request_distribution_ = Distribution::kLatest;
+    latest_zipfian_ = std::make_unique<ZipfianGenerator>(
+        0, record_count_ > 0 ? record_count_ : 1);
+  } else {
+    request_distribution_ = Distribution::kUniform;
+  }
+
+  uint64_t insert_start =
+      static_cast<uint64_t>(properties.GetInt("insertstart", 0));
+  insert_sequence_.store(record_count_ + insert_start);
+}
+
+std::string CoreWorkload::BuildKeyName(uint64_t keynum) const {
+  // YCSB hashes the sequence number so inserts scatter over the key space
+  // ("hashed" insert order), then prefixes with "user". We zero-pad to a
+  // fixed keylength, giving the paper's 25-byte keys. With
+  // insertorder=ordered the sequence number is used directly (keys arrive
+  // in key order — worst case for range-partitioned stores like HBase).
+  uint64_t hashed = ordered_inserts_ ? keynum : FnvHash64(keynum);
+  std::string digits = std::to_string(hashed);
+  std::string key = "user";
+  int pad = key_length_ - static_cast<int>(key.size()) -
+            static_cast<int>(digits.size());
+  for (int i = 0; i < pad; i++) key.push_back('0');
+  key.append(digits);
+  if (static_cast<int>(key.size()) > key_length_) {
+    key.resize(static_cast<size_t>(key_length_));
+  }
+  return key;
+}
+
+Record CoreWorkload::BuildRecord(Random* rng) const {
+  Record record;
+  record.reserve(static_cast<size_t>(field_count_));
+  for (int i = 0; i < field_count_; i++) {
+    std::string value(static_cast<size_t>(field_length_), '\0');
+    for (char& c : value) {
+      c = static_cast<char>('a' + rng->Uniform(26));
+    }
+    record.emplace_back("field" + std::to_string(i), std::move(value));
+  }
+  return record;
+}
+
+OpType CoreWorkload::NextOperation(Random* rng) {
+  double r = rng->NextDouble();
+  if (r < p_read_) return OpType::kRead;
+  r -= p_read_;
+  if (r < p_update_) return OpType::kUpdate;
+  r -= p_update_;
+  if (r < p_scan_) return OpType::kScan;
+  r -= p_scan_;
+  if (r < p_insert_) return OpType::kInsert;
+  return p_delete_ > 0 ? OpType::kDelete : OpType::kInsert;
+}
+
+uint64_t CoreWorkload::NextTransactionKeyNum(Random* rng) {
+  uint64_t bound = insert_sequence_.load(std::memory_order_relaxed);
+  if (bound == 0) return 0;
+  switch (request_distribution_) {
+    case Distribution::kUniform:
+      return rng->Uniform(bound);
+    case Distribution::kZipfian: {
+      // Drawn over the initial keyspace; new inserts are not hot.
+      uint64_t v = zipfian_->Next(rng);
+      return v % bound;
+    }
+    case Distribution::kLatest: {
+      uint64_t off = latest_zipfian_->Next(rng);
+      return bound - 1 - (off % bound);
+    }
+    case Distribution::kHotspot: {
+      // hotspotopnfraction of requests hit the first
+      // hotspotdatafraction of the keyspace.
+      uint64_t hot = static_cast<uint64_t>(
+          hotspot_data_fraction_ * static_cast<double>(bound));
+      if (hot == 0) hot = 1;
+      if (rng->NextDouble() < hotspot_opn_fraction_) {
+        return rng->Uniform(hot);
+      }
+      return bound == hot ? rng->Uniform(bound)
+                          : hot + rng->Uniform(bound - hot);
+    }
+  }
+  return 0;
+}
+
+uint64_t CoreWorkload::NextInsertKeyNum() {
+  return insert_sequence_.fetch_add(1, std::memory_order_relaxed);
+}
+
+int CoreWorkload::NextScanLength(Random* rng) {
+  (void)rng;
+  // The paper fixes the scan length at 50 records; a distribution hook
+  // can be added here without touching callers.
+  return max_scan_length_;
+}
+
+Status CoreWorkload::Table1Preset(const std::string& name,
+                                  Properties* props) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  // Table 1: Workload -> % Read, % Scans, % Inserts.
+  double read = 0, scan = 0, insert = 0;
+  if (upper == "R") {
+    read = 0.95;
+    insert = 0.05;
+  } else if (upper == "RW") {
+    read = 0.50;
+    insert = 0.50;
+  } else if (upper == "W") {
+    read = 0.01;
+    insert = 0.99;
+  } else if (upper == "RS") {
+    read = 0.47;
+    scan = 0.47;
+    insert = 0.06;
+  } else if (upper == "RSW") {
+    read = 0.25;
+    scan = 0.25;
+    insert = 0.50;
+  } else {
+    return Status::InvalidArgument("unknown Table 1 workload: " + name);
+  }
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.2f", read);
+  props->Set("readproportion", buf);
+  snprintf(buf, sizeof(buf), "%.2f", scan);
+  props->Set("scanproportion", buf);
+  snprintf(buf, sizeof(buf), "%.2f", insert);
+  props->Set("insertproportion", buf);
+  props->Set("updateproportion", "0");
+  props->Set("deleteproportion", "0");
+  // The paper's record shape and scan length.
+  props->Set("fieldcount", "5");
+  props->Set("fieldlength", "10");
+  props->Set("keylength", "25");
+  props->Set("maxscanlength", "50");
+  props->Set("requestdistribution", "uniform");
+  return Status::OK();
+}
+
+}  // namespace apmbench::ycsb

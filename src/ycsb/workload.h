@@ -1,0 +1,87 @@
+#ifndef APMBENCH_YCSB_WORKLOAD_H_
+#define APMBENCH_YCSB_WORKLOAD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/properties.h"
+#include "common/random.h"
+#include "ycsb/db.h"
+
+namespace apmbench::ycsb {
+
+/// The workload generator, equivalent to YCSB's CoreWorkload: a
+/// configurable mix of CRUD+scan operations over synthetic records.
+///
+/// Record shape follows the paper's APM benchmark: a 25-byte alphanumeric
+/// key and 5 fields of 10 bytes each (75-byte raw records, Figure 2's
+/// measurement mapped onto the generic data model).
+///
+/// Recognized properties (YCSB names):
+///   table, recordcount, fieldcount, fieldlength, keylength,
+///   readproportion, updateproportion, insertproportion, scanproportion,
+///   deleteproportion,
+///   requestdistribution (uniform|zipfian|latest|hotspot),
+///   hotspotdatafraction, hotspotopnfraction,
+///   insertorder (hashed|ordered), maxscanlength, insertstart
+///
+/// Thread-safety: NextOperation/Next*Key take a caller-owned Random so
+/// client threads generate independently; the insert sequence is shared
+/// and atomic.
+class CoreWorkload {
+ public:
+  explicit CoreWorkload(const Properties& properties);
+
+  /// Key of record number `keynum` ("user" + zero-padded FNV hash,
+  /// `keylength` bytes total).
+  std::string BuildKeyName(uint64_t keynum) const;
+
+  /// A full record with `fieldcount` random fields of `fieldlength` bytes.
+  Record BuildRecord(Random* rng) const;
+
+  /// Draws the next operation type from the configured mix.
+  OpType NextOperation(Random* rng);
+
+  /// Record number for a read/update/scan-start, over the keys inserted
+  /// so far.
+  uint64_t NextTransactionKeyNum(Random* rng);
+
+  /// Claims the next record number for an insert.
+  uint64_t NextInsertKeyNum();
+
+  /// Scan length for the next scan operation (the paper fixes 50).
+  int NextScanLength(Random* rng);
+
+  uint64_t record_count() const { return record_count_; }
+  const std::string& table() const { return table_; }
+  int field_count() const { return field_count_; }
+  int field_length() const { return field_length_; }
+
+  /// Table 1 of the paper: the five APM workload mixes. `name` is one of
+  /// R, RW, W, RS, RSW (case-insensitive).
+  static Status Table1Preset(const std::string& name, Properties* props);
+
+ private:
+  enum class Distribution { kUniform, kZipfian, kLatest, kHotspot };
+
+  std::string table_;
+  uint64_t record_count_;
+  int field_count_;
+  int field_length_;
+  int key_length_;
+  int max_scan_length_;
+  bool ordered_inserts_;
+  double hotspot_data_fraction_;
+  double hotspot_opn_fraction_;
+  double p_read_, p_update_, p_insert_, p_scan_, p_delete_;
+  Distribution request_distribution_;
+  std::unique_ptr<ScrambledZipfianGenerator> zipfian_;
+  std::unique_ptr<ZipfianGenerator> latest_zipfian_;
+  std::atomic<uint64_t> insert_sequence_;
+};
+
+}  // namespace apmbench::ycsb
+
+#endif  // APMBENCH_YCSB_WORKLOAD_H_

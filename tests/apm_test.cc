@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "apm/agent.h"
+#include "apm/measurement.h"
+#include "apm/queries.h"
+#include "stores/factory.h"
+#include "tests/test_util.h"
+
+namespace apmbench::apm {
+namespace {
+
+TEST(MeasurementCodecTest, KeyShapeMatchesBenchmark) {
+  std::string key = MeasurementCodec::Key(
+      "HostA/AgentX/ServletB/AverageResponseTime", 1332988833);
+  // The paper's 25-byte key.
+  EXPECT_EQ(key.size(), 25u);
+  // Same metric, later timestamp: shares the prefix and sorts after.
+  std::string later = MeasurementCodec::Key(
+      "HostA/AgentX/ServletB/AverageResponseTime", 1332988843);
+  EXPECT_EQ(key.substr(0, 13), later.substr(0, 13));
+  EXPECT_LT(key, later);
+  // Different metric: different prefix.
+  std::string other = MeasurementCodec::Key("HostB/Other", 1332988833);
+  EXPECT_NE(key.substr(0, 13), other.substr(0, 13));
+}
+
+TEST(MeasurementCodecTest, RecordRoundTrip) {
+  Measurement m;
+  m.metric = "HostA/AgentX/ServletB/AverageResponseTime";
+  m.value = 4;
+  m.min = 1;
+  m.max = 6;
+  m.timestamp = 1332988833;
+  m.duration = 15;
+
+  ycsb::Record record = MeasurementCodec::ToRecord(m);
+  // The benchmark's record shape: 5 fields of 10 bytes.
+  ASSERT_EQ(record.size(), 5u);
+  for (const auto& [field, value] : record) {
+    EXPECT_EQ(value.size(), 10u) << field;
+  }
+
+  Measurement parsed;
+  ASSERT_TRUE(MeasurementCodec::FromRecord(record, &parsed).ok());
+  EXPECT_NEAR(parsed.value, 4, 1e-3);
+  EXPECT_NEAR(parsed.min, 1, 1e-3);
+  EXPECT_NEAR(parsed.max, 6, 1e-3);
+  EXPECT_EQ(parsed.timestamp, 1332988833u);
+  EXPECT_EQ(parsed.duration, 15u);
+}
+
+TEST(MeasurementCodecTest, FromRecordToleratesFieldReordering) {
+  Measurement m;
+  m.metric = "x";
+  m.value = 3.5;
+  m.timestamp = 1000;
+  m.duration = 10;
+  ycsb::Record record = MeasurementCodec::ToRecord(m);
+  std::swap(record[0], record[4]);
+  std::swap(record[1], record[3]);
+  Measurement parsed;
+  ASSERT_TRUE(MeasurementCodec::FromRecord(record, &parsed).ok());
+  EXPECT_NEAR(parsed.value, 3.5, 1e-3);
+  EXPECT_EQ(parsed.timestamp, 1000u);
+}
+
+TEST(MeasurementCodecTest, RejectsTruncatedRecords) {
+  Measurement parsed;
+  ycsb::Record record = {{"field0", "123"}};
+  EXPECT_TRUE(MeasurementCodec::FromRecord(record, &parsed).IsCorruption());
+}
+
+TEST(AgentFleetTest, TickProducesAllMetrics) {
+  FleetConfig config;
+  config.hosts = 3;
+  config.metrics_per_host = 7;
+  AgentFleet fleet(config);
+  auto measurements = fleet.Tick(5000);
+  ASSERT_EQ(measurements.size(), 21u);
+  for (const auto& m : measurements) {
+    EXPECT_EQ(m.timestamp, 5000u);
+    EXPECT_EQ(m.duration, config.interval_seconds);
+    EXPECT_LE(m.min, m.value);
+    EXPECT_GE(m.max, m.value);
+  }
+  EXPECT_DOUBLE_EQ(fleet.measurements_per_second(), 2.1);
+}
+
+TEST(AgentFleetTest, ReplayWritesToDb) {
+  testutil::BasicDB db;
+  FleetConfig config;
+  config.hosts = 2;
+  config.metrics_per_host = 5;
+  AgentFleet fleet(config);
+  uint64_t written = 0;
+  ASSERT_TRUE(fleet.Replay(&db, "apm", 1000, 6, &written).ok());
+  EXPECT_EQ(written, 60u);
+  EXPECT_EQ(db.size(), 60u);
+}
+
+TEST(WindowQueryTest, MaxOverWindow) {
+  // The Section-2 query: max connections on host X in the last 10 min.
+  testutil::BasicDB db;
+  const std::string metric = "HostX/Agent0/Net/Connections";
+  for (int i = 0; i < 120; i++) {
+    Measurement m;
+    m.metric = metric;
+    m.value = 50 + (i % 10);
+    m.min = m.value - 1;
+    m.max = (i == 70) ? 999 : m.value + 1;  // spike inside the window
+    m.timestamp = 10000 + static_cast<uint64_t>(i) * 10;
+    m.duration = 10;
+    ASSERT_TRUE(MeasurementCodec::Write(&db, "apm", m).ok());
+  }
+  // Window covering samples 60..119 (the last 10 minutes).
+  WindowAggregate result;
+  ASSERT_TRUE(
+      WindowQuery(&db, "apm", metric, 10600, 11190, &result).ok());
+  EXPECT_EQ(result.samples, 60);
+  EXPECT_DOUBLE_EQ(result.max, 999);
+  EXPECT_GT(result.avg, 49);
+  EXPECT_LT(result.avg, 61);
+
+  // A window before the data: NotFound.
+  EXPECT_TRUE(
+      WindowQuery(&db, "apm", metric, 10, 20, &result).IsNotFound());
+}
+
+TEST(WindowQueryTest, DoesNotLeakAcrossMetrics) {
+  testutil::BasicDB db;
+  Measurement m;
+  m.metric = "MetricA";
+  m.value = 1;
+  m.timestamp = 1000;
+  m.duration = 10;
+  ASSERT_TRUE(MeasurementCodec::Write(&db, "apm", m).ok());
+  m.metric = "MetricB";
+  m.value = 100000;
+  ASSERT_TRUE(MeasurementCodec::Write(&db, "apm", m).ok());
+
+  WindowAggregate result;
+  ASSERT_TRUE(WindowQuery(&db, "apm", "MetricA", 0, 2000, &result).ok());
+  EXPECT_EQ(result.samples, 1);
+  EXPECT_NEAR(result.avg, 1, 1e-3);
+}
+
+TEST(FleetAverageTest, AveragesAcrossHosts) {
+  // The second Section-2 query: average CPU across web servers of a type.
+  testutil::BasicDB db;
+  std::vector<std::string> metrics;
+  for (int host = 0; host < 4; host++) {
+    std::string metric =
+        "Host" + std::to_string(host) + "/Agent0/CPU/Utilization";
+    metrics.push_back(metric);
+    for (int i = 0; i < 90; i++) {
+      Measurement m;
+      m.metric = metric;
+      m.value = 10.0 * (host + 1);  // host h averages 10*(h+1)
+      m.min = m.value;
+      m.max = m.value;
+      m.timestamp = 20000 + static_cast<uint64_t>(i) * 10;
+      m.duration = 10;
+      ASSERT_TRUE(MeasurementCodec::Write(&db, "apm", m).ok());
+    }
+  }
+  WindowAggregate result;
+  ASSERT_TRUE(
+      FleetAverage(&db, "apm", metrics, 20000, 20890, &result).ok());
+  EXPECT_EQ(result.samples, 4 * 90);
+  EXPECT_NEAR(result.avg, 25.0, 1e-3);  // (10+20+30+40)/4
+}
+
+TEST(ApmEndToEndTest, AgentsToStoreToQueries) {
+  // The full pipeline on a real store: agents feed a Cassandra-like
+  // cluster; on-line queries read back through ordered scans.
+  testutil::ScopedTempDir dir("apm-e2e");
+  stores::StoreOptions options;
+  options.base_dir = dir.path();
+  options.num_nodes = 2;
+  std::unique_ptr<ycsb::DB> db;
+  ASSERT_TRUE(stores::CreateStore("cassandra", options, &db).ok());
+
+  FleetConfig config;
+  config.hosts = 4;
+  config.metrics_per_host = 10;
+  AgentFleet fleet(config);
+  uint64_t written = 0;
+  ASSERT_TRUE(fleet.Replay(db.get(), "apm", 50000, 12, &written).ok());
+  EXPECT_EQ(written, 480u);
+
+  WindowAggregate result;
+  ASSERT_TRUE(WindowQuery(db.get(), "apm", fleet.MetricName(1, 3), 50000,
+                          50110, &result)
+                  .ok());
+  EXPECT_EQ(result.samples, 12);
+  EXPECT_GE(result.max, result.avg);
+  EXPECT_LE(result.min, result.avg);
+}
+
+}  // namespace
+}  // namespace apmbench::apm
+
+#include "apm/triggers.h"
+
+namespace apmbench::apm {
+namespace {
+
+Measurement Sample(const std::string& metric, double value, uint64_t ts) {
+  Measurement m;
+  m.metric = metric;
+  m.value = value;
+  m.min = value;
+  m.max = value;
+  m.timestamp = ts;
+  m.duration = 10;
+  return m;
+}
+
+TEST(TriggerEngineTest, FiresOnThresholdBreach) {
+  TriggerEngine engine;
+  TriggerRule rule;
+  rule.metric = "HostA/CPU";
+  rule.threshold = 90.0;
+  engine.AddRule(rule);
+
+  EXPECT_TRUE(engine.Observe(Sample("HostA/CPU", 50, 100)).empty());
+  auto fired = engine.Observe(Sample("HostA/CPU", 95, 110));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].metric, "HostA/CPU");
+  EXPECT_DOUBLE_EQ(fired[0].value, 95);
+  EXPECT_EQ(fired[0].timestamp, 110u);
+  // Still breaching: no duplicate notification until recovery.
+  EXPECT_TRUE(engine.Observe(Sample("HostA/CPU", 96, 120)).empty());
+  // Recover, breach again: fires again.
+  EXPECT_TRUE(engine.Observe(Sample("HostA/CPU", 40, 130)).empty());
+  EXPECT_EQ(engine.Observe(Sample("HostA/CPU", 99, 140)).size(), 1u);
+  EXPECT_EQ(engine.notifications_fired(), 2u);
+}
+
+TEST(TriggerEngineTest, DebouncesConsecutiveIntervals) {
+  TriggerEngine engine;
+  TriggerRule rule;
+  rule.metric = "HostB/Errors";
+  rule.threshold = 10.0;
+  rule.consecutive_intervals = 3;
+  engine.AddRule(rule);
+
+  EXPECT_TRUE(engine.Observe(Sample("HostB/Errors", 50, 1)).empty());
+  EXPECT_TRUE(engine.Observe(Sample("HostB/Errors", 50, 2)).empty());
+  // Dip resets the run.
+  EXPECT_TRUE(engine.Observe(Sample("HostB/Errors", 5, 3)).empty());
+  EXPECT_TRUE(engine.Observe(Sample("HostB/Errors", 50, 4)).empty());
+  EXPECT_TRUE(engine.Observe(Sample("HostB/Errors", 50, 5)).empty());
+  auto fired = engine.Observe(Sample("HostB/Errors", 50, 6));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].breached_intervals, 3);
+}
+
+TEST(TriggerEngineTest, BelowDirectionAndUnrelatedMetrics) {
+  TriggerEngine engine;
+  TriggerRule rule;
+  rule.metric = "HostC/FreeDiskGB";
+  rule.threshold = 5.0;
+  rule.direction = TriggerRule::Direction::kBelow;
+  engine.AddRule(rule);
+
+  EXPECT_TRUE(engine.Observe(Sample("HostC/FreeDiskGB", 20, 1)).empty());
+  EXPECT_TRUE(engine.Observe(Sample("OtherMetric", 0, 1)).empty());
+  EXPECT_EQ(engine.Observe(Sample("HostC/FreeDiskGB", 2, 2)).size(), 1u);
+}
+
+TEST(TriggerEngineTest, MultipleRulesPerMetric) {
+  TriggerEngine engine;
+  TriggerRule warn;
+  warn.metric = "M";
+  warn.threshold = 50;
+  TriggerRule crit;
+  crit.metric = "M";
+  crit.threshold = 90;
+  engine.AddRule(warn);
+  engine.AddRule(crit);
+  EXPECT_EQ(engine.rule_count(), 2u);
+  EXPECT_EQ(engine.Observe(Sample("M", 60, 1)).size(), 1u);   // warn only
+  EXPECT_EQ(engine.Observe(Sample("M", 95, 2)).size(), 1u);   // crit joins
+  EXPECT_EQ(engine.notifications_fired(), 2u);
+}
+
+}  // namespace
+}  // namespace apmbench::apm
+
+#include "apm/archive.h"
+
+namespace apmbench::apm {
+namespace {
+
+class ArchiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // One metric, 1 sample / 10s for 2 "hours" starting at t0; value ramps
+    // by the hour so bucket averages are predictable.
+    for (int i = 0; i < 720; i++) {
+      Measurement m;
+      m.metric = kMetric;
+      m.value = (i < 360) ? 10.0 : 30.0;
+      m.min = m.value - 1;
+      m.max = m.value + 1;
+      m.timestamp = kT0 + static_cast<uint64_t>(i) * 10;
+      m.duration = 10;
+      ASSERT_TRUE(MeasurementCodec::Write(&db_, "apm", m).ok());
+    }
+  }
+
+  static constexpr uint64_t kT0 = 1000000;
+  static constexpr const char* kMetric = "AppY/DbZ/CallResponseTime";
+  testutil::BasicDB db_;
+};
+
+TEST_F(ArchiveTest, SeriesBucketsCorrectly) {
+  std::vector<SeriesPoint> series;
+  // Hourly buckets over the two hours.
+  ASSERT_TRUE(ArchiveSeries(&db_, "apm", kMetric, kT0, kT0 + 7199, 3600,
+                            &series)
+                  .ok());
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].bucket_start, kT0);
+  EXPECT_EQ(series[0].samples, 360);
+  EXPECT_NEAR(series[0].avg, 10.0, 1e-9);
+  EXPECT_NEAR(series[0].min, 9.0, 1e-9);
+  EXPECT_EQ(series[1].bucket_start, kT0 + 3600);
+  EXPECT_NEAR(series[1].avg, 30.0, 1e-9);
+  EXPECT_NEAR(series[1].max, 31.0, 1e-9);
+}
+
+TEST_F(ArchiveTest, SeriesPartialWindowAndErrors) {
+  std::vector<SeriesPoint> series;
+  // Quarter-hour buckets over 30 minutes.
+  ASSERT_TRUE(ArchiveSeries(&db_, "apm", kMetric, kT0, kT0 + 1799, 900,
+                            &series)
+                  .ok());
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].samples, 90);
+  EXPECT_TRUE(ArchiveSeries(&db_, "apm", kMetric, kT0, kT0 + 100, 0, &series)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ArchiveSeries(&db_, "apm", "Nope", kT0, kT0 + 100, 10, &series)
+          .IsNotFound());
+}
+
+TEST_F(ArchiveTest, MaxBucketAverageFindsTheHotHour) {
+  double max_average = 0;
+  ASSERT_TRUE(ArchiveMaxBucketAverage(&db_, "apm", kMetric, kT0, kT0 + 7199,
+                                      3600, &max_average)
+                  .ok());
+  EXPECT_NEAR(max_average, 30.0, 1e-9);
+}
+
+TEST(ArchiveAggregateTest, WeightsByReplicaSamples) {
+  // "Average response time across replications of servlet X": replica A
+  // has 3x the samples of replica B, so the aggregate leans toward A.
+  testutil::BasicDB db;
+  auto write = [&](const std::string& metric, double value, int n) {
+    for (int i = 0; i < n; i++) {
+      Measurement m;
+      m.metric = metric;
+      m.value = value;
+      m.min = value;
+      m.max = value;
+      m.timestamp = 5000 + static_cast<uint64_t>(i) * 10;
+      m.duration = 10;
+      ASSERT_TRUE(MeasurementCodec::Write(&db, "apm", m).ok());
+    }
+  };
+  write("ServletX/replica0/ResponseTime", 10.0, 300);
+  write("ServletX/replica1/ResponseTime", 50.0, 100);
+
+  WindowAggregate result;
+  ASSERT_TRUE(ArchiveAggregate(
+                  &db, "apm",
+                  {"ServletX/replica0/ResponseTime",
+                   "ServletX/replica1/ResponseTime"},
+                  0, 100000, &result)
+                  .ok());
+  EXPECT_EQ(result.samples, 400);
+  EXPECT_NEAR(result.avg, (10.0 * 300 + 50.0 * 100) / 400, 1e-9);
+  EXPECT_NEAR(result.min, 10.0, 1e-9);
+  EXPECT_NEAR(result.max, 50.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace apmbench::apm

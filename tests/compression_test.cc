@@ -1,0 +1,178 @@
+#include "common/compression.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "lsm/db.h"
+#include "tests/test_util.h"
+
+namespace apmbench {
+namespace {
+
+std::string RoundTrip(const std::string& input, bool* ok) {
+  std::string compressed, output;
+  lz::Compress(Slice(input), &compressed);
+  EXPECT_LE(compressed.size(), lz::MaxCompressedLength(input.size()));
+  *ok = lz::Uncompress(Slice(compressed), &output);
+  return output;
+}
+
+TEST(LzCodecTest, EmptyInput) {
+  bool ok = false;
+  EXPECT_EQ(RoundTrip("", &ok), "");
+  EXPECT_TRUE(ok);
+}
+
+TEST(LzCodecTest, ShortInputs) {
+  for (const char* s : {"a", "ab", "abc", "abcd", "hello world"}) {
+    bool ok = false;
+    EXPECT_EQ(RoundTrip(s, &ok), s);
+    EXPECT_TRUE(ok) << s;
+  }
+}
+
+TEST(LzCodecTest, RepetitiveDataCompressesWell) {
+  std::string input;
+  for (int i = 0; i < 500; i++) {
+    input += "field0=aaaaaaaaaa;field1=bbbbbbbbbb;";
+  }
+  std::string compressed;
+  lz::Compress(Slice(input), &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 5);
+  std::string output;
+  ASSERT_TRUE(lz::Uncompress(Slice(compressed), &output));
+  EXPECT_EQ(output, input);
+}
+
+TEST(LzCodecTest, IncompressibleDataSurvives) {
+  Random rng(7);
+  std::string input;
+  for (int i = 0; i < 10000; i++) {
+    input.push_back(static_cast<char>(rng.Next() & 0xff));
+  }
+  bool ok = false;
+  EXPECT_EQ(RoundTrip(input, &ok), input);
+  EXPECT_TRUE(ok);
+}
+
+TEST(LzCodecTest, OverlappingMatches) {
+  // "aaaa..." forces distance-1 overlapping copies in the decoder.
+  std::string input(1000, 'a');
+  std::string compressed;
+  lz::Compress(Slice(input), &compressed);
+  EXPECT_LT(compressed.size(), 64u);
+  std::string output;
+  ASSERT_TRUE(lz::Uncompress(Slice(compressed), &output));
+  EXPECT_EQ(output, input);
+}
+
+TEST(LzCodecTest, PropertyRandomStructuredInputs) {
+  Random rng(99);
+  for (int round = 0; round < 200; round++) {
+    std::string input;
+    size_t len = rng.Uniform(4000);
+    // Mix of random bytes and repeated chunks, like real block contents.
+    while (input.size() < len) {
+      if (rng.Bernoulli(0.5) && !input.empty()) {
+        size_t from = rng.Uniform(input.size());
+        size_t n = 1 + rng.Uniform(40);
+        input.append(input.substr(from, n));
+      } else {
+        input.push_back(static_cast<char>('a' + rng.Uniform(4)));
+      }
+    }
+    bool ok = false;
+    ASSERT_EQ(RoundTrip(input, &ok), input) << "round " << round;
+    ASSERT_TRUE(ok);
+  }
+}
+
+TEST(LzCodecTest, RejectsCorruptStreams) {
+  std::string input(200, 'x');
+  std::string compressed;
+  lz::Compress(Slice(input), &compressed);
+  std::string output;
+  // Truncations at any point must fail or produce a short-output error,
+  // never crash or over-read.
+  for (size_t cut = 0; cut < compressed.size(); cut++) {
+    std::string truncated = compressed.substr(0, cut);
+    EXPECT_FALSE(lz::Uncompress(Slice(truncated), &output)) << cut;
+  }
+  // A bogus back-reference distance must be rejected.
+  std::string bogus;
+  bogus.push_back(10);  // raw_len varint = 10
+  bogus.push_back(static_cast<char>(0x80));  // match len 4
+  bogus.push_back(99);  // distance 99 into an empty output
+  EXPECT_FALSE(lz::Uncompress(Slice(bogus), &output));
+}
+
+TEST(LsmCompressionTest, DbRoundTripAndSmallerFiles) {
+  using namespace apmbench::lsm;
+  testutil::ScopedTempDir dir_plain("lsm-plain");
+  testutil::ScopedTempDir dir_lz("lsm-lz");
+
+  auto load = [](const std::string& dir, CompressionType compression,
+                 uint64_t* bytes) {
+    Options options;
+    options.dir = dir;
+    options.compression = compression;
+    options.memtable_bytes = 64 * 1024;
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(options, &db).ok());
+    for (int i = 0; i < 5000; i++) {
+      char key[32];
+      snprintf(key, sizeof(key), "user%021d", i);
+      ASSERT_TRUE(db->Put(key, "valuevaluevaluevalue-" +
+                                   std::to_string(i % 50))
+                      .ok());
+    }
+    ASSERT_TRUE(db->CompactAll().ok());
+    // Everything still readable.
+    std::string value;
+    for (int i = 0; i < 5000; i += 371) {
+      char key[32];
+      snprintf(key, sizeof(key), "user%021d", i);
+      ASSERT_TRUE(db->Get(ReadOptions(), key, &value).ok()) << key;
+      EXPECT_EQ(value, "valuevaluevaluevalue-" + std::to_string(i % 50));
+    }
+    std::vector<std::pair<std::string, std::string>> out;
+    ASSERT_TRUE(db->Scan(ReadOptions(), "user", 100, &out).ok());
+    EXPECT_EQ(out.size(), 100u);
+    ASSERT_TRUE(db->DiskUsage(bytes).ok());
+  };
+
+  uint64_t plain_bytes = 0, lz_bytes = 0;
+  load(dir_plain.path(), CompressionType::kNone, &plain_bytes);
+  load(dir_lz.path(), CompressionType::kLz, &lz_bytes);
+  EXPECT_LT(lz_bytes, plain_bytes * 3 / 4)
+      << "compressed tables should be clearly smaller";
+}
+
+TEST(LsmCompressionTest, ReopenCompressedDb) {
+  using namespace apmbench::lsm;
+  testutil::ScopedTempDir dir("lsm-lz-reopen");
+  Options options;
+  options.dir = dir.path();
+  options.compression = CompressionType::kLz;
+  options.memtable_bytes = 32 * 1024;
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(options, &db).ok());
+    for (int i = 0; i < 2000; i++) {
+      ASSERT_TRUE(
+          db->Put("key" + std::to_string(i), std::string(40, 'z')).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "key1234", &value).ok());
+  EXPECT_EQ(value, std::string(40, 'z'));
+}
+
+}  // namespace
+}  // namespace apmbench

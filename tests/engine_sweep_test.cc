@@ -1,0 +1,203 @@
+// Parameterized option-grid sweeps: the same randomized CRUD+scan+reopen
+// property test runs across engine configurations (block size, bloom
+// filters, compression, compaction style for the LSM engine; page size
+// and buffer pool size for the B+tree), so format and tuning paths that
+// the default-option tests never touch are exercised against the same
+// std::map oracle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "btree/btree.h"
+#include "common/random.h"
+#include "lsm/db.h"
+#include "tests/test_util.h"
+
+namespace apmbench {
+namespace {
+
+using testutil::ScopedTempDir;
+
+// ---------------------------------------------------------------------
+// LSM grid.
+// ---------------------------------------------------------------------
+
+struct LsmConfig {
+  const char* name;
+  size_t memtable_bytes;
+  size_t block_size;
+  int bloom_bits;
+  CompressionType compression;
+  lsm::CompactionStyle style;
+  size_t block_cache_bytes;
+};
+
+class LsmSweepTest : public ::testing::TestWithParam<LsmConfig> {};
+
+TEST_P(LsmSweepTest, RandomOpsMatchModelAcrossReopen) {
+  const LsmConfig& config = GetParam();
+  ScopedTempDir dir(std::string("lsm-sweep-") + config.name);
+  lsm::Options options;
+  options.dir = dir.path();
+  options.memtable_bytes = config.memtable_bytes;
+  options.block_size = config.block_size;
+  options.bloom_bits_per_key = config.bloom_bits;
+  options.compression = config.compression;
+  options.compaction_style = config.style;
+  options.block_cache_bytes = config.block_cache_bytes;
+
+  std::map<std::string, std::string> model;
+  Random rng(1234);
+  for (int generation = 0; generation < 3; generation++) {
+    std::unique_ptr<lsm::DB> db;
+    ASSERT_TRUE(lsm::DB::Open(options, &db).ok()) << config.name;
+    for (int i = 0; i < 4000; i++) {
+      std::string key = "k" + std::to_string(rng.Uniform(400));
+      int op = static_cast<int>(rng.Uniform(10));
+      if (op < 6) {
+        std::string value(1 + rng.Uniform(80), 'a' + (i % 26));
+        ASSERT_TRUE(db->Put(key, value).ok());
+        model[key] = value;
+      } else if (op < 8) {
+        db->Delete(key);
+        model.erase(key);
+      } else if (op < 9) {
+        std::string value;
+        Status s = db->Get(lsm::ReadOptions(), key, &value);
+        auto it = model.find(key);
+        if (it == model.end()) {
+          ASSERT_TRUE(s.IsNotFound()) << config.name << " " << key;
+        } else {
+          ASSERT_TRUE(s.ok()) << config.name << " " << key;
+          ASSERT_EQ(value, it->second);
+        }
+      } else {
+        std::vector<std::pair<std::string, std::string>> got;
+        ASSERT_TRUE(db->Scan(lsm::ReadOptions(), key, 7, &got).ok());
+        auto it = model.lower_bound(key);
+        for (const auto& [got_key, got_value] : got) {
+          ASSERT_NE(it, model.end()) << config.name;
+          ASSERT_EQ(got_key, it->first) << config.name;
+          ASSERT_EQ(got_value, it->second) << config.name;
+          ++it;
+        }
+      }
+    }
+    if (generation == 1) {
+      ASSERT_TRUE(db->CompactAll().ok()) << config.name;
+    }
+    // Close; next generation recovers from disk.
+  }
+  // Final recovery check over the whole model.
+  std::unique_ptr<lsm::DB> db;
+  ASSERT_TRUE(lsm::DB::Open(options, &db).ok());
+  for (const auto& [key, expected] : model) {
+    std::string value;
+    ASSERT_TRUE(db->Get(lsm::ReadOptions(), key, &value).ok())
+        << config.name << " " << key;
+    ASSERT_EQ(value, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OptionGrid, LsmSweepTest,
+    ::testing::Values(
+        LsmConfig{"default", 16 << 10, 4 << 10, 10, CompressionType::kNone,
+                  lsm::CompactionStyle::kSizeTiered, 1 << 20},
+        LsmConfig{"tiny_blocks", 16 << 10, 256, 10, CompressionType::kNone,
+                  lsm::CompactionStyle::kSizeTiered, 1 << 20},
+        LsmConfig{"no_bloom", 16 << 10, 4 << 10, 0, CompressionType::kNone,
+                  lsm::CompactionStyle::kSizeTiered, 1 << 20},
+        LsmConfig{"compressed", 16 << 10, 4 << 10, 10, CompressionType::kLz,
+                  lsm::CompactionStyle::kSizeTiered, 1 << 20},
+        LsmConfig{"leveled", 16 << 10, 4 << 10, 10, CompressionType::kNone,
+                  lsm::CompactionStyle::kLeveled, 1 << 20},
+        LsmConfig{"leveled_compressed_tiny", 8 << 10, 512, 6,
+                  CompressionType::kLz, lsm::CompactionStyle::kLeveled,
+                  64 << 10},
+        LsmConfig{"no_cache", 16 << 10, 4 << 10, 10, CompressionType::kNone,
+                  lsm::CompactionStyle::kSizeTiered, 0}),
+    [](const ::testing::TestParamInfo<LsmConfig>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------
+// B+tree grid.
+// ---------------------------------------------------------------------
+
+struct BTreeConfig {
+  const char* name;
+  size_t page_size;
+  size_t buffer_pool_bytes;
+  bool binlog;
+};
+
+class BTreeSweepTest : public ::testing::TestWithParam<BTreeConfig> {};
+
+TEST_P(BTreeSweepTest, RandomOpsMatchModelAcrossReopen) {
+  const BTreeConfig& config = GetParam();
+  ScopedTempDir dir(std::string("btree-sweep-") + config.name);
+  btree::Options options;
+  options.path = dir.path() + "/tree.db";
+  options.page_size = config.page_size;
+  options.buffer_pool_bytes = config.buffer_pool_bytes;
+  if (config.binlog) options.binlog_path = dir.path() + "/binlog";
+
+  std::map<std::string, std::string> model;
+  Random rng(987);
+  for (int generation = 0; generation < 3; generation++) {
+    std::unique_ptr<btree::BTree> tree;
+    ASSERT_TRUE(btree::BTree::Open(options, &tree).ok()) << config.name;
+    for (int i = 0; i < 4000; i++) {
+      std::string key = "key" + std::to_string(rng.Uniform(500));
+      int op = static_cast<int>(rng.Uniform(10));
+      if (op < 6) {
+        std::string value(1 + rng.Uniform(60), 'x');
+        ASSERT_TRUE(tree->Put(key, value).ok()) << config.name;
+        model[key] = value;
+      } else if (op < 8) {
+        Status s = tree->Delete(key);
+        ASSERT_EQ(s.ok(), model.erase(key) > 0) << config.name;
+      } else if (op < 9) {
+        std::string value;
+        Status s = tree->Get(key, &value);
+        auto it = model.find(key);
+        if (it == model.end()) {
+          ASSERT_TRUE(s.IsNotFound()) << config.name;
+        } else {
+          ASSERT_TRUE(s.ok()) << config.name;
+          ASSERT_EQ(value, it->second);
+        }
+      } else {
+        std::vector<std::pair<std::string, std::string>> got;
+        ASSERT_TRUE(tree->Scan(key, 6, &got).ok());
+        auto it = model.lower_bound(key);
+        for (const auto& [got_key, got_value] : got) {
+          ASSERT_NE(it, model.end()) << config.name;
+          ASSERT_EQ(got_key, it->first) << config.name;
+          ASSERT_EQ(got_value, it->second) << config.name;
+          ++it;
+        }
+      }
+    }
+    ASSERT_TRUE(tree->Checkpoint().ok());
+    ASSERT_EQ(tree->GetStats().num_keys, model.size()) << config.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OptionGrid, BTreeSweepTest,
+    ::testing::Values(BTreeConfig{"default", 4096, 1 << 20, false},
+                      BTreeConfig{"small_pages", 1024, 1 << 20, false},
+                      BTreeConfig{"large_pages", 16384, 2 << 20, false},
+                      BTreeConfig{"tiny_pool", 4096, 16 * 4096, false},
+                      BTreeConfig{"with_binlog", 4096, 1 << 20, true}),
+    [](const ::testing::TestParamInfo<BTreeConfig>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace apmbench

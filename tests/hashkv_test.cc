@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "hashkv/dict.h"
+#include "hashkv/hashkv.h"
+#include "tests/test_util.h"
+
+namespace apmbench::hashkv {
+namespace {
+
+using testutil::ScopedTempDir;
+
+TEST(DictTest, SetGetDel) {
+  Dict dict;
+  EXPECT_TRUE(dict.Set("a", "1"));
+  EXPECT_FALSE(dict.Set("a", "2"));  // overwrite
+  ASSERT_NE(dict.Get("a"), nullptr);
+  EXPECT_EQ(*dict.Get("a"), "2");
+  EXPECT_EQ(dict.Get("b"), nullptr);
+  EXPECT_TRUE(dict.Del("a"));
+  EXPECT_FALSE(dict.Del("a"));
+  EXPECT_EQ(dict.size(), 0u);
+}
+
+TEST(DictTest, IncrementalRehashPreservesEntries) {
+  Dict dict(4);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 5000; i++) {
+    std::string key = "key" + std::to_string(i);
+    std::string value = "value" + std::to_string(i);
+    dict.Set(key, value);
+    model[key] = value;
+  }
+  EXPECT_EQ(dict.size(), model.size());
+  for (const auto& [key, value] : model) {
+    ASSERT_NE(dict.Get(key), nullptr) << key;
+    EXPECT_EQ(*dict.Get(key), value);
+  }
+}
+
+TEST(DictTest, OperationsDuringRehash) {
+  Dict dict(4);
+  // Fill just past the load factor to kick off rehashing, then mix ops.
+  for (int i = 0; i < 8; i++) {
+    dict.Set("seed" + std::to_string(i), "x");
+  }
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 8; i++) model["seed" + std::to_string(i)] = "x";
+  Random rng(8);
+  for (int i = 0; i < 3000; i++) {
+    std::string key = "k" + std::to_string(rng.Uniform(400));
+    int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0) {
+      dict.Set(key, std::to_string(i));
+      model[key] = std::to_string(i);
+    } else if (op == 1) {
+      const std::string* got = dict.Get(key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_EQ(got, nullptr);
+      } else {
+        ASSERT_NE(got, nullptr);
+        EXPECT_EQ(*got, it->second);
+      }
+    } else {
+      EXPECT_EQ(dict.Del(key), model.erase(key) > 0);
+    }
+    ASSERT_EQ(dict.size(), model.size());
+  }
+}
+
+TEST(DictTest, MemoryAccounting) {
+  Dict dict;
+  size_t empty = dict.MemoryBytes();
+  dict.Set("key", std::string(100, 'v'));
+  EXPECT_GT(dict.MemoryBytes(), empty + 100);
+  dict.Del("key");
+  EXPECT_EQ(dict.MemoryBytes(), empty);
+}
+
+TEST(HashKVTest, BasicOps) {
+  Options options;
+  std::unique_ptr<HashKV> kv;
+  ASSERT_TRUE(HashKV::Open(options, &kv).ok());
+  ASSERT_TRUE(kv->Set("k1", "v1").ok());
+  std::string value;
+  ASSERT_TRUE(kv->Get("k1", &value).ok());
+  EXPECT_EQ(value, "v1");
+  EXPECT_TRUE(kv->Get("k2", &value).IsNotFound());
+  ASSERT_TRUE(kv->Del("k1").ok());
+  EXPECT_TRUE(kv->Del("k1").IsNotFound());
+}
+
+TEST(HashKVTest, ScanOrderedByKey) {
+  Options options;
+  std::unique_ptr<HashKV> kv;
+  ASSERT_TRUE(HashKV::Open(options, &kv).ok());
+  for (int i = 99; i >= 0; i--) {
+    char key[8];
+    snprintf(key, sizeof(key), "k%03d", i);
+    ASSERT_TRUE(kv->Set(key, std::to_string(i)).ok());
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(kv->Scan("k010", 5, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].first, "k010");
+  EXPECT_EQ(out[4].first, "k014");
+  // Deleted keys disappear from scans.
+  ASSERT_TRUE(kv->Del("k012").ok());
+  ASSERT_TRUE(kv->Scan("k010", 5, &out).ok());
+  EXPECT_EQ(out[2].first, "k013");
+}
+
+TEST(HashKVTest, AofReplayRestoresState) {
+  ScopedTempDir dir("aof");
+  Options options;
+  options.aof_path = dir.path() + "/appendonly.aof";
+  {
+    std::unique_ptr<HashKV> kv;
+    ASSERT_TRUE(HashKV::Open(options, &kv).ok());
+    ASSERT_TRUE(kv->Set("persist", "yes").ok());
+    ASSERT_TRUE(kv->Set("gone", "soon").ok());
+    ASSERT_TRUE(kv->Del("gone").ok());
+  }
+  {
+    std::unique_ptr<HashKV> kv;
+    ASSERT_TRUE(HashKV::Open(options, &kv).ok());
+    std::string value;
+    ASSERT_TRUE(kv->Get("persist", &value).ok());
+    EXPECT_EQ(value, "yes");
+    EXPECT_TRUE(kv->Get("gone", &value).IsNotFound());
+    EXPECT_EQ(kv->GetStats().num_keys, 1u);
+    // Scans still work after replay (index rebuilt).
+    std::vector<std::pair<std::string, std::string>> out;
+    ASSERT_TRUE(kv->Scan("", 10, &out).ok());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].first, "persist");
+  }
+}
+
+TEST(HashKVTest, StatsReflectState) {
+  Options options;
+  std::unique_ptr<HashKV> kv;
+  ASSERT_TRUE(HashKV::Open(options, &kv).ok());
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(kv->Set("k" + std::to_string(i), "v").ok());
+  }
+  HashKV::Stats stats = kv->GetStats();
+  EXPECT_EQ(stats.num_keys, 1000u);
+  EXPECT_GT(stats.memory_bytes, 1000u);
+  EXPECT_EQ(stats.aof_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace apmbench::hashkv
+
+namespace apmbench::hashkv {
+namespace {
+
+TEST(SnapshotTest, SaveLoadRoundTrip) {
+  testutil::ScopedTempDir dir("rdb");
+  Options options;
+  std::unique_ptr<HashKV> kv;
+  ASSERT_TRUE(HashKV::Open(options, &kv).ok());
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(kv->Set("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(kv->Del("k250").ok());
+  std::string path = dir.path() + "/dump.rdb";
+  ASSERT_TRUE(kv->SaveSnapshot(path).ok());
+
+  std::unique_ptr<HashKV> restored;
+  ASSERT_TRUE(HashKV::Open(options, &restored).ok());
+  ASSERT_TRUE(restored->Set("stale", "gone-after-load").ok());
+  ASSERT_TRUE(restored->LoadSnapshot(path).ok());
+  EXPECT_EQ(restored->GetStats().num_keys, 499u);
+  std::string value;
+  ASSERT_TRUE(restored->Get("k42", &value).ok());
+  EXPECT_EQ(value, "v42");
+  EXPECT_TRUE(restored->Get("k250", &value).IsNotFound());
+  EXPECT_TRUE(restored->Get("stale", &value).IsNotFound());
+  // Scans work from the rebuilt index.
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(restored->Scan("k10", 3, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, "k10");
+}
+
+TEST(SnapshotTest, CorruptSnapshotRejected) {
+  testutil::ScopedTempDir dir("rdb2");
+  Options options;
+  std::unique_ptr<HashKV> kv;
+  ASSERT_TRUE(HashKV::Open(options, &kv).ok());
+  ASSERT_TRUE(kv->Set("a", "1").ok());
+  std::string path = dir.path() + "/dump.rdb";
+  ASSERT_TRUE(kv->SaveSnapshot(path).ok());
+
+  std::string data;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path, &data).ok());
+  data[data.size() / 2] ^= 0x5a;
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(path, Slice(data)).ok());
+  EXPECT_TRUE(kv->LoadSnapshot(path).IsCorruption());
+}
+
+TEST(AofRewriteTest, ShrinksLogAndPreservesData) {
+  testutil::ScopedTempDir dir("aof-rw");
+  Options options;
+  options.aof_path = dir.path() + "/appendonly.aof";
+  std::unique_ptr<HashKV> kv;
+  ASSERT_TRUE(HashKV::Open(options, &kv).ok());
+  // Lots of history on few keys: the raw AOF is much bigger than the
+  // live data.
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(
+        kv->Set("key" + std::to_string(i % 20), "v" + std::to_string(i)).ok());
+  }
+  uint64_t before = kv->GetStats().aof_bytes;
+  ASSERT_TRUE(kv->RewriteAof().ok());
+  uint64_t after = kv->GetStats().aof_bytes;
+  EXPECT_LT(after, before / 10);
+
+  // Replay of the rewritten log restores the same 20 keys.
+  kv.reset();
+  std::unique_ptr<HashKV> restored;
+  ASSERT_TRUE(HashKV::Open(options, &restored).ok());
+  EXPECT_EQ(restored->GetStats().num_keys, 20u);
+  std::string value;
+  ASSERT_TRUE(restored->Get("key7", &value).ok());
+  EXPECT_EQ(value, "v1987");
+}
+
+}  // namespace
+}  // namespace apmbench::hashkv

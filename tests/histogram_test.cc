@@ -1,0 +1,145 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace apmbench {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_EQ(h.Percentile(0.5), 42u);
+  EXPECT_EQ(h.Percentile(1.0), 42u);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 128; v++) h.Add(v);
+  // Values below kSubBuckets land in exact buckets; the 64th of the 128
+  // observations [1,1,2,...,127] (zero records as one) is 63.
+  EXPECT_EQ(h.Percentile(0.5), 63u);
+  EXPECT_EQ(h.min(), 1u);  // zero recorded as 1
+  EXPECT_EQ(h.max(), 127u);
+}
+
+TEST(HistogramTest, PercentileWithinRelativeError) {
+  Random rng(12);
+  Histogram h;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 100000; i++) {
+    uint64_t v = 1 + rng.Uniform(10'000'000);
+    values.push_back(v);
+    h.Add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    uint64_t exact = values[static_cast<size_t>(q * values.size())];
+    uint64_t approx = h.Percentile(q);
+    double rel_err =
+        std::abs(static_cast<double>(approx) - static_cast<double>(exact)) /
+        static_cast<double>(exact);
+    EXPECT_LT(rel_err, 0.02) << "q=" << q << " exact=" << exact
+                             << " approx=" << approx;
+  }
+}
+
+TEST(HistogramTest, MeanAndSum) {
+  Histogram h;
+  h.Add(10);
+  h.Add(20);
+  h.Add(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+  EXPECT_DOUBLE_EQ(h.Sum(), 60.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; i++) a.Add(10);
+  for (int i = 0; i < 100; i++) b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_GE(a.max(), 1000u);
+  EXPECT_LE(a.Percentile(0.25), 10u);
+  EXPECT_GE(a.Percentile(0.75), 990u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, HugeValuesSaturateGracefully) {
+  Histogram h;
+  h.Add(UINT64_MAX);
+  h.Add(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  // No crash, and the top percentile is bounded by the recorded max.
+  EXPECT_LE(h.Percentile(1.0), UINT64_MAX);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Add(7);
+  EXPECT_NE(h.ToString().find("count=1"), std::string::npos);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  Random rng(77);
+  Histogram h;
+  for (int i = 0; i < 10000; i++) h.Add(1 + rng.Uniform(1'000'000));
+  uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    uint64_t v = h.Percentile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace apmbench
+
+namespace apmbench {
+namespace {
+
+TEST(HistogramTest, SingleValueBucketBoundsProperty) {
+  // Any recorded value within the documented range [1, 2^40) is
+  // recovered by Percentile(1.0) within the relative-error bound
+  // (< 1/128); values beyond saturate and report the observed max.
+  Random rng(321);
+  for (int i = 0; i < 2000; i++) {
+    Histogram h;
+    uint64_t v = 1 + (rng.Next() >> (24 + rng.Uniform(39)));
+    h.Add(v);
+    uint64_t p100 = h.Percentile(1.0);
+    EXPECT_GE(p100 + p100 / 64 + 1, v) << v;
+    EXPECT_LE(p100, v) << v;  // capped at max
+  }
+  Histogram h;
+  h.Add(1ull << 50);  // saturated region
+  EXPECT_EQ(h.Percentile(1.0), 1ull << 50);
+}
+
+}  // namespace
+}  // namespace apmbench

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apm/agent.h"
+#include "apm/queries.h"
+#include "common/properties.h"
+#include "simstores/runner.h"
+#include "stores/factory.h"
+#include "tests/test_util.h"
+#include "ycsb/client.h"
+#include "ycsb/workload.h"
+
+namespace apmbench {
+namespace {
+
+using testutil::ScopedTempDir;
+
+// ---------------------------------------------------------------------
+// Figure-harness smoke: every (model, workload, cluster) combination the
+// bench binaries exercise must run and produce sane output at tiny scale.
+// ---------------------------------------------------------------------
+
+struct SimCase {
+  const char* model;
+  const char* workload;
+  bool cluster_d;
+};
+
+class SimMatrixTest : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimMatrixTest, ProducesSaneResults) {
+  const SimCase& test_case = GetParam();
+  simstores::ClusterParams cluster =
+      test_case.cluster_d ? simstores::ClusterParams::ClusterD(8)
+                          : simstores::ClusterParams::ClusterM(4);
+  simstores::WorkloadSpec spec =
+      simstores::WorkloadSpec::Preset(test_case.workload);
+  simstores::SimRunConfig config;
+  config.duration_seconds = 2.0;
+  config.warmup_seconds = 0.5;
+  simstores::SimResult result;
+  Status status = simstores::RunSimulation(test_case.model, cluster, spec,
+                                           config, &result);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  if (std::string(test_case.model) == "mysql" &&
+      std::string(test_case.workload) == "RSW") {
+    // The paper's result for this cell is < 1 op/s at 4+ nodes: a single
+    // tail scan under next-key locking outlasts this short run. Nothing
+    // completing IS the expected behavior.
+    return;
+  }
+  EXPECT_GT(result.throughput_ops_sec, 0);
+  EXPECT_GT(result.total_completed, 0u);
+  // Latencies are positive and bounded by the run length.
+  for (simstores::OpKind kind :
+       {simstores::OpKind::kRead, simstores::OpKind::kInsert,
+        simstores::OpKind::kScan}) {
+    const Histogram& h = result.latency(kind);
+    if (h.count() == 0) continue;
+    EXPECT_GT(h.Mean(), 0);
+    EXPECT_LT(h.Mean(), 2.0 * 1e6);  // < run length in us
+  }
+}
+
+std::vector<SimCase> AllSimCases() {
+  std::vector<SimCase> cases;
+  for (const char* model :
+       {"cassandra", "hbase", "voldemort", "redis", "voltdb", "mysql"}) {
+    for (const char* workload : {"R", "RW", "W", "RS", "RSW"}) {
+      bool has_scans =
+          std::string(workload) == "RS" || std::string(workload) == "RSW";
+      if (has_scans && std::string(model) == "voldemort") continue;
+      cases.push_back({model, workload, false});
+    }
+  }
+  // Cluster D runs only R/RW/W on the three disk stores (as in the paper).
+  for (const char* model : {"cassandra", "hbase", "voldemort"}) {
+    for (const char* workload : {"R", "RW", "W"}) {
+      cases.push_back({model, workload, true});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, SimMatrixTest, ::testing::ValuesIn(AllSimCases()),
+    [](const ::testing::TestParamInfo<SimCase>& info) {
+      return std::string(info.param.model) + "_" + info.param.workload +
+             (info.param.cluster_d ? "_D" : "_M");
+    });
+
+// ---------------------------------------------------------------------
+// Replication (Section 8 future work): write-heavy throughput falls with
+// the replication factor; read-heavy barely moves.
+// ---------------------------------------------------------------------
+
+TEST(ReplicationTest, WriteThroughputFallsWithRf) {
+  auto run = [](int rf, const char* workload) {
+    simstores::ClusterParams cluster = simstores::ClusterParams::ClusterM(8);
+    cluster.replication_factor = rf;
+    simstores::SimRunConfig config;
+    config.duration_seconds = 4.0;
+    config.warmup_seconds = 1.0;
+    simstores::SimResult result;
+    Status status = simstores::RunSimulation(
+        "cassandra", cluster, simstores::WorkloadSpec::Preset(workload),
+        config, &result);
+    EXPECT_TRUE(status.ok());
+    return result.throughput_ops_sec;
+  };
+  double w_rf1 = run(1, "W");
+  double w_rf3 = run(3, "W");
+  EXPECT_LT(w_rf3, w_rf1 * 0.6);
+  double r_rf1 = run(1, "R");
+  double r_rf3 = run(3, "R");
+  EXPECT_GT(r_rf3, r_rf1 * 0.85);
+}
+
+// ---------------------------------------------------------------------
+// Store persistence: the disk-backed stores must survive close + reopen
+// with their data intact (the benchmark scripts reinstalled systems
+// between runs; a real deployment must not).
+// ---------------------------------------------------------------------
+
+class StorePersistenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StorePersistenceTest, DataSurvivesReopen) {
+  const std::string name = GetParam();
+  ScopedTempDir dir("persist-" + name);
+  stores::StoreOptions options;
+  options.base_dir = dir.path();
+  options.num_nodes = 3;
+  options.redis_aof = true;  // persistence for the redis store
+
+  ycsb::Record record = {{"field0", "persisted0"}, {"field1", "persisted1"}};
+  {
+    std::unique_ptr<ycsb::DB> db;
+    ASSERT_TRUE(stores::CreateStore(name, options, &db).ok());
+    for (int i = 0; i < 200; i++) {
+      char key[32];
+      snprintf(key, sizeof(key), "user%021d", i);
+      ASSERT_TRUE(db->Insert("t", key, record).ok());
+    }
+    ASSERT_TRUE(db->Delete("t", "user000000000000000000007").ok());
+  }
+  {
+    std::unique_ptr<ycsb::DB> db;
+    ASSERT_TRUE(stores::CreateStore(name, options, &db).ok());
+    ycsb::Record read_back;
+    ASSERT_TRUE(db->Read("t", "user000000000000000000042", &read_back).ok());
+    std::map<std::string, std::string> got(read_back.begin(),
+                                           read_back.end());
+    EXPECT_EQ(got["field0"], "persisted0");
+    EXPECT_TRUE(
+        db->Read("t", "user000000000000000000007", &read_back).IsNotFound());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PersistentStores, StorePersistenceTest,
+    ::testing::Values("cassandra", "hbase", "voldemort", "mysql", "redis"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// ---------------------------------------------------------------------
+// APM pipeline across stores: agents -> store -> window queries.
+// ---------------------------------------------------------------------
+
+class ApmPipelineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ApmPipelineTest, WindowQueriesOverScannableStores) {
+  const std::string name = GetParam();
+  ScopedTempDir dir("apm-pipe-" + name);
+  stores::StoreOptions options;
+  options.base_dir = dir.path();
+  options.num_nodes = 2;
+  std::unique_ptr<ycsb::DB> db;
+  ASSERT_TRUE(stores::CreateStore(name, options, &db).ok());
+
+  apm::FleetConfig config;
+  config.hosts = 3;
+  config.metrics_per_host = 4;
+  apm::AgentFleet fleet(config);
+  uint64_t written = 0;
+  ASSERT_TRUE(fleet.Replay(db.get(), "apm", 90000, 10, &written).ok());
+  ASSERT_EQ(written, 120u);
+
+  apm::WindowAggregate window;
+  ASSERT_TRUE(apm::WindowQuery(db.get(), "apm", fleet.MetricName(0, 0),
+                               90000, 90090, &window)
+                  .ok());
+  EXPECT_EQ(window.samples, 10);
+  EXPECT_LE(window.min, window.avg);
+  EXPECT_GE(window.max, window.avg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScannableStores, ApmPipelineTest,
+    ::testing::Values("cassandra", "hbase", "redis", "voltdb"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// ---------------------------------------------------------------------
+// End-to-end benchmark consistency: the YCSB runner over an embedded
+// store leaves the store holding exactly the records it acknowledged.
+// ---------------------------------------------------------------------
+
+TEST(BenchmarkConsistencyTest, InsertsAreDurableAndReadable) {
+  ScopedTempDir dir("bench-consistency");
+  stores::StoreOptions options;
+  options.base_dir = dir.path();
+  options.num_nodes = 2;
+  std::unique_ptr<ycsb::DB> db;
+  ASSERT_TRUE(stores::CreateStore("cassandra", options, &db).ok());
+
+  Properties props;
+  ASSERT_TRUE(ycsb::CoreWorkload::Table1Preset("W", &props).ok());
+  props.Set("recordcount", "500");
+  ycsb::CoreWorkload workload(props);
+  ASSERT_TRUE(ycsb::LoadDatabase(db.get(), &workload, 2).ok());
+
+  ycsb::RunConfig config;
+  config.threads = 4;
+  config.operation_count = 4000;
+  ycsb::RunResult result;
+  ASSERT_TRUE(ycsb::RunWorkload(db.get(), &workload, config, &result).ok());
+  uint64_t inserts = result.measurements.ok_count(ycsb::OpType::kInsert);
+  EXPECT_EQ(result.measurements.error_count(ycsb::OpType::kInsert), 0u);
+
+  // Every acknowledged insert is readable: key numbers 500 ..
+  // 500+inserts-1 were claimed in order by NextInsertKeyNum.
+  ycsb::Record record;
+  for (uint64_t keynum = 500; keynum < 500 + inserts; keynum += 97) {
+    std::string key = workload.BuildKeyName(keynum);
+    EXPECT_TRUE(db->Read(workload.table(), Slice(key), &record).ok())
+        << keynum;
+  }
+}
+
+}  // namespace
+}  // namespace apmbench

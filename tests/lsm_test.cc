@@ -1,0 +1,1042 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/random.h"
+#include "lsm/bloom.h"
+#include "lsm/block_cache.h"
+#include "lsm/db.h"
+#include "lsm/memtable.h"
+#include "lsm/sstable.h"
+#include "lsm/wal.h"
+#include "tests/test_util.h"
+
+namespace apmbench::lsm {
+namespace {
+
+using testutil::ScopedTempDir;
+
+TEST(MemTableTest, PutGetDelete) {
+  MemTable mem;
+  mem.Put("key1", "value1", 1);
+  std::string value;
+  EXPECT_EQ(mem.Get("key1", &value), MemTable::GetResult::kFound);
+  EXPECT_EQ(value, "value1");
+  EXPECT_EQ(mem.Get("nope", &value), MemTable::GetResult::kAbsent);
+
+  mem.Delete("key1", 2);
+  uint64_t seq = 0;
+  EXPECT_EQ(mem.Get("key1", &value, &seq), MemTable::GetResult::kDeleted);
+  EXPECT_EQ(seq, 2u);
+}
+
+TEST(MemTableTest, OverwriteKeepsLatest) {
+  MemTable mem;
+  mem.Put("k", "v1", 1);
+  mem.Put("k", "v2", 2);
+  std::string value;
+  EXPECT_EQ(mem.Get("k", &value), MemTable::GetResult::kFound);
+  EXPECT_EQ(value, "v2");
+  EXPECT_EQ(mem.EntryCount(), 1u);
+}
+
+TEST(MemTableTest, IteratorOrderedWithSeqs) {
+  MemTable mem;
+  mem.Put("c", "3", 3);
+  mem.Put("a", "1", 1);
+  mem.Delete("b", 2);
+  auto iter = mem.NewIterator();
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), "a");
+  EXPECT_FALSE(iter->IsTombstone());
+  iter->Next();
+  EXPECT_EQ(iter->key().ToString(), "b");
+  EXPECT_TRUE(iter->IsTombstone());
+  EXPECT_EQ(iter->seq(), 2u);
+  iter->Next();
+  EXPECT_EQ(iter->key().ToString(), "c");
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(WalTest, RoundTrip) {
+  ScopedTempDir dir("wal");
+  std::string path = dir.path() + "/test.log";
+  Env* env = Env::Default();
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env->NewWritableFile(path, &file).ok());
+    LogWriter writer(std::move(file));
+    ASSERT_TRUE(writer.AddRecord("record one", false).ok());
+    ASSERT_TRUE(writer.AddRecord("record two", true).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::unique_ptr<LogReader> reader;
+  ASSERT_TRUE(LogReader::Open(env, path, &reader).ok());
+  std::string payload;
+  ASSERT_TRUE(reader->ReadRecord(&payload));
+  EXPECT_EQ(payload, "record one");
+  ASSERT_TRUE(reader->ReadRecord(&payload));
+  EXPECT_EQ(payload, "record two");
+  EXPECT_FALSE(reader->ReadRecord(&payload));
+}
+
+TEST(WalTest, TornTailTruncates) {
+  ScopedTempDir dir("wal2");
+  std::string path = dir.path() + "/test.log";
+  Env* env = Env::Default();
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env->NewWritableFile(path, &file).ok());
+    LogWriter writer(std::move(file));
+    ASSERT_TRUE(writer.AddRecord("good", false).ok());
+    ASSERT_TRUE(writer.AddRecord("will be torn", false).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  // Truncate the file mid-record.
+  std::string data;
+  ASSERT_TRUE(env->ReadFileToString(path, &data).ok());
+  data.resize(data.size() - 3);
+  ASSERT_TRUE(env->WriteStringToFile(path, Slice(data)).ok());
+
+  std::unique_ptr<LogReader> reader;
+  ASSERT_TRUE(LogReader::Open(env, path, &reader).ok());
+  std::string payload;
+  ASSERT_TRUE(reader->ReadRecord(&payload));
+  EXPECT_EQ(payload, "good");
+  EXPECT_FALSE(reader->ReadRecord(&payload));
+}
+
+TEST(WalTest, CorruptRecordStopsReplay) {
+  ScopedTempDir dir("wal3");
+  std::string path = dir.path() + "/test.log";
+  Env* env = Env::Default();
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env->NewWritableFile(path, &file).ok());
+    LogWriter writer(std::move(file));
+    ASSERT_TRUE(writer.AddRecord("first", false).ok());
+    ASSERT_TRUE(writer.AddRecord("second", false).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::string data;
+  ASSERT_TRUE(env->ReadFileToString(path, &data).ok());
+  data[10] ^= 0x7f;  // flip a payload byte of the first record
+  ASSERT_TRUE(env->WriteStringToFile(path, Slice(data)).ok());
+
+  std::unique_ptr<LogReader> reader;
+  ASSERT_TRUE(LogReader::Open(env, path, &reader).ok());
+  std::string payload;
+  EXPECT_FALSE(reader->ReadRecord(&payload));
+}
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; i++) {
+    keys.push_back("key" + std::to_string(i));
+    builder.AddKey(keys.back());
+  }
+  std::string filter = builder.Finish();
+  for (const auto& key : keys) {
+    EXPECT_TRUE(BloomFilterMayMatch(filter, key));
+  }
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 10000; i++) {
+    builder.AddKey("present" + std::to_string(i));
+  }
+  std::string filter = builder.Finish();
+  int false_positives = 0;
+  const int probes = 10000;
+  for (int i = 0; i < probes; i++) {
+    if (BloomFilterMayMatch(filter, "absent" + std::to_string(i))) {
+      false_positives++;
+    }
+  }
+  // 10 bits/key gives ~1% FPR; allow generous slack.
+  EXPECT_LT(false_positives, probes / 25);
+}
+
+TEST(BloomTest, EmptyFilterMatchesAll) {
+  EXPECT_TRUE(BloomFilterMayMatch(Slice(), "anything"));
+}
+
+TEST(BlockCacheTest, InsertLookupEvict) {
+  BlockCache cache(100);
+  auto block = std::make_shared<const std::string>(std::string(40, 'x'));
+  cache.Insert(1, 0, block);
+  EXPECT_NE(cache.Lookup(1, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(1, 999), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Fill beyond capacity: LRU (file 1) evicted.
+  cache.Insert(2, 0, std::make_shared<const std::string>(std::string(40, 'y')));
+  cache.Insert(3, 0, std::make_shared<const std::string>(std::string(40, 'z')));
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  EXPECT_NE(cache.Lookup(3, 0), nullptr);
+  EXPECT_LE(cache.charge(), 100u);
+}
+
+TEST(BlockCacheTest, EvictFileRemovesAllBlocks) {
+  BlockCache cache(1000);
+  cache.Insert(7, 0, std::make_shared<const std::string>("aaa"));
+  cache.Insert(7, 10, std::make_shared<const std::string>("bbb"));
+  cache.Insert(8, 0, std::make_shared<const std::string>("ccc"));
+  cache.EvictFile(7);
+  EXPECT_EQ(cache.Lookup(7, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(7, 10), nullptr);
+  EXPECT_NE(cache.Lookup(8, 0), nullptr);
+}
+
+class SSTableTest : public ::testing::Test {
+ protected:
+  SSTableTest() : dir_("sst") {
+    options_.dir = dir_.path();
+    options_.block_size = 256;  // force multiple blocks
+  }
+
+  ScopedTempDir dir_;
+  Options options_;
+};
+
+TEST_F(SSTableTest, BuildAndRead) {
+  std::string path = dir_.path() + "/1.sst";
+  TableBuilder builder(options_, Env::Default(), path);
+  ASSERT_TRUE(builder.Open().ok());
+  for (int i = 0; i < 500; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%05d", i);
+    ASSERT_TRUE(builder
+                    .Add(key, "value" + std::to_string(i),
+                         static_cast<uint64_t>(i + 1), false)
+                    .ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  EXPECT_EQ(builder.NumEntries(), 500u);
+  EXPECT_EQ(builder.smallest_key(), "key00000");
+  EXPECT_EQ(builder.largest_key(), "key00499");
+
+  BlockCache cache(1 << 20);
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(
+      Table::Open(options_, Env::Default(), path, 1, &cache, &table).ok());
+
+  // Point lookups.
+  for (int i = 0; i < 500; i += 7) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%05d", i);
+    Table::GetResult result;
+    std::string value;
+    uint64_t seq = 0;
+    ASSERT_TRUE(
+        table->Get(ReadOptions(), key, &result, &value, &seq).ok());
+    ASSERT_EQ(result, Table::GetResult::kFound) << key;
+    EXPECT_EQ(value, "value" + std::to_string(i));
+    EXPECT_EQ(seq, static_cast<uint64_t>(i + 1));
+  }
+  // Absent keys.
+  Table::GetResult result;
+  std::string value;
+  ASSERT_TRUE(
+      table->Get(ReadOptions(), "zzz", &result, &value, nullptr).ok());
+  EXPECT_EQ(result, Table::GetResult::kAbsent);
+}
+
+TEST_F(SSTableTest, IteratorFullScanAndSeek) {
+  std::string path = dir_.path() + "/2.sst";
+  TableBuilder builder(options_, Env::Default(), path);
+  ASSERT_TRUE(builder.Open().ok());
+  for (int i = 0; i < 300; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%04d", i);
+    ASSERT_TRUE(builder.Add(key, "v", static_cast<uint64_t>(i), i % 10 == 0)
+                    .ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+
+  BlockCache cache(1 << 20);
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(
+      Table::Open(options_, Env::Default(), path, 2, &cache, &table).ok());
+
+  auto iter = table->NewIterator(ReadOptions());
+  iter->SeekToFirst();
+  int count = 0;
+  std::string prev;
+  int tombstones = 0;
+  while (iter->Valid()) {
+    EXPECT_GT(iter->key().ToString(), prev);
+    prev = iter->key().ToString();
+    if (iter->IsTombstone()) tombstones++;
+    iter->Next();
+    count++;
+  }
+  EXPECT_EQ(count, 300);
+  EXPECT_EQ(tombstones, 30);
+  EXPECT_TRUE(iter->status().ok());
+
+  iter->Seek("k0150");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), "k0150");
+  iter->Seek("k01505");  // between keys
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), "k0151");
+  iter->Seek("zzzz");
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_F(SSTableTest, CorruptBlockDetected) {
+  std::string path = dir_.path() + "/3.sst";
+  TableBuilder builder(options_, Env::Default(), path);
+  ASSERT_TRUE(builder.Open().ok());
+  for (int i = 0; i < 100; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%04d", i);
+    ASSERT_TRUE(builder.Add(key, "some value data", 1, false).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+
+  // Flip a byte in the first data block.
+  std::string data;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path, &data).ok());
+  data[20] ^= 0x55;
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(path, Slice(data)).ok());
+
+  BlockCache cache(1 << 20);
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(
+      Table::Open(options_, Env::Default(), path, 3, &cache, &table).ok());
+  Table::GetResult result;
+  std::string value;
+  Status s = table->Get(ReadOptions(), "k0000", &result, &value, nullptr);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+class DBTest : public ::testing::Test {
+ protected:
+  DBTest() : dir_("lsmdb") {
+    options_.dir = dir_.path();
+    options_.memtable_bytes = 16 * 1024;  // small to force flushes
+    options_.block_size = 512;
+  }
+
+  void Open() { ASSERT_TRUE(DB::Open(options_, &db_).ok()); }
+  void Reopen() {
+    db_.reset();
+    Open();
+  }
+
+  ScopedTempDir dir_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DBTest, PutGetDelete) {
+  Open();
+  ASSERT_TRUE(db_->Put("alpha", "1").ok());
+  ASSERT_TRUE(db_->Put("beta", "2").ok());
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), "alpha", &value).ok());
+  EXPECT_EQ(value, "1");
+  EXPECT_TRUE(db_->Get(ReadOptions(), "gamma", &value).IsNotFound());
+  ASSERT_TRUE(db_->Delete("alpha").ok());
+  EXPECT_TRUE(db_->Get(ReadOptions(), "alpha", &value).IsNotFound());
+}
+
+TEST_F(DBTest, OverwriteAcrossFlush) {
+  Open();
+  ASSERT_TRUE(db_->Put("k", "old").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->Put("k", "new").ok());
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), "k", &value).ok());
+  EXPECT_EQ(value, "new");
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->Get(ReadOptions(), "k", &value).ok());
+  EXPECT_EQ(value, "new");
+}
+
+TEST_F(DBTest, DeleteShadowsFlushedValue) {
+  Open();
+  ASSERT_TRUE(db_->Put("k", "v").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->Delete("k").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  std::string value;
+  EXPECT_TRUE(db_->Get(ReadOptions(), "k", &value).IsNotFound());
+  // After major compaction, the tombstone is dropped and the key stays
+  // deleted.
+  ASSERT_TRUE(db_->CompactAll().ok());
+  EXPECT_TRUE(db_->Get(ReadOptions(), "k", &value).IsNotFound());
+}
+
+TEST_F(DBTest, ScanMergesAllSources) {
+  Open();
+  // Some keys flushed, some in memtable, one deleted.
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(
+        db_->Put("key" + std::to_string(i), "flushed" + std::to_string(i))
+            .ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->Put("key3", "updated3").ok());
+  ASSERT_TRUE(db_->Delete("key5").ok());
+  ASSERT_TRUE(db_->Put("key95", "fresh").ok());
+
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(db_->Scan(ReadOptions(), "key3", 5, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].first, "key3");
+  EXPECT_EQ(out[0].second, "updated3");
+  EXPECT_EQ(out[1].first, "key4");
+  EXPECT_EQ(out[2].first, "key6");  // key5 deleted
+  EXPECT_EQ(out[3].first, "key7");
+  EXPECT_EQ(out[4].first, "key8");
+}
+
+TEST_F(DBTest, RecoversFromWal) {
+  Open();
+  ASSERT_TRUE(db_->Put("persist1", "a").ok());
+  ASSERT_TRUE(db_->Put("persist2", "b").ok());
+  ASSERT_TRUE(db_->Delete("persist1").ok());
+  Reopen();
+  std::string value;
+  EXPECT_TRUE(db_->Get(ReadOptions(), "persist1", &value).IsNotFound());
+  ASSERT_TRUE(db_->Get(ReadOptions(), "persist2", &value).ok());
+  EXPECT_EQ(value, "b");
+}
+
+TEST_F(DBTest, RecoversFlushedData) {
+  Open();
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db_->Put("key" + std::to_string(i),
+                         std::string(50, 'v'))
+                    .ok());
+  }
+  Reopen();
+  std::string value;
+  for (int i = 0; i < 2000; i += 101) {
+    ASSERT_TRUE(db_->Get(ReadOptions(), "key" + std::to_string(i), &value)
+                    .ok())
+        << i;
+    EXPECT_EQ(value, std::string(50, 'v'));
+  }
+}
+
+TEST_F(DBTest, SizeTieredCompactionReducesFileCount) {
+  options_.size_tiered_min_files = 4;
+  Open();
+  Random rng(5);
+  for (int i = 0; i < 8000; i++) {
+    ASSERT_TRUE(db_->Put("key" + std::to_string(rng.Uniform(4000)),
+                         std::string(40, 'x'))
+                    .ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  // Give compactions a chance to run, then force the rest.
+  ASSERT_TRUE(db_->CompactAll().ok());
+  DB::Stats stats = db_->GetStats();
+  EXPECT_GE(stats.num_flushes, 2u);
+  EXPECT_GE(stats.num_compactions, 1u);
+  // Major compaction leaves a single table.
+  int total_files = 0;
+  for (int files : stats.files_per_level) total_files += files;
+  EXPECT_EQ(total_files, 1);
+  // Data still correct.
+  std::string value;
+  Status s = db_->Get(ReadOptions(), "key1", &value);
+  EXPECT_TRUE(s.ok() || s.IsNotFound());
+}
+
+TEST_F(DBTest, LeveledCompactionKeepsDataCorrect) {
+  options_.compaction_style = CompactionStyle::kLeveled;
+  options_.level0_compaction_trigger = 2;
+  options_.level1_max_bytes = 64 * 1024;
+  Open();
+  std::map<std::string, std::string> model;
+  Random rng(6);
+  for (int i = 0; i < 6000; i++) {
+    std::string key = "key" + std::to_string(rng.Uniform(3000));
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(db_->Put(key, value).ok());
+    model[key] = value;
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  for (const auto& [key, expected] : model) {
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), key, &value).ok()) << key;
+    EXPECT_EQ(value, expected) << key;
+  }
+}
+
+TEST_F(DBTest, PropertyRandomOpsAgainstModel) {
+  Open();
+  std::map<std::string, std::string> model;
+  Random rng(99);
+  for (int i = 0; i < 15000; i++) {
+    int op = static_cast<int>(rng.Uniform(10));
+    std::string key = "k" + std::to_string(rng.Uniform(500));
+    if (op < 6) {
+      std::string value = "v" + std::to_string(i);
+      ASSERT_TRUE(db_->Put(key, value).ok());
+      model[key] = value;
+    } else if (op < 8) {
+      db_->Delete(key);
+      model.erase(key);
+    } else if (op < 9) {
+      std::string value;
+      Status s = db_->Get(ReadOptions(), key, &value);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_TRUE(s.IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(s.ok()) << key << " " << s.ToString();
+        EXPECT_EQ(value, it->second);
+      }
+    } else {
+      std::vector<std::pair<std::string, std::string>> got;
+      ASSERT_TRUE(db_->Scan(ReadOptions(), key, 10, &got).ok());
+      auto it = model.lower_bound(key);
+      for (const auto& [got_key, got_value] : got) {
+        ASSERT_NE(it, model.end());
+        EXPECT_EQ(got_key, it->first);
+        EXPECT_EQ(got_value, it->second);
+        ++it;
+      }
+    }
+  }
+  // Survive a reopen and re-verify a sample.
+  Reopen();
+  int checked = 0;
+  for (const auto& [key, expected] : model) {
+    if (++checked % 7 != 0) continue;
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), key, &value).ok()) << key;
+    EXPECT_EQ(value, expected);
+  }
+}
+
+TEST_F(DBTest, DiskUsageGrowsWithData) {
+  Open();
+  uint64_t before = 0, after = 0;
+  ASSERT_TRUE(db_->DiskUsage(&before).ok());
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(db_->Put("key" + std::to_string(i), std::string(100, 'd'))
+                    .ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->DiskUsage(&after).ok());
+  EXPECT_GT(after, before + 50 * 1000);
+}
+
+TEST_F(DBTest, RequiresDirOption) {
+  Options bad;
+  std::unique_ptr<DB> db;
+  EXPECT_TRUE(DB::Open(bad, &db).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace apmbench::lsm
+
+// Separate file-scope test: real crash recovery. The child process opens
+// the database, writes, and dies without any cleanup (_exit skips
+// destructors and buffered-file flushing beyond what each Put already
+// pushed to the OS); the parent then recovers from whatever reached the
+// filesystem.
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace apmbench::lsm {
+namespace {
+
+TEST(CrashRecoveryTest, SurvivesProcessKill) {
+  ScopedTempDir dir("lsm-crash");
+  const int kRecords = 3000;
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: write and die hard.
+    Options options;
+    options.dir = dir.path();
+    options.memtable_bytes = 32 * 1024;  // force a few flushes too
+    std::unique_ptr<DB> db;
+    if (!DB::Open(options, &db).ok()) _exit(2);
+    for (int i = 0; i < kRecords; i++) {
+      if (!db->Put("key" + std::to_string(i), "value" + std::to_string(i))
+               .ok()) {
+        _exit(3);
+      }
+    }
+    _exit(0);  // no destructors, no clean close
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  ASSERT_EQ(WEXITSTATUS(wstatus), 0);
+
+  // Parent: recover and verify everything the child acknowledged.
+  Options options;
+  options.dir = dir.path();
+  options.memtable_bytes = 32 * 1024;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+  std::string value;
+  for (int i = 0; i < kRecords; i += 37) {
+    ASSERT_TRUE(
+        db->Get(ReadOptions(), "key" + std::to_string(i), &value).ok())
+        << i;
+    EXPECT_EQ(value, "value" + std::to_string(i));
+  }
+}
+
+TEST(CrashRecoveryTest, SurvivesKillDuringDeletes) {
+  ScopedTempDir dir("lsm-crash2");
+  // Seed data in a clean first generation.
+  {
+    Options options;
+    options.dir = dir.path();
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(options, &db).ok());
+    for (int i = 0; i < 500; i++) {
+      ASSERT_TRUE(db->Put("key" + std::to_string(i), "v").ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    Options options;
+    options.dir = dir.path();
+    std::unique_ptr<DB> db;
+    if (!DB::Open(options, &db).ok()) _exit(2);
+    for (int i = 0; i < 500; i += 2) {
+      if (!db->Delete("key" + std::to_string(i)).ok()) _exit(3);
+    }
+    _exit(0);
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_EQ(WEXITSTATUS(wstatus), 0);
+
+  Options options;
+  options.dir = dir.path();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+  std::string value;
+  for (int i = 0; i < 500; i++) {
+    Status s = db->Get(ReadOptions(), "key" + std::to_string(i), &value);
+    if (i % 2 == 0) {
+      EXPECT_TRUE(s.IsNotFound()) << i;
+    } else {
+      EXPECT_TRUE(s.ok()) << i;
+    }
+  }
+}
+
+TEST(EdgeCaseTest, BinaryKeysAndValues) {
+  ScopedTempDir dir("lsm-binary");
+  Options options;
+  options.dir = dir.path();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+  std::string key("k\0\x01\xff mid", 8);
+  std::string value("\0\0\xfe binary", 9);
+  ASSERT_TRUE(db->Put(Slice(key), Slice(value)).ok());
+  ASSERT_TRUE(db->Flush().ok());
+  std::string out;
+  ASSERT_TRUE(db->Get(ReadOptions(), Slice(key), &out).ok());
+  EXPECT_EQ(out, value);
+}
+
+TEST(EdgeCaseTest, EmptyValueRoundTrip) {
+  ScopedTempDir dir("lsm-empty");
+  Options options;
+  options.dir = dir.path();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+  ASSERT_TRUE(db->Put("key", "").ok());
+  std::string out = "sentinel";
+  ASSERT_TRUE(db->Get(ReadOptions(), "key", &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(db->Flush().ok());
+  out = "sentinel";
+  ASSERT_TRUE(db->Get(ReadOptions(), "key", &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EdgeCaseTest, ScanPastEndAndEmptyDb) {
+  ScopedTempDir dir("lsm-scan-edge");
+  Options options;
+  options.dir = dir.path();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(db->Scan(ReadOptions(), "anything", 10, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(db->Put("a", "1").ok());
+  ASSERT_TRUE(db->Scan(ReadOptions(), "zzz", 10, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(db->Scan(ReadOptions(), "", 10, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(ConcurrencyTest, ParallelWritersAndReaders) {
+  ScopedTempDir dir("lsm-conc");
+  Options options;
+  options.dir = dir.path();
+  options.memtable_bytes = 64 * 1024;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+
+  constexpr int kThreads = 6;
+  constexpr int kOpsPerThread = 3000;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t]() {
+      Random rng(static_cast<uint64_t>(t) + 1);
+      std::string value;
+      for (int i = 0; i < kOpsPerThread; i++) {
+        std::string key =
+            "t" + std::to_string(t) + "-" + std::to_string(i % 500);
+        int op = static_cast<int>(rng.Uniform(10));
+        if (op < 6) {
+          if (!db->Put(key, "v" + std::to_string(i)).ok()) failures++;
+        } else if (op < 8) {
+          Status s = db->Get(ReadOptions(), key, &value);
+          if (!s.ok() && !s.IsNotFound()) failures++;
+        } else if (op < 9) {
+          std::vector<std::pair<std::string, std::string>> out;
+          if (!db->Scan(ReadOptions(), key, 5, &out).ok()) failures++;
+        } else {
+          Status s = db->Delete(key);
+          if (!s.ok()) failures++;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The database remains consistent after the storm.
+  ASSERT_TRUE(db->CompactAll().ok());
+  std::string value;
+  Status s = db->Get(ReadOptions(), "t0-0", &value);
+  EXPECT_TRUE(s.ok() || s.IsNotFound());
+}
+
+}  // namespace
+}  // namespace apmbench::lsm
+
+namespace apmbench::lsm {
+namespace {
+
+TEST(WriteBatchTest, AppliesAtomicallyAndInOrder) {
+  ScopedTempDir dir("lsm-batch");
+  Options options;
+  options.dir = dir.path();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Put("b", "2");
+  batch.Delete("a");
+  batch.Put("c", "3");
+  EXPECT_EQ(batch.Count(), 4u);
+  ASSERT_TRUE(db->Write(batch).ok());
+
+  std::string value;
+  EXPECT_TRUE(db->Get(ReadOptions(), "a", &value).IsNotFound());
+  ASSERT_TRUE(db->Get(ReadOptions(), "b", &value).ok());
+  EXPECT_EQ(value, "2");
+  ASSERT_TRUE(db->Get(ReadOptions(), "c", &value).ok());
+  EXPECT_EQ(value, "3");
+
+  batch.Clear();
+  EXPECT_EQ(batch.Count(), 0u);
+  ASSERT_TRUE(db->Write(batch).ok());  // empty batch is a no-op
+}
+
+TEST(WriteBatchTest, RecoversAtomically) {
+  ScopedTempDir dir("lsm-batch2");
+  Options options;
+  options.dir = dir.path();
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(options, &db).ok());
+    for (int i = 0; i < 200; i++) {
+      WriteBatch batch;
+      for (int f = 0; f < 5; f++) {
+        batch.Put("row" + std::to_string(i) + "/f" + std::to_string(f),
+                  "v" + std::to_string(i));
+      }
+      ASSERT_TRUE(db->Write(batch).ok());
+    }
+  }
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+  // Every recovered row has all five cells.
+  std::string value;
+  for (int i = 0; i < 200; i += 13) {
+    for (int f = 0; f < 5; f++) {
+      ASSERT_TRUE(db->Get(ReadOptions(),
+                          "row" + std::to_string(i) + "/f" +
+                              std::to_string(f),
+                          &value)
+                      .ok())
+          << i << " " << f;
+    }
+  }
+}
+
+TEST(WriteBatchTest, CrashLeavesWholeRowsOnly) {
+  // Rows written via batches are all-or-nothing across a hard kill.
+  ScopedTempDir dir("lsm-batch3");
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    Options options;
+    options.dir = dir.path();
+    std::unique_ptr<DB> db;
+    if (!DB::Open(options, &db).ok()) _exit(2);
+    for (int i = 0; i < 500; i++) {
+      WriteBatch batch;
+      for (int f = 0; f < 5; f++) {
+        batch.Put("row" + std::to_string(i) + "/f" + std::to_string(f), "v");
+      }
+      if (!db->Write(batch).ok()) _exit(3);
+    }
+    _exit(0);
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_EQ(WEXITSTATUS(wstatus), 0);
+
+  Options options;
+  options.dir = dir.path();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+  std::string value;
+  for (int i = 0; i < 500; i++) {
+    // Either the whole row or none of it.
+    int present = 0;
+    for (int f = 0; f < 5; f++) {
+      if (db->Get(ReadOptions(),
+                  "row" + std::to_string(i) + "/f" + std::to_string(f),
+                  &value)
+              .ok()) {
+        present++;
+      }
+    }
+    EXPECT_TRUE(present == 0 || present == 5) << "row " << i << " torn";
+  }
+}
+
+}  // namespace
+}  // namespace apmbench::lsm
+
+namespace apmbench::lsm {
+namespace {
+
+TEST(VerifyIntegrityTest, CleanDatabasePasses) {
+  ScopedTempDir dir("lsm-verify");
+  Options options;
+  options.dir = dir.path();
+  options.memtable_bytes = 16 * 1024;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(db->Put("key" + std::to_string(i), std::string(40, 'v')).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+  ASSERT_TRUE(db->CompactAll().ok());
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+}
+
+TEST(VerifyIntegrityTest, DetectsBitRot) {
+  ScopedTempDir dir("lsm-verify2");
+  Options options;
+  options.dir = dir.path();
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(options, &db).ok());
+    for (int i = 0; i < 2000; i++) {
+      ASSERT_TRUE(db->Put("key" + std::to_string(i), std::string(60, 'v')).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  // Flip one byte in the middle of the (single) SSTable.
+  std::vector<std::string> children;
+  ASSERT_TRUE(Env::Default()->GetChildren(dir.path(), &children).ok());
+  std::string sst;
+  for (const auto& name : children) {
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".sst") {
+      sst = dir.path() + "/" + name;
+    }
+  }
+  ASSERT_FALSE(sst.empty());
+  std::string data;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(sst, &data).ok());
+  data[data.size() / 3] ^= 0x40;
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(sst, Slice(data)).ok());
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+  EXPECT_TRUE(db->VerifyIntegrity().IsCorruption());
+}
+
+}  // namespace
+}  // namespace apmbench::lsm
+
+namespace apmbench::lsm {
+namespace {
+
+TEST(LeveledCompactionTest, DataMigratesToDeeperLevels) {
+  ScopedTempDir dir("lsm-levels");
+  Options options;
+  options.dir = dir.path();
+  options.compaction_style = CompactionStyle::kLeveled;
+  options.memtable_bytes = 16 * 1024;
+  options.level0_compaction_trigger = 2;
+  options.level1_max_bytes = 48 * 1024;  // tiny budgets force deep levels
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+  Random rng(44);
+  for (int i = 0; i < 20000; i++) {
+    ASSERT_TRUE(db->Put("key" + std::to_string(rng.Uniform(10000)),
+                        std::string(48, 'd'))
+                    .ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  // Give pending leveled compactions a chance to settle via the manual
+  // trigger, then inspect the shape before it (levels populated).
+  DB::Stats stats = db->GetStats();
+  int deepest = 0;
+  for (size_t level = 0; level < stats.files_per_level.size(); level++) {
+    if (stats.files_per_level[level] > 0) deepest = static_cast<int>(level);
+  }
+  EXPECT_GE(deepest, 2) << "expected data below level 1";
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+  // Everything still readable.
+  std::string value;
+  Status s = db->Get(ReadOptions(), "key1", &value);
+  EXPECT_TRUE(s.ok() || s.IsNotFound());
+}
+
+TEST(EdgeCaseTest, SharedPrefixKeysScanInOrder) {
+  ScopedTempDir dir("lsm-prefix");
+  Options options;
+  options.dir = dir.path();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+  // Keys that are prefixes of each other exercise Slice::Compare's
+  // shorter-is-smaller rule through memtable, SSTable, and merge paths.
+  for (const char* key : {"a", "aa", "aaa", "aaaa", "ab", "b"}) {
+    ASSERT_TRUE(db->Put(key, std::string("v-") + key).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(db->Scan(ReadOptions(), "a", 10, &out).ok());
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0].first, "a");
+  EXPECT_EQ(out[1].first, "aa");
+  EXPECT_EQ(out[2].first, "aaa");
+  EXPECT_EQ(out[3].first, "aaaa");
+  EXPECT_EQ(out[4].first, "ab");
+  EXPECT_EQ(out[5].first, "b");
+}
+
+}  // namespace
+}  // namespace apmbench::lsm
+
+namespace apmbench::lsm {
+namespace {
+
+TEST(SnapshotIteratorTest, PointInTimeViewUnderConcurrentWrites) {
+  ScopedTempDir dir("lsm-snap");
+  Options options;
+  options.dir = dir.path();
+  options.memtable_bytes = 64 * 1024;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+
+  const int kInitial = 2000;
+  for (int i = 0; i < kInitial; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(db->Put(key, "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(db->Delete("k000100").ok());
+
+  auto iter = db->NewSnapshotIterator(ReadOptions());
+
+  // Hammer the database while iterating the snapshot.
+  std::atomic<bool> stop{false};
+  std::thread writer([&]() {
+    Random rng(5);
+    int i = kInitial;
+    while (!stop.load(std::memory_order_relaxed)) {
+      char key[16];
+      snprintf(key, sizeof(key), "k%06d", i++);
+      db->Put(key, "new");
+      db->Delete("k" + std::to_string(rng.Uniform(100000)));
+    }
+  });
+
+  int count = 0;
+  std::string prev;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    std::string key = iter->key().ToString();
+    EXPECT_GT(key, prev);
+    EXPECT_NE(key, "k000100");  // deleted before the snapshot
+    prev = key;
+    count++;
+  }
+  EXPECT_TRUE(iter->status().ok());
+  EXPECT_EQ(count, kInitial - 1);  // nothing written after creation appears
+
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+
+  // Seek works on snapshots too.
+  iter->Seek("k000500");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), "k000500");
+}
+
+TEST(SnapshotIteratorTest, SpansMemtableAndTables) {
+  ScopedTempDir dir("lsm-snap2");
+  Options options;
+  options.dir = dir.path();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, &db).ok());
+  ASSERT_TRUE(db->Put("flushed", "1").ok());
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->Put("inmem", "2").ok());
+  ASSERT_TRUE(db->Put("flushed", "updated").ok());  // shadows the table
+
+  auto iter = db->NewSnapshotIterator(ReadOptions());
+  std::map<std::string, std::string> seen;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    seen[iter->key().ToString()] = iter->value().ToString();
+  }
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen["flushed"], "updated");
+  EXPECT_EQ(seen["inmem"], "2");
+}
+
+}  // namespace
+}  // namespace apmbench::lsm

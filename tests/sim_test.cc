@@ -1,0 +1,146 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace apmbench::sim {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&]() { order.push_back(3); });
+  sim.Schedule(1.0, [&]() { order.push_back(1); });
+  sim.Schedule(2.0, [&]() { order.push_back(2); });
+  sim.RunUntil(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(SimulatorTest, FifoAmongEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; i++) {
+    sim.Schedule(1.0, [&order, i]() { order.push_back(i); });
+  }
+  sim.RunUntil(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.Schedule(1.0, [&]() {
+    sim.Schedule(0.5, [&]() { fired_at = sim.now(); });
+  });
+  sim.RunUntil(3.0);
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  bool late_fired = false;
+  sim.Schedule(5.0, [&]() { late_fired = true; });
+  sim.RunUntil(4.0);
+  EXPECT_FALSE(late_fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+  sim.RunUntil(6.0);
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(ResourceTest, SingleServerSerializes) {
+  Simulator sim;
+  Resource cpu(&sim, "cpu", 1);
+  std::vector<double> completions;
+  for (int i = 0; i < 3; i++) {
+    cpu.Request(1.0, [&]() { completions.push_back(sim.now()); });
+  }
+  sim.RunUntil(10.0);
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);
+  EXPECT_DOUBLE_EQ(completions[1], 2.0);
+  EXPECT_DOUBLE_EQ(completions[2], 3.0);
+  EXPECT_EQ(cpu.completed(), 3u);
+  EXPECT_DOUBLE_EQ(cpu.busy_seconds(), 3.0);
+}
+
+TEST(ResourceTest, MultiServerParallelism) {
+  Simulator sim;
+  Resource cpu(&sim, "cpu", 4);
+  std::vector<double> completions;
+  for (int i = 0; i < 8; i++) {
+    cpu.Request(1.0, [&]() { completions.push_back(sim.now()); });
+  }
+  sim.RunUntil(10.0);
+  ASSERT_EQ(completions.size(), 8u);
+  // Two waves of four.
+  for (int i = 0; i < 4; i++) EXPECT_DOUBLE_EQ(completions[i], 1.0);
+  for (int i = 4; i < 8; i++) EXPECT_DOUBLE_EQ(completions[i], 2.0);
+}
+
+TEST(ResourceTest, BackgroundWorkDelaysForeground) {
+  Simulator sim;
+  Resource cpu(&sim, "cpu", 1);
+  cpu.RequestBackground(2.0);
+  double done_at = -1;
+  cpu.Request(1.0, [&]() { done_at = sim.now(); });
+  sim.RunUntil(10.0);
+  EXPECT_DOUBLE_EQ(done_at, 3.0);
+}
+
+TEST(ResourceTest, MM1MatchesQueueingTheory) {
+  // M/M/1 with lambda=800/s, mu=1000/s: expected sojourn time
+  // W = 1/(mu-lambda) = 5 ms.
+  Simulator sim;
+  Resource server(&sim, "server", 1);
+  Random rng(42);
+  const double lambda = 800.0, mu = 1000.0;
+  double total_latency = 0;
+  int completed = 0;
+
+  std::function<void()> arrive = [&]() {
+    double start = sim.now();
+    server.Request(rng.Exponential(1.0 / mu), [&, start]() {
+      total_latency += sim.now() - start;
+      completed++;
+    });
+    sim.Schedule(rng.Exponential(1.0 / lambda), arrive);
+  };
+  sim.Schedule(0, arrive);
+  sim.RunUntil(200.0);
+
+  ASSERT_GT(completed, 100000);
+  double mean_sojourn = total_latency / completed;
+  EXPECT_NEAR(mean_sojourn, 1.0 / (mu - lambda), 0.0012);
+}
+
+TEST(ResourceTest, ClosedLoopThroughputIsServiceBound) {
+  // N=8 closed-loop clients on a 2-server resource with 10 ms service:
+  // throughput = 2/0.01 = 200/s, latency = N/X = 40 ms (Little's law).
+  Simulator sim;
+  Resource server(&sim, "server", 2);
+  int completed = 0;
+  double total_latency = 0;
+
+  std::function<void(double)> issue = [&](double) {
+    double start = sim.now();
+    server.Request(0.010, [&, start]() {
+      total_latency += sim.now() - start;
+      completed++;
+      issue(0);
+    });
+  };
+  for (int i = 0; i < 8; i++) issue(0);
+  sim.RunUntil(100.0);
+
+  double throughput = completed / 100.0;
+  EXPECT_NEAR(throughput, 200.0, 2.0);
+  EXPECT_NEAR(total_latency / completed, 0.040, 0.001);
+}
+
+}  // namespace
+}  // namespace apmbench::sim

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "simstores/model.h"
+#include "simstores/runner.h"
+
+namespace apmbench::simstores {
+namespace {
+
+SimResult RunModel(const std::string& model, int nodes,
+              const std::string& workload, double duration = 6.0,
+              bool cluster_d = false, double rate = 0) {
+  ClusterParams cluster = cluster_d ? ClusterParams::ClusterD(nodes)
+                                    : ClusterParams::ClusterM(nodes);
+  WorkloadSpec spec = WorkloadSpec::Preset(workload);
+  SimRunConfig config;
+  config.duration_seconds = duration;
+  config.warmup_seconds = 1.0;
+  config.arrival_rate_ops_sec = rate;
+  SimResult result;
+  Status s = RunSimulation(model, cluster, spec, config, &result);
+  EXPECT_TRUE(s.ok()) << model << ": " << s.ToString();
+  return result;
+}
+
+TEST(ModelRegistryTest, AllSixModelsExist) {
+  for (const char* name :
+       {"cassandra", "hbase", "voldemort", "redis", "voltdb", "mysql"}) {
+    EXPECT_NE(CreateModel(name), nullptr) << name;
+  }
+  EXPECT_EQ(CreateModel("mongodb"), nullptr);
+}
+
+TEST(ModelRegistryTest, ScanSupportMatchesPaper) {
+  EXPECT_FALSE(CreateModel("voldemort")->SupportsScans());
+  for (const char* name : {"cassandra", "hbase", "redis", "voltdb", "mysql"}) {
+    EXPECT_TRUE(CreateModel(name)->SupportsScans()) << name;
+  }
+}
+
+TEST(RunnerTest, RejectsScanWorkloadOnVoldemort) {
+  ClusterParams cluster = ClusterParams::ClusterM(2);
+  WorkloadSpec spec = WorkloadSpec::Preset("RS");
+  SimRunConfig config;
+  SimResult result;
+  EXPECT_TRUE(RunSimulation("voldemort", cluster, spec, config, &result)
+                  .IsNotSupported());
+}
+
+TEST(RunnerTest, RejectsUnknownModel) {
+  ClusterParams cluster = ClusterParams::ClusterM(1);
+  WorkloadSpec spec = WorkloadSpec::Preset("R");
+  SimRunConfig config;
+  SimResult result;
+  EXPECT_TRUE(RunSimulation("dynamo", cluster, spec, config, &result)
+                  .IsInvalidArgument());
+}
+
+TEST(RunnerTest, DeterministicForFixedSeed) {
+  SimResult a = RunModel("cassandra", 2, "R", 3.0);
+  SimResult b = RunModel("cassandra", 2, "R", 3.0);
+  EXPECT_EQ(a.total_completed, b.total_completed);
+  EXPECT_EQ(a.events, b.events);
+}
+
+// --- Single-node anchors (Section 5.1, Workload R, Cluster M) ---
+// Redis > 50K, VoltDB ~45K, Cassandra ~ MySQL ~ 25K, Voldemort ~12K,
+// HBase ~2.5K ops/s. Tolerances are wide: the check is the *ordering and
+// rough magnitude*, not the exact value.
+
+struct Anchor {
+  const char* model;
+  double low, high;
+};
+
+class SingleNodeAnchorTest : public ::testing::TestWithParam<Anchor> {};
+
+TEST_P(SingleNodeAnchorTest, WorkloadRThroughputInBand) {
+  const Anchor& anchor = GetParam();
+  SimResult result = RunModel(anchor.model, 1, "R");
+  EXPECT_GE(result.throughput_ops_sec, anchor.low) << anchor.model;
+  EXPECT_LE(result.throughput_ops_sec, anchor.high) << anchor.model;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperAnchors, SingleNodeAnchorTest,
+    ::testing::Values(Anchor{"redis", 45000, 70000},
+                      Anchor{"voltdb", 35000, 55000},
+                      Anchor{"cassandra", 20000, 30000},
+                      Anchor{"mysql", 20000, 30000},
+                      Anchor{"voldemort", 9000, 15000},
+                      Anchor{"hbase", 1800, 3200}),
+    [](const ::testing::TestParamInfo<Anchor>& info) {
+      return info.param.model;
+    });
+
+// --- Scaling shapes (Figures 3/6/9) ---
+
+TEST(ScalingShapeTest, LinearSystemsScaleNearLinearly) {
+  // HBase and Voldemort clients route directly to the owning server:
+  // linear from one node on.
+  for (const char* model : {"hbase", "voldemort"}) {
+    SimResult x1 = RunModel(model, 1, "R");
+    SimResult x12 = RunModel(model, 12, "R");
+    double speedup = x12.throughput_ops_sec / x1.throughput_ops_sec;
+    EXPECT_GT(speedup, 9.0) << model;
+    EXPECT_LT(speedup, 14.0) << model;
+  }
+}
+
+TEST(ScalingShapeTest, CassandraLinearFromTwoNodes) {
+  // Figure 3's Cassandra shape: the 1->2 step loses per-node efficiency
+  // to coordinator forwarding, then growth is linear (paper: 25K at one
+  // node, ~175K at twelve).
+  SimResult x1 = RunModel("cassandra", 1, "R");
+  SimResult x2 = RunModel("cassandra", 2, "R");
+  SimResult x12 = RunModel("cassandra", 12, "R");
+  double from_two = x12.throughput_ops_sec / x2.throughput_ops_sec;
+  EXPECT_GT(from_two, 5.0);
+  EXPECT_LT(from_two, 7.0);
+  double overall = x12.throughput_ops_sec / x1.throughput_ops_sec;
+  EXPECT_GT(overall, 6.0);
+  EXPECT_LT(overall, 9.0);
+}
+
+TEST(ScalingShapeTest, VoltDbThroughputDecreasesWithNodes) {
+  SimResult x1 = RunModel("voltdb", 1, "R");
+  SimResult x4 = RunModel("voltdb", 4, "R");
+  SimResult x12 = RunModel("voltdb", 12, "R");
+  EXPECT_LT(x4.throughput_ops_sec, x1.throughput_ops_sec);
+  EXPECT_LE(x12.throughput_ops_sec, x4.throughput_ops_sec * 1.05);
+}
+
+TEST(ScalingShapeTest, RedisScalesSublinearly) {
+  SimResult x1 = RunModel("redis", 1, "R");
+  SimResult x12 = RunModel("redis", 12, "R");
+  double speedup = x12.throughput_ops_sec / x1.throughput_ops_sec;
+  EXPECT_GT(speedup, 1.0);
+  EXPECT_LT(speedup, 4.0);  // far from the 12x of the linear systems
+}
+
+TEST(ScalingShapeTest, MySqlScalesThenFlattens) {
+  SimResult x1 = RunModel("mysql", 1, "R");
+  SimResult x2 = RunModel("mysql", 2, "R");
+  SimResult x8 = RunModel("mysql", 8, "R");
+  SimResult x12 = RunModel("mysql", 12, "R");
+  // Near-perfect 1 -> 2 speedup (Section 5.1).
+  EXPECT_NEAR(x2.throughput_ops_sec / x1.throughput_ops_sec, 2.0, 0.35);
+  // Growth flattens beyond 8 nodes (client-bound).
+  double grow_8_12 = x12.throughput_ops_sec / x8.throughput_ops_sec;
+  EXPECT_LT(grow_8_12, 1.35);
+}
+
+// --- Latency shapes (Figures 4/5) ---
+
+TEST(LatencyShapeTest, OrderingMatchesFigure4) {
+  // Read latency at 8 nodes, workload R: Voldemort lowest (~0.25 ms),
+  // Redis ~0.5 ms, MySQL ~ 1-2 ms, Cassandra 5-8 ms, HBase 50-90 ms.
+  double voldemort = RunModel("voldemort", 8, "R").MeanLatencyMs(OpKind::kRead);
+  double redis = RunModel("redis", 8, "R").MeanLatencyMs(OpKind::kRead);
+  double cassandra = RunModel("cassandra", 8, "R").MeanLatencyMs(OpKind::kRead);
+  double hbase = RunModel("hbase", 8, "R").MeanLatencyMs(OpKind::kRead);
+  EXPECT_LT(voldemort, redis);
+  EXPECT_LT(redis, cassandra);
+  EXPECT_LT(cassandra, hbase);
+  EXPECT_NEAR(voldemort, 0.25, 0.2);
+  EXPECT_GT(cassandra, 3.0);
+  EXPECT_LT(cassandra, 12.0);
+  EXPECT_GT(hbase, 30.0);
+}
+
+TEST(LatencyShapeTest, HBaseWritesFarCheaperThanReads) {
+  SimResult result = RunModel("hbase", 8, "RW");
+  EXPECT_LT(result.MeanLatencyMs(OpKind::kInsert),
+            result.MeanLatencyMs(OpKind::kRead) / 10);
+}
+
+TEST(LatencyShapeTest, HBaseReadLatencyExplodesUnderWrites) {
+  double read_r = RunModel("hbase", 12, "R").MeanLatencyMs(OpKind::kRead);
+  double read_w = RunModel("hbase", 12, "W").MeanLatencyMs(OpKind::kRead);
+  EXPECT_GT(read_w, read_r * 3);
+}
+
+// --- Scan shapes (Figures 12-14) ---
+
+TEST(ScanShapeTest, CassandraScansRoughlyFourTimesReads) {
+  SimResult result = RunModel("cassandra", 8, "RS");
+  double scan = result.MeanLatencyMs(OpKind::kScan);
+  double read = result.MeanLatencyMs(OpKind::kRead);
+  EXPECT_GT(scan / read, 2.0);
+  EXPECT_LT(scan / read, 8.0);
+}
+
+TEST(ScanShapeTest, MySqlScansCollapseBeyondTwoNodes) {
+  SimResult x1 = RunModel("mysql", 1, "RS");
+  SimResult x4 = RunModel("mysql", 4, "RS");
+  EXPECT_LT(x4.throughput_ops_sec, x1.throughput_ops_sec / 3);
+  EXPECT_GT(x4.MeanLatencyMs(OpKind::kScan),
+            x1.MeanLatencyMs(OpKind::kScan) * 5);
+}
+
+TEST(ScanShapeTest, MySqlRswCollapsesCompletely) {
+  SimResult result = RunModel("mysql", 1, "RSW", 12.0);
+  // Paper: ~20 ops/s at one node.
+  EXPECT_LT(result.throughput_ops_sec, 300);
+}
+
+// --- Bounded throughput (Figures 15/16) ---
+
+TEST(BoundedThroughputTest, LatencyDropsWithLoad) {
+  SimResult max_run = RunModel("cassandra", 8, "R");
+  double max_rate = max_run.throughput_ops_sec;
+  SimResult at95 = RunModel("cassandra", 8, "R", 6.0, false, 0.95 * max_rate);
+  SimResult at50 = RunModel("cassandra", 8, "R", 6.0, false, 0.50 * max_rate);
+  EXPECT_LT(at95.MeanLatencyMs(OpKind::kRead),
+            max_run.MeanLatencyMs(OpKind::kRead));
+  EXPECT_LT(at50.MeanLatencyMs(OpKind::kRead),
+            at95.MeanLatencyMs(OpKind::kRead));
+  EXPECT_NEAR(at50.throughput_ops_sec, 0.5 * max_rate, 0.1 * max_rate);
+}
+
+// --- Cluster D shapes (Figures 18-20) ---
+
+TEST(ClusterDTest, ThroughputRisesWithWriteRatio) {
+  for (const char* model : {"cassandra", "hbase", "voldemort"}) {
+    double r = RunModel(model, 8, "R", 6.0, true).throughput_ops_sec;
+    double w = RunModel(model, 8, "W", 6.0, true).throughput_ops_sec;
+    EXPECT_GT(w / r, 2.0) << model;
+  }
+  // Cassandra gains the most (factor ~26), Voldemort the least (~3).
+  double cassandra_gain = RunModel("cassandra", 8, "W", 6.0, true).throughput_ops_sec /
+                          RunModel("cassandra", 8, "R", 6.0, true).throughput_ops_sec;
+  double voldemort_gain = RunModel("voldemort", 8, "W", 6.0, true).throughput_ops_sec /
+                          RunModel("voldemort", 8, "R", 6.0, true).throughput_ops_sec;
+  EXPECT_GT(cassandra_gain, voldemort_gain * 2);
+}
+
+TEST(ClusterDTest, ReadLatenciesInMillisecondRange) {
+  SimResult cassandra = RunModel("cassandra", 8, "R", 6.0, true);
+  SimResult voldemort = RunModel("voldemort", 8, "R", 6.0, true);
+  // Figure 19: Cassandra ~40 ms, Voldemort ~5-6 ms.
+  EXPECT_GT(cassandra.MeanLatencyMs(OpKind::kRead), 10.0);
+  EXPECT_LT(voldemort.MeanLatencyMs(OpKind::kRead),
+            cassandra.MeanLatencyMs(OpKind::kRead));
+}
+
+}  // namespace
+}  // namespace apmbench::simstores
+
+namespace apmbench::simstores {
+namespace {
+
+TEST(UtilizationTest, SaturatedSystemShowsBusyCpus) {
+  SimResult result = RunModel("cassandra", 1, "R");
+  double cpu0 = -1;
+  for (const auto& [name, busy] : result.utilization) {
+    if (name == "cpu0") cpu0 = busy;
+    EXPECT_GE(busy, 0.0) << name;
+    EXPECT_LE(busy, 1.02) << name;
+  }
+  // Closed-loop max throughput saturates the single node's CPUs.
+  EXPECT_GT(cpu0, 0.85);
+}
+
+TEST(UtilizationTest, JedisImbalanceVisibleInNodeUtilization) {
+  SimResult result = RunModel("redis", 12, "R");
+  double min_busy = 2, max_busy = 0;
+  for (const auto& [name, busy] : result.utilization) {
+    if (name.rfind("cpu", 0) != 0) continue;
+    min_busy = std::min(min_busy, busy);
+    max_busy = std::max(max_busy, busy);
+  }
+  // The hot shard works measurably harder than the cold one.
+  EXPECT_GT(max_busy, min_busy * 1.1);
+}
+
+}  // namespace
+}  // namespace apmbench::simstores

@@ -1,0 +1,97 @@
+#ifndef APMBENCH_TESTS_TEST_UTIL_H_
+#define APMBENCH_TESTS_TEST_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "ycsb/db.h"
+
+namespace apmbench::testutil {
+
+/// Creates a unique scratch directory under the system temp dir and
+/// removes it (recursively) on destruction.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& tag) {
+    char buf[256];
+    snprintf(buf, sizeof(buf), "/tmp/apmbench-%s-XXXXXX", tag.c_str());
+    char* result = mkdtemp(buf);
+    path_ = result != nullptr ? result : "/tmp/apmbench-fallback";
+  }
+  ~ScopedTempDir() { Env::Default()->RemoveDirRecursively(path_); }
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A trivially correct reference DB (ordered map + mutex) used to test the
+/// YCSB framework and as the model in property tests.
+class BasicDB final : public ycsb::DB {
+ public:
+  Status Read(const std::string& table, const Slice& key,
+              ycsb::Record* record) override {
+    (void)table;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = data_.find(key.ToString());
+    if (it == data_.end()) return Status::NotFound();
+    *record = it->second;
+    return Status::OK();
+  }
+
+  Status ScanKeyed(const std::string& table, const Slice& start_key,
+                   int count,
+                   std::vector<ycsb::KeyedRecord>* records) override {
+    (void)table;
+    records->clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = data_.lower_bound(start_key.ToString());
+         it != data_.end() && static_cast<int>(records->size()) < count;
+         ++it) {
+      records->push_back(ycsb::KeyedRecord{it->first, it->second});
+    }
+    return Status::OK();
+  }
+
+  Status Insert(const std::string& table, const Slice& key,
+                const ycsb::Record& record) override {
+    (void)table;
+    std::lock_guard<std::mutex> lock(mu_);
+    data_[key.ToString()] = record;
+    return Status::OK();
+  }
+
+  Status Update(const std::string& table, const Slice& key,
+                const ycsb::Record& record) override {
+    return Insert(table, key, record);
+  }
+
+  Status Delete(const std::string& table, const Slice& key) override {
+    (void)table;
+    std::lock_guard<std::mutex> lock(mu_);
+    return data_.erase(key.ToString()) > 0 ? Status::OK()
+                                           : Status::NotFound();
+  }
+
+  size_t size() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return data_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, ycsb::Record> data_;
+};
+
+}  // namespace apmbench::testutil
+
+#endif  // APMBENCH_TESTS_TEST_UTIL_H_

@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+
+#include "common/properties.h"
+#include "common/random.h"
+#include "tests/test_util.h"
+#include "ycsb/client.h"
+#include "ycsb/db.h"
+#include "ycsb/measurements.h"
+#include "ycsb/workload.h"
+
+namespace apmbench::ycsb {
+namespace {
+
+TEST(RecordCodecTest, RoundTrip) {
+  Record record = {{"field0", "aaaa"}, {"field1", ""}, {"f2", "zz"}};
+  std::string encoded;
+  EncodeRecord(record, &encoded);
+  Record decoded;
+  ASSERT_TRUE(DecodeRecord(Slice(encoded), &decoded));
+  EXPECT_EQ(decoded, record);
+}
+
+TEST(RecordCodecTest, RejectsTruncated) {
+  Record record = {{"field0", "value"}};
+  std::string encoded;
+  EncodeRecord(record, &encoded);
+  encoded.resize(encoded.size() - 2);
+  Record decoded;
+  EXPECT_FALSE(DecodeRecord(Slice(encoded), &decoded));
+}
+
+TEST(WorkloadTest, KeyShape) {
+  Properties props;
+  props.Set("recordcount", "1000");
+  CoreWorkload workload(props);
+  std::string key = workload.BuildKeyName(0);
+  // The paper's 25-byte alphanumeric key.
+  EXPECT_EQ(key.size(), 25u);
+  EXPECT_EQ(key.substr(0, 4), "user");
+  // Deterministic and distinct.
+  EXPECT_EQ(key, workload.BuildKeyName(0));
+  EXPECT_NE(key, workload.BuildKeyName(1));
+}
+
+TEST(WorkloadTest, RecordShapeMatchesPaper) {
+  Properties props;
+  CoreWorkload workload(props);
+  Random rng(1);
+  Record record = workload.BuildRecord(&rng);
+  ASSERT_EQ(record.size(), 5u);  // 5 fields
+  size_t raw = 0;
+  for (const auto& [field, value] : record) {
+    EXPECT_EQ(value.size(), 10u);  // 10 bytes each
+    raw += value.size();
+  }
+  // 5 x 10 value bytes + 25-byte key = the 75-byte raw record.
+  EXPECT_EQ(raw + workload.BuildKeyName(0).size(), 75u);
+}
+
+struct MixCase {
+  const char* name;
+  double read, scan, insert;
+};
+
+class Table1MixTest : public ::testing::TestWithParam<MixCase> {};
+
+TEST_P(Table1MixTest, OperationMixMatchesTable1) {
+  const MixCase& expected = GetParam();
+  Properties props;
+  ASSERT_TRUE(CoreWorkload::Table1Preset(expected.name, &props).ok());
+  props.Set("recordcount", "1000");
+  CoreWorkload workload(props);
+  Random rng(42);
+  std::map<OpType, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; i++) {
+    counts[workload.NextOperation(&rng)]++;
+  }
+  EXPECT_NEAR(static_cast<double>(counts[OpType::kRead]) / n, expected.read,
+              0.01);
+  EXPECT_NEAR(static_cast<double>(counts[OpType::kScan]) / n, expected.scan,
+              0.01);
+  EXPECT_NEAR(static_cast<double>(counts[OpType::kInsert]) / n,
+              expected.insert, 0.01);
+  EXPECT_EQ(counts[OpType::kUpdate], 0);
+  EXPECT_EQ(counts[OpType::kDelete], 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, Table1MixTest,
+    ::testing::Values(MixCase{"R", 0.95, 0.0, 0.05},
+                      MixCase{"RW", 0.50, 0.0, 0.50},
+                      MixCase{"W", 0.01, 0.0, 0.99},
+                      MixCase{"RS", 0.47, 0.47, 0.06},
+                      MixCase{"RSW", 0.25, 0.25, 0.50}),
+    [](const ::testing::TestParamInfo<MixCase>& info) {
+      return info.param.name;
+    });
+
+TEST(WorkloadTest, UnknownPresetRejected) {
+  Properties props;
+  EXPECT_TRUE(CoreWorkload::Table1Preset("XX", &props).IsInvalidArgument());
+}
+
+TEST(WorkloadTest, InsertSequenceAdvances) {
+  Properties props;
+  props.Set("recordcount", "100");
+  CoreWorkload workload(props);
+  EXPECT_EQ(workload.NextInsertKeyNum(), 100u);
+  EXPECT_EQ(workload.NextInsertKeyNum(), 101u);
+}
+
+TEST(WorkloadTest, TransactionKeysWithinInsertedRange) {
+  Properties props;
+  props.Set("recordcount", "500");
+  CoreWorkload workload(props);
+  Random rng(3);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(workload.NextTransactionKeyNum(&rng), 500u);
+  }
+  workload.NextInsertKeyNum();
+  bool saw_new = false;
+  for (int i = 0; i < 20000; i++) {
+    if (workload.NextTransactionKeyNum(&rng) == 500u) saw_new = true;
+  }
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(WorkloadTest, ScanLengthIsPaperFixed50) {
+  Properties props;
+  ASSERT_TRUE(CoreWorkload::Table1Preset("RS", &props).ok());
+  CoreWorkload workload(props);
+  Random rng(1);
+  EXPECT_EQ(workload.NextScanLength(&rng), 50);
+}
+
+TEST(MeasurementsTest, RecordAndMerge) {
+  Measurements a, b;
+  a.Record(OpType::kRead, 100, true);
+  a.Record(OpType::kRead, 200, false);
+  b.Record(OpType::kInsert, 50, true);
+  b.RecordReadMiss();
+  a.Merge(b);
+  EXPECT_EQ(a.ok_count(OpType::kRead), 1u);
+  EXPECT_EQ(a.error_count(OpType::kRead), 1u);
+  EXPECT_EQ(a.ok_count(OpType::kInsert), 1u);
+  EXPECT_EQ(a.total_ops(), 3u);
+  EXPECT_EQ(a.read_misses(), 1u);
+  EXPECT_NE(a.Summary().find("READ"), std::string::npos);
+  EXPECT_NE(a.Summary().find("INSERT"), std::string::npos);
+}
+
+TEST(ClientTest, LoadPopulatesDatabase) {
+  testutil::BasicDB db;
+  Properties props;
+  props.Set("recordcount", "2000");
+  CoreWorkload workload(props);
+  ASSERT_TRUE(LoadDatabase(&db, &workload, 4).ok());
+  EXPECT_EQ(db.size(), 2000u);
+  Record record;
+  ASSERT_TRUE(
+      db.Read(workload.table(), Slice(workload.BuildKeyName(1234)), &record)
+          .ok());
+  EXPECT_EQ(record.size(), 5u);
+}
+
+TEST(ClientTest, RunWorkloadCountBound) {
+  testutil::BasicDB db;
+  Properties props;
+  ASSERT_TRUE(CoreWorkload::Table1Preset("RW", &props).ok());
+  props.Set("recordcount", "1000");
+  CoreWorkload workload(props);
+  ASSERT_TRUE(LoadDatabase(&db, &workload, 2).ok());
+
+  RunConfig config;
+  config.threads = 4;
+  config.operation_count = 20000;
+  RunResult result;
+  ASSERT_TRUE(RunWorkload(&db, &workload, config, &result).ok());
+  EXPECT_NEAR(static_cast<double>(result.measurements.total_ops()), 20000,
+              config.threads);
+  EXPECT_GT(result.throughput_ops_sec, 0);
+  // Roughly half the ops were inserts.
+  EXPECT_NEAR(static_cast<double>(
+                  result.measurements.ok_count(OpType::kInsert)) /
+                  20000,
+              0.5, 0.05);
+  EXPECT_EQ(result.measurements.error_count(OpType::kInsert), 0u);
+}
+
+TEST(ClientTest, RunWorkloadDurationBound) {
+  testutil::BasicDB db;
+  Properties props;
+  props.Set("recordcount", "100");
+  CoreWorkload workload(props);
+  ASSERT_TRUE(LoadDatabase(&db, &workload, 1).ok());
+
+  RunConfig config;
+  config.threads = 2;
+  config.operation_count = 0;
+  config.duration_seconds = 0.3;
+  RunResult result;
+  ASSERT_TRUE(RunWorkload(&db, &workload, config, &result).ok());
+  EXPECT_GT(result.measurements.total_ops(), 100u);
+  EXPECT_NEAR(result.elapsed_seconds, 0.3, 0.2);
+}
+
+TEST(ClientTest, ThrottleApproximatesTarget) {
+  testutil::BasicDB db;
+  Properties props;
+  props.Set("recordcount", "100");
+  CoreWorkload workload(props);
+  ASSERT_TRUE(LoadDatabase(&db, &workload, 1).ok());
+
+  RunConfig config;
+  config.threads = 2;
+  config.operation_count = 0;
+  config.duration_seconds = 1.0;
+  config.target_ops_per_sec = 2000;
+  RunResult result;
+  ASSERT_TRUE(RunWorkload(&db, &workload, config, &result).ok());
+  EXPECT_NEAR(result.throughput_ops_sec, 2000, 500);
+}
+
+}  // namespace
+}  // namespace apmbench::ycsb
+
+namespace apmbench::ycsb {
+namespace {
+
+TEST(WorkloadTest, ZipfianDistributionSkews) {
+  Properties props;
+  props.Set("recordcount", "10000");
+  props.Set("requestdistribution", "zipfian");
+  CoreWorkload workload(props);
+  Random rng(5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) {
+    counts[workload.NextTransactionKeyNum(&rng)]++;
+  }
+  // A handful of scrambled-hot keys dominate.
+  int max_count = 0;
+  for (const auto& [key, count] : counts) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, 100000 / 10000 * 20);  // >20x the uniform share
+}
+
+TEST(WorkloadTest, LatestDistributionFavorsRecentKeys) {
+  Properties props;
+  props.Set("recordcount", "10000");
+  props.Set("requestdistribution", "latest");
+  CoreWorkload workload(props);
+  Random rng(6);
+  uint64_t high = 0, low = 0;
+  for (int i = 0; i < 50000; i++) {
+    uint64_t key = workload.NextTransactionKeyNum(&rng);
+    if (key >= 9000) high++;
+    if (key < 1000) low++;
+  }
+  EXPECT_GT(high, low * 5);
+}
+
+TEST(WorkloadTest, HotspotDistribution) {
+  Properties props;
+  props.Set("recordcount", "10000");
+  props.Set("requestdistribution", "hotspot");
+  props.Set("hotspotdatafraction", "0.1");
+  props.Set("hotspotopnfraction", "0.9");
+  CoreWorkload workload(props);
+  Random rng(7);
+  int hot = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; i++) {
+    if (workload.NextTransactionKeyNum(&rng) < 1000) hot++;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.9 + 0.1 * 0.1, 0.02);
+}
+
+TEST(WorkloadTest, OrderedInsertOrderKeepsKeySequence) {
+  Properties props;
+  props.Set("recordcount", "100");
+  props.Set("insertorder", "ordered");
+  CoreWorkload workload(props);
+  std::string prev;
+  for (uint64_t i = 0; i < 50; i++) {
+    std::string key = workload.BuildKeyName(i);
+    EXPECT_EQ(key.size(), 25u);
+    EXPECT_GT(key, prev);
+    prev = key;
+  }
+}
+
+TEST(WorkloadTest, DeleteProportionGeneratesDeletes) {
+  Properties props;
+  props.Set("recordcount", "100");
+  props.Set("readproportion", "0.5");
+  props.Set("insertproportion", "0");
+  props.Set("updateproportion", "0");
+  props.Set("scanproportion", "0");
+  props.Set("deleteproportion", "0.5");
+  CoreWorkload workload(props);
+  Random rng(8);
+  int deletes = 0;
+  for (int i = 0; i < 10000; i++) {
+    if (workload.NextOperation(&rng) == OpType::kDelete) deletes++;
+  }
+  EXPECT_NEAR(deletes / 10000.0, 0.5, 0.03);
+}
+
+TEST(WorkloadTest, UpdateProportionRunsThroughRunner) {
+  testutil::BasicDB db;
+  Properties props;
+  props.Set("recordcount", "200");
+  props.Set("readproportion", "0.2");
+  props.Set("updateproportion", "0.8");
+  props.Set("insertproportion", "0");
+  CoreWorkload workload(props);
+  ASSERT_TRUE(LoadDatabase(&db, &workload, 2).ok());
+  RunConfig config;
+  config.threads = 2;
+  config.operation_count = 4000;
+  RunResult result;
+  ASSERT_TRUE(RunWorkload(&db, &workload, config, &result).ok());
+  EXPECT_GT(result.measurements.ok_count(OpType::kUpdate), 2500u);
+  EXPECT_EQ(result.measurements.error_count(OpType::kUpdate), 0u);
+  EXPECT_EQ(db.size(), 200u);  // updates never grow the table
+}
+
+}  // namespace
+}  // namespace apmbench::ycsb
+
+namespace apmbench::ycsb {
+namespace {
+
+TEST(ClientTest, StatusCallbackReportsProgress) {
+  testutil::BasicDB db;
+  Properties props;
+  props.Set("recordcount", "100");
+  CoreWorkload workload(props);
+  ASSERT_TRUE(LoadDatabase(&db, &workload, 1).ok());
+
+  std::atomic<int> reports{0};
+  std::atomic<uint64_t> last_total{0};
+  RunConfig config;
+  config.threads = 2;
+  config.duration_seconds = 0.55;
+  config.status_interval_seconds = 0.1;
+  config.status_callback = [&](double elapsed, uint64_t total,
+                               double interval_rate) {
+    (void)elapsed;
+    (void)interval_rate;
+    reports++;
+    last_total = total;
+  };
+  RunResult result;
+  ASSERT_TRUE(RunWorkload(&db, &workload, config, &result).ok());
+  EXPECT_GE(reports.load(), 3);
+  EXPECT_GT(last_total.load(), 0u);
+}
+
+}  // namespace
+}  // namespace apmbench::ycsb

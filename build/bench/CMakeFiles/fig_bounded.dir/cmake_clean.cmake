@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_bounded.dir/fig_bounded.cc.o"
+  "CMakeFiles/fig_bounded.dir/fig_bounded.cc.o.d"
+  "fig_bounded"
+  "fig_bounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_cluster_d.dir/fig_cluster_d.cc.o"
+  "CMakeFiles/fig_cluster_d.dir/fig_cluster_d.cc.o.d"
+  "fig_cluster_d"
+  "fig_cluster_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_cluster_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_cluster_m.dir/fig_cluster_m.cc.o"
+  "CMakeFiles/fig_cluster_m.dir/fig_cluster_m.cc.o.d"
+  "fig_cluster_m"
+  "fig_cluster_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_cluster_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

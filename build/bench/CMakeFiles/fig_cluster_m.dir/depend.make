@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_cluster_m.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_disk_usage.dir/fig_disk_usage.cc.o"
+  "CMakeFiles/fig_disk_usage.dir/fig_disk_usage.cc.o.d"
+  "fig_disk_usage"
+  "fig_disk_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_disk_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

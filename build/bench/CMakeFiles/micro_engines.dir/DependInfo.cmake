@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_engines.cc" "bench/CMakeFiles/micro_engines.dir/micro_engines.cc.o" "gcc" "bench/CMakeFiles/micro_engines.dir/micro_engines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lsm/CMakeFiles/apm_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/apm_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashkv/CMakeFiles/apm_hashkv.dir/DependInfo.cmake"
+  "/root/repo/build/src/volt/CMakeFiles/apm_volt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

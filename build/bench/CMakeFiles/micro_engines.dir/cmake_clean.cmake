@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_engines.dir/micro_engines.cc.o"
+  "CMakeFiles/micro_engines.dir/micro_engines.cc.o.d"
+  "micro_engines"
+  "micro_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apm_monitoring.dir/apm_monitoring.cpp.o"
+  "CMakeFiles/apm_monitoring.dir/apm_monitoring.cpp.o.d"
+  "apm_monitoring"
+  "apm_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apm_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

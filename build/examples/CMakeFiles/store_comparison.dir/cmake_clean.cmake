@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_comparison.dir/store_comparison.cpp.o"
+  "CMakeFiles/store_comparison.dir/store_comparison.cpp.o.d"
+  "store_comparison"
+  "store_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

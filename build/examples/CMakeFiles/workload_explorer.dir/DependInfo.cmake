@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/workload_explorer.cpp" "examples/CMakeFiles/workload_explorer.dir/workload_explorer.cpp.o" "gcc" "examples/CMakeFiles/workload_explorer.dir/workload_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apm/CMakeFiles/apm_apm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stores/CMakeFiles/apm_stores.dir/DependInfo.cmake"
+  "/root/repo/build/src/simstores/CMakeFiles/apm_simstores.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ycsb/CMakeFiles/apm_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/apm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/apm_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/apm_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashkv/CMakeFiles/apm_hashkv.dir/DependInfo.cmake"
+  "/root/repo/build/src/volt/CMakeFiles/apm_volt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

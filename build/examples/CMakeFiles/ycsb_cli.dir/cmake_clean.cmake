@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_cli.dir/ycsb_cli.cpp.o"
+  "CMakeFiles/ycsb_cli.dir/ycsb_cli.cpp.o.d"
+  "ycsb_cli"
+  "ycsb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

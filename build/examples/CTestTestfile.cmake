@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "records=1000")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_apm_monitoring "/root/repo/build/examples/apm_monitoring" "hosts=4" "metrics=8" "intervals=12")
+set_tests_properties(example_apm_monitoring PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_workload_explorer_embedded "/root/repo/build/examples/workload_explorer" "mode=embedded" "store=redis" "records=2000" "seconds=0.5")
+set_tests_properties(example_workload_explorer_embedded PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_workload_explorer_sim "/root/repo/build/examples/workload_explorer" "mode=sim" "store=voltdb" "nodes=2" "workload=RW" "seconds=2")
+set_tests_properties(example_workload_explorer_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_store_comparison "/root/repo/build/examples/store_comparison" "records=1500" "seconds=0.3")
+set_tests_properties(example_store_comparison PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ycsb_cli "/root/repo/build/examples/ycsb_cli" "demo")
+set_tests_properties(example_ycsb_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apm/agent.cc" "src/apm/CMakeFiles/apm_apm.dir/agent.cc.o" "gcc" "src/apm/CMakeFiles/apm_apm.dir/agent.cc.o.d"
+  "/root/repo/src/apm/archive.cc" "src/apm/CMakeFiles/apm_apm.dir/archive.cc.o" "gcc" "src/apm/CMakeFiles/apm_apm.dir/archive.cc.o.d"
+  "/root/repo/src/apm/measurement.cc" "src/apm/CMakeFiles/apm_apm.dir/measurement.cc.o" "gcc" "src/apm/CMakeFiles/apm_apm.dir/measurement.cc.o.d"
+  "/root/repo/src/apm/queries.cc" "src/apm/CMakeFiles/apm_apm.dir/queries.cc.o" "gcc" "src/apm/CMakeFiles/apm_apm.dir/queries.cc.o.d"
+  "/root/repo/src/apm/triggers.cc" "src/apm/CMakeFiles/apm_apm.dir/triggers.cc.o" "gcc" "src/apm/CMakeFiles/apm_apm.dir/triggers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ycsb/CMakeFiles/apm_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

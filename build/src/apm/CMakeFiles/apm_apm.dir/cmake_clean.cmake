@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apm_apm.dir/agent.cc.o"
+  "CMakeFiles/apm_apm.dir/agent.cc.o.d"
+  "CMakeFiles/apm_apm.dir/archive.cc.o"
+  "CMakeFiles/apm_apm.dir/archive.cc.o.d"
+  "CMakeFiles/apm_apm.dir/measurement.cc.o"
+  "CMakeFiles/apm_apm.dir/measurement.cc.o.d"
+  "CMakeFiles/apm_apm.dir/queries.cc.o"
+  "CMakeFiles/apm_apm.dir/queries.cc.o.d"
+  "CMakeFiles/apm_apm.dir/triggers.cc.o"
+  "CMakeFiles/apm_apm.dir/triggers.cc.o.d"
+  "libapm_apm.a"
+  "libapm_apm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apm_apm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for apm_apm.
+# This may be replaced when dependencies are built.

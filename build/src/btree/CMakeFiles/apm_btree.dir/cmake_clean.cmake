@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apm_btree.dir/btree.cc.o"
+  "CMakeFiles/apm_btree.dir/btree.cc.o.d"
+  "CMakeFiles/apm_btree.dir/node.cc.o"
+  "CMakeFiles/apm_btree.dir/node.cc.o.d"
+  "CMakeFiles/apm_btree.dir/pager.cc.o"
+  "CMakeFiles/apm_btree.dir/pager.cc.o.d"
+  "libapm_btree.a"
+  "libapm_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apm_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapm_btree.a"
+)

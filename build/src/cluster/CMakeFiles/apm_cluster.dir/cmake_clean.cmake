@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apm_cluster.dir/routing.cc.o"
+  "CMakeFiles/apm_cluster.dir/routing.cc.o.d"
+  "libapm_cluster.a"
+  "libapm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

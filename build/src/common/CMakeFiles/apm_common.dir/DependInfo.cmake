@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/coding.cc" "src/common/CMakeFiles/apm_common.dir/coding.cc.o" "gcc" "src/common/CMakeFiles/apm_common.dir/coding.cc.o.d"
+  "/root/repo/src/common/compression.cc" "src/common/CMakeFiles/apm_common.dir/compression.cc.o" "gcc" "src/common/CMakeFiles/apm_common.dir/compression.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/common/CMakeFiles/apm_common.dir/crc32.cc.o" "gcc" "src/common/CMakeFiles/apm_common.dir/crc32.cc.o.d"
+  "/root/repo/src/common/env.cc" "src/common/CMakeFiles/apm_common.dir/env.cc.o" "gcc" "src/common/CMakeFiles/apm_common.dir/env.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/common/CMakeFiles/apm_common.dir/hash.cc.o" "gcc" "src/common/CMakeFiles/apm_common.dir/hash.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/common/CMakeFiles/apm_common.dir/histogram.cc.o" "gcc" "src/common/CMakeFiles/apm_common.dir/histogram.cc.o.d"
+  "/root/repo/src/common/properties.cc" "src/common/CMakeFiles/apm_common.dir/properties.cc.o" "gcc" "src/common/CMakeFiles/apm_common.dir/properties.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/common/CMakeFiles/apm_common.dir/random.cc.o" "gcc" "src/common/CMakeFiles/apm_common.dir/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/apm_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/apm_common.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

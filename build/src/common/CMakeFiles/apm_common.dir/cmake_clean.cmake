@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apm_common.dir/coding.cc.o"
+  "CMakeFiles/apm_common.dir/coding.cc.o.d"
+  "CMakeFiles/apm_common.dir/compression.cc.o"
+  "CMakeFiles/apm_common.dir/compression.cc.o.d"
+  "CMakeFiles/apm_common.dir/crc32.cc.o"
+  "CMakeFiles/apm_common.dir/crc32.cc.o.d"
+  "CMakeFiles/apm_common.dir/env.cc.o"
+  "CMakeFiles/apm_common.dir/env.cc.o.d"
+  "CMakeFiles/apm_common.dir/hash.cc.o"
+  "CMakeFiles/apm_common.dir/hash.cc.o.d"
+  "CMakeFiles/apm_common.dir/histogram.cc.o"
+  "CMakeFiles/apm_common.dir/histogram.cc.o.d"
+  "CMakeFiles/apm_common.dir/properties.cc.o"
+  "CMakeFiles/apm_common.dir/properties.cc.o.d"
+  "CMakeFiles/apm_common.dir/random.cc.o"
+  "CMakeFiles/apm_common.dir/random.cc.o.d"
+  "CMakeFiles/apm_common.dir/status.cc.o"
+  "CMakeFiles/apm_common.dir/status.cc.o.d"
+  "libapm_common.a"
+  "libapm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

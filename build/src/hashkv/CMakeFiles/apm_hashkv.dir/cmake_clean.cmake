@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apm_hashkv.dir/dict.cc.o"
+  "CMakeFiles/apm_hashkv.dir/dict.cc.o.d"
+  "CMakeFiles/apm_hashkv.dir/hashkv.cc.o"
+  "CMakeFiles/apm_hashkv.dir/hashkv.cc.o.d"
+  "libapm_hashkv.a"
+  "libapm_hashkv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apm_hashkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for apm_hashkv.
+# This may be replaced when dependencies are built.

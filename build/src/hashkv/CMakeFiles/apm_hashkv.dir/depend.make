@@ -1,0 +1,2 @@
+# Empty dependencies file for apm_hashkv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/block_cache.cc" "src/lsm/CMakeFiles/apm_lsm.dir/block_cache.cc.o" "gcc" "src/lsm/CMakeFiles/apm_lsm.dir/block_cache.cc.o.d"
+  "/root/repo/src/lsm/bloom.cc" "src/lsm/CMakeFiles/apm_lsm.dir/bloom.cc.o" "gcc" "src/lsm/CMakeFiles/apm_lsm.dir/bloom.cc.o.d"
+  "/root/repo/src/lsm/db.cc" "src/lsm/CMakeFiles/apm_lsm.dir/db.cc.o" "gcc" "src/lsm/CMakeFiles/apm_lsm.dir/db.cc.o.d"
+  "/root/repo/src/lsm/iterator.cc" "src/lsm/CMakeFiles/apm_lsm.dir/iterator.cc.o" "gcc" "src/lsm/CMakeFiles/apm_lsm.dir/iterator.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/lsm/CMakeFiles/apm_lsm.dir/memtable.cc.o" "gcc" "src/lsm/CMakeFiles/apm_lsm.dir/memtable.cc.o.d"
+  "/root/repo/src/lsm/sstable.cc" "src/lsm/CMakeFiles/apm_lsm.dir/sstable.cc.o" "gcc" "src/lsm/CMakeFiles/apm_lsm.dir/sstable.cc.o.d"
+  "/root/repo/src/lsm/version.cc" "src/lsm/CMakeFiles/apm_lsm.dir/version.cc.o" "gcc" "src/lsm/CMakeFiles/apm_lsm.dir/version.cc.o.d"
+  "/root/repo/src/lsm/wal.cc" "src/lsm/CMakeFiles/apm_lsm.dir/wal.cc.o" "gcc" "src/lsm/CMakeFiles/apm_lsm.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/apm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

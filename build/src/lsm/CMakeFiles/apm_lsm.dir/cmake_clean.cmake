@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apm_lsm.dir/block_cache.cc.o"
+  "CMakeFiles/apm_lsm.dir/block_cache.cc.o.d"
+  "CMakeFiles/apm_lsm.dir/bloom.cc.o"
+  "CMakeFiles/apm_lsm.dir/bloom.cc.o.d"
+  "CMakeFiles/apm_lsm.dir/db.cc.o"
+  "CMakeFiles/apm_lsm.dir/db.cc.o.d"
+  "CMakeFiles/apm_lsm.dir/iterator.cc.o"
+  "CMakeFiles/apm_lsm.dir/iterator.cc.o.d"
+  "CMakeFiles/apm_lsm.dir/memtable.cc.o"
+  "CMakeFiles/apm_lsm.dir/memtable.cc.o.d"
+  "CMakeFiles/apm_lsm.dir/sstable.cc.o"
+  "CMakeFiles/apm_lsm.dir/sstable.cc.o.d"
+  "CMakeFiles/apm_lsm.dir/version.cc.o"
+  "CMakeFiles/apm_lsm.dir/version.cc.o.d"
+  "CMakeFiles/apm_lsm.dir/wal.cc.o"
+  "CMakeFiles/apm_lsm.dir/wal.cc.o.d"
+  "libapm_lsm.a"
+  "libapm_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apm_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

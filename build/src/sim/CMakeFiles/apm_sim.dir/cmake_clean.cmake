@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apm_sim.dir/simulator.cc.o"
+  "CMakeFiles/apm_sim.dir/simulator.cc.o.d"
+  "libapm_sim.a"
+  "libapm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simstores/models.cc" "src/simstores/CMakeFiles/apm_simstores.dir/models.cc.o" "gcc" "src/simstores/CMakeFiles/apm_simstores.dir/models.cc.o.d"
+  "/root/repo/src/simstores/runner.cc" "src/simstores/CMakeFiles/apm_simstores.dir/runner.cc.o" "gcc" "src/simstores/CMakeFiles/apm_simstores.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/apm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/apm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

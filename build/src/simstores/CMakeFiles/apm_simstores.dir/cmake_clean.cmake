@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apm_simstores.dir/models.cc.o"
+  "CMakeFiles/apm_simstores.dir/models.cc.o.d"
+  "CMakeFiles/apm_simstores.dir/runner.cc.o"
+  "CMakeFiles/apm_simstores.dir/runner.cc.o.d"
+  "libapm_simstores.a"
+  "libapm_simstores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apm_simstores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stores/cassandra_store.cc" "src/stores/CMakeFiles/apm_stores.dir/cassandra_store.cc.o" "gcc" "src/stores/CMakeFiles/apm_stores.dir/cassandra_store.cc.o.d"
+  "/root/repo/src/stores/factory.cc" "src/stores/CMakeFiles/apm_stores.dir/factory.cc.o" "gcc" "src/stores/CMakeFiles/apm_stores.dir/factory.cc.o.d"
+  "/root/repo/src/stores/hbase_store.cc" "src/stores/CMakeFiles/apm_stores.dir/hbase_store.cc.o" "gcc" "src/stores/CMakeFiles/apm_stores.dir/hbase_store.cc.o.d"
+  "/root/repo/src/stores/mysql_store.cc" "src/stores/CMakeFiles/apm_stores.dir/mysql_store.cc.o" "gcc" "src/stores/CMakeFiles/apm_stores.dir/mysql_store.cc.o.d"
+  "/root/repo/src/stores/redis_store.cc" "src/stores/CMakeFiles/apm_stores.dir/redis_store.cc.o" "gcc" "src/stores/CMakeFiles/apm_stores.dir/redis_store.cc.o.d"
+  "/root/repo/src/stores/voldemort_store.cc" "src/stores/CMakeFiles/apm_stores.dir/voldemort_store.cc.o" "gcc" "src/stores/CMakeFiles/apm_stores.dir/voldemort_store.cc.o.d"
+  "/root/repo/src/stores/voltdb_store.cc" "src/stores/CMakeFiles/apm_stores.dir/voltdb_store.cc.o" "gcc" "src/stores/CMakeFiles/apm_stores.dir/voltdb_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/apm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/apm_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/apm_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashkv/CMakeFiles/apm_hashkv.dir/DependInfo.cmake"
+  "/root/repo/build/src/volt/CMakeFiles/apm_volt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/apm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ycsb/CMakeFiles/apm_ycsb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

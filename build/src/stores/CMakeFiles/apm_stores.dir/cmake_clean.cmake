@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apm_stores.dir/cassandra_store.cc.o"
+  "CMakeFiles/apm_stores.dir/cassandra_store.cc.o.d"
+  "CMakeFiles/apm_stores.dir/factory.cc.o"
+  "CMakeFiles/apm_stores.dir/factory.cc.o.d"
+  "CMakeFiles/apm_stores.dir/hbase_store.cc.o"
+  "CMakeFiles/apm_stores.dir/hbase_store.cc.o.d"
+  "CMakeFiles/apm_stores.dir/mysql_store.cc.o"
+  "CMakeFiles/apm_stores.dir/mysql_store.cc.o.d"
+  "CMakeFiles/apm_stores.dir/redis_store.cc.o"
+  "CMakeFiles/apm_stores.dir/redis_store.cc.o.d"
+  "CMakeFiles/apm_stores.dir/voldemort_store.cc.o"
+  "CMakeFiles/apm_stores.dir/voldemort_store.cc.o.d"
+  "CMakeFiles/apm_stores.dir/voltdb_store.cc.o"
+  "CMakeFiles/apm_stores.dir/voltdb_store.cc.o.d"
+  "libapm_stores.a"
+  "libapm_stores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apm_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apm_volt.dir/volt.cc.o"
+  "CMakeFiles/apm_volt.dir/volt.cc.o.d"
+  "libapm_volt.a"
+  "libapm_volt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apm_volt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

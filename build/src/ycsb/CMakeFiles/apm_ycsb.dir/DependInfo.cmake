@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ycsb/client.cc" "src/ycsb/CMakeFiles/apm_ycsb.dir/client.cc.o" "gcc" "src/ycsb/CMakeFiles/apm_ycsb.dir/client.cc.o.d"
+  "/root/repo/src/ycsb/db.cc" "src/ycsb/CMakeFiles/apm_ycsb.dir/db.cc.o" "gcc" "src/ycsb/CMakeFiles/apm_ycsb.dir/db.cc.o.d"
+  "/root/repo/src/ycsb/measurements.cc" "src/ycsb/CMakeFiles/apm_ycsb.dir/measurements.cc.o" "gcc" "src/ycsb/CMakeFiles/apm_ycsb.dir/measurements.cc.o.d"
+  "/root/repo/src/ycsb/workload.cc" "src/ycsb/CMakeFiles/apm_ycsb.dir/workload.cc.o" "gcc" "src/ycsb/CMakeFiles/apm_ycsb.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/apm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apm_ycsb.dir/client.cc.o"
+  "CMakeFiles/apm_ycsb.dir/client.cc.o.d"
+  "CMakeFiles/apm_ycsb.dir/db.cc.o"
+  "CMakeFiles/apm_ycsb.dir/db.cc.o.d"
+  "CMakeFiles/apm_ycsb.dir/measurements.cc.o"
+  "CMakeFiles/apm_ycsb.dir/measurements.cc.o.d"
+  "CMakeFiles/apm_ycsb.dir/workload.cc.o"
+  "CMakeFiles/apm_ycsb.dir/workload.cc.o.d"
+  "libapm_ycsb.a"
+  "libapm_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apm_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

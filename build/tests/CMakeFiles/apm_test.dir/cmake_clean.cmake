@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apm_test.dir/apm_test.cc.o"
+  "CMakeFiles/apm_test.dir/apm_test.cc.o.d"
+  "apm_test"
+  "apm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

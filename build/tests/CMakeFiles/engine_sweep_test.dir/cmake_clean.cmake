@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_sweep_test.dir/engine_sweep_test.cc.o"
+  "CMakeFiles/engine_sweep_test.dir/engine_sweep_test.cc.o.d"
+  "engine_sweep_test"
+  "engine_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

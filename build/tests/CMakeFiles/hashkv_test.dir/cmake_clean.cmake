@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashkv_test.dir/hashkv_test.cc.o"
+  "CMakeFiles/hashkv_test.dir/hashkv_test.cc.o.d"
+  "hashkv_test"
+  "hashkv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashkv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simstores_test.dir/simstores_test.cc.o"
+  "CMakeFiles/simstores_test.dir/simstores_test.cc.o.d"
+  "simstores_test"
+  "simstores_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simstores_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volt_test.dir/volt_test.cc.o"
+  "CMakeFiles/volt_test.dir/volt_test.cc.o.d"
+  "volt_test"
+  "volt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -3,13 +3,33 @@
 // Cluster M. As in the paper, latencies are normalized to the value at
 // 50% load; VoltDB is omitted (its latency was already prohibitive at
 // this scale) and absolute values are printed alongside.
+//
+// Beyond the simulated default, two modes drive the real YCSB runner's
+// intended-latency pipeline (docs/measurement.md):
+//
+//   fig_bounded series=run.json [series=run2.json ...]
+//     Prints the latency-vs-time table from a time series emitted by
+//     `ycsb_cli run ... series_json=run.json`.
+//
+//   fig_bounded store=cassandra [workload=R] [records=N] [threads=N]
+//               [seconds=S] [warmup=S] [out=prefix]
+//     Measures an embedded store's maximum throughput, then sweeps
+//     bounded load at 50-95% of it, reporting measured vs intended
+//     latency per load point (the coordinated-omission-corrected
+//     Figure 15/16 sweep). out=prefix dumps prefix.<pct>.json series.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/env.h"
+#include "common/properties.h"
 #include "simstores/runner.h"
+#include "stores/factory.h"
+#include "ycsb/client.h"
+#include "ycsb/timeseries.h"
+#include "ycsb/workload.h"
 
 namespace {
 
@@ -21,9 +41,138 @@ const std::vector<std::string> kSystems = {"cassandra", "hbase", "voldemort",
                                            "mysql", "redis"};
 const std::vector<int> kPercentages = {50, 60, 70, 80, 90, 95, 100};
 
-}  // namespace
+void PrintSeriesTable(const std::string& label,
+                      const ycsb::TimeSeries& series) {
+  printf("\n=== Latency over time: %s (window %.2gs) ===\n", label.c_str(),
+         series.window_seconds);
+  PrintRow("t(s)", {"ops/sec", "meas p50", "meas p95", "meas p99",
+                    "int p50", "int p95", "int p99"});
+  for (const ycsb::TimeSeriesPoint& p : series.points) {
+    char t[32];
+    snprintf(t, sizeof(t), "%.1f", p.t_seconds);
+    PrintRow(t, {benchutil::FormatOps(p.ops_per_sec),
+                 std::to_string(p.measured_p50_us) + "us",
+                 std::to_string(p.measured_p95_us) + "us",
+                 std::to_string(p.measured_p99_us) + "us",
+                 std::to_string(p.intended_p50_us) + "us",
+                 std::to_string(p.intended_p95_us) + "us",
+                 std::to_string(p.intended_p99_us) + "us"});
+  }
+}
 
-int main() {
+int RunSeriesMode(const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    std::string json;
+    Status status = Env::Default()->ReadFileToString(path, &json);
+    if (!status.ok()) {
+      fprintf(stderr, "%s: %s\n", path.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    ycsb::TimeSeries series;
+    status = ycsb::TimeSeries::FromJson(json, &series);
+    if (!status.ok()) {
+      fprintf(stderr, "%s: %s\n", path.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    PrintSeriesTable(path, series);
+  }
+  return 0;
+}
+
+int RunRealSweep(const Properties& args) {
+  const std::string store = args.GetString("store");
+  const std::string dir = "/tmp/apmbench-fig-bounded";
+  Env::Default()->RemoveDirRecursively(dir);
+
+  stores::StoreOptions options;
+  options.base_dir = dir;
+  options.num_nodes = static_cast<int>(args.GetInt("nodes", 1));
+  std::unique_ptr<ycsb::DB> db;
+  Status status = stores::CreateStore(store, options, &db);
+  if (!status.ok()) {
+    fprintf(stderr, "open %s: %s\n", store.c_str(),
+            status.ToString().c_str());
+    return 1;
+  }
+
+  Properties props;
+  status = ycsb::CoreWorkload::Table1Preset(args.GetString("workload", "R"),
+                                            &props);
+  if (!status.ok()) {
+    fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  props.Set("recordcount",
+            std::to_string(args.GetInt("records", 20000)));
+  status = ycsb::CoreWorkload::Validate(props);
+  if (!status.ok()) {
+    fprintf(stderr, "workload: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  ycsb::CoreWorkload workload(props);
+
+  ycsb::RunConfig config;
+  config.threads = static_cast<int>(args.GetInt("threads", 8));
+  config.duration_seconds = args.GetDouble("seconds", 3.0);
+  config.warmup_seconds = args.GetDouble("warmup", 0.5);
+  config.time_series_window_seconds = args.GetDouble("interval", 1.0);
+
+  printf("APMBench bounded-throughput sweep: store=%s workload=%s "
+         "threads=%d %.1fs runs (%.1fs warmup)\n",
+         store.c_str(), args.GetString("workload", "R").c_str(),
+         config.threads, config.duration_seconds, config.warmup_seconds);
+
+  status = ycsb::LoadDatabase(db.get(), &workload, config.threads);
+  if (!status.ok()) {
+    fprintf(stderr, "load: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  ycsb::RunResult max_result;
+  status = ycsb::RunWorkload(db.get(), &workload, config, &max_result);
+  if (!status.ok()) {
+    fprintf(stderr, "max-throughput run: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  double max_rate = max_result.throughput_ops_sec;
+  printf("maximum throughput: %.0f ops/sec\n\n", max_rate);
+
+  PrintRow("load%", {"target", "achieved", "meas p95", "meas p99",
+                     "int p95", "int p99"});
+  std::string out_prefix = args.GetString("out", "");
+  for (int pct : kPercentages) {
+    ycsb::RunConfig bounded = config;
+    if (pct < 100) bounded.target_ops_per_sec = max_rate * pct / 100.0;
+    ycsb::RunResult result;
+    status = ycsb::RunWorkload(db.get(), &workload, bounded, &result);
+    if (!status.ok()) {
+      fprintf(stderr, "%d%%: %s\n", pct, status.ToString().c_str());
+      continue;
+    }
+    Histogram measured = result.measurements.MergedHistogram();
+    Histogram intended = result.measurements.MergedIntendedHistogram();
+    PrintRow(std::to_string(pct),
+             {benchutil::FormatOps(bounded.target_ops_per_sec),
+              benchutil::FormatOps(result.throughput_ops_sec),
+              std::to_string(measured.Percentile(0.95)) + "us",
+              std::to_string(measured.Percentile(0.99)) + "us",
+              std::to_string(intended.Percentile(0.95)) + "us",
+              std::to_string(intended.Percentile(0.99)) + "us"});
+    if (!out_prefix.empty()) {
+      std::string path = out_prefix + "." + std::to_string(pct) + ".json";
+      status = Env::Default()->WriteStringToFile(
+          path, Slice(result.time_series.ToJson()));
+      if (!status.ok()) {
+        fprintf(stderr, "write %s: %s\n", path.c_str(),
+                status.ToString().c_str());
+      }
+    }
+  }
+  Env::Default()->RemoveDirRecursively(dir);
+  return 0;
+}
+
+int RunSimMode() {
   const int nodes = 8;
   WorkloadSpec spec = WorkloadSpec::Preset("R");
   ClusterParams cluster = ClusterParams::ClusterM(nodes);
@@ -101,4 +250,27 @@ int main() {
   print_tables("Read", 15, read_ms);
   print_tables("Write", 16, write_ms);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> series_paths;
+  Properties args;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg.rfind("series=", 0) == 0) {
+      series_paths.push_back(arg.substr(7));
+    } else if (!args.ParseArg(arg).ok()) {
+      fprintf(stderr,
+              "usage: %s [series=run.json ...] | [store=<name> "
+              "[workload=R] [records=N] [threads=N] [seconds=S] "
+              "[warmup=S] [interval=S] [out=prefix]]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  if (!series_paths.empty()) return RunSeriesMode(series_paths);
+  if (args.Contains("store")) return RunRealSweep(args);
+  return RunSimMode();
 }

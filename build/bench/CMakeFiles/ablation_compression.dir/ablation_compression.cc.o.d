@@ -230,4 +230,5 @@ bench/CMakeFiles/ablation_compression.dir/ablation_compression.cc.o: \
  /root/repo/src/stores/store_options.h \
  /root/repo/src/common/compression.h /root/repo/src/ycsb/db.h \
  /root/repo/src/ycsb/client.h /root/repo/src/ycsb/measurements.h \
- /root/repo/src/ycsb/workload.h
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/ycsb/timeseries.h /root/repo/src/ycsb/workload.h

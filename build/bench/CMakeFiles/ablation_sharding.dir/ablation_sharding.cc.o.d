@@ -257,4 +257,6 @@ bench/CMakeFiles/ablation_sharding.dir/ablation_sharding.cc.o: \
  /root/repo/src/stores/factory.h /root/repo/src/stores/store_options.h \
  /root/repo/src/common/compression.h /root/repo/src/ycsb/db.h \
  /root/repo/src/ycsb/client.h /root/repo/src/ycsb/measurements.h \
- /root/repo/src/ycsb/workload.h /root/repo/src/common/properties.h
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/ycsb/timeseries.h /root/repo/src/ycsb/workload.h \
+ /root/repo/src/common/properties.h

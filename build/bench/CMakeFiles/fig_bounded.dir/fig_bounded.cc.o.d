@@ -214,4 +214,18 @@ bench/CMakeFiles/fig_bounded.dir/fig_bounded.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/env.h \
+ /root/repo/src/common/slice.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/common/properties.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/stores/factory.h \
+ /root/repo/src/stores/store_options.h \
+ /root/repo/src/common/compression.h /root/repo/src/ycsb/db.h \
+ /root/repo/src/ycsb/client.h /root/repo/src/ycsb/measurements.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/ycsb/timeseries.h \
+ /root/repo/src/ycsb/workload.h

@@ -225,4 +225,8 @@ bench/CMakeFiles/fig_disk_usage.dir/fig_disk_usage.cc.o: \
  /root/repo/src/stores/store_options.h \
  /root/repo/src/common/compression.h /root/repo/src/ycsb/db.h \
  /root/repo/src/ycsb/client.h /root/repo/src/ycsb/measurements.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/ycsb/timeseries.h \
  /root/repo/src/ycsb/workload.h

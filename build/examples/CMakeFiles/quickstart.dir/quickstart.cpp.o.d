@@ -220,6 +220,10 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/ycsb/measurements.h /root/repo/src/common/histogram.h \
- /root/repo/src/ycsb/workload.h /usr/include/c++/12/atomic \
- /root/repo/src/common/random.h
+ /root/repo/src/ycsb/measurements.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/histogram.h \
+ /root/repo/src/ycsb/timeseries.h /root/repo/src/ycsb/workload.h \
+ /usr/include/c++/12/atomic /root/repo/src/common/random.h

@@ -226,6 +226,7 @@ examples/CMakeFiles/ycsb_cli.dir/ycsb_cli.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/ycsb/measurements.h /root/repo/src/common/histogram.h \
- /root/repo/src/ycsb/workload.h /usr/include/c++/12/atomic \
- /root/repo/src/common/random.h
+ /root/repo/src/ycsb/measurements.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/histogram.h \
+ /root/repo/src/ycsb/timeseries.h /root/repo/src/ycsb/workload.h \
+ /usr/include/c++/12/atomic /root/repo/src/common/random.h

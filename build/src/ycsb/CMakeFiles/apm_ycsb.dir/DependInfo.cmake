@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/ycsb/client.cc" "src/ycsb/CMakeFiles/apm_ycsb.dir/client.cc.o" "gcc" "src/ycsb/CMakeFiles/apm_ycsb.dir/client.cc.o.d"
   "/root/repo/src/ycsb/db.cc" "src/ycsb/CMakeFiles/apm_ycsb.dir/db.cc.o" "gcc" "src/ycsb/CMakeFiles/apm_ycsb.dir/db.cc.o.d"
   "/root/repo/src/ycsb/measurements.cc" "src/ycsb/CMakeFiles/apm_ycsb.dir/measurements.cc.o" "gcc" "src/ycsb/CMakeFiles/apm_ycsb.dir/measurements.cc.o.d"
+  "/root/repo/src/ycsb/timeseries.cc" "src/ycsb/CMakeFiles/apm_ycsb.dir/timeseries.cc.o" "gcc" "src/ycsb/CMakeFiles/apm_ycsb.dir/timeseries.cc.o.d"
   "/root/repo/src/ycsb/workload.cc" "src/ycsb/CMakeFiles/apm_ycsb.dir/workload.cc.o" "gcc" "src/ycsb/CMakeFiles/apm_ycsb.dir/workload.cc.o.d"
   )
 

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/apm_ycsb.dir/db.cc.o.d"
   "CMakeFiles/apm_ycsb.dir/measurements.cc.o"
   "CMakeFiles/apm_ycsb.dir/measurements.cc.o.d"
+  "CMakeFiles/apm_ycsb.dir/timeseries.cc.o"
+  "CMakeFiles/apm_ycsb.dir/timeseries.cc.o.d"
   "CMakeFiles/apm_ycsb.dir/workload.cc.o"
   "CMakeFiles/apm_ycsb.dir/workload.cc.o.d"
   "libapm_ycsb.a"

@@ -307,4 +307,5 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/common/env.h /root/repo/src/ycsb/client.h \
- /root/repo/src/ycsb/measurements.h /root/repo/src/ycsb/workload.h
+ /root/repo/src/ycsb/measurements.h /root/repo/src/ycsb/timeseries.h \
+ /root/repo/src/ycsb/workload.h

@@ -318,5 +318,5 @@ tests/CMakeFiles/stores_test.dir/stores_test.cc.o: \
  /root/repo/src/stores/redis_store.h /root/repo/src/hashkv/hashkv.h \
  /root/repo/src/hashkv/dict.h /root/repo/tests/test_util.h \
  /root/repo/src/ycsb/client.h /root/repo/src/ycsb/measurements.h \
- /root/repo/src/common/histogram.h /root/repo/src/ycsb/workload.h \
- /root/repo/src/common/properties.h
+ /root/repo/src/common/histogram.h /root/repo/src/ycsb/timeseries.h \
+ /root/repo/src/ycsb/workload.h /root/repo/src/common/properties.h

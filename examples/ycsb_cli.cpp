@@ -2,13 +2,19 @@
 // tool's load/run phases:
 //
 //   ./ycsb_cli load store=cassandra dir=/tmp/db recordcount=100000
-//   ./ycsb_cli run  store=cassandra dir=/tmp/db workload=W threads=32 \
-//                   seconds=30
+//   ./ycsb_cli run  store=cassandra dir=/tmp/db workload=W threads=32 seconds=30
 //   ./ycsb_cli run  ... propertyfile=myworkload.properties
+//   ./ycsb_cli run  ... target=50000 warmup=5 interval=1 series_json=run.json
 //
 // With no arguments it runs a short self-contained demo (load + run).
 // Any CoreWorkload property (readproportion=, requestdistribution=, ...)
 // can be passed directly as key=value.
+//
+// Paced runs (target=) record both measured and intended latency; with
+// interval=S the runner collects a per-window time series (throughput,
+// p50/p95/p99 of both latencies) exportable as JSON (series_json=) or CSV
+// (series_csv=); "-" writes to stdout. bench/fig_bounded consumes the
+// JSON (see docs/measurement.md).
 
 #include <cstdio>
 #include <memory>
@@ -19,6 +25,7 @@
 #include "common/properties.h"
 #include "stores/factory.h"
 #include "ycsb/client.h"
+#include "ycsb/timeseries.h"
 #include "ycsb/workload.h"
 
 using namespace apmbench;
@@ -30,7 +37,9 @@ int Usage(const char* argv0) {
           "usage: %s [load|run|demo] [store=<name>] [dir=<path>] "
           "[nodes=N] [workload=R|RW|W|RS|RSW] [threads=N]\n"
           "          [recordcount=N] [operationcount=N] [seconds=S] "
-          "[target=OPS] [propertyfile=F] [<property>=<value> ...]\n"
+          "[target=OPS] [warmup=S] [interval=S] [status=S]\n"
+          "          [series_json=F|-] [series_csv=F|-] [propertyfile=F] "
+          "[<property>=<value> ...]\n"
           "stores: cassandra hbase voldemort redis voltdb mysql\n",
           argv0);
   return 2;
@@ -49,18 +58,33 @@ Status OpenStore(const Properties& args, std::unique_ptr<ycsb::DB>* db) {
                              db);
 }
 
-ycsb::CoreWorkload MakeWorkload(const Properties& args) {
-  Properties props;
+Status MakeWorkloadProps(const Properties& args, Properties* props) {
   std::string workload_name = args.GetString("workload", "");
   if (!workload_name.empty()) {
-    Status status = ycsb::CoreWorkload::Table1Preset(workload_name, &props);
-    if (!status.ok()) {
-      fprintf(stderr, "%s\n", status.ToString().c_str());
-    }
+    APM_RETURN_IF_ERROR(
+        ycsb::CoreWorkload::Table1Preset(workload_name, props));
   }
   // Pass-through of explicit workload properties (override the preset).
-  props.Merge(args);
-  return ycsb::CoreWorkload(props);
+  props->Merge(args);
+  return ycsb::CoreWorkload::Validate(*props);
+}
+
+/// Writes `content` to `path`, or to stdout when path is "-".
+int WriteOutput(const std::string& path, const std::string& content,
+                const char* what) {
+  if (path == "-") {
+    printf("%s", content.c_str());
+    return 0;
+  }
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s to %s\n", what, path.c_str());
+    return 1;
+  }
+  fwrite(content.data(), 1, content.size(), f);
+  fclose(f);
+  printf("[run] wrote %s to %s\n", what, path.c_str());
+  return 0;
 }
 
 int DoLoad(const Properties& args) {
@@ -70,12 +94,18 @@ int DoLoad(const Properties& args) {
     fprintf(stderr, "open: %s\n", status.ToString().c_str());
     return 1;
   }
-  ycsb::CoreWorkload workload = MakeWorkload(args);
+  Properties props;
+  status = MakeWorkloadProps(args, &props);
+  if (!status.ok()) {
+    fprintf(stderr, "workload: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  ycsb::CoreWorkload workload(props);
   int threads = static_cast<int>(args.GetInt("threads", 8));
   printf("[load] %llu records into %s (%lld nodes), %d loader threads\n",
          static_cast<unsigned long long>(workload.record_count()),
          args.GetString("store", "cassandra").c_str(),
-         args.GetInt("nodes", 1), threads);
+         static_cast<long long>(args.GetInt("nodes", 1)), threads);
   uint64_t start = NowMicros();
   status = ycsb::LoadDatabase(db.get(), &workload, threads);
   if (!status.ok()) {
@@ -102,13 +132,45 @@ int DoRun(const Properties& args) {
     fprintf(stderr, "open: %s\n", status.ToString().c_str());
     return 1;
   }
-  ycsb::CoreWorkload workload = MakeWorkload(args);
+  Properties props;
+  status = MakeWorkloadProps(args, &props);
+  if (!status.ok()) {
+    fprintf(stderr, "workload: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  ycsb::CoreWorkload workload(props);
   ycsb::RunConfig config;
   config.threads = static_cast<int>(args.GetInt("threads", 8));
   config.operation_count =
       static_cast<uint64_t>(args.GetInt("operationcount", 0));
   config.duration_seconds = args.GetDouble("seconds", 10.0);
+  config.warmup_seconds = args.GetDouble("warmup", 0.0);
   config.target_ops_per_sec = args.GetDouble("target", 0.0);
+  std::string series_json = args.GetString("series_json", "");
+  std::string series_csv = args.GetString("series_csv", "");
+  // A series export without an explicit window defaults to 1-second
+  // windows (SciTS-style latency-over-time reporting).
+  double default_window =
+      !series_json.empty() || !series_csv.empty() ? 1.0 : 0.0;
+  config.time_series_window_seconds =
+      args.GetDouble("interval", default_window);
+  config.status_interval_seconds = args.GetDouble("status", 0.0);
+  if (config.status_interval_seconds > 0) {
+    config.status_callback = [](double elapsed, uint64_t total,
+                                double rate) {
+      printf("[status] t=%.1fs ops=%llu cur=%.0f ops/sec\n", elapsed,
+             static_cast<unsigned long long>(total), rate);
+      fflush(stdout);
+    };
+    config.window_callback = [](const ycsb::TimeSeriesPoint& p) {
+      printf("[status] window t=%.1fs %.0f ops/sec p99=%lluus "
+             "intended_p99=%lluus\n",
+             p.t_seconds, p.ops_per_sec,
+             static_cast<unsigned long long>(p.measured_p99_us),
+             static_cast<unsigned long long>(p.intended_p99_us));
+      fflush(stdout);
+    };
+  }
   printf("[run] store=%s workload=%s threads=%d %s\n",
          args.GetString("store", "cassandra").c_str(),
          args.GetString("workload", "(custom)").c_str(), config.threads,
@@ -122,7 +184,16 @@ int DoRun(const Properties& args) {
     return 1;
   }
   printf("%s", result.Summary().c_str());
-  return 0;
+  int rc = 0;
+  if (!series_json.empty()) {
+    rc |= WriteOutput(series_json, result.time_series.ToJson(),
+                      "time series JSON");
+  }
+  if (!series_csv.empty()) {
+    rc |= WriteOutput(series_csv, result.time_series.ToCsv(),
+                      "time series CSV");
+  }
+  return rc;
 }
 
 int DoDemo() {

@@ -50,6 +50,15 @@ void Histogram::Add(uint64_t value) {
   max_ = std::max(max_, value);
 }
 
+void Histogram::Add(uint64_t value, uint64_t n) {
+  if (n == 0) return;
+  buckets_[BucketIndex(value)] += n;
+  count_ += n;
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+  min_ = std::min(min_, value == 0 ? uint64_t{1} : value);
+  max_ = std::max(max_, value);
+}
+
 void Histogram::Merge(const Histogram& other) {
   for (size_t i = 0; i < buckets_.size(); i++) {
     buckets_[i] += other.buckets_[i];
@@ -66,6 +75,14 @@ void Histogram::Reset() {
   sum_ = 0;
   min_ = UINT64_MAX;
   max_ = 0;
+}
+
+void Histogram::Swap(Histogram* other) noexcept {
+  buckets_.swap(other->buckets_);
+  std::swap(count_, other->count_);
+  std::swap(sum_, other->sum_);
+  std::swap(min_, other->min_);
+  std::swap(max_, other->max_);
 }
 
 double Histogram::Mean() const {

@@ -27,10 +27,18 @@ class Histogram {
   /// Records one observation of `value` (values of 0 count as 1).
   void Add(uint64_t value);
 
+  /// Records `n` observations of `value` in one call.
+  void Add(uint64_t value, uint64_t n);
+
   /// Adds all observations from `other` into this histogram.
   void Merge(const Histogram& other);
 
   void Reset();
+
+  /// Exchanges contents with `other` in O(1) bucket moves; used by the
+  /// windowed time-series collector to hand off a full interval and keep
+  /// recording into a cleared histogram without copying bucket arrays.
+  void Swap(Histogram* other) noexcept;
 
   uint64_t count() const { return count_; }
   uint64_t min() const { return count_ == 0 ? 0 : min_; }

@@ -1,5 +1,6 @@
 #include "ycsb/client.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -15,9 +16,11 @@ double RunResult::MeanLatencyMs(OpType type) const {
 }
 
 std::string RunResult::Summary() const {
-  char head[128];
-  snprintf(head, sizeof(head), "throughput=%.0f ops/sec elapsed=%.1fs\n",
-           throughput_ops_sec, elapsed_seconds);
+  char head[160];
+  snprintf(head, sizeof(head),
+           "throughput=%.0f ops/sec elapsed=%.1fs warmup_ops=%llu\n",
+           throughput_ops_sec, elapsed_seconds,
+           static_cast<unsigned long long>(warmup_ops));
   return head + measurements.Summary();
 }
 
@@ -27,13 +30,16 @@ Status LoadDatabase(DB* db, CoreWorkload* workload, int threads,
   uint64_t total = workload->record_count();
   if (threads < 1) threads = 1;
   std::atomic<uint64_t> next{0};
+  // One thread's failure aborts the whole load: continuing would waste
+  // minutes loading a store that the run phase cannot use anyway.
+  std::atomic<bool> abort{false};
   std::vector<Status> statuses(static_cast<size_t>(threads));
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; t++) {
     workers.emplace_back([&, t]() {
       Random rng(seed + static_cast<uint64_t>(t) * 7919);
-      for (;;) {
+      while (!abort.load(std::memory_order_relaxed)) {
         uint64_t keynum = next.fetch_add(1, std::memory_order_relaxed);
         if (keynum >= total) break;
         std::string key = workload->BuildKeyName(keynum);
@@ -41,6 +47,7 @@ Status LoadDatabase(DB* db, CoreWorkload* workload, int threads,
         Status s = db->Insert(workload->table(), Slice(key), record);
         if (!s.ok()) {
           statuses[static_cast<size_t>(t)] = s;
+          abort.store(true, std::memory_order_relaxed);
           break;
         }
       }
@@ -55,52 +62,137 @@ Status LoadDatabase(DB* db, CoreWorkload* workload, int threads,
 
 namespace {
 
+/// Sleeps until `deadline_us` on the monotonic clock, waking at most
+/// every 10 ms to observe `stop`. Returns false when stopped early.
+bool SleepUntil(uint64_t deadline_us, const std::atomic<bool>& stop) {
+  for (;;) {
+    uint64_t now = NowMicros();
+    if (now >= deadline_us) return true;
+    uint64_t chunk = std::min<uint64_t>(deadline_us - now, 10'000);
+    std::this_thread::sleep_for(std::chrono::microseconds(chunk));
+    if (stop.load(std::memory_order_relaxed)) return false;
+  }
+}
+
+/// Claims one operation from the shared budget, or reports exhaustion.
+/// Compare-exchange (rather than fetch_sub) so a thread that merely
+/// observes an exhausted budget never decrements it — every successful
+/// claim corresponds to exactly one executed operation.
+bool ClaimOp(std::atomic<int64_t>* budget) {
+  if (budget == nullptr) return true;
+  int64_t current = budget->load(std::memory_order_relaxed);
+  while (current > 0) {
+    if (budget->compare_exchange_weak(current, current - 1,
+                                      std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Thread-local accumulation for the shared IntervalCollector: one lock
+/// acquisition per completed window instead of per operation.
+class WindowAccumulator {
+ public:
+  WindowAccumulator(IntervalCollector* collector, uint64_t measure_start_us)
+      : collector_(collector),
+        measure_start_us_(measure_start_us),
+        window_us_(collector->enabled()
+                       ? static_cast<uint64_t>(
+                             collector->window_seconds() * 1e6)
+                       : 0) {}
+
+  void Record(uint64_t end_us, uint64_t measured_us, uint64_t intended_us) {
+    if (window_us_ == 0 || end_us < measure_start_us_) return;
+    uint64_t index = (end_us - measure_start_us_) / window_us_;
+    if (index != current_ && ops_ > 0) Flush();
+    current_ = index;
+    ops_++;
+    measured_.Add(measured_us);
+    intended_.Add(intended_us);
+  }
+
+  void Flush() {
+    if (window_us_ == 0 || ops_ == 0) return;
+    collector_->ReportWindow(current_, ops_, measured_, intended_);
+    ops_ = 0;
+    measured_.Reset();
+    intended_.Reset();
+  }
+
+ private:
+  IntervalCollector* collector_;
+  uint64_t measure_start_us_;
+  uint64_t window_us_;
+  uint64_t current_ = 0;
+  uint64_t ops_ = 0;
+  Histogram measured_;
+  Histogram intended_;
+};
+
 /// One closed-loop client connection.
 class ClientThread {
  public:
-  /// Operations completed so far (read by the status reporter).
+  /// Operations completed so far including warmup (read by the status
+  /// reporter).
   uint64_t ops_done() const {
     return ops_done_.load(std::memory_order_relaxed);
   }
+  uint64_t warmup_ops() const { return warmup_ops_; }
 
  private:
   std::atomic<uint64_t> ops_done_{0};
 
  public:
   ClientThread(DB* db, CoreWorkload* workload, uint64_t seed,
-               double target_ops_per_sec)
+               double target_ops_per_sec, uint64_t run_start_us,
+               uint64_t measure_start_us, IntervalCollector* collector)
       : db_(db),
         workload_(workload),
         rng_(seed),
         target_interval_us_(target_ops_per_sec > 0
                                 ? 1e6 / target_ops_per_sec
-                                : 0.0) {}
+                                : 0.0),
+        run_start_us_(run_start_us),
+        measure_start_us_(measure_start_us),
+        windows_(collector, measure_start_us) {
+    measurements_.set_track_intended(target_interval_us_ > 0);
+  }
 
   /// Runs until `stop` is set or `ops_budget` operations are done
-  /// (budget of 0 means unbounded).
+  /// (budget of nullptr means unbounded).
   void Run(const std::atomic<bool>& stop, std::atomic<int64_t>* ops_budget) {
-    uint64_t next_deadline = NowMicros();
-    while (!stop.load(std::memory_order_relaxed)) {
-      if (ops_budget != nullptr) {
-        if (ops_budget->fetch_sub(1, std::memory_order_relaxed) <= 0) break;
-      }
-      if (target_interval_us_ > 0) {
-        // Open-loop pacing for the bounded-throughput experiments.
-        next_deadline += static_cast<uint64_t>(target_interval_us_);
-        uint64_t now = NowMicros();
-        if (now < next_deadline) {
-          std::this_thread::sleep_for(
-              std::chrono::microseconds(next_deadline - now));
-        }
-      }
-      DoOne();
+    // Open-loop pacing for the bounded-throughput experiments: the
+    // schedule advances at the target rate no matter how slow the store
+    // is, so a stall queues requests instead of silently pausing the
+    // arrival process (coordinated omission). Threads start at a random
+    // phase within one interval to avoid lockstep arrivals.
+    double deadline_us = static_cast<double>(run_start_us_);
+    if (target_interval_us_ > 0) {
+      deadline_us +=
+          rng_.NextDouble() * target_interval_us_;
     }
+    for (;;) {
+      if (stop.load(std::memory_order_relaxed)) break;
+      uint64_t scheduled = 0;
+      if (target_interval_us_ > 0) {
+        scheduled = static_cast<uint64_t>(deadline_us);
+        deadline_us += target_interval_us_;
+        // Sleep happens BEFORE the budget claim: a run stopped mid-sleep
+        // leaves the budget untouched, so operation_count is consumed
+        // only by operations that actually execute.
+        if (!SleepUntil(scheduled, stop)) break;
+      }
+      if (!ClaimOp(ops_budget)) break;
+      DoOne(scheduled);
+    }
+    windows_.Flush();
   }
 
   Measurements* measurements() { return &measurements_; }
 
  private:
-  void DoOne() {
+  void DoOne(uint64_t scheduled_us) {
     OpType op = workload_->NextOperation(&rng_);
     uint64_t start = NowMicros();
     bool ok = true;
@@ -111,7 +203,7 @@ class ClientThread {
         Record record;
         Status s = db_->Read(workload_->table(), Slice(key), &record);
         if (s.IsNotFound()) {
-          measurements_.RecordReadMiss();
+          read_miss_ = true;
         } else {
           ok = s.ok();
         }
@@ -148,9 +240,24 @@ class ClientThread {
         break;
       }
     }
-    uint64_t latency = NowMicros() - start;
-    measurements_.Record(op, latency, ok);
+    uint64_t end = NowMicros();
+    uint64_t measured = end - start;
+    // Intended latency is anchored at the pacer's schedule, not the actual
+    // issue time: end - scheduled = queueing delay + service time.
+    uint64_t intended =
+        scheduled_us > 0 ? end - scheduled_us : measured;
     ops_done_.fetch_add(1, std::memory_order_relaxed);
+    if (end < measure_start_us_) {
+      warmup_ops_++;
+      read_miss_ = false;
+      return;
+    }
+    if (read_miss_) {
+      measurements_.RecordReadMiss();
+      read_miss_ = false;
+    }
+    measurements_.Record(op, measured, intended, ok);
+    windows_.Record(end, measured, intended);
   }
 
   DB* db_;
@@ -158,6 +265,11 @@ class ClientThread {
   Random rng_;
   Measurements measurements_;
   double target_interval_us_;
+  uint64_t run_start_us_;
+  uint64_t measure_start_us_;
+  uint64_t warmup_ops_ = 0;
+  bool read_miss_ = false;
+  WindowAccumulator windows_;
 };
 
 }  // namespace
@@ -166,6 +278,13 @@ Status RunWorkload(DB* db, CoreWorkload* workload, const RunConfig& config,
                    RunResult* result) {
   APM_RETURN_IF_ERROR(db->Init());
   int threads = config.threads < 1 ? 1 : config.threads;
+  double warmup_seconds = config.warmup_seconds > 0 ? config.warmup_seconds
+                                                    : 0.0;
+
+  uint64_t run_start = NowMicros();
+  uint64_t measure_start =
+      run_start + static_cast<uint64_t>(warmup_seconds * 1e6);
+  IntervalCollector collector(config.time_series_window_seconds);
 
   std::vector<std::unique_ptr<ClientThread>> clients;
   clients.reserve(static_cast<size_t>(threads));
@@ -175,7 +294,7 @@ Status RunWorkload(DB* db, CoreWorkload* workload, const RunConfig& config,
   for (int t = 0; t < threads; t++) {
     clients.push_back(std::make_unique<ClientThread>(
         db, workload, config.seed + static_cast<uint64_t>(t) * 104729,
-        per_thread_target));
+        per_thread_target, run_start, measure_start, &collector));
   }
 
   std::atomic<bool> stop{false};
@@ -186,7 +305,6 @@ Status RunWorkload(DB* db, CoreWorkload* workload, const RunConfig& config,
   std::atomic<int64_t>* budget_ptr =
       config.operation_count > 0 ? &budget : nullptr;
 
-  uint64_t start = NowMicros();
   std::vector<std::thread> workers;
   workers.reserve(clients.size());
   for (auto& client : clients) {
@@ -194,31 +312,63 @@ Status RunWorkload(DB* db, CoreWorkload* workload, const RunConfig& config,
         [&stop, budget_ptr, c = client.get()]() { c->Run(stop, budget_ptr); });
   }
 
-  // Optional periodic status reporting (the YCSB status thread).
+  // Periodic status reporting (the YCSB status thread). Tick times are
+  // anchored to the monotonic clock at run start — sleep overshoot makes
+  // a tick late but never accumulates into drifting "elapsed" values —
+  // and rates are computed over the actually observed inter-tick time.
   std::thread status_thread;
   std::atomic<bool> status_stop{false};
-  if (config.status_interval_seconds > 0 && config.status_callback) {
+  if (config.status_interval_seconds > 0 &&
+      (config.status_callback || config.window_callback)) {
     status_thread = std::thread([&]() {
+      const uint64_t interval_us =
+          static_cast<uint64_t>(config.status_interval_seconds * 1e6);
+      const uint64_t window_us =
+          collector.enabled()
+              ? static_cast<uint64_t>(collector.window_seconds() * 1e6)
+              : 0;
       uint64_t last_total = 0;
-      double elapsed = 0;
-      while (!status_stop.load(std::memory_order_relaxed)) {
-        std::this_thread::sleep_for(std::chrono::duration<double>(
-            config.status_interval_seconds));
-        elapsed += config.status_interval_seconds;
+      uint64_t last_now = run_start;
+      uint64_t tick = 1;
+      int64_t last_window = -1;
+      if (!SleepUntil(run_start + tick * interval_us, status_stop)) return;
+      for (;;) {
+        uint64_t now = NowMicros();
         uint64_t total = 0;
         for (auto& client : clients) total += client->ops_done();
-        config.status_callback(
-            elapsed, total,
-            static_cast<double>(total - last_total) /
-                config.status_interval_seconds);
+        if (config.status_callback) {
+          double dt = static_cast<double>(now - last_now) / 1e6;
+          config.status_callback(
+              static_cast<double>(now - run_start) / 1e6, total,
+              dt > 0 ? static_cast<double>(total - last_total) / dt : 0.0);
+        }
+        if (config.window_callback && window_us > 0 && now > measure_start) {
+          // Latest window all threads have plausibly flushed. Threads
+          // flush a window lazily on their first completion beyond it,
+          // and status ticks land exactly on window boundaries, so give
+          // each boundary a full extra window before reporting it.
+          int64_t complete =
+              static_cast<int64_t>((now - measure_start) / window_us) - 2;
+          if (complete > last_window) {
+            TimeSeriesPoint point;
+            if (collector.WindowSnapshot(static_cast<uint64_t>(complete),
+                                         &point)) {
+              config.window_callback(point);
+              last_window = complete;
+            }
+          }
+        }
         last_total = total;
+        last_now = now;
+        tick = (now - run_start) / interval_us + 1;  // skip missed ticks
+        if (!SleepUntil(run_start + tick * interval_us, status_stop)) break;
       }
     });
   }
 
   if (config.operation_count == 0) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(config.duration_seconds));
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        warmup_seconds + config.duration_seconds));
     stop.store(true, std::memory_order_relaxed);
   }
   for (auto& worker : workers) worker.join();
@@ -227,15 +377,22 @@ Status RunWorkload(DB* db, CoreWorkload* workload, const RunConfig& config,
   uint64_t end = NowMicros();
 
   result->measurements.Reset();
+  result->warmup_ops = 0;
   for (auto& client : clients) {
     result->measurements.Merge(*client->measurements());
+    result->warmup_ops += client->warmup_ops();
   }
-  result->elapsed_seconds = static_cast<double>(end - start) / 1e6;
+  // Throughput over the measured phase only; a run that ended inside the
+  // warmup window measured nothing.
+  result->elapsed_seconds =
+      end > measure_start ? static_cast<double>(end - measure_start) / 1e6
+                          : 0.0;
   result->throughput_ops_sec =
       result->elapsed_seconds > 0
           ? static_cast<double>(result->measurements.total_ops()) /
                 result->elapsed_seconds
           : 0.0;
+  result->time_series = collector.ToTimeSeries(result->elapsed_seconds);
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "ycsb/db.h"
 #include "ycsb/measurements.h"
+#include "ycsb/timeseries.h"
 #include "ycsb/workload.h"
 
 namespace apmbench::ycsb {
@@ -18,29 +19,55 @@ namespace apmbench::ycsb {
 struct RunConfig {
   /// Simulated client connections; the paper uses 128 per server node.
   int threads = 8;
-  /// Total operations; 0 means duration-bound.
+  /// Total operations; 0 means duration-bound. Warmup operations count
+  /// against this budget (use duration-bound runs with warmup).
   uint64_t operation_count = 0;
-  /// Run length when operation_count is 0.
+  /// Measured run length when operation_count is 0, excluding warmup
+  /// (total wall clock is warmup_seconds + duration_seconds).
   double duration_seconds = 10.0;
+  /// Operations completing during the first warmup_seconds are executed
+  /// but excluded from the merged histograms, the time series, and the
+  /// reported throughput (they are tallied in RunResult::warmup_ops).
+  double warmup_seconds = 0.0;
   /// Target aggregate throughput (ops/sec); 0 means unthrottled (the
   /// paper's "maximum sustainable throughput" mode). Figures 15/16 sweep
-  /// this between 50% and 95% of the maximum.
+  /// this between 50% and 95% of the maximum. Paced runs schedule
+  /// operations open-loop and record both measured and intended latency
+  /// (see Measurements), so stalls surface as queueing delay instead of
+  /// being coordinated-omission'd away.
   double target_ops_per_sec = 0.0;
+  /// When > 0, collect a per-window latency/throughput time series
+  /// (RunResult::time_series) with this window length. Costs ~70 KB of
+  /// histogram memory per window; 0 disables collection.
+  double time_series_window_seconds = 0.0;
   uint64_t seed = 42;
   /// When > 0 and status_callback is set, the runner reports progress
   /// every interval (elapsed seconds, total ops, ops/sec over the last
-  /// interval) — YCSB's periodic status line.
+  /// interval) — YCSB's periodic status line. Ticks are anchored to the
+  /// monotonic clock at run start, so reported elapsed time does not
+  /// drift with sleep overshoot.
   double status_interval_seconds = 0.0;
   std::function<void(double elapsed_seconds, uint64_t total_ops,
                      double interval_ops_sec)>
       status_callback;
+  /// Optional richer status hook: called at each status tick with the
+  /// latest completed time-series window (requires
+  /// time_series_window_seconds > 0; windows threads have not flushed
+  /// yet are skipped).
+  std::function<void(const TimeSeriesPoint&)> window_callback;
 };
 
-/// Outcome of one run.
+/// Outcome of one run. Throughput and elapsed time cover the measured
+/// (post-warmup) phase only.
 struct RunResult {
   double throughput_ops_sec = 0.0;
   double elapsed_seconds = 0.0;
+  /// Operations executed during warmup (excluded from measurements).
+  uint64_t warmup_ops = 0;
   Measurements measurements;
+  /// Per-window latency/throughput series; empty unless
+  /// RunConfig::time_series_window_seconds > 0.
+  TimeSeries time_series;
 
   /// Mean latency in ms for one operation type (0 when none executed).
   double MeanLatencyMs(OpType type) const;
@@ -48,7 +75,8 @@ struct RunResult {
 };
 
 /// Loads `workload.record_count()` records into `db` using `threads`
-/// parallel loaders (the YCSB load phase).
+/// parallel loaders (the YCSB load phase). The first insert failure
+/// aborts all loader threads and is returned.
 Status LoadDatabase(DB* db, CoreWorkload* workload, int threads,
                     uint64_t seed = 7);
 

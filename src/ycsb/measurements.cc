@@ -4,9 +4,11 @@
 
 namespace apmbench::ycsb {
 
-void Measurements::Record(OpType type, uint64_t latency_us, bool ok) {
+void Measurements::Record(OpType type, uint64_t measured_us,
+                          uint64_t intended_us, bool ok) {
   size_t index = static_cast<size_t>(type);
-  histograms_[index].Add(latency_us);
+  histograms_[index].Add(measured_us);
+  intended_histograms_[index].Add(intended_us);
   if (ok) {
     ok_counts_[index]++;
   } else {
@@ -17,19 +19,23 @@ void Measurements::Record(OpType type, uint64_t latency_us, bool ok) {
 void Measurements::Merge(const Measurements& other) {
   for (size_t i = 0; i < histograms_.size(); i++) {
     histograms_[i].Merge(other.histograms_[i]);
+    intended_histograms_[i].Merge(other.intended_histograms_[i]);
     ok_counts_[i] += other.ok_counts_[i];
     error_counts_[i] += other.error_counts_[i];
   }
   read_misses_ += other.read_misses_;
+  track_intended_ = track_intended_ || other.track_intended_;
 }
 
 void Measurements::Reset() {
   for (size_t i = 0; i < histograms_.size(); i++) {
     histograms_[i].Reset();
+    intended_histograms_[i].Reset();
     ok_counts_[i] = 0;
     error_counts_[i] = 0;
   }
   read_misses_ = 0;
+  track_intended_ = false;
 }
 
 uint64_t Measurements::total_ops() const {
@@ -40,6 +46,18 @@ uint64_t Measurements::total_ops() const {
   return total;
 }
 
+Histogram Measurements::MergedHistogram() const {
+  Histogram merged;
+  for (const Histogram& h : histograms_) merged.Merge(h);
+  return merged;
+}
+
+Histogram Measurements::MergedIntendedHistogram() const {
+  Histogram merged;
+  for (const Histogram& h : intended_histograms_) merged.Merge(h);
+  return merged;
+}
+
 std::string Measurements::Summary() const {
   std::string out;
   char line[256];
@@ -47,7 +65,7 @@ std::string Measurements::Summary() const {
     const Histogram& h = histograms_[static_cast<size_t>(i)];
     if (h.count() == 0) continue;
     snprintf(line, sizeof(line),
-             "%-6s count=%llu mean=%.1fus p95=%lluus p99=%lluus max=%lluus "
+             "%-10s count=%llu mean=%.1fus p95=%lluus p99=%lluus max=%lluus "
              "errors=%llu\n",
              OpTypeName(static_cast<OpType>(i)),
              static_cast<unsigned long long>(h.count()), h.Mean(),
@@ -57,6 +75,20 @@ std::string Measurements::Summary() const {
              static_cast<unsigned long long>(
                  error_counts_[static_cast<size_t>(i)]));
     out += line;
+    if (track_intended_) {
+      const Histogram& ih = intended_histograms_[static_cast<size_t>(i)];
+      std::string label = std::string(OpTypeName(static_cast<OpType>(i)));
+      label += "(int)";
+      snprintf(line, sizeof(line),
+               "%-10s count=%llu mean=%.1fus p95=%lluus p99=%lluus "
+               "max=%lluus\n",
+               label.c_str(), static_cast<unsigned long long>(ih.count()),
+               ih.Mean(),
+               static_cast<unsigned long long>(ih.Percentile(0.95)),
+               static_cast<unsigned long long>(ih.Percentile(0.99)),
+               static_cast<unsigned long long>(ih.max()));
+      out += line;
+    }
   }
   if (read_misses_ > 0) {
     snprintf(line, sizeof(line), "read misses=%llu\n",
@@ -64,6 +96,71 @@ std::string Measurements::Summary() const {
     out += line;
   }
   return out;
+}
+
+void IntervalCollector::ReportWindow(uint64_t index, uint64_t ops,
+                                     const Histogram& measured,
+                                     const Histogram& intended) {
+  if (!enabled() || ops == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (windows_.size() <= index) windows_.resize(index + 1);
+  Window& w = windows_[index];
+  w.ops += ops;
+  w.measured.Merge(measured);
+  w.intended.Merge(intended);
+}
+
+TimeSeriesPoint IntervalCollector::MakePoint(uint64_t index,
+                                             double duration) const {
+  const Window& w = windows_[index];
+  TimeSeriesPoint p;
+  // Window end; for a clamped final window this is the actual end of the
+  // measured phase, not the nominal boundary.
+  p.t_seconds = static_cast<double>(index) * window_seconds_ + duration;
+  p.window_seconds = duration;
+  p.ops = w.ops;
+  p.ops_per_sec = duration > 0 ? static_cast<double>(w.ops) / duration : 0;
+  p.measured_p50_us = w.measured.Percentile(0.50);
+  p.measured_p95_us = w.measured.Percentile(0.95);
+  p.measured_p99_us = w.measured.Percentile(0.99);
+  p.measured_max_us = w.measured.max();
+  p.intended_p50_us = w.intended.Percentile(0.50);
+  p.intended_p95_us = w.intended.Percentile(0.95);
+  p.intended_p99_us = w.intended.Percentile(0.99);
+  p.intended_max_us = w.intended.max();
+  return p;
+}
+
+bool IntervalCollector::WindowSnapshot(uint64_t index,
+                                       TimeSeriesPoint* point) const {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= windows_.size() || windows_[index].ops == 0) return false;
+  *point = MakePoint(index, window_seconds_);
+  return true;
+}
+
+uint64_t IntervalCollector::NumWindows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return windows_.size();
+}
+
+TimeSeries IntervalCollector::ToTimeSeries(
+    double measured_elapsed_seconds) const {
+  TimeSeries series;
+  series.window_seconds = window_seconds_;
+  if (!enabled()) return series;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < windows_.size(); i++) {
+    double start = static_cast<double>(i) * window_seconds_;
+    double duration = window_seconds_;
+    if (measured_elapsed_seconds > start &&
+        measured_elapsed_seconds < start + window_seconds_) {
+      duration = measured_elapsed_seconds - start;  // final partial window
+    }
+    series.points.push_back(MakePoint(i, duration));
+  }
+  return series;
 }
 
 }  // namespace apmbench::ycsb

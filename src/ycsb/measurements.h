@@ -3,18 +3,34 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/histogram.h"
 #include "ycsb/db.h"
+#include "ycsb/timeseries.h"
 
 namespace apmbench::ycsb {
 
 /// Latency and outcome accounting for one client thread; merged across
 /// threads when a run finishes. Latencies are recorded in microseconds.
+///
+/// Two latencies are tracked per operation (HdrHistogram/YCSB style):
+///   - measured: completion minus the instant the request was actually
+///     issued (service time only);
+///   - intended: completion minus the instant the request was *scheduled*
+///     to be issued by the open-loop pacer. When the store stalls, queued
+///     requests carry their queueing delay here — the coordinated-omission
+///     correction. In unthrottled runs the two are identical.
 class Measurements {
  public:
-  void Record(OpType type, uint64_t latency_us, bool ok);
+  void Record(OpType type, uint64_t measured_us, uint64_t intended_us,
+              bool ok);
+  /// Convenience for unpaced callers: intended == measured.
+  void Record(OpType type, uint64_t latency_us, bool ok) {
+    Record(type, latency_us, latency_us, ok);
+  }
   /// A read that returned NotFound (possible when reads race in-flight
   /// inserts); counted separately, not as an error.
   void RecordReadMiss() { read_misses_++; }
@@ -25,6 +41,14 @@ class Measurements {
   const Histogram& histogram(OpType type) const {
     return histograms_[static_cast<size_t>(type)];
   }
+  const Histogram& intended_histogram(OpType type) const {
+    return intended_histograms_[static_cast<size_t>(type)];
+  }
+  /// All operation types merged into one histogram (what the time-series
+  /// windows and the coordinated-omission comparisons report).
+  Histogram MergedHistogram() const;
+  Histogram MergedIntendedHistogram() const;
+
   uint64_t ok_count(OpType type) const {
     return ok_counts_[static_cast<size_t>(type)];
   }
@@ -34,14 +58,67 @@ class Measurements {
   uint64_t total_ops() const;
   uint64_t read_misses() const { return read_misses_; }
 
-  /// One line per op type with count/mean/percentiles.
+  /// Marks this run as paced: Summary() then reports intended latency
+  /// alongside measured. Merge() propagates the flag.
+  void set_track_intended(bool track) { track_intended_ = track; }
+  bool track_intended() const { return track_intended_; }
+
+  /// One line per op type with count/mean/percentiles; paced runs add an
+  /// intended-latency line per op type.
   std::string Summary() const;
 
  private:
   std::array<Histogram, kNumOpTypes> histograms_;
+  std::array<Histogram, kNumOpTypes> intended_histograms_;
   std::array<uint64_t, kNumOpTypes> ok_counts_{};
   std::array<uint64_t, kNumOpTypes> error_counts_{};
   uint64_t read_misses_ = 0;
+  bool track_intended_ = false;
+};
+
+/// Thread-safe per-window accumulator behind the latency-over-time series.
+/// Client threads batch a window's worth of observations locally and
+/// publish each completed window with ReportWindow (one lock acquisition
+/// per thread per window); the status thread and the end-of-run exporter
+/// read snapshots. Window 0 starts at the end of warmup.
+class IntervalCollector {
+ public:
+  /// A collector with window_seconds <= 0 is disabled: ReportWindow is a
+  /// no-op and ToTimeSeries returns an empty series.
+  explicit IntervalCollector(double window_seconds)
+      : window_seconds_(window_seconds) {}
+
+  bool enabled() const { return window_seconds_ > 0; }
+  double window_seconds() const { return window_seconds_; }
+
+  /// Merges one thread's accumulation for window `index` (0-based).
+  void ReportWindow(uint64_t index, uint64_t ops, const Histogram& measured,
+                    const Histogram& intended);
+
+  /// Best-effort stats for one window, for live status reporting (threads
+  /// that have not flushed the window yet are simply not included).
+  /// Returns false when the window has no data.
+  bool WindowSnapshot(uint64_t index, TimeSeriesPoint* point) const;
+
+  /// Number of windows that have received at least one report.
+  uint64_t NumWindows() const;
+
+  /// Exports the full series; `measured_elapsed_seconds` clamps the final
+  /// (possibly partial) window's duration so its ops/sec is not inflated.
+  TimeSeries ToTimeSeries(double measured_elapsed_seconds) const;
+
+ private:
+  struct Window {
+    uint64_t ops = 0;
+    Histogram measured;
+    Histogram intended;
+  };
+
+  TimeSeriesPoint MakePoint(uint64_t index, double duration) const;
+
+  double window_seconds_;
+  mutable std::mutex mu_;
+  std::vector<Window> windows_;
 };
 
 }  // namespace apmbench::ycsb

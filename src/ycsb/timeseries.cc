@@ -1,0 +1,218 @@
+#include "ycsb/timeseries.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace apmbench::ycsb {
+
+namespace {
+
+void AppendLatencyObject(std::string* out, uint64_t p50, uint64_t p95,
+                         uint64_t p99, uint64_t max) {
+  char buf[160];
+  snprintf(buf, sizeof(buf),
+           "{\"p50\": %llu, \"p95\": %llu, \"p99\": %llu, \"max\": %llu}",
+           static_cast<unsigned long long>(p50),
+           static_cast<unsigned long long>(p95),
+           static_cast<unsigned long long>(p99),
+           static_cast<unsigned long long>(max));
+  out->append(buf);
+}
+
+/// A cursor over the fixed TimeSeries JSON schema. Only what ToJson()
+/// emits is supported: objects, arrays, unescaped string keys, numbers.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& s) : s_(s) {}
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (Eat(c)) return Status::OK();
+    char msg[64];
+    snprintf(msg, sizeof(msg), "time series JSON: expected '%c' at offset %zu",
+             c, pos_);
+    return Status::Corruption(msg);
+  }
+
+  Status ParseKey(std::string* out) {
+    APM_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      out->push_back(s_[pos_++]);
+    }
+    return Expect('"');
+  }
+
+  Status ParseNumber(double* out) {
+    SkipWs();
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    *out = strtod(start, &end);
+    if (end == start) {
+      return Status::Corruption("time series JSON: expected a number");
+    }
+    pos_ += static_cast<size_t>(end - start);
+    return Status::OK();
+  }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+Status ParseLatencyObject(JsonCursor* cur, uint64_t* p50, uint64_t* p95,
+                          uint64_t* p99, uint64_t* max) {
+  APM_RETURN_IF_ERROR(cur->Expect('{'));
+  std::string key;
+  do {
+    APM_RETURN_IF_ERROR(cur->ParseKey(&key));
+    APM_RETURN_IF_ERROR(cur->Expect(':'));
+    double v = 0;
+    APM_RETURN_IF_ERROR(cur->ParseNumber(&v));
+    uint64_t u = v < 0 ? 0 : static_cast<uint64_t>(v);
+    if (key == "p50") {
+      *p50 = u;
+    } else if (key == "p95") {
+      *p95 = u;
+    } else if (key == "p99") {
+      *p99 = u;
+    } else if (key == "max") {
+      *max = u;
+    } else {
+      return Status::Corruption("time series JSON: unknown latency key " +
+                                key);
+    }
+  } while (cur->Eat(','));
+  return cur->Expect('}');
+}
+
+Status ParsePoint(JsonCursor* cur, TimeSeriesPoint* point) {
+  APM_RETURN_IF_ERROR(cur->Expect('{'));
+  std::string key;
+  do {
+    APM_RETURN_IF_ERROR(cur->ParseKey(&key));
+    APM_RETURN_IF_ERROR(cur->Expect(':'));
+    if (key == "measured") {
+      APM_RETURN_IF_ERROR(ParseLatencyObject(
+          cur, &point->measured_p50_us, &point->measured_p95_us,
+          &point->measured_p99_us, &point->measured_max_us));
+    } else if (key == "intended") {
+      APM_RETURN_IF_ERROR(ParseLatencyObject(
+          cur, &point->intended_p50_us, &point->intended_p95_us,
+          &point->intended_p99_us, &point->intended_max_us));
+    } else {
+      double v = 0;
+      APM_RETURN_IF_ERROR(cur->ParseNumber(&v));
+      if (key == "t") {
+        point->t_seconds = v;
+      } else if (key == "window_seconds") {
+        point->window_seconds = v;
+      } else if (key == "ops") {
+        point->ops = v < 0 ? 0 : static_cast<uint64_t>(v);
+      } else if (key == "ops_per_sec") {
+        point->ops_per_sec = v;
+      } else {
+        return Status::Corruption("time series JSON: unknown point key " +
+                                  key);
+      }
+    }
+  } while (cur->Eat(','));
+  return cur->Expect('}');
+}
+
+}  // namespace
+
+std::string TimeSeries::ToJson() const {
+  std::string out;
+  char buf[256];
+  snprintf(buf, sizeof(buf), "{\"window_seconds\": %.6g, \"points\": [",
+           window_seconds);
+  out = buf;
+  for (size_t i = 0; i < points.size(); i++) {
+    const TimeSeriesPoint& p = points[i];
+    if (i > 0) out += ",";
+    snprintf(buf, sizeof(buf),
+             "\n  {\"t\": %.6g, \"window_seconds\": %.6g, \"ops\": %llu, "
+             "\"ops_per_sec\": %.2f, \"measured\": ",
+             p.t_seconds, p.window_seconds,
+             static_cast<unsigned long long>(p.ops), p.ops_per_sec);
+    out += buf;
+    AppendLatencyObject(&out, p.measured_p50_us, p.measured_p95_us,
+                        p.measured_p99_us, p.measured_max_us);
+    out += ", \"intended\": ";
+    AppendLatencyObject(&out, p.intended_p50_us, p.intended_p95_us,
+                        p.intended_p99_us, p.intended_max_us);
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string TimeSeries::ToCsv() const {
+  std::string out =
+      "t_seconds,ops,ops_per_sec,"
+      "measured_p50_us,measured_p95_us,measured_p99_us,measured_max_us,"
+      "intended_p50_us,intended_p95_us,intended_p99_us,intended_max_us\n";
+  char buf[256];
+  for (const TimeSeriesPoint& p : points) {
+    snprintf(buf, sizeof(buf),
+             "%.6g,%llu,%.2f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+             p.t_seconds, static_cast<unsigned long long>(p.ops),
+             p.ops_per_sec, static_cast<unsigned long long>(p.measured_p50_us),
+             static_cast<unsigned long long>(p.measured_p95_us),
+             static_cast<unsigned long long>(p.measured_p99_us),
+             static_cast<unsigned long long>(p.measured_max_us),
+             static_cast<unsigned long long>(p.intended_p50_us),
+             static_cast<unsigned long long>(p.intended_p95_us),
+             static_cast<unsigned long long>(p.intended_p99_us),
+             static_cast<unsigned long long>(p.intended_max_us));
+    out += buf;
+  }
+  return out;
+}
+
+Status TimeSeries::FromJson(const std::string& json, TimeSeries* out) {
+  out->window_seconds = 0;
+  out->points.clear();
+  JsonCursor cur(json);
+  APM_RETURN_IF_ERROR(cur.Expect('{'));
+  std::string key;
+  do {
+    APM_RETURN_IF_ERROR(cur.ParseKey(&key));
+    APM_RETURN_IF_ERROR(cur.Expect(':'));
+    if (key == "window_seconds") {
+      APM_RETURN_IF_ERROR(cur.ParseNumber(&out->window_seconds));
+    } else if (key == "points") {
+      APM_RETURN_IF_ERROR(cur.Expect('['));
+      if (!cur.Eat(']')) {
+        do {
+          TimeSeriesPoint point;
+          APM_RETURN_IF_ERROR(ParsePoint(&cur, &point));
+          out->points.push_back(point);
+        } while (cur.Eat(','));
+        APM_RETURN_IF_ERROR(cur.Expect(']'));
+      }
+    } else {
+      return Status::Corruption("time series JSON: unknown key " + key);
+    }
+  } while (cur.Eat(','));
+  return cur.Expect('}');
+}
+
+}  // namespace apmbench::ycsb

@@ -1,0 +1,59 @@
+#ifndef APMBENCH_YCSB_TIMESERIES_H_
+#define APMBENCH_YCSB_TIMESERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace apmbench::ycsb {
+
+/// One measurement window of a benchmark run: throughput plus measured
+/// and intended latency percentiles (microseconds). `t_seconds` is the
+/// window's END, relative to the start of the measured (post-warmup)
+/// phase, so a 1-second window series reads t=1,2,3,...
+struct TimeSeriesPoint {
+  double t_seconds = 0.0;
+  double window_seconds = 0.0;
+  uint64_t ops = 0;
+  double ops_per_sec = 0.0;
+  uint64_t measured_p50_us = 0;
+  uint64_t measured_p95_us = 0;
+  uint64_t measured_p99_us = 0;
+  uint64_t measured_max_us = 0;
+  uint64_t intended_p50_us = 0;
+  uint64_t intended_p95_us = 0;
+  uint64_t intended_p99_us = 0;
+  uint64_t intended_max_us = 0;
+};
+
+/// A latency-over-time series (SciTS-style reporting): what the bounded
+/// throughput figures plot instead of a single end-of-run aggregate.
+/// Produced by the runner's IntervalCollector; serializable to JSON and
+/// CSV so figure harnesses and external plotters can consume it.
+struct TimeSeries {
+  double window_seconds = 0.0;
+  std::vector<TimeSeriesPoint> points;
+
+  bool empty() const { return points.empty(); }
+
+  /// JSON document:
+  ///   {"window_seconds": 1.0,
+  ///    "points": [{"t": 1.0, "ops": 950, "ops_per_sec": 950.0,
+  ///                "measured": {"p50":..., "p95":..., "p99":..., "max":...},
+  ///                "intended": {...}}, ...]}
+  std::string ToJson() const;
+
+  /// CSV with a header row:
+  ///   t_seconds,ops,ops_per_sec,measured_p50_us,...,intended_max_us
+  std::string ToCsv() const;
+
+  /// Parses a document produced by ToJson(). Tolerates whitespace and
+  /// reordered keys; unknown keys are an error (the format is ours).
+  static Status FromJson(const std::string& json, TimeSeries* out);
+};
+
+}  // namespace apmbench::ycsb
+
+#endif  // APMBENCH_YCSB_TIMESERIES_H_

@@ -7,19 +7,87 @@
 
 namespace apmbench::ycsb {
 
+namespace {
+
+/// Raw operation proportions in draw order; shared by the constructor
+/// and Validate so they can never disagree.
+struct Proportions {
+  double read, update, scan, insert, del;
+  double Sum() const { return read + update + scan + insert + del; }
+};
+
+Proportions ReadProportions(const Properties& properties) {
+  return Proportions{properties.GetDouble("readproportion", 0.95),
+                     properties.GetDouble("updateproportion", 0.0),
+                     properties.GetDouble("scanproportion", 0.0),
+                     properties.GetDouble("insertproportion", 0.05),
+                     properties.GetDouble("deleteproportion", 0.0)};
+}
+
+}  // namespace
+
+Status CoreWorkload::Validate(const Properties& properties) {
+  Proportions p = ReadProportions(properties);
+  for (double v : {p.read, p.update, p.scan, p.insert, p.del}) {
+    if (v < 0) {
+      return Status::InvalidArgument("negative operation proportion");
+    }
+  }
+  if (p.Sum() <= 0) {
+    return Status::InvalidArgument("all operation proportions are zero");
+  }
+  if (properties.GetInt("keylength", 25) < kMinKeyLength) {
+    return Status::InvalidArgument(
+        "keylength below " + std::to_string(kMinKeyLength) +
+        " would truncate keys and alias distinct records");
+  }
+  return Status::OK();
+}
+
 CoreWorkload::CoreWorkload(const Properties& properties) {
   table_ = properties.GetString("table", "usertable");
   record_count_ =
       static_cast<uint64_t>(properties.GetInt("recordcount", 1000));
   field_count_ = static_cast<int>(properties.GetInt("fieldcount", 5));
   field_length_ = static_cast<int>(properties.GetInt("fieldlength", 10));
-  key_length_ = static_cast<int>(properties.GetInt("keylength", 25));
+  // Clamp rather than truncate: BuildKeyName never aliases keys (Validate
+  // reports the misconfiguration to drivers that care).
+  key_length_ = std::max(
+      static_cast<int>(properties.GetInt("keylength", 25)), kMinKeyLength);
   max_scan_length_ = static_cast<int>(properties.GetInt("maxscanlength", 50));
-  p_read_ = properties.GetDouble("readproportion", 0.95);
-  p_update_ = properties.GetDouble("updateproportion", 0.0);
-  p_insert_ = properties.GetDouble("insertproportion", 0.05);
-  p_scan_ = properties.GetDouble("scanproportion", 0.0);
-  p_delete_ = properties.GetDouble("deleteproportion", 0.0);
+
+  // Normalize the mix so the cumulative thresholds always span [0, 1]:
+  // proportions summing to s != 1 are scaled by 1/s. Negative values are
+  // clamped to 0 and an all-zero mix degrades to read-only (Validate
+  // rejects both up front).
+  Proportions p = ReadProportions(properties);
+  p.read = std::max(p.read, 0.0);
+  p.update = std::max(p.update, 0.0);
+  p.scan = std::max(p.scan, 0.0);
+  p.insert = std::max(p.insert, 0.0);
+  p.del = std::max(p.del, 0.0);
+  double sum = p.Sum();
+  if (sum <= 0) {
+    p.read = 1.0;
+    sum = 1.0;
+  }
+  cum_read_ = p.read / sum;
+  cum_update_ = cum_read_ + p.update / sum;
+  cum_scan_ = cum_update_ + p.scan / sum;
+  cum_insert_ = cum_scan_ + p.insert / sum;
+  // Guard against floating-point shortfall: when delete has no mass the
+  // insert threshold must be exactly 1 so no draw can land in the delete
+  // slot (and likewise up the chain for trailing zero proportions).
+  if (p.del <= 0) {
+    cum_insert_ = 1.0;
+    if (p.insert <= 0) {
+      cum_scan_ = 1.0;
+      if (p.scan <= 0) {
+        cum_update_ = 1.0;
+        if (p.update <= 0) cum_read_ = 1.0;
+      }
+    }
+  }
 
   ordered_inserts_ =
       properties.GetString("insertorder", "hashed") == "ordered";
@@ -56,13 +124,13 @@ std::string CoreWorkload::BuildKeyName(uint64_t keynum) const {
   uint64_t hashed = ordered_inserts_ ? keynum : FnvHash64(keynum);
   std::string digits = std::to_string(hashed);
   std::string key = "user";
+  // key_length_ >= kMinKeyLength = 4 + 20 digits (the constructor clamps),
+  // so the zero-padded numeric part always fits without truncation and
+  // distinct keynums can never alias.
   int pad = key_length_ - static_cast<int>(key.size()) -
             static_cast<int>(digits.size());
   for (int i = 0; i < pad; i++) key.push_back('0');
   key.append(digits);
-  if (static_cast<int>(key.size()) > key_length_) {
-    key.resize(static_cast<size_t>(key_length_));
-  }
   return key;
 }
 
@@ -81,14 +149,11 @@ Record CoreWorkload::BuildRecord(Random* rng) const {
 
 OpType CoreWorkload::NextOperation(Random* rng) {
   double r = rng->NextDouble();
-  if (r < p_read_) return OpType::kRead;
-  r -= p_read_;
-  if (r < p_update_) return OpType::kUpdate;
-  r -= p_update_;
-  if (r < p_scan_) return OpType::kScan;
-  r -= p_scan_;
-  if (r < p_insert_) return OpType::kInsert;
-  return p_delete_ > 0 ? OpType::kDelete : OpType::kInsert;
+  if (r < cum_read_) return OpType::kRead;
+  if (r < cum_update_) return OpType::kUpdate;
+  if (r < cum_scan_) return OpType::kScan;
+  if (r < cum_insert_) return OpType::kInsert;
+  return OpType::kDelete;
 }
 
 uint64_t CoreWorkload::NextTransactionKeyNum(Random* rng) {

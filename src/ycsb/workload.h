@@ -32,6 +32,18 @@ namespace apmbench::ycsb {
 /// and atomic.
 class CoreWorkload {
  public:
+  /// Keys are "user" + a zero-padded decimal sequence/hash; a uint64
+  /// needs up to 20 digits, so any shorter key length would have to
+  /// truncate and could alias distinct keys.
+  static constexpr int kKeyPrefixLength = 4;
+  static constexpr int kMinKeyLength = kKeyPrefixLength + 20;
+
+  /// Rejects configurations the constructor would have to silently
+  /// repair: negative or all-zero operation proportions, and keylength
+  /// below kMinKeyLength (which would truncate and alias keys). Drivers
+  /// should call this before constructing.
+  static Status Validate(const Properties& properties);
+
   explicit CoreWorkload(const Properties& properties);
 
   /// Key of record number `keynum` ("user" + zero-padded FNV hash,
@@ -75,7 +87,12 @@ class CoreWorkload {
   bool ordered_inserts_;
   double hotspot_data_fraction_;
   double hotspot_opn_fraction_;
-  double p_read_, p_update_, p_insert_, p_scan_, p_delete_;
+  /// Cumulative operation-mix thresholds over [0, 1), normalized at
+  /// construction in draw order read, update, scan, insert, delete (the
+  /// delete threshold is implicitly 1). NextOperation draws one uniform
+  /// and walks these, so proportions that sum to less than 1 are scaled
+  /// up instead of the residual mass leaking into one operation type.
+  double cum_read_, cum_update_, cum_scan_, cum_insert_;
   Distribution request_distribution_;
   std::unique_ptr<ScrambledZipfianGenerator> zipfian_;
   std::unique_ptr<ZipfianGenerator> latest_zipfian_;

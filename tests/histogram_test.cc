@@ -123,6 +123,89 @@ TEST(HistogramTest, PercentileMonotone) {
 namespace apmbench {
 namespace {
 
+TEST(HistogramTest, MergeEmptyIntoNonEmptyKeepsMinMax) {
+  Histogram a, empty;
+  a.Add(10);
+  a.Add(500);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 500u);
+  EXPECT_EQ(a.Percentile(0.5), 10u);
+}
+
+TEST(HistogramTest, MergeNonEmptyIntoEmpty) {
+  Histogram empty, b;
+  b.Add(42);
+  empty.Merge(b);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 42u);
+  EXPECT_EQ(empty.max(), 42u);
+  EXPECT_EQ(empty.Percentile(1.0), 42u);
+}
+
+TEST(HistogramTest, PercentileAtZeroAndOne) {
+  Histogram h;
+  h.Add(100);
+  h.Add(10000);
+  h.Add(1000000);
+  // q=0 reports (the bucket of) the smallest observation, q=1 the largest;
+  // both clamped to observed values.
+  EXPECT_GE(h.Percentile(0.0), h.min());
+  EXPECT_LE(h.Percentile(0.0), 101u);
+  EXPECT_EQ(h.Percentile(1.0), 1000000u);
+  // Out-of-range quantiles clamp instead of misbehaving.
+  EXPECT_EQ(h.Percentile(-0.5), h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(2.0), h.Percentile(1.0));
+}
+
+TEST(HistogramTest, SaturationBucketReportsObservedMax) {
+  Histogram h;
+  // Both values land in the single saturation bucket; the bucket's
+  // nominal bound is meaningless so percentiles report the observed max.
+  h.Add(1ull << 45);
+  h.Add(1ull << 60);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.Percentile(0.5), 1ull << 60);
+  EXPECT_EQ(h.Percentile(1.0), 1ull << 60);
+}
+
+TEST(HistogramTest, WeightedAddMatchesRepeatedAdd) {
+  Histogram weighted, repeated;
+  weighted.Add(250, 1000);
+  weighted.Add(9000, 10);
+  for (int i = 0; i < 1000; i++) repeated.Add(250);
+  for (int i = 0; i < 10; i++) repeated.Add(9000);
+  EXPECT_EQ(weighted.count(), repeated.count());
+  EXPECT_DOUBLE_EQ(weighted.Sum(), repeated.Sum());
+  EXPECT_EQ(weighted.min(), repeated.min());
+  EXPECT_EQ(weighted.max(), repeated.max());
+  for (double q : {0.1, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(weighted.Percentile(q), repeated.Percentile(q)) << q;
+  }
+  Histogram h;
+  h.Add(5, 0);  // zero-count add is a no-op
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(HistogramTest, SwapExchangesContents) {
+  Histogram a, b;
+  a.Add(10);
+  a.Add(20);
+  b.Add(5000);
+  a.Swap(&b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.max(), 5000u);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 10u);
+  // Swapping with a fresh histogram empties the source (the window-flush
+  // pattern).
+  Histogram fresh;
+  b.Swap(&fresh);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_EQ(fresh.count(), 2u);
+}
+
 TEST(HistogramTest, SingleValueBucketBoundsProperty) {
   // Any recorded value within the documented range [1, 2^40) is
   // recovered by Percentile(1.0) within the relative-error bound

@@ -35,8 +35,9 @@ class ScopedTempDir {
 };
 
 /// A trivially correct reference DB (ordered map + mutex) used to test the
-/// YCSB framework and as the model in property tests.
-class BasicDB final : public ycsb::DB {
+/// YCSB framework and as the model in property tests. Derivable so tests
+/// can wrap operations with fault/stall injection.
+class BasicDB : public ycsb::DB {
  public:
   Status Read(const std::string& table, const Slice& key,
               ycsb::Record* record) override {

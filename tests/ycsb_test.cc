@@ -1,8 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/properties.h"
 #include "common/random.h"
@@ -76,7 +83,8 @@ TEST_P(Table1MixTest, OperationMixMatchesTable1) {
   CoreWorkload workload(props);
   Random rng(42);
   std::map<OpType, int> counts;
-  const int n = 200000;
+  // 1M draws: the empirical mix must land within 1% of Table 1.
+  const int n = 1000000;
   for (int i = 0; i < n; i++) {
     counts[workload.NextOperation(&rng)]++;
   }
@@ -136,6 +144,96 @@ TEST(WorkloadTest, ScanLengthIsPaperFixed50) {
   CoreWorkload workload(props);
   Random rng(1);
   EXPECT_EQ(workload.NextScanLength(&rng), 50);
+}
+
+TEST(WorkloadTest, ProportionsNormalizedWhenSumBelowOne) {
+  // Before normalization, the residual 0.2 silently became extra inserts
+  // (insert would draw ~0.40 instead of 0.25).
+  Properties props;
+  props.Set("recordcount", "100");
+  props.Set("readproportion", "0.6");
+  props.Set("updateproportion", "0");
+  props.Set("scanproportion", "0");
+  props.Set("insertproportion", "0.2");
+  props.Set("deleteproportion", "0");
+  CoreWorkload workload(props);
+  Random rng(11);
+  std::map<OpType, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; i++) counts[workload.NextOperation(&rng)]++;
+  EXPECT_NEAR(static_cast<double>(counts[OpType::kRead]) / n, 0.75, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[OpType::kInsert]) / n, 0.25, 0.01);
+  EXPECT_EQ(counts[OpType::kDelete], 0);
+  EXPECT_EQ(counts[OpType::kUpdate], 0);
+}
+
+TEST(WorkloadTest, ResidualMassDoesNotLeakIntoDeletes) {
+  // With p_delete > 0, the old draw gave delete all the unassigned mass
+  // (0.2 residual + 0.1 configured = 0.3); normalized it must be
+  // 0.1 / 0.8 = 0.125.
+  Properties props;
+  props.Set("recordcount", "100");
+  props.Set("readproportion", "0.5");
+  props.Set("updateproportion", "0");
+  props.Set("scanproportion", "0");
+  props.Set("insertproportion", "0.2");
+  props.Set("deleteproportion", "0.1");
+  CoreWorkload workload(props);
+  Random rng(12);
+  int deletes = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; i++) {
+    if (workload.NextOperation(&rng) == OpType::kDelete) deletes++;
+  }
+  EXPECT_NEAR(static_cast<double>(deletes) / n, 0.125, 0.01);
+}
+
+TEST(WorkloadTest, ValidateRejectsBadMixes) {
+  Properties negative;
+  negative.Set("readproportion", "-0.1");
+  EXPECT_TRUE(CoreWorkload::Validate(negative).IsInvalidArgument());
+
+  Properties all_zero;
+  all_zero.Set("readproportion", "0");
+  all_zero.Set("updateproportion", "0");
+  all_zero.Set("scanproportion", "0");
+  all_zero.Set("insertproportion", "0");
+  all_zero.Set("deleteproportion", "0");
+  EXPECT_TRUE(CoreWorkload::Validate(all_zero).IsInvalidArgument());
+
+  Properties ok;  // defaults are a valid R-style mix
+  EXPECT_TRUE(CoreWorkload::Validate(ok).ok());
+}
+
+TEST(WorkloadTest, ValidateRejectsTruncatingKeylength) {
+  Properties props;
+  props.Set("keylength", "8");
+  EXPECT_TRUE(CoreWorkload::Validate(props).IsInvalidArgument());
+  props.Set("keylength", "24");
+  EXPECT_TRUE(CoreWorkload::Validate(props).ok());
+}
+
+TEST(WorkloadTest, KeyNamesNeverTruncateOrAlias) {
+  // keylength=8 used to resize() keys down to 8 bytes, aliasing large
+  // ordered sequence numbers that share a prefix. The constructor now
+  // clamps to kMinKeyLength so every uint64 keynum keeps all its digits.
+  Properties props;
+  props.Set("recordcount", "100");
+  props.Set("insertorder", "ordered");
+  props.Set("keylength", "8");
+  CoreWorkload workload(props);
+  std::set<std::string> keys;
+  const uint64_t base = 1000000000000000000ull;  // 19 digits
+  for (uint64_t i = 0; i < 200; i++) {
+    std::string key = workload.BuildKeyName(base + i);
+    EXPECT_GE(key.size(),
+              static_cast<size_t>(CoreWorkload::kMinKeyLength));
+    keys.insert(std::move(key));
+  }
+  EXPECT_EQ(keys.size(), 200u);
+  // The extremes of the keynum space stay distinct too.
+  EXPECT_NE(workload.BuildKeyName(UINT64_MAX),
+            workload.BuildKeyName(UINT64_MAX - 1));
 }
 
 TEST(MeasurementsTest, RecordAndMerge) {
@@ -335,6 +433,309 @@ TEST(WorkloadTest, UpdateProportionRunsThroughRunner) {
 namespace apmbench::ycsb {
 namespace {
 
+/// Counts every operation that reaches the store; optionally injects one
+/// long stall at a chosen call number (the coordinated-omission probe)
+/// or fails all inserts from a chosen call number on.
+class InstrumentedDB final : public testutil::BasicDB {
+ public:
+  Status Read(const std::string& table, const Slice& key,
+              Record* record) override {
+    OnCall();
+    return BasicDB::Read(table, key, record);
+  }
+  Status Insert(const std::string& table, const Slice& key,
+                const Record& record) override {
+    uint64_t call = OnCall();
+    if (fail_inserts_from_ > 0 && call >= fail_inserts_from_) {
+      return Status::IOError("injected insert failure");
+    }
+    return BasicDB::Insert(table, key, record);
+  }
+  Status Update(const std::string& table, const Slice& key,
+                const Record& record) override {
+    OnCall();
+    return BasicDB::Update(table, key, record);
+  }
+
+  uint64_t calls() const { return calls_.load(); }
+  void reset_calls() { calls_ = 0; }
+  /// The `stall_at`-th call (1-based) sleeps for `ms` milliseconds.
+  void StallOnce(uint64_t stall_at, int ms) {
+    stall_at_ = stall_at;
+    stall_ms_ = ms;
+  }
+  void FailInsertsFrom(uint64_t call) { fail_inserts_from_ = call; }
+
+ private:
+  uint64_t OnCall() {
+    uint64_t call = calls_.fetch_add(1) + 1;
+    if (call == stall_at_) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms_));
+    }
+    return call;
+  }
+
+  std::atomic<uint64_t> calls_{0};
+  uint64_t stall_at_ = 0;
+  int stall_ms_ = 0;
+  uint64_t fail_inserts_from_ = 0;
+};
+
+TEST(ClientTest, OperationCountExecutedExactly) {
+  testutil::BasicDB db;
+  Properties props;
+  props.Set("recordcount", "500");
+  CoreWorkload workload(props);
+  ASSERT_TRUE(LoadDatabase(&db, &workload, 2).ok());
+
+  RunConfig config;
+  config.threads = 4;
+  config.operation_count = 5000;
+  RunResult result;
+  ASSERT_TRUE(RunWorkload(&db, &workload, config, &result).ok());
+  // The budget is claimed with compare-exchange: threads that observe
+  // exhaustion never decrement, so exactly operation_count ops execute.
+  EXPECT_EQ(result.measurements.total_ops(), 5000u);
+}
+
+TEST(ClientTest, PacedOperationCountExecutedExactly) {
+  testutil::BasicDB db;
+  Properties props;
+  props.Set("recordcount", "500");
+  CoreWorkload workload(props);
+  ASSERT_TRUE(LoadDatabase(&db, &workload, 2).ok());
+
+  RunConfig config;
+  config.threads = 4;
+  config.operation_count = 600;
+  config.target_ops_per_sec = 4000;
+  RunResult result;
+  ASSERT_TRUE(RunWorkload(&db, &workload, config, &result).ok());
+  EXPECT_EQ(result.measurements.total_ops(), 600u);
+}
+
+TEST(ClientTest, LoadAbortsOtherThreadsOnFailure) {
+  InstrumentedDB db;
+  db.FailInsertsFrom(64);
+  Properties props;
+  props.Set("recordcount", "200000");
+  CoreWorkload workload(props);
+  Status status = LoadDatabase(&db, &workload, 4);
+  EXPECT_TRUE(status.IsIOError());
+  // Without the shared abort flag the surviving threads would push on to
+  // all 200k records (every one failing); with it they stop promptly.
+  EXPECT_LT(db.calls(), 20000u);
+}
+
+TEST(ClientTest, IntendedLatencySurfacesInjectedStall) {
+  // The acceptance scenario: a paced run against a store with one 100 ms
+  // stall. The stalled op's queueing delay spills onto the ~100 requests
+  // scheduled behind it; only intended latency sees that delay.
+  InstrumentedDB db;
+  Properties props;
+  props.Set("recordcount", "500");
+  CoreWorkload workload(props);
+  ASSERT_TRUE(LoadDatabase(&db, &workload, 2).ok());
+  db.reset_calls();
+  db.StallOnce(50, 100);
+
+  RunConfig config;
+  config.threads = 1;
+  config.operation_count = 400;
+  config.target_ops_per_sec = 1000;
+  RunResult result;
+  ASSERT_TRUE(RunWorkload(&db, &workload, config, &result).ok());
+  ASSERT_EQ(result.measurements.total_ops(), 400u);
+
+  Histogram measured = result.measurements.MergedHistogram();
+  Histogram intended = result.measurements.MergedIntendedHistogram();
+  // Measured-only accounting hides the stall: only the one stalled op is
+  // slow, so p99 over 400 ops stays fast.
+  EXPECT_LT(measured.Percentile(0.99), 50000u);
+  // Intended latency carries the queueing delay of every op scheduled
+  // during the stall: ~50 of 400 ops (p99 comfortably above 50 ms... the
+  // tail reaches toward the full 100 ms).
+  EXPECT_GT(intended.Percentile(0.99), 50000u);
+  EXPECT_GE(intended.max(), 90000u);
+  // Paced runs advertise intended latency in the summary.
+  EXPECT_TRUE(result.measurements.track_intended());
+  EXPECT_NE(result.measurements.Summary().find("(int)"), std::string::npos);
+}
+
+TEST(ClientTest, UnpacedIntendedEqualsMeasured) {
+  testutil::BasicDB db;
+  Properties props;
+  props.Set("recordcount", "200");
+  CoreWorkload workload(props);
+  ASSERT_TRUE(LoadDatabase(&db, &workload, 1).ok());
+
+  RunConfig config;
+  config.threads = 2;
+  config.operation_count = 2000;
+  RunResult result;
+  ASSERT_TRUE(RunWorkload(&db, &workload, config, &result).ok());
+  EXPECT_FALSE(result.measurements.track_intended());
+  Histogram measured = result.measurements.MergedHistogram();
+  Histogram intended = result.measurements.MergedIntendedHistogram();
+  EXPECT_EQ(measured.count(), intended.count());
+  EXPECT_EQ(measured.Percentile(0.5), intended.Percentile(0.5));
+  EXPECT_EQ(measured.max(), intended.max());
+}
+
+TEST(ClientTest, WarmupOpsExcludedFromMeasurements) {
+  InstrumentedDB db;
+  Properties props;
+  props.Set("recordcount", "200");
+  CoreWorkload workload(props);
+  ASSERT_TRUE(LoadDatabase(&db, &workload, 2).ok());
+  db.reset_calls();
+
+  RunConfig config;
+  config.threads = 2;
+  config.operation_count = 0;
+  config.duration_seconds = 0.3;
+  config.warmup_seconds = 0.2;
+  RunResult result;
+  ASSERT_TRUE(RunWorkload(&db, &workload, config, &result).ok());
+  EXPECT_GT(result.warmup_ops, 0u);
+  EXPECT_GT(result.measurements.total_ops(), 0u);
+  // Every executed op is either warmup or measured — none double-counted,
+  // none lost. (Scans don't reach InstrumentedDB's counter, but workload
+  // R-style defaults issue none.)
+  EXPECT_EQ(result.warmup_ops + result.measurements.total_ops(),
+            db.calls());
+  // Elapsed/throughput cover the measured phase only.
+  EXPECT_NEAR(result.elapsed_seconds, 0.3, 0.2);
+}
+
+TEST(ClientTest, TimeSeriesCollection) {
+  testutil::BasicDB db;
+  Properties props;
+  props.Set("recordcount", "200");
+  CoreWorkload workload(props);
+  ASSERT_TRUE(LoadDatabase(&db, &workload, 1).ok());
+
+  RunConfig config;
+  config.threads = 2;
+  config.operation_count = 0;
+  config.duration_seconds = 0.5;
+  config.time_series_window_seconds = 0.1;
+  RunResult result;
+  ASSERT_TRUE(RunWorkload(&db, &workload, config, &result).ok());
+
+  const TimeSeries& series = result.time_series;
+  EXPECT_DOUBLE_EQ(series.window_seconds, 0.1);
+  ASSERT_GE(series.points.size(), 3u);
+  ASSERT_LE(series.points.size(), 8u);
+  uint64_t series_ops = 0;
+  double prev_t = 0;
+  for (const TimeSeriesPoint& p : series.points) {
+    EXPECT_GT(p.t_seconds, prev_t);
+    prev_t = p.t_seconds;
+    series_ops += p.ops;
+    if (p.ops > 0) {
+      EXPECT_GT(p.ops_per_sec, 0);
+      EXPECT_GE(p.measured_p95_us, p.measured_p50_us);
+      EXPECT_GE(p.measured_p99_us, p.measured_p95_us);
+    }
+  }
+  // Window totals partition the measured ops exactly.
+  EXPECT_EQ(series_ops, result.measurements.total_ops());
+}
+
+TEST(ClientTest, TimeSeriesDisabledByDefault) {
+  testutil::BasicDB db;
+  Properties props;
+  props.Set("recordcount", "100");
+  CoreWorkload workload(props);
+  ASSERT_TRUE(LoadDatabase(&db, &workload, 1).ok());
+  RunConfig config;
+  config.threads = 1;
+  config.operation_count = 500;
+  RunResult result;
+  ASSERT_TRUE(RunWorkload(&db, &workload, config, &result).ok());
+  EXPECT_TRUE(result.time_series.empty());
+}
+
+TEST(TimeSeriesTest, JsonRoundTrip) {
+  TimeSeries series;
+  series.window_seconds = 0.5;
+  for (int i = 0; i < 3; i++) {
+    TimeSeriesPoint p;
+    p.t_seconds = 0.5 * (i + 1);
+    p.window_seconds = 0.5;
+    p.ops = 1000 + static_cast<uint64_t>(i);
+    p.ops_per_sec = 2000 + i;
+    p.measured_p50_us = 10 + static_cast<uint64_t>(i);
+    p.measured_p95_us = 95;
+    p.measured_p99_us = 99;
+    p.measured_max_us = 1234;
+    p.intended_p50_us = 20;
+    p.intended_p95_us = 195;
+    p.intended_p99_us = 199;
+    p.intended_max_us = 5678;
+    series.points.push_back(p);
+  }
+  TimeSeries parsed;
+  ASSERT_TRUE(TimeSeries::FromJson(series.ToJson(), &parsed).ok());
+  EXPECT_DOUBLE_EQ(parsed.window_seconds, 0.5);
+  ASSERT_EQ(parsed.points.size(), 3u);
+  for (size_t i = 0; i < 3; i++) {
+    EXPECT_DOUBLE_EQ(parsed.points[i].t_seconds, series.points[i].t_seconds);
+    EXPECT_EQ(parsed.points[i].ops, series.points[i].ops);
+    EXPECT_DOUBLE_EQ(parsed.points[i].ops_per_sec,
+                     series.points[i].ops_per_sec);
+    EXPECT_EQ(parsed.points[i].measured_p50_us,
+              series.points[i].measured_p50_us);
+    EXPECT_EQ(parsed.points[i].measured_max_us,
+              series.points[i].measured_max_us);
+    EXPECT_EQ(parsed.points[i].intended_p99_us,
+              series.points[i].intended_p99_us);
+    EXPECT_EQ(parsed.points[i].intended_max_us,
+              series.points[i].intended_max_us);
+  }
+  // CSV has one header plus one line per point.
+  std::string csv = series.ToCsv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+
+  TimeSeries bad;
+  EXPECT_FALSE(TimeSeries::FromJson("not json", &bad).ok());
+  EXPECT_FALSE(TimeSeries::FromJson("{\"bogus\": 1}", &bad).ok());
+}
+
+TEST(MeasurementsTest, IntervalCollectorMergesThreadReports) {
+  IntervalCollector collector(1.0);
+  ASSERT_TRUE(collector.enabled());
+  Histogram m1, i1, m2, i2;
+  m1.Add(100);
+  i1.Add(150);
+  m2.Add(300);
+  i2.Add(500);
+  collector.ReportWindow(0, 1, m1, i1);
+  collector.ReportWindow(0, 1, m2, i2);
+  collector.ReportWindow(2, 1, m1, i1);  // window 1 stays empty
+
+  TimeSeriesPoint point;
+  ASSERT_TRUE(collector.WindowSnapshot(0, &point));
+  EXPECT_EQ(point.ops, 2u);
+  EXPECT_EQ(point.measured_max_us, 300u);
+  EXPECT_EQ(point.intended_max_us, 500u);
+  EXPECT_FALSE(collector.WindowSnapshot(1, &point));
+
+  TimeSeries series = collector.ToTimeSeries(2.5);
+  ASSERT_EQ(series.points.size(), 3u);
+  EXPECT_EQ(series.points[0].ops, 2u);
+  EXPECT_DOUBLE_EQ(series.points[0].ops_per_sec, 2.0);
+  EXPECT_EQ(series.points[1].ops, 0u);
+  // The final window is clamped to the actual elapsed time (0.5s).
+  EXPECT_DOUBLE_EQ(series.points[2].ops_per_sec, 2.0);
+
+  IntervalCollector disabled(0.0);
+  EXPECT_FALSE(disabled.enabled());
+  disabled.ReportWindow(0, 1, m1, i1);
+  EXPECT_TRUE(disabled.ToTimeSeries(1.0).empty());
+}
+
 TEST(ClientTest, StatusCallbackReportsProgress) {
   testutil::BasicDB db;
   Properties props;
@@ -359,6 +760,64 @@ TEST(ClientTest, StatusCallbackReportsProgress) {
   ASSERT_TRUE(RunWorkload(&db, &workload, config, &result).ok());
   EXPECT_GE(reports.load(), 3);
   EXPECT_GT(last_total.load(), 0u);
+}
+
+TEST(ClientTest, StatusElapsedIsMonotonicAndAnchored) {
+  testutil::BasicDB db;
+  Properties props;
+  props.Set("recordcount", "100");
+  CoreWorkload workload(props);
+  ASSERT_TRUE(LoadDatabase(&db, &workload, 1).ok());
+
+  std::vector<double> elapsed_values;
+  std::mutex mu;
+  RunConfig config;
+  config.threads = 2;
+  config.duration_seconds = 0.45;
+  config.status_interval_seconds = 0.1;
+  config.status_callback = [&](double elapsed, uint64_t, double) {
+    std::lock_guard<std::mutex> lock(mu);
+    elapsed_values.push_back(elapsed);
+  };
+  RunResult result;
+  ASSERT_TRUE(RunWorkload(&db, &workload, config, &result).ok());
+  ASSERT_GE(elapsed_values.size(), 3u);
+  double prev = 0;
+  for (double e : elapsed_values) {
+    EXPECT_GT(e, prev);
+    prev = e;
+    // Anchored to the monotonic clock: each report lands at (or just
+    // after) a real tick boundary, never at drifted "assumed" times.
+    double nearest = std::round(e / 0.1) * 0.1;
+    EXPECT_NEAR(e, nearest, 0.05);
+  }
+}
+
+TEST(ClientTest, WindowCallbackDeliversCompletedWindows) {
+  testutil::BasicDB db;
+  Properties props;
+  props.Set("recordcount", "100");
+  CoreWorkload workload(props);
+  ASSERT_TRUE(LoadDatabase(&db, &workload, 1).ok());
+
+  std::vector<TimeSeriesPoint> points;
+  std::mutex mu;
+  RunConfig config;
+  config.threads = 2;
+  config.duration_seconds = 0.5;
+  config.time_series_window_seconds = 0.1;
+  config.status_interval_seconds = 0.1;
+  config.window_callback = [&](const TimeSeriesPoint& p) {
+    std::lock_guard<std::mutex> lock(mu);
+    points.push_back(p);
+  };
+  RunResult result;
+  ASSERT_TRUE(RunWorkload(&db, &workload, config, &result).ok());
+  ASSERT_GE(points.size(), 1u);
+  for (const TimeSeriesPoint& p : points) {
+    EXPECT_GT(p.ops, 0u);
+    EXPECT_GT(p.ops_per_sec, 0.0);
+  }
 }
 
 }  // namespace

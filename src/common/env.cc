@@ -302,6 +302,17 @@ class PosixEnv final : public Env {
     return Status::OK();
   }
 
+  Status SyncDir(const std::string& dir) override {
+    int fd = open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError("open " + dir, errno);
+    Status s;
+    if (fsync(fd) != 0) {
+      s = PosixError("fsync " + dir, errno);
+    }
+    close(fd);
+    return s;
+  }
+
   Status RemoveDirRecursively(const std::string& dir) override {
     std::vector<std::string> children;
     Status s = GetChildren(dir, &children);

@@ -77,6 +77,10 @@ class Env {
   virtual Status RemoveFile(const std::string& path) = 0;
   virtual Status RenameFile(const std::string& from,
                             const std::string& to) = 0;
+  /// fsyncs the directory itself so that file creations, removals, and
+  /// renames inside it survive power loss (the metadata analogue of
+  /// WritableFile::Sync).
+  virtual Status SyncDir(const std::string& dir) = 0;
   /// Recursively removes `dir` and everything under it.
   virtual Status RemoveDirRecursively(const std::string& dir) = 0;
   /// Total bytes of all regular files under `dir`, recursively.

@@ -1,0 +1,310 @@
+#include "common/fault_env.h"
+
+#include <utility>
+
+namespace apmbench {
+
+/// WritableFile wrapper that reports synced sizes back to the owning
+/// FaultInjectionEnv and routes faults through it. At namespace scope so
+/// the friend declaration in FaultInjectionEnv applies.
+class TrackedWritableFile final : public WritableFile {
+ public:
+  TrackedWritableFile(FaultInjectionEnv* env, std::string path,
+                      std::unique_ptr<WritableFile> inner)
+      : env_(env), path_(std::move(path)), inner_(std::move(inner)) {}
+
+  ~TrackedWritableFile() override = default;
+
+  Status Append(const Slice& data) override {
+    APM_RETURN_IF_ERROR(env_->Account(FaultOp::kAppend));
+    return inner_->Append(data);
+  }
+
+  Status Flush() override {
+    APM_RETURN_IF_ERROR(env_->Account(FaultOp::kFlush));
+    return inner_->Flush();
+  }
+
+  Status Sync() override {
+    APM_RETURN_IF_ERROR(env_->Account(FaultOp::kSync));
+    APM_RETURN_IF_ERROR(inner_->Sync());
+    env_->NoteSynced(path_, inner_->Size());
+    return Status::OK();
+  }
+
+  Status Close() override {
+    APM_RETURN_IF_ERROR(env_->Account(FaultOp::kClose));
+    // Close flushes to the OS page cache, not the medium: the bytes still
+    // count as unsynced and are lost by DropUnsyncedData().
+    return inner_->Close();
+  }
+
+  uint64_t Size() const override { return inner_->Size(); }
+
+ private:
+  FaultInjectionEnv* const env_;
+  const std::string path_;
+  std::unique_ptr<WritableFile> inner_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* target) : target_(target) {}
+
+Status FaultInjectionEnv::Account(FaultOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_[static_cast<int>(op)]++;
+  if (!active_) {
+    return Status::IOError("fault_env: filesystem inactive (simulated crash)");
+  }
+  Fault& fault = faults_[static_cast<int>(op)];
+  if (fault.armed) {
+    if (fault.remaining == 0) {
+      return Status::IOError("fault_env: injected fault");
+    }
+    fault.remaining--;
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::SetFilesystemActive(bool active) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_ = active;
+}
+
+bool FaultInjectionEnv::IsFilesystemActive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+Status FaultInjectionEnv::DropUnsyncedData() {
+  std::map<std::string, FileState> files;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    files = files_;
+  }
+  for (const auto& [path, state] : files) {
+    if (!target_->FileExists(path)) continue;
+    uint64_t size = 0;
+    APM_RETURN_IF_ERROR(target_->GetFileSize(path, &size));
+    if (size <= state.synced_size) continue;
+    // Rewrite the synced prefix through the target Env; this keeps the
+    // wrapper independent of any truncate syscall the Env doesn't expose.
+    std::string contents;
+    APM_RETURN_IF_ERROR(target_->ReadFileToString(path, &contents));
+    contents.resize(state.synced_size);
+    APM_RETURN_IF_ERROR(target_->WriteStringToFile(path, Slice(contents)));
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFilesCreatedSinceLastDirSync() {
+  std::vector<std::string> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [path, state] : files_) {
+      if (state.created_since_dir_sync) doomed.push_back(path);
+    }
+    for (const auto& path : doomed) files_.erase(path);
+  }
+  for (const auto& path : doomed) {
+    if (target_->FileExists(path)) {
+      APM_RETURN_IF_ERROR(target_->RemoveFile(path));
+    }
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::ResetState() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_ = true;
+  files_.clear();
+  for (Fault& fault : faults_) fault = Fault{};
+}
+
+void FaultInjectionEnv::FailAfter(FaultOp op, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_[static_cast<int>(op)] = Fault{true, n};
+}
+
+void FaultInjectionEnv::ClearFault(FaultOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_[static_cast<int>(op)] = Fault{};
+}
+
+void FaultInjectionEnv::ClearAllFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Fault& fault : faults_) fault = Fault{};
+}
+
+uint64_t FaultInjectionEnv::OpCount(FaultOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<int>(op)];
+}
+
+void FaultInjectionEnv::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t& count : counts_) count = 0;
+}
+
+uint64_t FaultInjectionEnv::SyncedBytes(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  return it != files_.end() ? it->second.synced_size : 0;
+}
+
+void FaultInjectionEnv::NoteSynced(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState& state = files_[path];
+  if (size > state.synced_size) state.synced_size = size;
+}
+
+void FaultInjectionEnv::ForgetFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(path);
+}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& path, std::unique_ptr<WritableFile>* file) {
+  APM_RETURN_IF_ERROR(Account(FaultOp::kNewWritableFile));
+  std::unique_ptr<WritableFile> inner;
+  APM_RETURN_IF_ERROR(target_->NewWritableFile(path, &inner));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_[path] = FileState{0, true};
+  }
+  file->reset(new TrackedWritableFile(this, path, std::move(inner)));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewAppendableFile(
+    const std::string& path, std::unique_ptr<WritableFile>* file) {
+  APM_RETURN_IF_ERROR(Account(FaultOp::kNewWritableFile));
+  const bool existed = target_->FileExists(path);
+  std::unique_ptr<WritableFile> inner;
+  APM_RETURN_IF_ERROR(target_->NewAppendableFile(path, &inner));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FileState& state = files_[path];
+    if (existed) {
+      // Pre-existing bytes are assumed durable; only new appends are at
+      // risk until the next Sync.
+      if (inner->Size() > state.synced_size) state.synced_size = inner->Size();
+    } else {
+      state = FileState{0, true};
+    }
+  }
+  file->reset(new TrackedWritableFile(this, path, std::move(inner)));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& path, std::unique_ptr<RandomAccessFile>* file) {
+  return target_->NewRandomAccessFile(path, file);
+}
+
+Status FaultInjectionEnv::NewRandomRWFile(const std::string& path,
+                                          std::unique_ptr<RandomRWFile>* file) {
+  return target_->NewRandomRWFile(path, file);
+}
+
+Status FaultInjectionEnv::ReadFileToString(const std::string& path,
+                                           std::string* data) {
+  return target_->ReadFileToString(path, data);
+}
+
+Status FaultInjectionEnv::WriteStringToFile(const std::string& path,
+                                            const Slice& data) {
+  // Route through our own writable file so the bytes are tracked and the
+  // append/sync faults apply (the target's implementation would bypass
+  // both).
+  std::unique_ptr<WritableFile> file;
+  APM_RETURN_IF_ERROR(NewWritableFile(path, &file));
+  APM_RETURN_IF_ERROR(file->Append(data));
+  APM_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return target_->FileExists(path);
+}
+
+Status FaultInjectionEnv::GetFileSize(const std::string& path,
+                                      uint64_t* size) {
+  return target_->GetFileSize(path, size);
+}
+
+Status FaultInjectionEnv::GetChildren(const std::string& dir,
+                                      std::vector<std::string>* names) {
+  return target_->GetChildren(dir, names);
+}
+
+Status FaultInjectionEnv::CreateDirIfMissing(const std::string& dir) {
+  if (!IsFilesystemActive()) {
+    return Status::IOError("fault_env: filesystem inactive (simulated crash)");
+  }
+  return target_->CreateDirIfMissing(dir);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  APM_RETURN_IF_ERROR(Account(FaultOp::kRemove));
+  APM_RETURN_IF_ERROR(target_->RemoveFile(path));
+  ForgetFile(path);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  APM_RETURN_IF_ERROR(Account(FaultOp::kRename));
+  APM_RETURN_IF_ERROR(target_->RenameFile(from, to));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    FileState state = it->second;
+    files_.erase(it);
+    // The new directory entry is only durable after the next SyncDir.
+    state.created_since_dir_sync = true;
+    files_[to] = state;
+  } else {
+    files_.erase(to);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  APM_RETURN_IF_ERROR(Account(FaultOp::kSyncDir));
+  APM_RETURN_IF_ERROR(target_->SyncDir(dir));
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string prefix = dir + "/";
+  for (auto& [path, state] : files_) {
+    if (path.rfind(prefix, 0) == 0 &&
+        path.find('/', prefix.size()) == std::string::npos) {
+      state.created_since_dir_sync = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveDirRecursively(const std::string& dir) {
+  if (!IsFilesystemActive()) {
+    return Status::IOError("fault_env: filesystem inactive (simulated crash)");
+  }
+  Status s = target_->RemoveDirRecursively(dir);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::string prefix = dir + "/";
+    for (auto it = files_.begin(); it != files_.end();) {
+      if (it->first.rfind(prefix, 0) == 0) {
+        it = files_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::GetDirectorySize(const std::string& dir,
+                                           uint64_t* bytes) {
+  return target_->GetDirectorySize(dir, bytes);
+}
+
+}  // namespace apmbench

@@ -1,0 +1,146 @@
+#ifndef APMBENCH_COMMON_FAULT_ENV_H_
+#define APMBENCH_COMMON_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+
+namespace apmbench {
+
+/// Categories of mutating filesystem operations that FaultInjectionEnv
+/// counts and can fail deterministically.
+enum class FaultOp {
+  kNewWritableFile = 0,  // also covers NewAppendableFile
+  kAppend,
+  kFlush,
+  kSync,
+  kClose,
+  kRename,
+  kRemove,
+  kSyncDir,
+};
+constexpr int kNumFaultOps = 8;
+
+/// An Env decorator for crash-recovery testing, modeled on the fault
+/// injection environments of LevelDB/RocksDB. It forwards every call to a
+/// target Env (usually Env::Default()) while
+///
+///  (a) tracking, per file written through it, how many bytes have been
+///      `Sync`ed — so `DropUnsyncedData()` can rewind the directory to a
+///      state a real disk may present after power loss;
+///  (b) injecting deterministic `IOError`s into the Nth call of a chosen
+///      operation category (`FailAfter`), to drive error paths; and
+///  (c) counting calls per category, for I/O accounting in tests and
+///      benchmarks.
+///
+/// Thread-safe: the engines issue Env calls from foreground and background
+/// threads concurrently.
+class FaultInjectionEnv final : public Env {
+ public:
+  /// Does not take ownership of `target`, which must outlive this Env.
+  explicit FaultInjectionEnv(Env* target);
+
+  // --- crash simulation ------------------------------------------------
+
+  /// While inactive, every mutating operation fails with IOError and
+  /// leaves the disk untouched: the instant of power loss. Read
+  /// operations keep working so post-mortem inspection is possible.
+  void SetFilesystemActive(bool active);
+  bool IsFilesystemActive() const;
+
+  /// Truncates every file written through this Env back to its last
+  /// synced size (to its size at open for pre-existing appendable files
+  /// that were never synced). Call with the writers destroyed or the
+  /// filesystem inactive; then reopen the database to simulate a
+  /// post-power-loss recovery.
+  Status DropUnsyncedData();
+
+  /// Unlinks files created (or renamed into place) since the last
+  /// `SyncDir` of their parent directory: without a directory fsync, even
+  /// a synced file's directory entry may not survive power loss.
+  Status RemoveFilesCreatedSinceLastDirSync();
+
+  /// Forgets all per-file tracking and clears injected faults; counters
+  /// are kept. Call between simulated crash cycles.
+  void ResetState();
+
+  // --- deterministic error injection -----------------------------------
+
+  /// The next `n` calls of `op` succeed; every later call fails with
+  /// IOError until `ClearFault(op)`. `FailAfter(op, 0)` fails the next
+  /// call. Failures are sticky, modeling a device that stays broken.
+  void FailAfter(FaultOp op, uint64_t n);
+  void ClearFault(FaultOp op);
+  void ClearAllFaults();
+
+  // --- I/O accounting --------------------------------------------------
+
+  /// Number of calls observed in `op`'s category (including failed ones).
+  uint64_t OpCount(FaultOp op) const;
+  void ResetCounters();
+
+  /// Bytes of `path` known to be durable (synced through this Env).
+  uint64_t SyncedBytes(const std::string& path) const;
+
+  // --- Env interface ---------------------------------------------------
+
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status NewAppendableFile(const std::string& path,
+                           std::unique_ptr<WritableFile>* file) override;
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* file) override;
+  Status NewRandomRWFile(const std::string& path,
+                         std::unique_ptr<RandomRWFile>* file) override;
+  Status ReadFileToString(const std::string& path, std::string* data) override;
+  Status WriteStringToFile(const std::string& path, const Slice& data) override;
+  bool FileExists(const std::string& path) override;
+  Status GetFileSize(const std::string& path, uint64_t* size) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* names) override;
+  Status CreateDirIfMissing(const std::string& dir) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status SyncDir(const std::string& dir) override;
+  Status RemoveDirRecursively(const std::string& dir) override;
+  Status GetDirectorySize(const std::string& dir, uint64_t* bytes) override;
+
+ private:
+  friend class TrackedWritableFile;
+
+  struct FileState {
+    /// Bytes guaranteed on the medium (synced, or present at open of an
+    /// appendable file).
+    uint64_t synced_size = 0;
+    /// True until the parent directory is SyncDir'ed.
+    bool created_since_dir_sync = true;
+  };
+
+  struct Fault {
+    bool armed = false;
+    uint64_t remaining = 0;  // calls that still succeed once armed
+  };
+
+  /// Counts the call and returns the error to inject, if any. Every
+  /// mutating operation funnels through here.
+  Status Account(FaultOp op);
+
+  void NoteSynced(const std::string& path, uint64_t size);
+  void ForgetFile(const std::string& path);
+
+  Env* const target_;
+  mutable std::mutex mu_;
+  bool active_ = true;
+  std::map<std::string, FileState> files_;
+  Fault faults_[kNumFaultOps];
+  uint64_t counts_[kNumFaultOps] = {};
+};
+
+}  // namespace apmbench
+
+#endif  // APMBENCH_COMMON_FAULT_ENV_H_

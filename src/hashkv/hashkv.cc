@@ -2,6 +2,7 @@
 
 #include "common/coding.h"
 #include "common/crc32.h"
+#include "common/logging.h"
 
 namespace apmbench::hashkv {
 
@@ -24,6 +25,18 @@ Status HashKV::Open(const Options& options, std::unique_ptr<HashKV>* store) {
   }
   *store = std::move(kv);
   return Status::OK();
+}
+
+HashKV::~HashKV() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (aof_ == nullptr) return;
+  Status s = aof_->Sync();
+  Status close_status = aof_->Close();
+  if (s.ok()) s = close_status;
+  if (!s.ok()) {
+    APM_LOG_WARN("hashkv: AOF sync/close failed at shutdown: %s",
+                 s.ToString().c_str());
+  }
 }
 
 Status HashKV::ReplayAof() {
@@ -130,7 +143,14 @@ Status HashKV::SaveSnapshot(const std::string& path) {
   PutFixed32(&body, MaskCrc(Crc32c(body.data(), body.size())));
   std::string tmp = path + ".tmp";
   APM_RETURN_IF_ERROR(env_->WriteStringToFile(tmp, Slice(body)));
-  return env_->RenameFile(tmp, path);
+  APM_RETURN_IF_ERROR(env_->RenameFile(tmp, path));
+  // Make the rename itself durable; without the directory fsync a power
+  // loss can leave neither the old nor the new snapshot visible.
+  size_t slash = path.rfind('/');
+  if (slash != std::string::npos && slash > 0) {
+    APM_RETURN_IF_ERROR(env_->SyncDir(path.substr(0, slash)));
+  }
+  return Status::OK();
 }
 
 Status HashKV::LoadSnapshot(const std::string& path) {
@@ -194,8 +214,22 @@ Status HashKV::RewriteAof() {
   }
   APM_RETURN_IF_ERROR(fresh->Sync());
   APM_RETURN_IF_ERROR(fresh->Close());
+  APM_RETURN_IF_ERROR(aof_->Sync());
   APM_RETURN_IF_ERROR(aof_->Close());
-  APM_RETURN_IF_ERROR(env_->RenameFile(tmp, options_.aof_path));
+  Status s = env_->RenameFile(tmp, options_.aof_path);
+  if (!s.ok()) {
+    // The old AOF is intact on disk but its handle is closed; reopen it so
+    // subsequent mutations keep appending instead of writing into a closed
+    // file, and surface the rewrite failure to the caller.
+    Status reopen = env_->NewAppendableFile(options_.aof_path, &aof_);
+    if (!reopen.ok()) {
+      APM_LOG_ERROR("hashkv: cannot reopen AOF after failed rewrite: %s",
+                    reopen.ToString().c_str());
+      aof_.reset();
+    }
+    env_->RemoveFile(tmp);
+    return s;
+  }
   return env_->NewAppendableFile(options_.aof_path, &aof_);
 }
 

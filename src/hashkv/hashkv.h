@@ -47,6 +47,10 @@ class HashKV {
 
   static Status Open(const Options& options, std::unique_ptr<HashKV>* store);
 
+  /// Syncs the AOF so a clean shutdown never loses acknowledged
+  /// mutations, even with sync_aof=false.
+  ~HashKV();
+
   HashKV(const HashKV&) = delete;
   HashKV& operator=(const HashKV&) = delete;
 

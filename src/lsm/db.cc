@@ -95,10 +95,15 @@ Status DB::OpenImpl() {
   }
   APM_RETURN_IF_ERROR(ReplayWals());
 
-  // Start the fresh WAL for the live memtable.
-  wal_number_ = versions_->NewFileNumber();
+  // Start the fresh WAL for the live memtable. ReplayWals allocated
+  // wal_number_ above every WAL it found on disk.
   std::unique_ptr<WritableFile> wal_file;
   APM_RETURN_IF_ERROR(env_->NewWritableFile(WalPath(wal_number_), &wal_file));
+  if (options_.sync_writes) {
+    // The segment's directory entry must be durable before writes are
+    // acknowledged into it.
+    APM_RETURN_IF_ERROR(env_->SyncDir(options_.dir));
+  }
   wal_ = std::make_unique<LogWriter>(std::move(wal_file));
 
   bg_thread_ = std::thread(&DB::BackgroundThread, this);
@@ -118,10 +123,26 @@ Status DB::ReplayWals() {
     }
   }
   std::sort(wal_numbers.begin(), wal_numbers.end());
-
-  uint64_t max_seq = versions_->last_seq();
   for (uint64_t number : wal_numbers) {
     versions_->BumpFileNumber(number);
+  }
+  // The WAL that will be live after recovery; numbered above every WAL on
+  // disk so the flush edit below can mark all of them as flushed.
+  wal_number_ = versions_->NewFileNumber();
+
+  uint64_t max_seq = versions_->last_seq();
+  wal_dropped_bytes_ = 0;
+  wal_replayed_records_ = 0;
+  for (uint64_t number : wal_numbers) {
+    if (number < versions_->log_number()) {
+      // The manifest records every entry of this WAL as contained in
+      // SSTables: it is a leftover of a crash between LogAndApply and
+      // RemoveFile. Replaying it would re-apply flushed entries and could
+      // resurrect keys whose tombstones a full compaction has dropped.
+      APM_LOG_INFO("lsm: skipping stale WAL %s (log_number %" PRIu64 ")",
+                   WalPath(number).c_str(), versions_->log_number());
+      continue;
+    }
     std::unique_ptr<LogReader> reader;
     APM_RETURN_IF_ERROR(LogReader::Open(env_, WalPath(number), &reader));
     std::string payload;
@@ -130,8 +151,12 @@ Status DB::ReplayWals() {
       uint8_t type;
       Slice key, value;
       if (!DecodeWalRecord(Slice(payload), &seq, &type, &key, &value)) {
-        break;  // treat a malformed record as a torn tail
+        // The frame's checksum matched but the payload is not a WAL
+        // record: this is damage, not an interrupted append.
+        return Status::Corruption("undecodable WAL record in " +
+                                  WalPath(number));
       }
+      wal_replayed_records_++;
       if (type == kWalPut) {
         mem_->Put(key, value, seq);
       } else if (type == kWalDelete) {
@@ -159,6 +184,15 @@ Status DB::ReplayWals() {
       }
       max_seq = std::max(max_seq, seq);
     }
+    // Distinguish how the log ended: a torn tail from an interrupted
+    // append is expected after power loss, but mid-log damage means
+    // acknowledged records after the damage are unrecoverable.
+    APM_RETURN_IF_ERROR(reader->status());
+    if (reader->DroppedBytes() > 0) {
+      APM_LOG_WARN("lsm: dropped %" PRIu64 " torn-tail bytes from %s",
+                   reader->DroppedBytes(), WalPath(number).c_str());
+      wal_dropped_bytes_ += reader->DroppedBytes();
+    }
   }
   versions_->set_last_seq(max_seq);
 
@@ -175,6 +209,11 @@ Status DB::ReplayWals() {
       edit.added.push_back({0, meta});
       APM_RETURN_IF_ERROR(OpenTable(meta));
     }
+    // Every replayed WAL is numbered below the post-recovery live WAL;
+    // marking them flushed keeps a crash before the removals below from
+    // re-applying them on the next recovery.
+    edit.has_log_number = true;
+    edit.log_number = wal_number_;
     APM_RETURN_IF_ERROR(versions_->LogAndApply(edit));
     mem_ = std::make_shared<MemTable>();
     num_flushes_++;
@@ -185,17 +224,46 @@ Status DB::ReplayWals() {
   return Status::OK();
 }
 
-DB::~DB() {
+Status DB::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return close_status_;
+    closed_ = true;
+    // Drain any pending flush first: the immutable memtable's WAL was
+    // closed without a sync at rotation, so until the flush lands in a
+    // synced SSTable those acknowledged writes are only in page cache.
+    while (imm_ != nullptr && bg_error_.ok()) cv_.wait(lock);
     shutting_down_ = true;
     cv_.notify_all();
   }
   if (bg_thread_.joinable()) bg_thread_.join();
-  if (wal_ != nullptr) wal_->Close();
+  Status s;
+  if (wal_ != nullptr) {
+    // Make acknowledged records durable before closing: with
+    // sync_writes=false they are otherwise only in the OS page cache, and
+    // a clean close must never lose acknowledged writes.
+    s = wal_->Sync();
+    Status close_status = wal_->Close();
+    if (s.ok()) s = close_status;
+    wal_.reset();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  close_status_ = s;
+  return s;
+}
+
+DB::~DB() {
+  Status s = Close();
+  if (!s.ok()) {
+    APM_LOG_WARN("lsm: WAL sync/close failed at shutdown: %s",
+                 s.ToString().c_str());
+  }
 }
 
 Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock) {
+  // Once a WAL or flush failure is recorded the engine refuses writes:
+  // continuing could acknowledge records that recovery cannot honor.
+  if (!bg_error_.ok()) return bg_error_;
   while (mem_->ApproximateBytes() >= options_.memtable_bytes) {
     if (!bg_error_.ok()) return bg_error_;
     if (imm_ != nullptr) {
@@ -208,7 +276,17 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock) {
     std::unique_ptr<WritableFile> wal_file;
     APM_RETURN_IF_ERROR(
         env_->NewWritableFile(WalPath(new_wal_number), &wal_file));
-    wal_->Close();
+    if (options_.sync_writes) {
+      APM_RETURN_IF_ERROR(env_->SyncDir(options_.dir));
+    }
+    Status close_status = wal_->Close();
+    if (!close_status.ok()) {
+      // The rotating WAL holds acknowledged records; if its tail never
+      // reached the OS, a crash before the memtable flush lands would
+      // lose them. Fail the write and stop accepting new ones.
+      bg_error_ = close_status;
+      return close_status;
+    }
     wal_ = std::make_unique<LogWriter>(std::move(wal_file));
     imm_ = std::move(mem_);
     imm_wal_number_ = wal_number_;
@@ -226,9 +304,20 @@ Status DB::Put(const Slice& key, const Slice& value) {
   versions_->set_last_seq(seq);
   std::string record;
   EncodeWalRecord(&record, seq, kWalPut, key, value);
-  APM_RETURN_IF_ERROR(wal_->AddRecord(record, options_.sync_writes));
+  APM_RETURN_IF_ERROR(LogWalRecord(record));
   mem_->Put(key, value, seq);
   return Status::OK();
+}
+
+Status DB::LogWalRecord(const std::string& record) {
+  Status s = wal_->AddRecord(record, options_.sync_writes);
+  if (!s.ok()) {
+    // The WAL may now end in a partial frame; further appends would write
+    // beyond it and turn the next recovery into mid-log corruption.
+    // Record the error and refuse subsequent writes.
+    if (bg_error_.ok()) bg_error_ = s;
+  }
+  return s;
 }
 
 Status DB::Delete(const Slice& key) {
@@ -238,7 +327,7 @@ Status DB::Delete(const Slice& key) {
   versions_->set_last_seq(seq);
   std::string record;
   EncodeWalRecord(&record, seq, kWalDelete, key, Slice());
-  APM_RETURN_IF_ERROR(wal_->AddRecord(record, options_.sync_writes));
+  APM_RETURN_IF_ERROR(LogWalRecord(record));
   mem_->Delete(key, seq);
   return Status::OK();
 }
@@ -252,7 +341,7 @@ Status DB::Write(const WriteBatch& batch) {
   // One WAL record for the whole batch: crash atomicity.
   std::string record;
   EncodeWalRecord(&record, base_seq, kWalBatch, Slice(), Slice(batch.rep_));
-  APM_RETURN_IF_ERROR(wal_->AddRecord(record, options_.sync_writes));
+  APM_RETURN_IF_ERROR(LogWalRecord(record));
   Slice ops(batch.rep_);
   uint64_t seq = base_seq;
   while (!ops.empty()) {
@@ -737,7 +826,14 @@ Status DB::Flush() {
     std::unique_ptr<WritableFile> wal_file;
     APM_RETURN_IF_ERROR(
         env_->NewWritableFile(WalPath(new_wal_number), &wal_file));
-    wal_->Close();
+    if (options_.sync_writes) {
+      APM_RETURN_IF_ERROR(env_->SyncDir(options_.dir));
+    }
+    Status close_status = wal_->Close();
+    if (!close_status.ok()) {
+      if (bg_error_.ok()) bg_error_ = close_status;
+      return close_status;
+    }
     wal_ = std::make_unique<LogWriter>(std::move(wal_file));
     imm_ = std::move(mem_);
     imm_wal_number_ = wal_number_;
@@ -827,6 +923,8 @@ DB::Stats DB::GetStats() {
   stats.cache_hits = cache_->hits();
   stats.cache_misses = cache_->misses();
   stats.memtable_bytes = mem_->ApproximateBytes();
+  stats.wal_dropped_bytes = wal_dropped_bytes_;
+  stats.wal_replayed_records = wal_replayed_records_;
   for (int level = 0; level < versions_->NumLevels(); level++) {
     stats.files_per_level.push_back(versions_->NumFiles(level));
     stats.bytes_per_level.push_back(versions_->LevelBytes(level));

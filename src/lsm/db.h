@@ -62,12 +62,23 @@ class DB {
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
     uint64_t memtable_bytes = 0;
+    /// Bytes discarded as torn WAL tails during the last recovery (benign
+    /// interrupted appends; mid-log damage fails Open instead).
+    uint64_t wal_dropped_bytes = 0;
+    /// Records replayed from WALs during the last recovery.
+    uint64_t wal_replayed_records = 0;
     std::vector<int> files_per_level;
     std::vector<uint64_t> bytes_per_level;
   };
 
   /// Opens (creating or recovering) the database in `options.dir`.
   static Status Open(const Options& options, std::unique_ptr<DB>* db);
+
+  /// Stops background work, syncs the live WAL (so a clean close never
+  /// loses acknowledged writes, even with sync_writes=false), and closes
+  /// it. Idempotent; returns the first shutdown error. The destructor
+  /// calls this and logs any failure it cannot report.
+  Status Close();
 
   ~DB();
 
@@ -139,6 +150,10 @@ class DB {
   /// immutable (and the WAL) when full. Requires `lock` held.
   Status MakeRoomForWrite(std::unique_lock<std::mutex>* lock);
 
+  /// Appends one record to the live WAL; a failure is recorded in
+  /// bg_error_ so the engine refuses further writes. Requires mu_ held.
+  Status LogWalRecord(const std::string& record);
+
   void BackgroundThread();
   /// Flushes imm_ to a level-0 table. Called on the background thread
   /// without the mutex held (imm_ is immutable); re-acquires it to apply.
@@ -171,10 +186,14 @@ class DB {
 
   std::thread bg_thread_;
   bool shutting_down_ = false;
+  bool closed_ = false;
   bool bg_active_ = false;
   bool manual_compaction_ = false;
   Status bg_error_;
+  Status close_status_;
 
+  uint64_t wal_dropped_bytes_ = 0;
+  uint64_t wal_replayed_records_ = 0;
   uint64_t num_flushes_ = 0;
   uint64_t num_compactions_ = 0;
   uint64_t compaction_bytes_read_ = 0;

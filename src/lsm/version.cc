@@ -54,7 +54,12 @@ Status VersionSet::Persist() {
 
   std::string tmp = ManifestPath() + ".tmp";
   APM_RETURN_IF_ERROR(env_->WriteStringToFile(tmp, Slice(body)));
-  return env_->RenameFile(tmp, ManifestPath());
+  APM_RETURN_IF_ERROR(env_->RenameFile(tmp, ManifestPath()));
+  // The rename is atomic but only durable once the directory entry is
+  // fsynced; without this a power loss can roll the manifest back to the
+  // previous state (which recovery tolerates) — or leave nothing at all
+  // on filesystems that journal lazily.
+  return env_->SyncDir(options_.dir);
 }
 
 Status VersionSet::Recover(bool* found) {

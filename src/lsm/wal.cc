@@ -21,6 +21,8 @@ Status LogWriter::AddRecord(const Slice& payload, bool sync) {
   return file_->Flush();
 }
 
+Status LogWriter::Sync() { return file_->Sync(); }
+
 Status LogWriter::Close() { return file_->Close(); }
 
 Status LogReader::Open(Env* env, const std::string& path,
@@ -32,15 +34,41 @@ Status LogReader::Open(Env* env, const std::string& path,
 }
 
 bool LogReader::ReadRecord(std::string* payload) {
-  if (offset_ + 8 > contents_.size()) return false;
+  if (!status_.ok()) return false;
+  if (offset_ >= contents_.size()) return false;
+  const uint64_t remaining = contents_.size() - offset_;
+  if (remaining < 8) {
+    // A header fragment at the end of the file: an append was interrupted
+    // mid-frame. Benign torn tail.
+    dropped_bytes_ = remaining;
+    return false;
+  }
   const char* base = contents_.data() + offset_;
   uint32_t masked_crc = DecodeFixed32(base);
   uint32_t length = DecodeFixed32(base + 4);
-  if (offset_ + 8 + length > contents_.size()) return false;  // torn tail
+  if (8 + static_cast<uint64_t>(length) > remaining) {
+    // The record extends past end of file: interrupted payload append.
+    // (A corrupted length field can also land here; with nothing after
+    // the frame to recover, treating it as a torn tail is safe.)
+    dropped_bytes_ = remaining;
+    return false;
+  }
   const char* data = base + 8;
-  if (UnmaskCrc(masked_crc) != Crc32c(data, length)) return false;
+  if (UnmaskCrc(masked_crc) != Crc32c(data, length)) {
+    dropped_bytes_ = remaining;
+    if (8 + static_cast<uint64_t>(length) < remaining) {
+      // Valid-looking frames follow the damaged one, so this is not an
+      // interrupted append at the tail: the medium lost or flipped bits
+      // mid-log, and everything from here on is unrecoverable.
+      status_ = Status::Corruption(
+          "WAL corruption at offset " + std::to_string(offset_) + ": " +
+          std::to_string(remaining) + " trailing bytes unrecoverable");
+    }
+    return false;
+  }
   payload->assign(data, length);
   offset_ += 8 + length;
+  dropped_bytes_ = 0;
   return true;
 }
 

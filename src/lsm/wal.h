@@ -19,6 +19,9 @@ class LogWriter {
   explicit LogWriter(std::unique_ptr<WritableFile> file);
 
   Status AddRecord(const Slice& payload, bool sync);
+  /// fsyncs everything appended so far; used at clean shutdown so a close
+  /// without sync_writes still makes acknowledged records durable.
+  Status Sync();
   Status Close();
   uint64_t Size() const { return file_->Size(); }
 
@@ -34,9 +37,22 @@ class LogReader {
   static Status Open(Env* env, const std::string& path,
                      std::unique_ptr<LogReader>* reader);
 
-  /// Reads the next record; returns false at end of log (including at a
-  /// corrupt/torn tail, which truncates recovery at the last good record).
+  /// Reads the next record; returns false at end of log. A damaged record
+  /// stops reading; `status()` and `DroppedBytes()` report how it ended:
+  ///  - a short or CRC-failing record that is the *last* thing in the file
+  ///    is a torn tail from an interrupted append — benign; status() stays
+  ///    OK and DroppedBytes() counts the discarded tail;
+  ///  - a CRC-failing record with more data after it is mid-log damage —
+  ///    the records beyond it are unrecoverable, so status() returns
+  ///    Corruption and replay must surface it instead of silently
+  ///    truncating acknowledged writes.
   bool ReadRecord(std::string* payload);
+
+  /// OK, or Corruption after mid-log damage (see ReadRecord).
+  Status status() const { return status_; }
+
+  /// Bytes discarded at the point reading stopped (0 after a clean end).
+  uint64_t DroppedBytes() const { return dropped_bytes_; }
 
   /// Number of bytes of valid records consumed so far.
   uint64_t ValidOffset() const { return offset_; }
@@ -47,6 +63,8 @@ class LogReader {
 
   std::string contents_;
   uint64_t offset_ = 0;
+  uint64_t dropped_bytes_ = 0;
+  Status status_;
 };
 
 }  // namespace apmbench::lsm

@@ -1,0 +1,656 @@
+// Crash-recovery tests for the durable engines, driven by
+// FaultInjectionEnv. The pattern throughout: run a workload, simulate
+// power loss (deactivate the filesystem, drop unsynced data), reopen, and
+// check the crash-consistency contract of docs/durability.md — no
+// acknowledged-synced write is lost, no deleted key is resurrected, and
+// VerifyIntegrity() passes. Deterministic error injection additionally
+// drives the error paths: a failed Append/Sync/Rename must surface as a
+// Status and stop the engine, never silently lose data.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/fault_env.h"
+#include "hashkv/hashkv.h"
+#include "lsm/db.h"
+#include "lsm/wal.h"
+#include "tests/test_util.h"
+
+namespace apmbench {
+namespace {
+
+using testutil::ScopedTempDir;
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key-%06d", i);
+  return buf;
+}
+
+std::string Value(int i) {
+  char buf[80];
+  snprintf(buf, sizeof(buf), "value-%06d-%s", i,
+           std::string(48, 'v' + (i % 3)).c_str());
+  return buf;
+}
+
+lsm::Options MakeLsmOptions(const std::string& dir, Env* env,
+                            bool sync_writes) {
+  lsm::Options options;
+  options.dir = dir;
+  options.env = env;
+  options.sync_writes = sync_writes;
+  // Small memtable so modest workloads exercise WAL rotation and flushes.
+  options.memtable_bytes = 4 * 1024;
+  return options;
+}
+
+/// Simulates the instant of power loss: all further I/O through `env`
+/// fails, then everything unsynced is rewound once the writers are gone.
+void SimulatePowerLoss(FaultInjectionEnv* env, std::unique_ptr<lsm::DB>* db) {
+  env->SetFilesystemActive(false);
+  db->reset();  // shutdown paths must tolerate a dead disk
+  ASSERT_TRUE(env->DropUnsyncedData().ok());
+  env->ResetState();  // reactivate; forget tracking for the next cycle
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv itself.
+
+TEST(FaultEnvTest, DropUnsyncedTruncatesToSyncedPrefix) {
+  ScopedTempDir dir("faultenv");
+  FaultInjectionEnv env(Env::Default());
+  const std::string path = dir.path() + "/file";
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile(path, &file).ok());
+  ASSERT_TRUE(file->Append("durable-part").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Append("lost-part").ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  EXPECT_EQ(env.SyncedBytes(path), 12u);
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+  std::string contents;
+  ASSERT_TRUE(env.ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "durable-part");
+}
+
+TEST(FaultEnvTest, AppendableFileKeepsPreexistingBytes) {
+  ScopedTempDir dir("faultenv");
+  FaultInjectionEnv env(Env::Default());
+  const std::string path = dir.path() + "/file";
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(path, "old").ok());
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewAppendableFile(path, &file).ok());
+  ASSERT_TRUE(file->Append("-new").ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+  std::string contents;
+  ASSERT_TRUE(env.ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "old");  // unsynced append lost, old bytes kept
+}
+
+TEST(FaultEnvTest, FailAfterIsDeterministicAndSticky) {
+  ScopedTempDir dir("faultenv");
+  FaultInjectionEnv env(Env::Default());
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile(dir.path() + "/file", &file).ok());
+
+  env.FailAfter(FaultOp::kAppend, 2);
+  EXPECT_TRUE(file->Append("one").ok());
+  EXPECT_TRUE(file->Append("two").ok());
+  EXPECT_TRUE(file->Append("three").IsIOError());
+  EXPECT_TRUE(file->Append("four").IsIOError());  // sticky
+  env.ClearFault(FaultOp::kAppend);
+  EXPECT_TRUE(file->Append("five").ok());
+  EXPECT_TRUE(file->Close().ok());
+}
+
+TEST(FaultEnvTest, CountsSyscallsPerCategory) {
+  ScopedTempDir dir("faultenv");
+  FaultInjectionEnv env(Env::Default());
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile(dir.path() + "/a", &file).ok());
+  ASSERT_TRUE(file->Append("x").ok());
+  ASSERT_TRUE(file->Append("y").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Close().ok());
+  ASSERT_TRUE(env.RenameFile(dir.path() + "/a", dir.path() + "/b").ok());
+  ASSERT_TRUE(env.RemoveFile(dir.path() + "/b").ok());
+
+  EXPECT_EQ(env.OpCount(FaultOp::kNewWritableFile), 1u);
+  EXPECT_EQ(env.OpCount(FaultOp::kAppend), 2u);
+  EXPECT_EQ(env.OpCount(FaultOp::kSync), 1u);
+  EXPECT_EQ(env.OpCount(FaultOp::kClose), 1u);
+  EXPECT_EQ(env.OpCount(FaultOp::kRename), 1u);
+  EXPECT_EQ(env.OpCount(FaultOp::kRemove), 1u);
+  env.ResetCounters();
+  EXPECT_EQ(env.OpCount(FaultOp::kAppend), 0u);
+}
+
+TEST(FaultEnvTest, RemovesFilesCreatedSinceLastDirSync) {
+  ScopedTempDir dir("faultenv");
+  FaultInjectionEnv env(Env::Default());
+  const std::string durable = dir.path() + "/durable";
+  const std::string volatile_file = dir.path() + "/volatile";
+  ASSERT_TRUE(env.WriteStringToFile(durable, "d").ok());
+  ASSERT_TRUE(env.SyncDir(dir.path()).ok());
+  ASSERT_TRUE(env.WriteStringToFile(volatile_file, "v").ok());
+
+  ASSERT_TRUE(env.RemoveFilesCreatedSinceLastDirSync().ok());
+  EXPECT_TRUE(env.FileExists(durable));
+  EXPECT_FALSE(env.FileExists(volatile_file));
+}
+
+TEST(FaultEnvTest, InactiveFilesystemFailsMutations) {
+  ScopedTempDir dir("faultenv");
+  FaultInjectionEnv env(Env::Default());
+  const std::string path = dir.path() + "/file";
+  ASSERT_TRUE(env.WriteStringToFile(path, "x").ok());
+
+  env.SetFilesystemActive(false);
+  std::unique_ptr<WritableFile> file;
+  EXPECT_TRUE(env.NewWritableFile(dir.path() + "/other", &file).IsIOError());
+  EXPECT_TRUE(env.RemoveFile(path).IsIOError());
+  EXPECT_TRUE(env.FileExists(path));  // reads still work
+  env.SetFilesystemActive(true);
+  EXPECT_TRUE(env.RemoveFile(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// LSM power-loss recovery.
+
+TEST(CrashTest, SyncedWritesSurvivePowerLoss) {
+  ScopedTempDir dir("crash");
+  FaultInjectionEnv env(Env::Default());
+  std::unique_ptr<lsm::DB> db;
+  ASSERT_TRUE(
+      lsm::DB::Open(MakeLsmOptions(dir.path(), &env, true), &db).ok());
+  const int n = 200;  // enough to rotate the 4 KiB memtable several times
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db->Put(Key(i), Value(i)).ok());
+  }
+  SimulatePowerLoss(&env, &db);
+
+  ASSERT_TRUE(
+      lsm::DB::Open(MakeLsmOptions(dir.path(), &env, true), &db).ok());
+  lsm::ReadOptions read_options;
+  for (int i = 0; i < n; i++) {
+    std::string value;
+    ASSERT_TRUE(db->Get(read_options, Key(i), &value).ok())
+        << "acknowledged synced write lost: " << Key(i);
+    EXPECT_EQ(value, Value(i));
+  }
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+}
+
+TEST(CrashTest, UnsyncedWritesMayLoseTailButNeverCorrupt) {
+  ScopedTempDir dir("crash");
+  FaultInjectionEnv env(Env::Default());
+  std::unique_ptr<lsm::DB> db;
+  ASSERT_TRUE(
+      lsm::DB::Open(MakeLsmOptions(dir.path(), &env, false), &db).ok());
+  const int n = 200;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db->Put(Key(i), Value(i)).ok());
+  }
+  SimulatePowerLoss(&env, &db);
+
+  // With sync_writes=false the tail may be gone, but the database must
+  // open, pass integrity checks, and return only correct values.
+  ASSERT_TRUE(
+      lsm::DB::Open(MakeLsmOptions(dir.path(), &env, false), &db).ok());
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+  lsm::ReadOptions read_options;
+  for (int i = 0; i < n; i++) {
+    std::string value;
+    Status s = db->Get(read_options, Key(i), &value);
+    if (s.ok()) {
+      EXPECT_EQ(value, Value(i)) << "wrong value recovered for " << Key(i);
+    } else {
+      EXPECT_TRUE(s.IsNotFound());
+    }
+  }
+}
+
+TEST(CrashTest, CleanCloseIsDurableWithoutSyncWrites) {
+  ScopedTempDir dir("crash");
+  FaultInjectionEnv env(Env::Default());
+  std::unique_ptr<lsm::DB> db;
+  ASSERT_TRUE(
+      lsm::DB::Open(MakeLsmOptions(dir.path(), &env, false), &db).ok());
+  const int n = 50;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db->Put(Key(i), Value(i)).ok());
+  }
+  // Clean shutdown syncs the live WAL, so even an immediate power loss
+  // afterwards must not lose acknowledged writes.
+  ASSERT_TRUE(db->Close().ok());
+  db.reset();
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+  env.ResetState();
+
+  ASSERT_TRUE(
+      lsm::DB::Open(MakeLsmOptions(dir.path(), &env, false), &db).ok());
+  lsm::ReadOptions read_options;
+  for (int i = 0; i < n; i++) {
+    std::string value;
+    ASSERT_TRUE(db->Get(read_options, Key(i), &value).ok())
+        << "clean close lost " << Key(i);
+    EXPECT_EQ(value, Value(i));
+  }
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+}
+
+TEST(CrashTest, DeletesSurvivePowerLoss) {
+  ScopedTempDir dir("crash");
+  FaultInjectionEnv env(Env::Default());
+  std::unique_ptr<lsm::DB> db;
+  ASSERT_TRUE(
+      lsm::DB::Open(MakeLsmOptions(dir.path(), &env, true), &db).ok());
+  ASSERT_TRUE(db->Put("victim", "gone-soon").ok());
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->Delete("victim").ok());
+  SimulatePowerLoss(&env, &db);
+
+  ASSERT_TRUE(
+      lsm::DB::Open(MakeLsmOptions(dir.path(), &env, true), &db).ok());
+  std::string value;
+  EXPECT_TRUE(db->Get(lsm::ReadOptions(), "victim", &value).IsNotFound())
+      << "deleted key resurrected after power loss";
+}
+
+// Regression for the stale-WAL resurrection bug: a crash between
+// LogAndApply and RemoveFile in the flush path leaves a fully-flushed WAL
+// on disk. Replaying it used to re-apply entries whose tombstones a later
+// full compaction had already dropped, resurrecting deleted keys.
+TEST(CrashTest, StaleWalIsNotReplayedAfterCrashedFlushCleanup) {
+  ScopedTempDir dir("crash");
+  FaultInjectionEnv env(Env::Default());
+  std::unique_ptr<lsm::DB> db;
+  lsm::Options options = MakeLsmOptions(dir.path(), &env, true);
+  options.memtable_bytes = 1 << 20;  // only explicit flushes rotate
+  ASSERT_TRUE(lsm::DB::Open(options, &db).ok());
+  ASSERT_TRUE(db->Put("victim", "v1").ok());
+
+  // Crash point: the flush lands (manifest marks the WAL flushed) but the
+  // WAL file removal never happens.
+  env.FailAfter(FaultOp::kRemove, 0);
+  ASSERT_TRUE(db->Flush().ok());
+  env.ClearFault(FaultOp::kRemove);
+
+  // The key dies and a full compaction drops its tombstone entirely.
+  ASSERT_TRUE(db->Delete("victim").ok());
+  ASSERT_TRUE(db->CompactAll().ok());
+  db.reset();
+
+  // The stale WAL (holding Put victim=v1) is still on disk. Reopen: it
+  // must be skipped, not replayed.
+  env.ResetState();
+  ASSERT_TRUE(lsm::DB::Open(options, &db).ok());
+  std::string value;
+  EXPECT_TRUE(db->Get(lsm::ReadOptions(), "victim", &value).IsNotFound())
+      << "stale WAL replay resurrected a deleted key";
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+}
+
+// ---------------------------------------------------------------------------
+// WAL damage classification.
+
+// Writes via a DB, crashes, and hands back the largest WAL on disk.
+std::string LiveWalPath(Env* env, const std::string& dir) {
+  std::vector<std::string> children;
+  if (!env->GetChildren(dir, &children).ok()) return "";
+  std::string best;
+  uint64_t best_size = 0;
+  for (const auto& name : children) {
+    if (name.rfind("wal-", 0) != 0) continue;
+    uint64_t size = 0;
+    if (!env->GetFileSize(dir + "/" + name, &size).ok()) continue;
+    if (size >= best_size) {
+      best_size = size;
+      best = dir + "/" + name;
+    }
+  }
+  return best;
+}
+
+TEST(CrashTest, TornWalTailRecoversPrefixAndReportsDroppedBytes) {
+  ScopedTempDir dir("crash");
+  FaultInjectionEnv env(Env::Default());
+  std::unique_ptr<lsm::DB> db;
+  lsm::Options options = MakeLsmOptions(dir.path(), &env, true);
+  options.memtable_bytes = 1 << 20;
+  ASSERT_TRUE(lsm::DB::Open(options, &db).ok());
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(db->Put(Key(i), Value(i)).ok());
+  }
+  env.SetFilesystemActive(false);
+  db.reset();
+  env.ResetState();
+
+  // Tear the last record: chop one byte off the WAL, as an interrupted
+  // append would.
+  std::string wal = LiveWalPath(Env::Default(), dir.path());
+  ASSERT_FALSE(wal.empty());
+  std::string contents;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(wal, &contents).ok());
+  contents.resize(contents.size() - 1);
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(wal, contents).ok());
+
+  ASSERT_TRUE(lsm::DB::Open(options, &db).ok());
+  lsm::ReadOptions read_options;
+  std::string value;
+  EXPECT_TRUE(db->Get(read_options, Key(0), &value).ok());
+  EXPECT_TRUE(db->Get(read_options, Key(1), &value).ok());
+  EXPECT_TRUE(db->Get(read_options, Key(2), &value).IsNotFound());
+  EXPECT_GT(db->GetStats().wal_dropped_bytes, 0u);
+  EXPECT_EQ(db->GetStats().wal_replayed_records, 2u);
+}
+
+TEST(CrashTest, MidWalCorruptionFailsOpenInsteadOfSilentTruncation) {
+  ScopedTempDir dir("crash");
+  FaultInjectionEnv env(Env::Default());
+  std::unique_ptr<lsm::DB> db;
+  lsm::Options options = MakeLsmOptions(dir.path(), &env, true);
+  options.memtable_bytes = 1 << 20;
+  ASSERT_TRUE(lsm::DB::Open(options, &db).ok());
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(db->Put(Key(i), Value(i)).ok());
+  }
+  env.SetFilesystemActive(false);
+  db.reset();
+  env.ResetState();
+
+  // Flip a payload byte of the *first* record: records follow it, so this
+  // is mid-log damage, not a torn tail. Acknowledged records after the
+  // damage are unrecoverable; recovery must say so.
+  std::string wal = LiveWalPath(Env::Default(), dir.path());
+  ASSERT_FALSE(wal.empty());
+  std::string contents;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(wal, &contents).ok());
+  ASSERT_GT(contents.size(), 16u);
+  contents[10] ^= 0x40;
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(wal, contents).ok());
+
+  Status s = lsm::DB::Open(options, &db);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Injected error paths: failures must surface and stop the engine.
+
+TEST(CrashTest, InjectedWalAppendFailureStopsWritesWithoutLoss) {
+  ScopedTempDir dir("crash");
+  FaultInjectionEnv env(Env::Default());
+  std::unique_ptr<lsm::DB> db;
+  lsm::Options options = MakeLsmOptions(dir.path(), &env, false);
+  options.memtable_bytes = 1 << 20;
+  ASSERT_TRUE(lsm::DB::Open(options, &db).ok());
+
+  env.FailAfter(FaultOp::kAppend, 20);
+  int acked = 0;
+  Status s;
+  for (int i = 0; i < 100; i++) {
+    s = db->Put(Key(i), Value(i));
+    if (!s.ok()) break;
+    acked++;
+  }
+  ASSERT_TRUE(s.IsIOError()) << "append fault never surfaced";
+  ASSERT_LT(acked, 100);
+  // The engine now refuses writes rather than appending past a possibly
+  // torn WAL frame.
+  EXPECT_TRUE(db->Put("after", "x").IsIOError());
+  env.ClearAllFaults();
+  db.reset();  // clean close syncs whatever the WAL holds
+
+  ASSERT_TRUE(lsm::DB::Open(options, &db).ok());
+  lsm::ReadOptions read_options;
+  for (int i = 0; i < acked; i++) {
+    std::string value;
+    ASSERT_TRUE(db->Get(read_options, Key(i), &value).ok())
+        << "acknowledged write lost after injected append failure";
+    EXPECT_EQ(value, Value(i));
+  }
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+}
+
+TEST(CrashTest, InjectedWalSyncFailureStopsWrites) {
+  ScopedTempDir dir("crash");
+  FaultInjectionEnv env(Env::Default());
+  std::unique_ptr<lsm::DB> db;
+  lsm::Options options = MakeLsmOptions(dir.path(), &env, true);
+  options.memtable_bytes = 1 << 20;
+  ASSERT_TRUE(lsm::DB::Open(options, &db).ok());
+
+  ASSERT_TRUE(db->Put(Key(0), Value(0)).ok());
+  env.FailAfter(FaultOp::kSync, 0);
+  EXPECT_TRUE(db->Put(Key(1), Value(1)).IsIOError());
+  EXPECT_TRUE(db->Put(Key(2), Value(2)).IsIOError());  // still refusing
+  env.ClearAllFaults();
+}
+
+TEST(CrashTest, InjectedManifestRenameFailureSurfacesAndPreservesData) {
+  ScopedTempDir dir("crash");
+  FaultInjectionEnv env(Env::Default());
+  std::unique_ptr<lsm::DB> db;
+  lsm::Options options = MakeLsmOptions(dir.path(), &env, true);
+  options.memtable_bytes = 1 << 20;
+  ASSERT_TRUE(lsm::DB::Open(options, &db).ok());
+  const int n = 20;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db->Put(Key(i), Value(i)).ok());
+  }
+
+  // Crash point: mid-manifest update — the flush writes its table but the
+  // manifest rename fails. bg_error_ must surface and writes must stop.
+  env.FailAfter(FaultOp::kRename, 0);
+  EXPECT_FALSE(db->Flush().ok());
+  EXPECT_FALSE(db->Put("after", "x").ok());
+  env.ClearAllFaults();
+  db.reset();
+
+  // The WALs were never removed, so reopening recovers everything.
+  env.ResetState();
+  ASSERT_TRUE(lsm::DB::Open(options, &db).ok());
+  lsm::ReadOptions read_options;
+  for (int i = 0; i < n; i++) {
+    std::string value;
+    ASSERT_TRUE(db->Get(read_options, Key(i), &value).ok())
+        << Key(i) << " lost after failed manifest rename";
+    EXPECT_EQ(value, Value(i));
+  }
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+}
+
+TEST(CrashTest, InjectedWalCreationFailureFailsRotation) {
+  ScopedTempDir dir("crash");
+  FaultInjectionEnv env(Env::Default());
+  std::unique_ptr<lsm::DB> db;
+  lsm::Options options = MakeLsmOptions(dir.path(), &env, false);
+  options.memtable_bytes = 1 << 20;
+  ASSERT_TRUE(lsm::DB::Open(options, &db).ok());
+  ASSERT_TRUE(db->Put(Key(0), Value(0)).ok());
+
+  env.FailAfter(FaultOp::kNewWritableFile, 0);
+  EXPECT_FALSE(db->Flush().ok());  // cannot create the next WAL segment
+  env.ClearAllFaults();
+  // The failed rotation must not have lost the acknowledged write.
+  std::string value;
+  EXPECT_TRUE(db->Get(lsm::ReadOptions(), Key(0), &value).ok());
+  EXPECT_EQ(value, Value(0));
+}
+
+// ---------------------------------------------------------------------------
+// Crash-point matrix: power loss at the Nth call of each mutating
+// operation, with sync_writes on and off. The contract checked is the one
+// docs/durability.md states: with sync_writes=true every acknowledged
+// write survives; with sync_writes=false a crash may cost the tail but
+// recovery still yields a consistent store with only correct values.
+
+TEST(CrashTest, CrashPointMatrix) {
+  const FaultOp kOps[] = {FaultOp::kAppend, FaultOp::kSync, FaultOp::kFlush,
+                          FaultOp::kRename, FaultOp::kNewWritableFile,
+                          FaultOp::kClose};
+  const uint64_t kNths[] = {0, 3, 17};
+  for (bool sync_writes : {false, true}) {
+    for (FaultOp op : kOps) {
+      for (uint64_t nth : kNths) {
+        SCOPED_TRACE("sync_writes=" + std::to_string(sync_writes) +
+                     " op=" + std::to_string(static_cast<int>(op)) +
+                     " nth=" + std::to_string(nth));
+        ScopedTempDir dir("crashmatrix");
+        FaultInjectionEnv env(Env::Default());
+        std::unique_ptr<lsm::DB> db;
+        lsm::Options options = MakeLsmOptions(dir.path(), &env, sync_writes);
+        ASSERT_TRUE(lsm::DB::Open(options, &db).ok());
+
+        env.FailAfter(op, nth);
+        int acked = 0;
+        for (int i = 0; i < 120; i++) {
+          if (!db->Put(Key(i), Value(i)).ok()) break;
+          acked++;
+        }
+        // Power loss at (or after) the injected failure point.
+        env.SetFilesystemActive(false);
+        db.reset();
+        ASSERT_TRUE(env.DropUnsyncedData().ok());
+        env.ResetState();
+
+        Status open_status = lsm::DB::Open(options, &db);
+        ASSERT_TRUE(open_status.ok()) << open_status.ToString();
+        EXPECT_TRUE(db->VerifyIntegrity().ok());
+        lsm::ReadOptions read_options;
+        for (int i = 0; i < acked; i++) {
+          std::string value;
+          Status s = db->Get(read_options, Key(i), &value);
+          if (sync_writes) {
+            ASSERT_TRUE(s.ok()) << "synced acknowledged write " << Key(i)
+                                << " lost: " << s.ToString();
+          }
+          if (s.ok()) {
+            ASSERT_EQ(value, Value(i)) << "wrong value for " << Key(i);
+          } else {
+            ASSERT_TRUE(s.IsNotFound()) << s.ToString();
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HashKV snapshot / AOF crash safety.
+
+TEST(HashKvCrashTest, SyncedAofSurvivesPowerLoss) {
+  ScopedTempDir dir("hashkv");
+  FaultInjectionEnv env(Env::Default());
+  hashkv::Options options;
+  options.env = &env;
+  options.aof_path = dir.path() + "/store.aof";
+  options.sync_aof = true;
+  std::unique_ptr<hashkv::HashKV> kv;
+  ASSERT_TRUE(hashkv::HashKV::Open(options, &kv).ok());
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(kv->Set(Key(i), Value(i)).ok());
+  }
+  env.SetFilesystemActive(false);
+  kv.reset();
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+  env.ResetState();
+
+  ASSERT_TRUE(hashkv::HashKV::Open(options, &kv).ok());
+  for (int i = 0; i < 50; i++) {
+    std::string value;
+    ASSERT_TRUE(kv->Get(Key(i), &value).ok()) << Key(i) << " lost";
+    EXPECT_EQ(value, Value(i));
+  }
+}
+
+TEST(HashKvCrashTest, AofTornTailRecoversPrefix) {
+  ScopedTempDir dir("hashkv");
+  hashkv::Options options;
+  options.aof_path = dir.path() + "/store.aof";
+  options.sync_aof = true;
+  std::unique_ptr<hashkv::HashKV> kv;
+  ASSERT_TRUE(hashkv::HashKV::Open(options, &kv).ok());
+  ASSERT_TRUE(kv->Set("k1", "v1").ok());
+  ASSERT_TRUE(kv->Set("k2", "v2").ok());
+  ASSERT_TRUE(kv->Set("k3", "v3").ok());
+  kv.reset();
+
+  std::string contents;
+  ASSERT_TRUE(
+      Env::Default()->ReadFileToString(options.aof_path, &contents).ok());
+  contents.resize(contents.size() - 1);  // tear the last record
+  ASSERT_TRUE(
+      Env::Default()->WriteStringToFile(options.aof_path, contents).ok());
+
+  ASSERT_TRUE(hashkv::HashKV::Open(options, &kv).ok());
+  std::string value;
+  EXPECT_TRUE(kv->Get("k1", &value).ok());
+  EXPECT_TRUE(kv->Get("k2", &value).ok());
+  EXPECT_TRUE(kv->Get("k3", &value).IsNotFound());
+}
+
+TEST(HashKvCrashTest, SnapshotRenameFailureKeepsOldSnapshot) {
+  ScopedTempDir dir("hashkv");
+  FaultInjectionEnv env(Env::Default());
+  hashkv::Options options;
+  options.env = &env;
+  std::unique_ptr<hashkv::HashKV> kv;
+  ASSERT_TRUE(hashkv::HashKV::Open(options, &kv).ok());
+  ASSERT_TRUE(kv->Set("stable", "old").ok());
+  const std::string snapshot = dir.path() + "/dump.rdb";
+  ASSERT_TRUE(kv->SaveSnapshot(snapshot).ok());
+
+  ASSERT_TRUE(kv->Set("stable", "new").ok());
+  env.FailAfter(FaultOp::kRename, 0);
+  EXPECT_FALSE(kv->SaveSnapshot(snapshot).ok());
+  env.ClearAllFaults();
+
+  // The failed save must not have clobbered the previous snapshot.
+  ASSERT_TRUE(kv->LoadSnapshot(snapshot).ok());
+  std::string value;
+  ASSERT_TRUE(kv->Get("stable", &value).ok());
+  EXPECT_EQ(value, "old");
+}
+
+TEST(HashKvCrashTest, AofRewriteRenameFailureKeepsAppending) {
+  ScopedTempDir dir("hashkv");
+  FaultInjectionEnv env(Env::Default());
+  hashkv::Options options;
+  options.env = &env;
+  options.aof_path = dir.path() + "/store.aof";
+  options.sync_aof = true;
+  std::unique_ptr<hashkv::HashKV> kv;
+  ASSERT_TRUE(hashkv::HashKV::Open(options, &kv).ok());
+  ASSERT_TRUE(kv->Set("k1", "v1").ok());
+  ASSERT_TRUE(kv->Del("k1").ok());
+  ASSERT_TRUE(kv->Set("k2", "v2").ok());
+
+  env.FailAfter(FaultOp::kRename, 0);
+  EXPECT_FALSE(kv->RewriteAof().ok());
+  env.ClearAllFaults();
+
+  // The store must still be able to persist new mutations to the old AOF.
+  ASSERT_TRUE(kv->Set("k3", "v3").ok());
+  kv.reset();
+  ASSERT_TRUE(hashkv::HashKV::Open(options, &kv).ok());
+  std::string value;
+  EXPECT_TRUE(kv->Get("k1", &value).IsNotFound());
+  ASSERT_TRUE(kv->Get("k2", &value).ok());
+  EXPECT_EQ(value, "v2");
+  ASSERT_TRUE(kv->Get("k3", &value).ok());
+  EXPECT_EQ(value, "v3");
+}
+
+}  // namespace
+}  // namespace apmbench

@@ -1,11 +1,14 @@
 #ifndef APMBENCH_BENCH_BENCH_UTIL_H_
 #define APMBENCH_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "simstores/runner.h"
 
 namespace apmbench::benchutil {
@@ -63,6 +66,84 @@ inline std::string FormatMs(double v) {
   snprintf(buf, sizeof(buf), "%.3f", v);
   return buf;
 }
+
+/// Machine-readable results emitter shared by the harnesses: accumulates
+/// flat measurement rows and writes them as a JSON array, one object per
+/// row. All harnesses emit through this instead of inventing per-binary
+/// stdout formats, so downstream tooling parses one shape:
+///
+///   JsonResultWriter results("BENCH_engines.json");
+///   results.AddRow().Str("engine", "lsm").Int("threads", 16)
+///          .Num("ops_per_sec", 51234.0);
+///   results.WriteFile();
+class JsonResultWriter {
+ public:
+  explicit JsonResultWriter(std::string path) : path_(std::move(path)) {}
+
+  class Row {
+   public:
+    Row& Str(const std::string& key, const std::string& value) {
+      Add(key, Quote(value));
+      return *this;
+    }
+    Row& Int(const std::string& key, int64_t value) {
+      Add(key, std::to_string(value));
+      return *this;
+    }
+    Row& Num(const std::string& key, double value) {
+      char buf[64];
+      snprintf(buf, sizeof(buf), "%.6g", value);
+      Add(key, buf);
+      return *this;
+    }
+
+   private:
+    friend class JsonResultWriter;
+
+    static std::string Quote(const std::string& raw) {
+      std::string out = "\"";
+      for (char c : raw) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) continue;  // keep it flat
+        out.push_back(c);
+      }
+      out.push_back('"');
+      return out;
+    }
+
+    void Add(const std::string& key, const std::string& rendered) {
+      if (!body_.empty()) body_ += ", ";
+      body_ += Quote(key) + ": " + rendered;
+    }
+
+    std::string body_;
+  };
+
+  /// The returned reference stays valid until WriteFile (rows live in a
+  /// deque).
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  Status WriteFile() const {
+    std::string out = "[\n";
+    for (size_t i = 0; i < rows_.size(); i++) {
+      out += "  {" + rows_[i].body_ + "}";
+      if (i + 1 < rows_.size()) out += ",";
+      out += "\n";
+    }
+    out += "]\n";
+    return Env::Default()->WriteStringToFile(path_, Slice(out));
+  }
+
+  const std::string& path() const { return path_; }
+  bool empty() const { return rows_.empty(); }
+
+ private:
+  std::string path_;
+  std::deque<Row> rows_;
+};
 
 }  // namespace apmbench::benchutil
 

@@ -139,6 +139,7 @@ int RunRealSweep(const Properties& args) {
 
   PrintRow("load%", {"target", "achieved", "meas p95", "meas p99",
                      "int p95", "int p99"});
+  benchutil::JsonResultWriter json("BENCH_bounded.json");
   std::string out_prefix = args.GetString("out", "");
   for (int pct : kPercentages) {
     ycsb::RunConfig bounded = config;
@@ -151,6 +152,15 @@ int RunRealSweep(const Properties& args) {
     }
     Histogram measured = result.measurements.MergedHistogram();
     Histogram intended = result.measurements.MergedIntendedHistogram();
+    json.AddRow()
+        .Str("store", store)
+        .Int("load_pct", pct)
+        .Num("target_ops_per_sec", bounded.target_ops_per_sec)
+        .Num("achieved_ops_per_sec", result.throughput_ops_sec)
+        .Int("measured_p95_us", measured.Percentile(0.95))
+        .Int("measured_p99_us", measured.Percentile(0.99))
+        .Int("intended_p95_us", intended.Percentile(0.95))
+        .Int("intended_p99_us", intended.Percentile(0.99));
     PrintRow(std::to_string(pct),
              {benchutil::FormatOps(bounded.target_ops_per_sec),
               benchutil::FormatOps(result.throughput_ops_sec),
@@ -166,6 +176,15 @@ int RunRealSweep(const Properties& args) {
         fprintf(stderr, "write %s: %s\n", path.c_str(),
                 status.ToString().c_str());
       }
+    }
+  }
+  if (!json.empty()) {
+    status = json.WriteFile();
+    if (!status.ok()) {
+      fprintf(stderr, "write %s: %s\n", json.path().c_str(),
+              status.ToString().c_str());
+    } else {
+      printf("\nresults written to %s\n", json.path().c_str());
     }
   }
   Env::Default()->RemoveDirRecursively(dir);
@@ -249,6 +268,27 @@ int RunSimMode() {
 
   print_tables("Read", 15, read_ms);
   print_tables("Write", 16, write_ms);
+
+  benchutil::JsonResultWriter json("BENCH_bounded.json");
+  for (size_t p = 0; p < kPercentages.size(); p++) {
+    for (size_t s = 0; s < kSystems.size(); s++) {
+      if (read_ms[p][s] <= 0 && write_ms[p][s] <= 0) continue;
+      json.AddRow()
+          .Str("system", kSystems[s])
+          .Int("load_pct", kPercentages[p])
+          .Num("read_latency_ms", read_ms[p][s])
+          .Num("write_latency_ms", write_ms[p][s]);
+    }
+  }
+  if (!json.empty()) {
+    Status status = json.WriteFile();
+    if (!status.ok()) {
+      fprintf(stderr, "[warn] write %s: %s\n", json.path().c_str(),
+              status.ToString().c_str());
+    } else {
+      printf("\nresults written to %s\n", json.path().c_str());
+    }
+  }
   return 0;
 }
 

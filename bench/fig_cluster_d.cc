@@ -34,6 +34,9 @@ int main(int argc, char** argv) {
          "disk-bound\n", nodes);
 
   // workload x system.
+  benchutil::JsonResultWriter json(out_dir.empty()
+                                       ? "BENCH_cluster_d.json"
+                                       : out_dir + "/cluster_d.json");
   std::vector<std::vector<SimResult>> results(workloads.size());
   for (size_t w = 0; w < workloads.size(); w++) {
     results[w].resize(systems.size());
@@ -47,7 +50,16 @@ int main(int argc, char** argv) {
       if (!status.ok()) {
         fprintf(stderr, "[warn] %s/%s: %s\n", systems[s].c_str(),
                 workloads[w].c_str(), status.ToString().c_str());
+        continue;
       }
+      const SimResult& r = results[w][s];
+      json.AddRow()
+          .Str("workload", workloads[w])
+          .Int("nodes", nodes)
+          .Str("system", systems[s])
+          .Num("throughput_ops_sec", r.throughput_ops_sec)
+          .Num("read_latency_ms", r.MeanLatencyMs(OpKind::kRead))
+          .Num("write_latency_ms", r.MeanLatencyMs(OpKind::kInsert));
     }
   }
 
@@ -86,5 +98,14 @@ int main(int argc, char** argv) {
   print_table(20, "Write latency (ms)", [](const SimResult& r) {
     return benchutil::FormatMs(r.MeanLatencyMs(OpKind::kInsert));
   });
+  if (!json.empty()) {
+    Status status = json.WriteFile();
+    if (!status.ok()) {
+      fprintf(stderr, "[warn] write %s: %s\n", json.path().c_str(),
+              status.ToString().c_str());
+    } else {
+      printf("\nresults written to %s\n", json.path().c_str());
+    }
+  }
   return 0;
 }

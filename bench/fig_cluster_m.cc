@@ -50,6 +50,7 @@ struct Cell {
 };
 
 std::string g_out_dir;  // empty = no .dat export
+benchutil::JsonResultWriter* g_json = nullptr;
 
 void ExportDat(int figure, const std::vector<int>& nodes,
                const std::vector<std::string>& systems,
@@ -95,6 +96,22 @@ void RunWorkload(const FigureSet& figures, const std::vector<int>& nodes) {
         fprintf(stderr, "[warn] %s @%d nodes: %s\n", systems[s].c_str(),
                 nodes[n], status.ToString().c_str());
       }
+    }
+  }
+
+  // Machine-readable export: one row per simulated point, all metrics.
+  for (size_t n = 0; n < nodes.size(); n++) {
+    for (size_t s = 0; s < systems.size(); s++) {
+      if (!cells[n][s].valid) continue;
+      const SimResult& r = cells[n][s].result;
+      g_json->AddRow()
+          .Str("workload", figures.workload)
+          .Int("nodes", nodes[n])
+          .Str("system", systems[s])
+          .Num("throughput_ops_sec", r.throughput_ops_sec)
+          .Num("read_latency_ms", r.MeanLatencyMs(OpKind::kRead))
+          .Num("write_latency_ms", r.MeanLatencyMs(OpKind::kInsert))
+          .Num("scan_latency_ms", r.MeanLatencyMs(OpKind::kScan));
     }
   }
 
@@ -168,11 +185,24 @@ int main(int argc, char** argv) {
          "(sim %.0fs x %d seeds per point; set APMBENCH_SIM_SECONDS / "
          "APMBENCH_SIM_SEEDS to change)\n",
          apmbench::benchutil::SimSeconds(), apmbench::benchutil::SimSeeds());
+  apmbench::benchutil::JsonResultWriter json(
+      g_out_dir.empty() ? "BENCH_cluster_m.json"
+                        : g_out_dir + "/cluster_m.json");
+  g_json = &json;
   for (const FigureSet& figures : kFigures) {
     if (!only_workload.empty() && only_workload != figures.workload) {
       continue;
     }
     RunWorkload(figures, nodes);
+  }
+  if (!json.empty()) {
+    apmbench::Status status = json.WriteFile();
+    if (!status.ok()) {
+      fprintf(stderr, "[warn] write %s: %s\n", json.path().c_str(),
+              status.ToString().c_str());
+    } else {
+      printf("\nresults written to %s\n", json.path().c_str());
+    }
   }
   return 0;
 }

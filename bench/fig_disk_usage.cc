@@ -75,6 +75,16 @@ int main() {
     env->RemoveDirRecursively(dir);
   }
 
+  benchutil::JsonResultWriter json("BENCH_disk_usage.json");
+  for (size_t s = 0; s < systems.size(); s++) {
+    if (bytes_per_record[s] <= 0) continue;
+    json.AddRow()
+        .Str("system", systems[s])
+        .Int("sample_records", sample_records)
+        .Num("bytes_per_record", bytes_per_record[s])
+        .Num("overhead_vs_raw", bytes_per_record[s] / raw_record_bytes);
+  }
+
   printf("\nMeasured on-disk footprint (real engines):\n");
   PrintRow("system", {"bytes/record", "x raw (75B)"});
   for (size_t s = 0; s < systems.size(); s++) {
@@ -104,5 +114,14 @@ int main() {
   }
   printf("\nPaper (Figure 17, per node): Cassandra 2.5 GB, MySQL 5 GB "
          "(half is binlog), Voldemort 5.5 GB, HBase 7.5 GB, raw 0.7 GB.\n");
+  if (!json.empty()) {
+    Status status = json.WriteFile();
+    if (!status.ok()) {
+      fprintf(stderr, "[warn] write %s: %s\n", json.path().c_str(),
+              status.ToString().c_str());
+    } else {
+      printf("\nresults written to %s\n", json.path().c_str());
+    }
+  }
   return 0;
 }

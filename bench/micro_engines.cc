@@ -1,16 +1,32 @@
-// Google-benchmark microbenchmarks of the four real storage engines.
-// These are the calibration evidence for simstores/calibration.h: the
-// per-operation costs of our engines order the same way the paper's
-// single-node throughputs do (hash table < partition executor < B+tree <
-// LSM read path).
+// Multi-threaded microbenchmarks of the four real storage engines: a
+// thread-count sweep (1/4/16/128 client threads by default) over
+// put/get/scan per engine, reported as ops/sec and emitted as
+// machine-readable JSON. This is both the calibration evidence for
+// simstores/calibration.h (per-operation costs order the same way the
+// paper's single-node throughputs do) and the scaling evidence for the
+// concurrent hot paths: group-committed writes and lock-free/shared-lock
+// reads should scale with threads on a multi-core host.
+//
+// Usage: micro_engines [engine=lsm|btree|hashkv|volt] [op=put|get|scan]
+//                      [out=BENCH_engines.json] [build=<label>]
+// Environment:
+//   APMBENCH_BENCH_SECONDS  seconds measured per point (default 0.5)
+//   APMBENCH_BENCH_PRELOAD  records preloaded per engine (default 20000)
+//   APMBENCH_BENCH_THREADS  comma list of thread counts (default 1,4,16,128)
 
-#include <benchmark/benchmark.h>
-
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "btree/btree.h"
 #include "common/env.h"
+#include "common/properties.h"
 #include "common/random.h"
 #include "hashkv/hashkv.h"
 #include "lsm/db.h"
@@ -29,217 +45,305 @@ std::string MakeKey(uint64_t i) {
 
 std::string MakeValue() { return std::string(50, 'v'); }
 
-// --- LSM engine (cassandra/hbase substrate) ---
+double BenchSeconds() {
+  const char* env = getenv("APMBENCH_BENCH_SECONDS");
+  double v = env != nullptr ? atof(env) : 0.5;
+  return v > 0.05 ? v : 0.5;
+}
 
-class LsmFixture : public benchmark::Fixture {
- public:
-  void SetUp(const benchmark::State& state) override {
-    (void)state;
-    dir_ = "/tmp/apmbench-micro-lsm";
-    Env::Default()->RemoveDirRecursively(dir_);
-    lsm::Options options;
-    options.dir = dir_;
-    options.memtable_bytes = 4 * 1024 * 1024;
-    lsm::DB::Open(options, &db_);
-    for (uint64_t i = 0; i < kPreload; i++) {
-      db_->Put(MakeKey(i), MakeValue());
-    }
-    db_->Flush();
-  }
-  void TearDown(const benchmark::State& state) override {
-    (void)state;
-    db_.reset();
-    Env::Default()->RemoveDirRecursively(dir_);
-  }
+uint64_t BenchPreload() {
+  const char* env = getenv("APMBENCH_BENCH_PRELOAD");
+  long long v = env != nullptr ? atoll(env) : 20000;
+  return v >= 100 ? static_cast<uint64_t>(v) : 20000;
+}
 
- protected:
-  static constexpr uint64_t kPreload = 50000;
-  std::string dir_;
-  std::unique_ptr<lsm::DB> db_;
+std::vector<int> BenchThreads() {
+  const char* env = getenv("APMBENCH_BENCH_THREADS");
+  std::string list = env != nullptr ? env : "1,4,16,128";
+  std::vector<int> out;
+  for (size_t pos = 0; pos < list.size();) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    int v = atoi(list.substr(pos, comma - pos).c_str());
+    if (v >= 1) out.push_back(v);
+    pos = comma + 1;
+  }
+  if (out.empty()) out = {1, 4, 16, 128};
+  return out;
+}
+
+/// Runs `make_thread_op(t)`'s result in a loop on `threads` threads for
+/// roughly `seconds`, all threads released together; returns aggregate
+/// ops/sec and the total op count.
+struct MeasureResult {
+  double ops_per_sec = 0;
+  uint64_t total_ops = 0;
+  double elapsed = 0;
 };
 
-BENCHMARK_F(LsmFixture, Put)(benchmark::State& state) {
-  Random rng(1);
-  uint64_t i = kPreload;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(db_->Put(MakeKey(i++), MakeValue()));
+template <typename MakeThreadOp>
+MeasureResult Measure(int threads, double seconds,
+                      MakeThreadOp&& make_thread_op) {
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> counts(static_cast<size_t>(threads), 0);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t]() {
+      auto op = make_thread_op(t);
+      start.wait(false, std::memory_order_acquire);
+      uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        op();
+        n++;
+      }
+      counts[static_cast<size_t>(t)] = n;
+    });
   }
-  state.SetItemsProcessed(state.iterations());
+  const auto t0 = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  start.notify_all();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  const auto t1 = std::chrono::steady_clock::now();
+  for (auto& worker : workers) worker.join();
+
+  MeasureResult result;
+  for (uint64_t c : counts) result.total_ops += c;
+  result.elapsed = std::chrono::duration<double>(t1 - t0).count();
+  if (result.elapsed > 0) {
+    result.ops_per_sec = static_cast<double>(result.total_ops) /
+                         result.elapsed;
+  }
+  return result;
 }
 
-BENCHMARK_F(LsmFixture, Get)(benchmark::State& state) {
-  Random rng(2);
-  std::string value;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        db_->Get(lsm::ReadOptions(), MakeKey(rng.Uniform(kPreload)), &value));
-  }
-  state.SetItemsProcessed(state.iterations());
+struct SweepConfig {
+  std::vector<int> thread_counts;
+  double seconds = 0.5;
+  uint64_t preload = 20000;
+  std::string only_op;  // empty = all
+  std::string build_label;
+  benchutil::JsonResultWriter* out = nullptr;
+};
+
+void Report(const SweepConfig& config, const std::string& engine,
+            const std::string& op, int threads, const MeasureResult& r) {
+  printf("%-8s %-5s %4d threads  %12.0f ops/s  (%llu ops in %.2fs)\n",
+         engine.c_str(), op.c_str(), threads, r.ops_per_sec,
+         static_cast<unsigned long long>(r.total_ops), r.elapsed);
+  fflush(stdout);
+  auto& row = config.out->AddRow()
+                  .Str("engine", engine)
+                  .Str("op", op)
+                  .Int("threads", threads)
+                  .Num("ops_per_sec", r.ops_per_sec)
+                  .Int("total_ops", static_cast<int64_t>(r.total_ops))
+                  .Num("seconds", r.elapsed);
+  if (!config.build_label.empty()) row.Str("build", config.build_label);
 }
 
-BENCHMARK_F(LsmFixture, Scan50)(benchmark::State& state) {
-  Random rng(3);
-  std::vector<std::pair<std::string, std::string>> out;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(db_->Scan(
-        lsm::ReadOptions(), MakeKey(rng.Uniform(kPreload)), 50, &out));
+bool WantOp(const SweepConfig& config, const char* op) {
+  return config.only_op.empty() || config.only_op == op;
+}
+
+/// One sweep point set for an engine: per thread count, a fresh store is
+/// opened and preloaded, then get and scan run against the stable preload
+/// set and put runs last (it grows the store).
+struct EngineHooks {
+  std::function<void(uint64_t preload)> open;  // open fresh + preload
+  std::function<void()> close;
+  // put(i) writes key i (callers hand each thread a disjoint range).
+  std::function<void(uint64_t i)> put;
+  std::function<void(uint64_t i)> get;   // point-read of preloaded key i
+  std::function<void(uint64_t i)> scan;  // 50-record scan from key i
+};
+
+void SweepEngine(const SweepConfig& config, const std::string& engine,
+                 const EngineHooks& hooks) {
+  for (int threads : config.thread_counts) {
+    hooks.open(config.preload);
+    const uint64_t preload = config.preload;
+    if (WantOp(config, "get")) {
+      auto r = Measure(threads, config.seconds, [&](int t) {
+        auto rng = std::make_shared<Random>(1000 + t);
+        return [&, rng]() { hooks.get(rng->Uniform(preload)); };
+      });
+      Report(config, engine, "get", threads, r);
+    }
+    if (WantOp(config, "scan")) {
+      auto r = Measure(threads, config.seconds, [&](int t) {
+        auto rng = std::make_shared<Random>(2000 + t);
+        return [&, rng]() { hooks.scan(rng->Uniform(preload)); };
+      });
+      Report(config, engine, "scan", threads, r);
+    }
+    if (WantOp(config, "put")) {
+      // Disjoint key ranges per thread, starting above the preload set.
+      auto r = Measure(threads, config.seconds, [&](int t) {
+        auto next = std::make_shared<uint64_t>(
+            preload + static_cast<uint64_t>(t) * (uint64_t{1} << 32));
+        return [&, next]() { hooks.put((*next)++); };
+      });
+      Report(config, engine, "put", threads, r);
+    }
+    hooks.close();
   }
-  state.SetItemsProcessed(state.iterations());
+}
+
+// --- LSM engine (cassandra/hbase substrate) ---
+
+void SweepLsm(const SweepConfig& config) {
+  const std::string dir = "/tmp/apmbench-micro-lsm";
+  std::unique_ptr<lsm::DB> db;
+  EngineHooks hooks;
+  hooks.open = [&](uint64_t preload) {
+    Env::Default()->RemoveDirRecursively(dir);
+    lsm::Options options;
+    options.dir = dir;
+    options.memtable_bytes = 4 * 1024 * 1024;
+    lsm::DB::Open(options, &db);
+    for (uint64_t i = 0; i < preload; i++) db->Put(MakeKey(i), MakeValue());
+    db->Flush();
+  };
+  hooks.close = [&]() {
+    db.reset();
+    Env::Default()->RemoveDirRecursively(dir);
+  };
+  hooks.put = [&](uint64_t i) { db->Put(MakeKey(i), MakeValue()); };
+  hooks.get = [&](uint64_t i) {
+    std::string value;
+    db->Get(lsm::ReadOptions(), MakeKey(i), &value);
+  };
+  hooks.scan = [&](uint64_t i) {
+    std::vector<std::pair<std::string, std::string>> out;
+    db->Scan(lsm::ReadOptions(), MakeKey(i), 50, &out);
+  };
+  SweepEngine(config, "lsm", hooks);
 }
 
 // --- B+tree engine (mysql/voldemort substrate) ---
 
-class BTreeFixture : public benchmark::Fixture {
- public:
-  void SetUp(const benchmark::State& state) override {
-    (void)state;
-    dir_ = "/tmp/apmbench-micro-btree";
-    Env::Default()->RemoveDirRecursively(dir_);
-    Env::Default()->CreateDirIfMissing(dir_);
+void SweepBtree(const SweepConfig& config) {
+  const std::string dir = "/tmp/apmbench-micro-btree";
+  std::unique_ptr<btree::BTree> tree;
+  EngineHooks hooks;
+  hooks.open = [&](uint64_t preload) {
+    Env::Default()->RemoveDirRecursively(dir);
+    Env::Default()->CreateDirIfMissing(dir);
     btree::Options options;
-    options.path = dir_ + "/tree.db";
-    btree::BTree::Open(options, &tree_);
-    for (uint64_t i = 0; i < kPreload; i++) {
-      tree_->Put(MakeKey(i), MakeValue());
-    }
-  }
-  void TearDown(const benchmark::State& state) override {
-    (void)state;
-    tree_.reset();
-    Env::Default()->RemoveDirRecursively(dir_);
-  }
-
- protected:
-  static constexpr uint64_t kPreload = 50000;
-  std::string dir_;
-  std::unique_ptr<btree::BTree> tree_;
-};
-
-BENCHMARK_F(BTreeFixture, Put)(benchmark::State& state) {
-  uint64_t i = kPreload;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tree_->Put(MakeKey(i++), MakeValue()));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-
-BENCHMARK_F(BTreeFixture, Get)(benchmark::State& state) {
-  Random rng(4);
-  std::string value;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tree_->Get(MakeKey(rng.Uniform(kPreload)), &value));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-
-BENCHMARK_F(BTreeFixture, Scan50)(benchmark::State& state) {
-  Random rng(5);
-  std::vector<std::pair<std::string, std::string>> out;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        tree_->Scan(MakeKey(rng.Uniform(kPreload)), 50, &out));
-  }
-  state.SetItemsProcessed(state.iterations());
+    options.path = dir + "/tree.db";
+    btree::BTree::Open(options, &tree);
+    for (uint64_t i = 0; i < preload; i++) tree->Put(MakeKey(i), MakeValue());
+  };
+  hooks.close = [&]() {
+    tree.reset();
+    Env::Default()->RemoveDirRecursively(dir);
+  };
+  hooks.put = [&](uint64_t i) { tree->Put(MakeKey(i), MakeValue()); };
+  hooks.get = [&](uint64_t i) {
+    std::string value;
+    tree->Get(MakeKey(i), &value);
+  };
+  hooks.scan = [&](uint64_t i) {
+    std::vector<std::pair<std::string, std::string>> out;
+    tree->Scan(MakeKey(i), 50, &out);
+  };
+  SweepEngine(config, "btree", hooks);
 }
 
 // --- In-memory dict engine (redis substrate) ---
 
-class HashKvFixture : public benchmark::Fixture {
- public:
-  void SetUp(const benchmark::State& state) override {
-    (void)state;
+void SweepHashKv(const SweepConfig& config) {
+  std::unique_ptr<hashkv::HashKV> kv;
+  EngineHooks hooks;
+  hooks.open = [&](uint64_t preload) {
     hashkv::Options options;
-    hashkv::HashKV::Open(options, &kv_);
-    for (uint64_t i = 0; i < kPreload; i++) {
-      kv_->Set(MakeKey(i), MakeValue());
-    }
-  }
-  void TearDown(const benchmark::State& state) override {
-    (void)state;
-    kv_.reset();
-  }
-
- protected:
-  static constexpr uint64_t kPreload = 50000;
-  std::unique_ptr<hashkv::HashKV> kv_;
-};
-
-BENCHMARK_F(HashKvFixture, Set)(benchmark::State& state) {
-  uint64_t i = kPreload;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(kv_->Set(MakeKey(i++), MakeValue()));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-
-BENCHMARK_F(HashKvFixture, Get)(benchmark::State& state) {
-  Random rng(6);
-  std::string value;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(kv_->Get(MakeKey(rng.Uniform(kPreload)), &value));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-
-BENCHMARK_F(HashKvFixture, Scan50)(benchmark::State& state) {
-  Random rng(7);
-  std::vector<std::pair<std::string, std::string>> out;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        kv_->Scan(MakeKey(rng.Uniform(kPreload)), 50, &out));
-  }
-  state.SetItemsProcessed(state.iterations());
+    hashkv::HashKV::Open(options, &kv);
+    for (uint64_t i = 0; i < preload; i++) kv->Set(MakeKey(i), MakeValue());
+  };
+  hooks.close = [&]() { kv.reset(); };
+  hooks.put = [&](uint64_t i) { kv->Set(MakeKey(i), MakeValue()); };
+  hooks.get = [&](uint64_t i) {
+    std::string value;
+    kv->Get(MakeKey(i), &value);
+  };
+  hooks.scan = [&](uint64_t i) {
+    std::vector<std::pair<std::string, std::string>> out;
+    kv->Scan(MakeKey(i), 50, &out);
+  };
+  SweepEngine(config, "hashkv", hooks);
 }
 
 // --- Partitioned serial executor (voltdb substrate) ---
 
-class VoltFixture : public benchmark::Fixture {
- public:
-  void SetUp(const benchmark::State& state) override {
-    (void)state;
-    engine_ = std::make_unique<volt::VoltEngine>(volt::Options{6});
-    for (uint64_t i = 0; i < kPreload; i++) {
-      engine_->Put(MakeKey(i), MakeValue());
+void SweepVolt(const SweepConfig& config) {
+  std::unique_ptr<volt::VoltEngine> engine;
+  EngineHooks hooks;
+  hooks.open = [&](uint64_t preload) {
+    volt::Options options;
+    options.sites_per_host = 6;
+    engine = std::make_unique<volt::VoltEngine>(options);
+    for (uint64_t i = 0; i < preload; i++) {
+      engine->Put(MakeKey(i), MakeValue());
     }
-  }
-  void TearDown(const benchmark::State& state) override {
-    (void)state;
-    engine_.reset();
-  }
-
- protected:
-  static constexpr uint64_t kPreload = 20000;
-  std::unique_ptr<volt::VoltEngine> engine_;
-};
-
-BENCHMARK_F(VoltFixture, Put)(benchmark::State& state) {
-  uint64_t i = kPreload;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(engine_->Put(MakeKey(i++), MakeValue()));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-
-BENCHMARK_F(VoltFixture, Get)(benchmark::State& state) {
-  Random rng(8);
-  std::string value;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        engine_->Get(MakeKey(rng.Uniform(kPreload)), &value));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-
-BENCHMARK_F(VoltFixture, MultiPartitionScan50)(benchmark::State& state) {
-  Random rng(9);
-  std::vector<std::pair<std::string, std::string>> out;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        engine_->Scan(MakeKey(rng.Uniform(kPreload)), 50, &out));
-  }
-  state.SetItemsProcessed(state.iterations());
+  };
+  hooks.close = [&]() { engine.reset(); };
+  hooks.put = [&](uint64_t i) { engine->Put(MakeKey(i), MakeValue()); };
+  hooks.get = [&](uint64_t i) {
+    std::string value;
+    engine->Get(MakeKey(i), &value);
+  };
+  hooks.scan = [&](uint64_t i) {
+    std::vector<std::pair<std::string, std::string>> out;
+    engine->Scan(MakeKey(i), 50, &out);
+  };
+  SweepEngine(config, "volt", hooks);
 }
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string only_engine;
+  std::string out_path = "BENCH_engines.json";
+  SweepConfig config;
+  config.thread_counts = BenchThreads();
+  config.seconds = BenchSeconds();
+  config.preload = BenchPreload();
+  for (int i = 1; i < argc; i++) {
+    apmbench::Properties props;
+    if (!props.ParseArg(argv[i]).ok()) {
+      fprintf(stderr,
+              "usage: %s [engine=lsm|btree|hashkv|volt] [op=put|get|scan] "
+              "[out=<path>] [build=<label>]\n",
+              argv[0]);
+      return 2;
+    }
+    if (props.Contains("engine")) only_engine = props.GetString("engine");
+    if (props.Contains("op")) config.only_op = props.GetString("op");
+    if (props.Contains("out")) out_path = props.GetString("out");
+    if (props.Contains("build")) config.build_label = props.GetString("build");
+  }
+
+  benchutil::JsonResultWriter results(out_path);
+  config.out = &results;
+  printf("APMBench engine thread sweep: %.2fs per point, %llu preloaded "
+         "records, %u hardware threads\n",
+         config.seconds, static_cast<unsigned long long>(config.preload),
+         std::thread::hardware_concurrency());
+
+  if (only_engine.empty() || only_engine == "lsm") SweepLsm(config);
+  if (only_engine.empty() || only_engine == "btree") SweepBtree(config);
+  if (only_engine.empty() || only_engine == "hashkv") SweepHashKv(config);
+  if (only_engine.empty() || only_engine == "volt") SweepVolt(config);
+
+  apmbench::Status status = results.WriteFile();
+  if (!status.ok()) {
+    fprintf(stderr, "write %s: %s\n", results.path().c_str(),
+            status.ToString().c_str());
+    return 1;
+  }
+  printf("results written to %s\n", results.path().c_str());
+  return 0;
+}

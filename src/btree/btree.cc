@@ -34,8 +34,8 @@ Status Binlog::Open(Env* env, const std::string& path,
   return Status::OK();
 }
 
-Status Binlog::Append(uint8_t op, const Slice& key, const Slice& value,
-                      bool sync) {
+GroupCommitLog::Ticket Binlog::Enqueue(uint8_t op, const Slice& key,
+                                       const Slice& value, bool sync) {
   std::string payload;
   payload.push_back(static_cast<char>(op));
   PutLengthPrefixedSlice(&payload, key);
@@ -44,20 +44,33 @@ Status Binlog::Append(uint8_t op, const Slice& key, const Slice& value,
   PutFixed32(&framed, MaskCrc(Crc32c(payload.data(), payload.size())));
   PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
   framed.append(payload);
-  APM_RETURN_IF_ERROR(file_->Append(framed));
-  if (sync) return file_->Sync();
-  return file_->Flush();
+  return log_->Enqueue(framed, sync);
+}
+
+GroupCommitLog::Ticket Binlog::EnqueuePut(const Slice& key, const Slice& value,
+                                          bool sync) {
+  return Enqueue(kBinlogPut, key, value, sync);
+}
+
+GroupCommitLog::Ticket Binlog::EnqueueDelete(const Slice& key, bool sync) {
+  return Enqueue(kBinlogDelete, key, Slice(), sync);
+}
+
+Status Binlog::Commit(GroupCommitLog::Ticket ticket) {
+  return log_->Commit(ticket);
 }
 
 Status Binlog::AppendPut(const Slice& key, const Slice& value, bool sync) {
-  return Append(kBinlogPut, key, value, sync);
+  return Commit(EnqueuePut(key, value, sync));
 }
 
 Status Binlog::AppendDelete(const Slice& key, bool sync) {
-  return Append(kBinlogDelete, key, Slice(), sync);
+  return Commit(EnqueueDelete(key, sync));
 }
 
-uint64_t Binlog::Size() const { return file_->Size(); }
+uint64_t Binlog::Size() const { return log_->Size(); }
+
+GroupCommitLog::Stats Binlog::GetStats() const { return log_->GetStats(); }
 
 BTree::BTree(const Options& options) : options_(options) {
   env_ = options_.env != nullptr ? options_.env : Env::Default();
@@ -103,7 +116,7 @@ Status BTree::FindLeaf(const Slice& key, Pager::PageHandle* leaf) {
 }
 
 Status BTree::Get(const Slice& key, std::string* value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   Pager::PageHandle leaf;
   Status s = FindLeaf(key, &leaf);
   if (s.IsNotFound()) return Status::NotFound();
@@ -121,7 +134,7 @@ Status BTree::Get(const Slice& key, std::string* value) {
 Status BTree::Scan(const Slice& start, int count,
                    std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   Pager::PageHandle leaf;
   Status s = FindLeaf(start, &leaf);
   if (s.IsNotFound()) return Status::OK();
@@ -150,13 +163,20 @@ Status BTree::Put(const Slice& key, const Slice& value) {
   if (LeafCellBytes(key.size(), value.size()) > MaxCellBytes()) {
     return Status::InvalidArgument("record too large for page");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  APM_RETURN_IF_ERROR(PutLocked(key, value));
-  if (binlog_ != nullptr) {
-    APM_RETURN_IF_ERROR(
-        binlog_->AppendPut(key, value, options_.sync_binlog));
+  GroupCommitLog::Ticket ticket = 0;
+  bool logged = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    APM_RETURN_IF_ERROR(PutLocked(key, value));
+    pager_->set_user_counter(num_keys_);
+    if (binlog_ != nullptr) {
+      // Reserve binlog order under the lock; pay the I/O after releasing
+      // it so concurrent writers' records share one append/fsync.
+      ticket = binlog_->EnqueuePut(key, value, options_.sync_binlog);
+      logged = true;
+    }
   }
-  pager_->set_user_counter(num_keys_);
+  if (logged) return binlog_->Commit(ticket);
   return Status::OK();
 }
 
@@ -339,37 +359,49 @@ Status BTree::SplitLeafAndInsert(Pager::PageHandle* node_handle,
 }
 
 Status BTree::Delete(const Slice& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Pager::PageHandle leaf;
-  Status s = FindLeaf(key, &leaf);
-  if (s.IsNotFound()) return Status::NotFound();
-  APM_RETURN_IF_ERROR(s);
-  NodeRef node(leaf.data(), options_.page_size);
-  int i = node.LowerBound(key);
-  if (i >= node.nkeys() || node.KeyAt(i) != key) return Status::NotFound();
-  node.Remove(i);
-  leaf.MarkDirty();
-  num_keys_--;
-  pager_->set_user_counter(num_keys_);
-  if (binlog_ != nullptr) {
-    APM_RETURN_IF_ERROR(binlog_->AppendDelete(key, options_.sync_binlog));
+  GroupCommitLog::Ticket ticket = 0;
+  bool logged = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    Pager::PageHandle leaf;
+    Status s = FindLeaf(key, &leaf);
+    if (s.IsNotFound()) return Status::NotFound();
+    APM_RETURN_IF_ERROR(s);
+    NodeRef node(leaf.data(), options_.page_size);
+    int i = node.LowerBound(key);
+    if (i >= node.nkeys() || node.KeyAt(i) != key) return Status::NotFound();
+    node.Remove(i);
+    leaf.MarkDirty();
+    num_keys_--;
+    pager_->set_user_counter(num_keys_);
+    if (binlog_ != nullptr) {
+      ticket = binlog_->EnqueueDelete(key, options_.sync_binlog);
+      logged = true;
+    }
   }
+  if (logged) return binlog_->Commit(ticket);
   return Status::OK();
 }
 
 Status BTree::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   return pager_->Checkpoint();
 }
 
 BTree::Stats BTree::GetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   Stats stats;
   stats.pool_hits = pager_->pool_hits();
   stats.pool_misses = pager_->pool_misses();
   stats.page_count = pager_->page_count();
   stats.num_keys = num_keys_;
-  stats.binlog_bytes = binlog_ != nullptr ? binlog_->Size() : 0;
+  if (binlog_ != nullptr) {
+    stats.binlog_bytes = binlog_->Size();
+    GroupCommitLog::Stats log_stats = binlog_->GetStats();
+    stats.binlog_appends = log_stats.appends;
+    stats.binlog_groups = log_stats.groups;
+    stats.binlog_synced_groups = log_stats.synced_groups;
+  }
   // Height: walk the leftmost spine.
   int height = 0;
   uint32_t page_id = pager_->root();
@@ -386,7 +418,7 @@ BTree::Stats BTree::GetStats() {
 }
 
 Status BTree::DiskUsage(uint64_t* bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   uint64_t page_file = 0;
   APM_RETURN_IF_ERROR(env_->GetFileSize(options_.path, &page_file));
   *bytes = page_file + (binlog_ != nullptr ? binlog_->Size() : 0);

@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "btree/pager.h"
+#include "common/group_commit.h"
 #include "common/slice.h"
 #include "common/status.h"
 
@@ -30,6 +31,11 @@ struct Options {
 };
 
 /// Durable write-ahead statement log used by the MySQL-like store.
+/// Backed by a GroupCommitLog: records enqueued by concurrent mutators
+/// are written (and fsynced, with sync_binlog) by one leader per round,
+/// MySQL's binlog group commit. Enqueue/Commit are split so the tree can
+/// reserve log order while holding its write lock and pay the I/O after
+/// releasing it.
 class Binlog {
  public:
   static Status Open(Env* env, const std::string& path,
@@ -37,15 +43,27 @@ class Binlog {
 
   Status AppendPut(const Slice& key, const Slice& value, bool sync);
   Status AppendDelete(const Slice& key, bool sync);
+
+  /// Queues a framed record without doing I/O; cheap enough to call under
+  /// the tree's write lock so binlog order matches apply order.
+  GroupCommitLog::Ticket EnqueuePut(const Slice& key, const Slice& value,
+                                    bool sync);
+  GroupCommitLog::Ticket EnqueueDelete(const Slice& key, bool sync);
+  /// Waits until the record behind `ticket` is on disk (joining or leading
+  /// a group commit). Call without the tree lock held.
+  Status Commit(GroupCommitLog::Ticket ticket);
+
   uint64_t Size() const;
+  GroupCommitLog::Stats GetStats() const;
 
  private:
   explicit Binlog(std::unique_ptr<WritableFile> file)
-      : file_(std::move(file)) {}
+      : log_(std::make_unique<GroupCommitLog>(std::move(file))) {}
 
-  Status Append(uint8_t op, const Slice& key, const Slice& value, bool sync);
+  GroupCommitLog::Ticket Enqueue(uint8_t op, const Slice& key,
+                                 const Slice& value, bool sync);
 
-  std::unique_ptr<WritableFile> file_;
+  std::unique_ptr<GroupCommitLog> log_;
 };
 
 /// An on-disk B+tree with a buffer pool: the storage architecture of
@@ -58,8 +76,13 @@ class Binlog {
 /// production trees that defer merging); the ordering invariants are
 /// preserved.
 ///
-/// Thread-safety: all public methods are safe to call concurrently
-/// (internally serialized).
+/// Thread-safety: all public methods are safe to call concurrently.
+/// Readers (Get/Scan/GetStats/DiskUsage) hold a shared lock and run in
+/// parallel — the buffer pool has its own internal latch — while mutators
+/// (Put/Delete/Checkpoint) hold the lock exclusively. Binlog I/O happens
+/// after the write lock is released, with concurrent mutators' records
+/// merged into one append (+ one fsync under sync_binlog) by group
+/// commit. See docs/concurrency.md.
 class BTree {
  public:
   struct Stats {
@@ -69,6 +92,11 @@ class BTree {
     int height = 0;
     uint64_t num_keys = 0;
     uint64_t binlog_bytes = 0;
+    /// Binlog group commit: appends is records written, groups is leader
+    /// rounds (== write+fsync batches). appends > groups means batching.
+    uint64_t binlog_appends = 0;
+    uint64_t binlog_groups = 0;
+    uint64_t binlog_synced_groups = 0;
   };
 
   static Status Open(const Options& options, std::unique_ptr<BTree>* tree);
@@ -116,7 +144,9 @@ class BTree {
 
   Options options_;
   Env* env_;
-  std::mutex mu_;
+  /// Reader/writer lock over tree structure and page contents; see the
+  /// class comment. PutLocked/InsertRec/FindLeaf require it held.
+  std::shared_mutex mu_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<Binlog> binlog_;
   uint64_t num_keys_ = 0;

@@ -148,6 +148,7 @@ Status Pager::GetFreeFrame(size_t* frame_index) {
 }
 
 Status Pager::FetchPage(uint32_t page_id, PageHandle* handle) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     hits_++;
@@ -172,6 +173,7 @@ Status Pager::FetchPage(uint32_t page_id, PageHandle* handle) {
 }
 
 Status Pager::NewPage(uint32_t* page_id, PageHandle* handle) {
+  std::lock_guard<std::mutex> lock(mu_);
   *page_id = page_count_++;
   meta_dirty_ = true;
   size_t index;
@@ -188,6 +190,7 @@ Status Pager::NewPage(uint32_t* page_id, PageHandle* handle) {
 }
 
 void Pager::Unpin(uint32_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) return;
   Frame& frame = frames_[it->second];
@@ -196,12 +199,14 @@ void Pager::Unpin(uint32_t page_id) {
 }
 
 void Pager::SetDirty(uint32_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) return;
   frames_[it->second].dirty = true;
 }
 
 Status Pager::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& frame : frames_) {
     if (frame.data != nullptr && frame.dirty) {
       APM_RETURN_IF_ERROR(WritePageToDisk(frame.page_id, frame.data.get()));

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,7 +28,14 @@ struct PagerOptions {
 /// size, page count, root page id); pages are fetched into pinned frames
 /// and written back on eviction or checkpoint.
 ///
-/// Thread-compatibility: externally synchronized by the owning BTree.
+/// Thread-safety: pool bookkeeping (page table, LRU, pins, hit counters)
+/// has an internal mutex, so concurrent *readers* of the owning BTree can
+/// fetch pages in parallel — that mutex is held only for the lookup /
+/// eviction, never while callers use the page data. Page *contents* and
+/// the meta fields (root, page count, user counter) are protected by the
+/// BTree's reader/writer lock: mutators hold it exclusively, so a pinned
+/// page is immutable while shared-lock readers look at it. Eviction only
+/// touches unpinned frames, so it never writes a page a reader is using.
 class Pager {
  public:
   static constexpr uint32_t kMetaPage = 0;
@@ -100,8 +108,14 @@ class Pager {
   uint32_t page_count() const { return page_count_; }
   size_t page_size() const { return options_.page_size; }
 
-  uint64_t pool_hits() const { return hits_; }
-  uint64_t pool_misses() const { return misses_; }
+  uint64_t pool_hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t pool_misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
  private:
   struct Frame {
@@ -128,6 +142,11 @@ class Pager {
   PagerOptions options_;
   Env* env_ = nullptr;
   std::unique_ptr<RandomRWFile> file_;
+
+  /// Guards frames_, page_table_, lru_, hits_, misses_ (the structures
+  /// concurrent readers race on). Meta fields are writer-side state
+  /// guarded by the owning BTree's exclusive lock.
+  mutable std::mutex mu_;
 
   std::vector<Frame> frames_;
   std::unordered_map<uint32_t, size_t> page_table_;

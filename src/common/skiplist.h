@@ -1,6 +1,7 @@
 #ifndef APMBENCH_COMMON_SKIPLIST_H_
 #define APMBENCH_COMMON_SKIPLIST_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -14,7 +15,20 @@ namespace apmbench {
 /// LSM memtable (as in BigTable/Cassandra/HBase memstores) and the sorted
 /// key index of the Redis-like store (Redis uses a skip list for sorted
 /// sets). Supports insert-or-assign, point lookup, and ordered iteration
-/// with seek. Not internally synchronized.
+/// with seek.
+///
+/// Thread-safety contract (the LevelDB memtable discipline):
+///  - A single writer may Insert *new* keys concurrently with any number of
+///    readers (Find / Iterator). New nodes are published with release
+///    stores on the next-pointers and readers traverse with acquire loads,
+///    so a reader either sees a fully constructed node or does not see it
+///    at all. Nodes are never unlinked or reused while readers run.
+///  - Insert-that-overwrites (`node->value = value` on an existing key) and
+///    Erase mutate or free shared state and therefore require exclusive
+///    access (no concurrent readers or writers). Engines that overwrite or
+///    erase (hashkv's sorted index) hold an exclusive lock for writes; the
+///    LSM memtable is insert-only with multi-version keys and never hits
+///    either path.
 ///
 /// `Comparator` is a stateless functor returning <0/0/>0 like memcmp.
 template <typename Key, typename Value, typename Comparator>
@@ -27,7 +41,7 @@ class SkipList {
   ~SkipList() {
     Node* node = head_;
     while (node != nullptr) {
-      Node* next = node->next[0];
+      Node* next = node->Next(0);
       DeleteNode(node);
       node = next;
     }
@@ -37,7 +51,9 @@ class SkipList {
   SkipList& operator=(const SkipList&) = delete;
 
   /// Inserts `key` with `value`, overwriting the value if the key exists.
-  /// Returns true if a new key was inserted, false if overwritten.
+  /// Returns true if a new key was inserted, false if overwritten. The
+  /// insert-new-key path is safe against concurrent readers; the overwrite
+  /// path requires exclusive access (see class comment).
   bool Insert(const Key& key, const Value& value) {
     Node* prev[kMaxHeight];
     Node* node = FindGreaterOrEqual(key, prev);
@@ -46,33 +62,46 @@ class SkipList {
       return false;
     }
     int height = RandomHeight();
-    if (height > height_) {
-      for (int level = height_; level < height; level++) {
+    int list_height = height_.load(std::memory_order_relaxed);
+    if (height > list_height) {
+      for (int level = list_height; level < height; level++) {
         prev[level] = head_;
       }
-      height_ = height;
+      // A concurrent reader that loads the new height before the node below
+      // is published just sees nullptr from head_ at the new levels, which
+      // is a valid (empty) level — same reasoning as LevelDB's skiplist.
+      height_.store(height, std::memory_order_relaxed);
     }
     Node* fresh = NewNode(key, value, height);
     for (int level = 0; level < height; level++) {
-      fresh->next[level] = prev[level]->next[level];
-      prev[level]->next[level] = fresh;
+      // Wire the new node's forward pointer first (not yet visible), then
+      // publish it with a release store so readers that reach `fresh` via
+      // the acquire load in Next() observe its key/value and next[] fully
+      // initialized.
+      fresh->next[level].store(prev[level]->Next(level),
+                               std::memory_order_relaxed);
+      prev[level]->next[level].store(fresh, std::memory_order_release);
     }
-    size_++;
+    size_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
-  /// Removes `key`; returns true when the key was present.
+  /// Removes `key`; returns true when the key was present. Requires
+  /// exclusive access: the node is freed immediately, so no reader may be
+  /// traversing concurrently.
   bool Erase(const Key& key) {
     Node* prev[kMaxHeight];
     Node* node = FindGreaterOrEqual(key, prev);
     if (node == nullptr || !Equal(node->key, key)) return false;
-    for (int level = 0; level < height_; level++) {
-      if (prev[level]->next[level] == node) {
-        prev[level]->next[level] = node->next[level];
+    int list_height = height_.load(std::memory_order_relaxed);
+    for (int level = 0; level < list_height; level++) {
+      if (prev[level]->Next(level) == node) {
+        prev[level]->next[level].store(node->Next(level),
+                                       std::memory_order_relaxed);
       }
     }
     DeleteNode(node);
-    size_--;
+    size_.fetch_sub(1, std::memory_order_relaxed);
     return true;
   }
 
@@ -90,10 +119,12 @@ class SkipList {
     return nullptr;
   }
 
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
 
-  /// Forward iterator over entries in key order.
+  /// Forward iterator over entries in key order. Safe to use concurrently
+  /// with a writer inserting new keys (sees a point-in-time-ish prefix of
+  /// the publications; every node observed is fully constructed).
   class Iterator {
    public:
     explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
@@ -109,9 +140,9 @@ class SkipList {
     }
     void Next() {
       assert(Valid());
-      node_ = node_->next[0];
+      node_ = node_->Next(0);
     }
-    void SeekToFirst() { node_ = list_->head_->next[0]; }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
     /// Positions at the first entry with key >= target.
     void Seek(const Key& target) {
       node_ = list_->FindGreaterOrEqual(target, nullptr);
@@ -126,16 +157,27 @@ class SkipList {
   struct Node {
     Key key;
     Value value;
-    Node* next[1];  // over-allocated to `height` pointers
+    std::atomic<Node*> next[1];  // over-allocated to `height` pointers
+
+    Node* Next(int level) const {
+      // Acquire pairs with the release store in Insert so the pointed-to
+      // node's contents are visible before the pointer is dereferenced.
+      return next[level].load(std::memory_order_acquire);
+    }
   };
 
   static Node* NewNode(const Key& key, const Value& value, int height) {
     char* mem = new char[sizeof(Node) +
-                         sizeof(Node*) * static_cast<size_t>(height - 1)];
+                         sizeof(std::atomic<Node*>) *
+                             static_cast<size_t>(height - 1)];
     Node* node = new (mem) Node();
     node->key = key;
     node->value = value;
-    for (int i = 0; i < height; i++) node->next[i] = nullptr;
+    for (int i = 0; i < height; i++) {
+      // Placement-new the over-allocated atomics beyond next[0].
+      if (i > 0) new (&node->next[i]) std::atomic<Node*>();
+      node->next[i].store(nullptr, std::memory_order_relaxed);
+    }
     return node;
   }
 
@@ -155,9 +197,9 @@ class SkipList {
 
   Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
     Node* node = head_;
-    int level = height_ - 1;
+    int level = height_.load(std::memory_order_relaxed) - 1;
     for (;;) {
-      Node* next = node->next[level];
+      Node* next = node->Next(level);
       if (next != nullptr && cmp_(next->key, key) < 0) {
         node = next;
       } else {
@@ -171,8 +213,8 @@ class SkipList {
   Comparator cmp_;
   Random rng_;
   Node* head_;
-  int height_ = 1;
-  size_t size_ = 0;
+  std::atomic<int> height_{1};
+  std::atomic<size_t> size_{0};
 };
 
 }  // namespace apmbench

@@ -20,19 +20,18 @@ Status HashKV::Open(const Options& options, std::unique_ptr<HashKV>* store) {
   std::unique_ptr<HashKV> kv(new HashKV(options));
   if (!options.aof_path.empty()) {
     APM_RETURN_IF_ERROR(kv->ReplayAof());
-    APM_RETURN_IF_ERROR(
-        kv->env_->NewAppendableFile(options.aof_path, &kv->aof_));
+    std::unique_ptr<WritableFile> file;
+    APM_RETURN_IF_ERROR(kv->env_->NewAppendableFile(options.aof_path, &file));
+    kv->aof_ = std::make_shared<GroupCommitLog>(std::move(file));
   }
   *store = std::move(kv);
   return Status::OK();
 }
 
 HashKV::~HashKV() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (aof_ == nullptr) return;
-  Status s = aof_->Sync();
-  Status close_status = aof_->Close();
-  if (s.ok()) s = close_status;
+  Status s = aof_->Close();  // drains pending records, syncs, closes
   if (!s.ok()) {
     APM_LOG_WARN("hashkv: AOF sync/close failed at shutdown: %s",
                  s.ToString().c_str());
@@ -69,8 +68,8 @@ Status HashKV::ReplayAof() {
   return Status::OK();
 }
 
-Status HashKV::AppendAof(uint8_t op, const Slice& key, const Slice& value) {
-  if (aof_ == nullptr) return Status::OK();
+GroupCommitLog::Ticket HashKV::EnqueueAofLocked(uint8_t op, const Slice& key,
+                                                const Slice& value) {
   std::string payload;
   payload.push_back(static_cast<char>(op));
   PutLengthPrefixedSlice(&payload, key);
@@ -79,21 +78,28 @@ Status HashKV::AppendAof(uint8_t op, const Slice& key, const Slice& value) {
   PutFixed32(&framed, MaskCrc(Crc32c(payload.data(), payload.size())));
   PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
   framed.append(payload);
-  APM_RETURN_IF_ERROR(aof_->Append(framed));
-  if (options_.sync_aof) return aof_->Sync();
-  return aof_->Flush();
+  return aof_->Enqueue(framed, options_.sync_aof);
 }
 
 Status HashKV::Set(const Slice& key, const Slice& value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (dict_.Set(key, value)) {
-    index_.Insert(key.ToString(), 0);
+  std::shared_ptr<GroupCommitLog> log;
+  GroupCommitLog::Ticket ticket = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (dict_.Set(key, value)) {
+      index_.Insert(key.ToString(), 0);
+    }
+    if (aof_ != nullptr) {
+      log = aof_;
+      ticket = EnqueueAofLocked(kAofSet, key, value);
+    }
   }
-  return AppendAof(kAofSet, key, value);
+  if (log != nullptr) return log->Commit(ticket);
+  return Status::OK();
 }
 
 Status HashKV::Get(const Slice& key, std::string* value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const std::string* stored = dict_.Get(key);
   if (stored == nullptr) return Status::NotFound();
   *value = *stored;
@@ -101,16 +107,25 @@ Status HashKV::Get(const Slice& key, std::string* value) {
 }
 
 Status HashKV::Del(const Slice& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!dict_.Del(key)) return Status::NotFound();
-  index_.Erase(key.ToString());
-  return AppendAof(kAofDel, key, Slice());
+  std::shared_ptr<GroupCommitLog> log;
+  GroupCommitLog::Ticket ticket = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (!dict_.Del(key)) return Status::NotFound();
+    index_.Erase(key.ToString());
+    if (aof_ != nullptr) {
+      log = aof_;
+      ticket = EnqueueAofLocked(kAofDel, key, Slice());
+    }
+  }
+  if (log != nullptr) return log->Commit(ticket);
+  return Status::OK();
 }
 
 Status HashKV::Scan(const Slice& start, int count,
                     std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   KeyIndex::Iterator iter(&index_);
   iter.Seek(start.ToString());
   while (iter.Valid() && static_cast<int>(out->size()) < count) {
@@ -128,7 +143,9 @@ constexpr uint64_t kSnapshotMagic = 0x41504d524442310aull;  // "APMRDB1\n"
 }  // namespace
 
 Status HashKV::SaveSnapshot(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Read-only: a snapshot runs alongside other readers (like BGSAVE,
+  // minus the fork).
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::string body;
   PutFixed64(&body, kSnapshotMagic);
   PutFixed64(&body, dict_.size());
@@ -167,7 +184,7 @@ Status HashKV::LoadSnapshot(const std::string& path) {
   if (magic != kSnapshotMagic) return Status::Corruption("bad snapshot magic");
   GetFixed64(&in, &count);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   // Replace contents.
   std::vector<std::string> existing;
   {
@@ -192,7 +209,7 @@ Status HashKV::LoadSnapshot(const std::string& path) {
 }
 
 Status HashKV::RewriteAof() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (aof_ == nullptr) return Status::OK();
   // Write the compacted log to a temp file, then swap it in.
   std::string tmp = options_.aof_path + ".rewrite";
@@ -214,14 +231,23 @@ Status HashKV::RewriteAof() {
   }
   APM_RETURN_IF_ERROR(fresh->Sync());
   APM_RETURN_IF_ERROR(fresh->Close());
-  APM_RETURN_IF_ERROR(aof_->Sync());
+  // Close drains any records still staged in the group-commit buffer and
+  // fsyncs before the swap. Mutators that enqueued before we took the
+  // write lock hold their own reference to the old log; their Commit sees
+  // the records already durable and returns immediately.
   APM_RETURN_IF_ERROR(aof_->Close());
+  auto reopen_as_log = [this](std::shared_ptr<GroupCommitLog>* out) {
+    std::unique_ptr<WritableFile> file;
+    APM_RETURN_IF_ERROR(env_->NewAppendableFile(options_.aof_path, &file));
+    *out = std::make_shared<GroupCommitLog>(std::move(file));
+    return Status::OK();
+  };
   Status s = env_->RenameFile(tmp, options_.aof_path);
   if (!s.ok()) {
     // The old AOF is intact on disk but its handle is closed; reopen it so
     // subsequent mutations keep appending instead of writing into a closed
     // file, and surface the rewrite failure to the caller.
-    Status reopen = env_->NewAppendableFile(options_.aof_path, &aof_);
+    Status reopen = reopen_as_log(&aof_);
     if (!reopen.ok()) {
       APM_LOG_ERROR("hashkv: cannot reopen AOF after failed rewrite: %s",
                     reopen.ToString().c_str());
@@ -230,17 +256,23 @@ Status HashKV::RewriteAof() {
     env_->RemoveFile(tmp);
     return s;
   }
-  return env_->NewAppendableFile(options_.aof_path, &aof_);
+  return reopen_as_log(&aof_);
 }
 
 HashKV::Stats HashKV::GetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   Stats stats;
   stats.num_keys = dict_.size();
   stats.bucket_count = dict_.bucket_count();
   stats.rehashing = dict_.rehashing();
   stats.memory_bytes = dict_.MemoryBytes();
-  stats.aof_bytes = aof_ != nullptr ? aof_->Size() : 0;
+  if (aof_ != nullptr) {
+    stats.aof_bytes = aof_->Size();
+    GroupCommitLog::Stats log_stats = aof_->GetStats();
+    stats.aof_appends = log_stats.appends;
+    stats.aof_groups = log_stats.groups;
+    stats.aof_synced_groups = log_stats.synced_groups;
+  }
   return stats;
 }
 

@@ -2,12 +2,13 @@
 #define APMBENCH_HASHKV_HASHKV_H_
 
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/env.h"
+#include "common/group_commit.h"
 #include "common/skiplist.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -33,8 +34,15 @@ struct Options {
 /// YCSB Redis binding pairs each record with a sorted-set index entry —
 /// and an optional append-only file provides persistence.
 ///
-/// Thread-safety: all public methods are safe to call concurrently
-/// (internally serialized, matching Redis' single-threaded execution).
+/// Thread-safety: all public methods are safe to call concurrently.
+/// Readers (Get/Scan/GetStats/SaveSnapshot) hold a shared lock and run in
+/// parallel — like Redis 6's I/O threads, execution stays simple but reads
+/// scale. Mutators hold the lock exclusively; the incremental rehash step
+/// only runs inside Dict::Set/Del, so it is confined to the write path and
+/// never races a reader. AOF records are enqueued under the write lock
+/// (fixing log order) and committed after releasing it, so concurrent
+/// mutators share one append — and one fsync under appendfsync-always —
+/// via group commit. See docs/concurrency.md.
 class HashKV {
  public:
   struct Stats {
@@ -43,6 +51,11 @@ class HashKV {
     bool rehashing = false;
     size_t memory_bytes = 0;
     uint64_t aof_bytes = 0;
+    /// AOF group commit: appends is records enqueued, groups is leader
+    /// write rounds. appends > groups means batching happened.
+    uint64_t aof_appends = 0;
+    uint64_t aof_groups = 0;
+    uint64_t aof_synced_groups = 0;
   };
 
   static Status Open(const Options& options, std::unique_ptr<HashKV>* store);
@@ -89,14 +102,21 @@ class HashKV {
   explicit HashKV(const Options& options);
 
   Status ReplayAof();
-  Status AppendAof(uint8_t op, const Slice& key, const Slice& value);
+  /// Stages one framed AOF record; requires mu_ held exclusively (record
+  /// order must match apply order). Commit the returned ticket after
+  /// releasing mu_.
+  GroupCommitLog::Ticket EnqueueAofLocked(uint8_t op, const Slice& key,
+                                          const Slice& value);
 
   Options options_;
   Env* env_;
-  std::mutex mu_;
+  std::shared_mutex mu_;
   Dict dict_;
   KeyIndex index_;
-  std::unique_ptr<WritableFile> aof_;
+  /// shared_ptr because RewriteAof swaps in a fresh log while mutators
+  /// that already released mu_ may still be committing against the old
+  /// one; they hold their own reference.
+  std::shared_ptr<GroupCommitLog> aof_;
 };
 
 }  // namespace apmbench::hashkv

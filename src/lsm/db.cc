@@ -106,8 +106,30 @@ Status DB::OpenImpl() {
   }
   wal_ = std::make_unique<LogWriter>(std::move(wal_file));
 
+  // Everything recovered so far is fully applied; publish the initial
+  // reader view before any thread can race us.
+  applied_seq_.store(versions_->last_seq(), std::memory_order_release);
+  RefreshViewLocked();
+
   bg_thread_ = std::thread(&DB::BackgroundThread, this);
   return Status::OK();
+}
+
+void DB::RefreshViewLocked() {
+  auto view = std::make_shared<ReadView>();
+  view->mem = mem_;
+  view->imm = imm_;
+  view->tables.reserve(tables_.size());
+  for (const auto& [number, table] : tables_) {
+    view->tables.push_back(table);
+  }
+  std::lock_guard<std::mutex> view_lock(view_mu_);
+  view_ = std::move(view);
+}
+
+std::shared_ptr<const DB::ReadView> DB::CurrentView() const {
+  std::lock_guard<std::mutex> view_lock(view_mu_);
+  return view_;
 }
 
 Status DB::ReplayWals() {
@@ -196,9 +218,13 @@ Status DB::ReplayWals() {
   }
   versions_->set_last_seq(max_seq);
 
-  // Persist replayed data so the old WAL files can be removed.
+  // Persist replayed data so the old WAL files can be removed. The
+  // memtable is multi-version (one entry per write, not per key), while
+  // SSTables must hold one entry per key — dedup keeps the newest version
+  // and preserves tombstones so they still shadow older tables.
   if (mem_->EntryCount() > 0) {
-    auto iter = mem_->NewIterator();
+    auto iter = NewDedupIterator(mem_->NewIterator(),
+                                 /*skip_tombstones=*/false);
     iter->SeekToFirst();
     std::vector<FileMeta> outputs;
     std::vector<uint64_t> numbers;
@@ -229,6 +255,9 @@ Status DB::Close() {
     std::unique_lock<std::mutex> lock(mu_);
     if (closed_) return close_status_;
     closed_ = true;
+    // Drain in-flight write groups: a leader may be appending to the WAL
+    // outside mu_, and the WAL is synced/closed below.
+    while (!writers_.empty()) cv_.wait(lock);
     // Drain any pending flush first: the immutable memtable's WAL was
     // closed without a sync at rotation, so until the flush lands in a
     // synced SSTable those acknowledged writes are only in page cache.
@@ -274,10 +303,17 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock) {
     // Rotate memtable and WAL.
     uint64_t new_wal_number = versions_->NewFileNumber();
     std::unique_ptr<WritableFile> wal_file;
-    APM_RETURN_IF_ERROR(
-        env_->NewWritableFile(WalPath(new_wal_number), &wal_file));
-    if (options_.sync_writes) {
-      APM_RETURN_IF_ERROR(env_->SyncDir(options_.dir));
+    Status s = env_->NewWritableFile(WalPath(new_wal_number), &wal_file);
+    if (s.ok() && options_.sync_writes) {
+      s = env_->SyncDir(options_.dir);
+    }
+    if (!s.ok()) {
+      // A failed rotation leaves half-rotated state (a fresh file number,
+      // possibly a created-but-unusable segment); letting the next writer
+      // retry against it risks interleaving two generations of the log.
+      // Fence exactly like the wal_->Close() failure below.
+      if (bg_error_.ok()) bg_error_ = s;
+      return s;
     }
     Status close_status = wal_->Close();
     if (!close_status.ok()) {
@@ -292,57 +328,46 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock) {
     imm_wal_number_ = wal_number_;
     wal_number_ = new_wal_number;
     mem_ = std::make_shared<MemTable>();
+    RefreshViewLocked();
     cv_.notify_all();
   }
   return Status::OK();
 }
 
 Status DB::Put(const Slice& key, const Slice& value) {
-  std::unique_lock<std::mutex> lock(mu_);
-  APM_RETURN_IF_ERROR(MakeRoomForWrite(&lock));
-  uint64_t seq = versions_->last_seq() + 1;
-  versions_->set_last_seq(seq);
-  std::string record;
-  EncodeWalRecord(&record, seq, kWalPut, key, value);
-  APM_RETURN_IF_ERROR(LogWalRecord(record));
-  mem_->Put(key, value, seq);
-  return Status::OK();
-}
-
-Status DB::LogWalRecord(const std::string& record) {
-  Status s = wal_->AddRecord(record, options_.sync_writes);
-  if (!s.ok()) {
-    // The WAL may now end in a partial frame; further appends would write
-    // beyond it and turn the next recovery into mid-log corruption.
-    // Record the error and refuse subsequent writes.
-    if (bg_error_.ok()) bg_error_ = s;
-  }
-  return s;
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(batch);
 }
 
 Status DB::Delete(const Slice& key) {
-  std::unique_lock<std::mutex> lock(mu_);
-  APM_RETURN_IF_ERROR(MakeRoomForWrite(&lock));
-  uint64_t seq = versions_->last_seq() + 1;
-  versions_->set_last_seq(seq);
-  std::string record;
-  EncodeWalRecord(&record, seq, kWalDelete, key, Slice());
-  APM_RETURN_IF_ERROR(LogWalRecord(record));
-  mem_->Delete(key, seq);
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(batch);
+}
+
+Status DB::ValidateBatch(const WriteBatch& batch) {
+  Slice ops(batch.rep_);
+  size_t count = 0;
+  while (!ops.empty()) {
+    uint8_t op_type = static_cast<uint8_t>(ops[0]);
+    ops.RemovePrefix(1);
+    Slice key, value;
+    if ((op_type != kWalPut && op_type != kWalDelete) ||
+        !GetLengthPrefixedSlice(&ops, &key) ||
+        !GetLengthPrefixedSlice(&ops, &value)) {
+      return Status::Corruption("malformed write batch");
+    }
+    count++;
+  }
+  if (count != batch.Count()) {
+    return Status::Corruption("write batch count disagrees with contents");
+  }
   return Status::OK();
 }
 
-Status DB::Write(const WriteBatch& batch) {
-  if (batch.Count() == 0) return Status::OK();
-  std::unique_lock<std::mutex> lock(mu_);
-  APM_RETURN_IF_ERROR(MakeRoomForWrite(&lock));
-  uint64_t base_seq = versions_->last_seq() + 1;
-  versions_->set_last_seq(base_seq + batch.Count() - 1);
-  // One WAL record for the whole batch: crash atomicity.
-  std::string record;
-  EncodeWalRecord(&record, base_seq, kWalBatch, Slice(), Slice(batch.rep_));
-  APM_RETURN_IF_ERROR(LogWalRecord(record));
-  Slice ops(batch.rep_);
+void DB::ApplyBatchRep(MemTable* mem, const Slice& rep, uint64_t base_seq) {
+  Slice ops = rep;
   uint64_t seq = base_seq;
   while (!ops.empty()) {
     uint8_t op_type = static_cast<uint8_t>(ops[0]);
@@ -350,38 +375,129 @@ Status DB::Write(const WriteBatch& batch) {
     Slice key, value;
     if (!GetLengthPrefixedSlice(&ops, &key) ||
         !GetLengthPrefixedSlice(&ops, &value)) {
-      return Status::Corruption("malformed write batch");
+      // Unreachable: every rep was validated before entering the queue.
+      break;
     }
     if (op_type == kWalPut) {
-      mem_->Put(key, value, seq);
+      mem->Put(key, value, seq);
     } else {
-      mem_->Delete(key, seq);
+      mem->Delete(key, seq);
     }
     seq++;
   }
-  return Status::OK();
+}
+
+Status DB::Write(const WriteBatch& batch) {
+  if (batch.Count() == 0) return Status::OK();
+  // Reject malformed batches before a sequence number is consumed or a
+  // WAL byte written: a bad rep_ used to be logged, partially applied,
+  // and replayed on recovery.
+  APM_RETURN_IF_ERROR(ValidateBatch(batch));
+
+  Writer w(&batch);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return Status::IOError("db closed");
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) {
+    w.cv.wait(lock);
+  }
+  if (w.done) return w.status;  // a leader committed this batch for us
+
+  // This thread is the leader: it stays at the front of the queue until
+  // it pops its whole group below, so no other thread touches the WAL or
+  // the memtable meanwhile.
+  Status s = MakeRoomForWrite(&lock);
+  Writer* last_writer = &w;
+  if (s.ok()) {
+    // Merge every queued batch (bounded, to keep follower latency sane)
+    // into one rep covering contiguous sequence numbers.
+    constexpr size_t kMaxGroupBytes = 1 << 20;
+    const uint64_t base_seq = versions_->last_seq() + 1;
+    std::string group_rep;
+    size_t group_count = 0;
+    size_t group_writers = 0;
+    for (Writer* candidate : writers_) {
+      if (candidate != &w &&
+          group_rep.size() + candidate->batch->rep_.size() > kMaxGroupBytes) {
+        break;
+      }
+      group_rep.append(candidate->batch->rep_);
+      group_count += candidate->batch->Count();
+      group_writers++;
+      last_writer = candidate;
+    }
+    versions_->set_last_seq(base_seq + group_count - 1);
+    std::string record;
+    EncodeWalRecord(&record, base_seq, kWalBatch, Slice(), Slice(group_rep));
+    MemTable* mem = mem_.get();
+    LogWriter* wal = wal_.get();
+
+    // The expensive part — one WAL append (and at most one fsync) for the
+    // whole group, plus the memtable inserts — runs outside mu_. Readers
+    // are already lock-free; this also unblocks Flush/GetStats/background
+    // work for the duration of the I/O.
+    lock.unlock();
+    s = wal->AddRecord(record, options_.sync_writes);
+    if (s.ok()) {
+      ApplyBatchRep(mem, Slice(group_rep), base_seq);
+      // Publish the group to readers only once every entry is in: readers
+      // cap their memtable visibility at applied_seq_, which keeps both
+      // batches and whole groups atomic under concurrent Get/Scan.
+      applied_seq_.store(base_seq + group_count - 1,
+                         std::memory_order_release);
+    }
+    lock.lock();
+    if (!s.ok() && bg_error_.ok()) {
+      // The WAL may now end in a partial frame; further appends would
+      // write beyond it and turn the next recovery into mid-log
+      // corruption.
+      bg_error_ = s;
+    }
+    write_groups_++;
+    grouped_writes_ += group_writers;
+  }
+
+  // Pop the group (leader included), report the shared status, promote
+  // the next leader.
+  for (;;) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != &w) {
+      ready->status = s;
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last_writer) break;
+  }
+  if (!writers_.empty()) {
+    writers_.front()->cv.notify_one();
+  } else {
+    cv_.notify_all();  // Flush()/Close() may be draining the queue
+  }
+  return s;
 }
 
 Status DB::Get(const ReadOptions& read_options, const Slice& key,
                std::string* value) {
-  std::vector<std::shared_ptr<Table>> candidates;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    // The live and immutable memtables hold the newest entries; a hit
-    // there is authoritative.
-    MemTable::GetResult r = mem_->Get(key, value);
+  // Never touches mu_: the view pins every structure the read needs, and
+  // applied_seq_ (loaded after the view, so it covers everything the view
+  // contains) hides half-applied write groups in the live memtable.
+  std::shared_ptr<const ReadView> view = CurrentView();
+  const uint64_t seq_limit = applied_seq_.load(std::memory_order_acquire);
+
+  // The live and immutable memtables hold the newest entries; a hit
+  // there is authoritative.
+  MemTable::GetResult r = view->mem->Get(key, value, nullptr, seq_limit);
+  if (r == MemTable::GetResult::kFound) return Status::OK();
+  if (r == MemTable::GetResult::kDeleted) return Status::NotFound();
+  if (view->imm != nullptr) {
+    // The immutable memtable is fully applied by construction (rotation
+    // only happens between write groups), so no seq cap is needed.
+    r = view->imm->Get(key, value);
     if (r == MemTable::GetResult::kFound) return Status::OK();
     if (r == MemTable::GetResult::kDeleted) return Status::NotFound();
-    if (imm_ != nullptr) {
-      r = imm_->Get(key, value);
-      if (r == MemTable::GetResult::kFound) return Status::OK();
-      if (r == MemTable::GetResult::kDeleted) return Status::NotFound();
-    }
-    candidates.reserve(tables_.size());
-    for (const auto& [number, table] : tables_) {
-      candidates.push_back(table);
-    }
   }
+  const std::vector<std::shared_ptr<Table>>& candidates = view->tables;
 
   // Search every table that may contain the key and keep the entry with
   // the highest sequence number: with size-tiered compaction, no total
@@ -412,14 +528,15 @@ Status DB::Scan(const ReadOptions& read_options, const Slice& start,
                 int count,
                 std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
-  // Scans run under the mutex: the memtable skip list is not safe to
-  // traverse concurrently with inserts. APM scans are short (tens of
-  // records), so the hold time is bounded.
-  std::lock_guard<std::mutex> lock(mu_);
+  // No mu_: the skip list supports concurrent traversal while the
+  // group-commit leader inserts, and the seq cap gives the whole scan one
+  // consistent point-in-time view — so scans no longer block writers.
+  std::shared_ptr<const ReadView> view = CurrentView();
+  const uint64_t seq_limit = applied_seq_.load(std::memory_order_acquire);
   std::vector<std::unique_ptr<Iterator>> children;
-  children.push_back(mem_->NewIterator());
-  if (imm_ != nullptr) children.push_back(imm_->NewIterator());
-  for (const auto& [number, table] : tables_) {
+  children.push_back(view->mem->NewIterator(seq_limit));
+  if (view->imm != nullptr) children.push_back(view->imm->NewIterator());
+  for (const auto& table : view->tables) {
     children.push_back(table->NewIterator(read_options));
   }
   auto iter = NewDedupIterator(NewMergingIterator(std::move(children)),
@@ -506,22 +623,30 @@ std::unique_ptr<Iterator> DB::NewSnapshotIterator(
   std::shared_ptr<MemTable> imm;
   std::vector<std::shared_ptr<Table>> tables;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Like Get/Scan: the view pins the structures and the seq cap fixes
+    // the point in time, without mu_.
+    std::shared_ptr<const ReadView> view = CurrentView();
+    const uint64_t seq_limit = applied_seq_.load(std::memory_order_acquire);
     // Freeze the live memtable by copying it (bounded by memtable_bytes).
+    // Entries arrive (key asc, seq desc), so keeping only the first
+    // version of each key collapses the multi-version history.
     std::vector<VectorIterator::Entry> frozen;
-    frozen.reserve(mem_->EntryCount());
-    auto mem_iter = mem_->NewIterator();
+    frozen.reserve(view->mem->EntryCount());
+    auto mem_iter = view->mem->NewIterator(seq_limit);
     for (mem_iter->SeekToFirst(); mem_iter->Valid(); mem_iter->Next()) {
+      if (!frozen.empty() && Slice(frozen.back().key) == mem_iter->key()) {
+        continue;  // older version of the key just captured
+      }
       frozen.push_back(VectorIterator::Entry{
           mem_iter->key().ToString(), mem_iter->value().ToString(),
           mem_iter->seq(), mem_iter->IsTombstone()});
     }
     children.push_back(std::make_unique<VectorIterator>(std::move(frozen)));
-    if (imm_ != nullptr) {
-      imm = imm_;
-      children.push_back(imm_->NewIterator());
+    if (view->imm != nullptr) {
+      imm = view->imm;
+      children.push_back(imm->NewIterator());
     }
-    for (const auto& [number, table] : tables_) {
+    for (const auto& table : view->tables) {
       tables.push_back(table);
       children.push_back(table->NewIterator(read_options));
     }
@@ -606,8 +731,11 @@ void DB::BackgroundThread() {
 }
 
 void DB::BackgroundFlush() {
-  // imm_ is immutable; safe to read without the mutex.
-  auto iter = imm_->NewIterator();
+  // imm_ is immutable; safe to read without the mutex. Dedup collapses
+  // the multi-version memtable into one entry per key (tombstones kept)
+  // so the SSTable invariant of unique, ordered keys holds.
+  auto iter = NewDedupIterator(imm_->NewIterator(),
+                               /*skip_tombstones=*/false);
   iter->SeekToFirst();
   std::vector<FileMeta> outputs;
   std::vector<uint64_t> numbers;
@@ -639,6 +767,7 @@ void DB::BackgroundFlush() {
   env_->RemoveFile(WalPath(imm_wal_number_));
   imm_.reset();
   num_flushes_++;
+  RefreshViewLocked();
 }
 
 uint64_t DB::MaxBytesForLevel(int level) const {
@@ -812,22 +941,37 @@ void DB::BackgroundCompact(const CompactionJob& job) {
     env_->RemoveFile(TablePath(meta.number));
   }
   num_compactions_++;
+  // Readers holding the old view keep the dropped tables alive through
+  // their shared_ptrs; new readers pick up the compacted set here.
+  RefreshViewLocked();
 }
 
 Status DB::Flush() {
   std::unique_lock<std::mutex> lock(mu_);
+  // A group leader may be applying to mem_ outside mu_; rotating under it
+  // would let those inserts land in a memtable already being flushed. The
+  // predicate checks the writer queue and the pending flush *together* —
+  // waiting on them one at a time would let a new leader slip in while we
+  // wait for imm_ to drain. (Leaders finish by popping their group under
+  // mu_ and notify cv_ when the queue empties.)
+  while (!writers_.empty() || imm_ != nullptr) {
+    if (!bg_error_.ok()) return bg_error_;
+    cv_.wait(lock);
+  }
   if (mem_->EntryCount() > 0) {
-    // Rotate even a partially full memtable.
-    while (imm_ != nullptr) {
-      if (!bg_error_.ok()) return bg_error_;
-      cv_.wait(lock);
-    }
+    // Rotate even a partially full memtable; mu_ is held from the waits
+    // above through the rotation, so no new leader can start meanwhile.
     uint64_t new_wal_number = versions_->NewFileNumber();
     std::unique_ptr<WritableFile> wal_file;
-    APM_RETURN_IF_ERROR(
-        env_->NewWritableFile(WalPath(new_wal_number), &wal_file));
-    if (options_.sync_writes) {
-      APM_RETURN_IF_ERROR(env_->SyncDir(options_.dir));
+    Status rotate_status =
+        env_->NewWritableFile(WalPath(new_wal_number), &wal_file);
+    if (rotate_status.ok() && options_.sync_writes) {
+      rotate_status = env_->SyncDir(options_.dir);
+    }
+    if (!rotate_status.ok()) {
+      // Fence half-rotated state, same as MakeRoomForWrite.
+      if (bg_error_.ok()) bg_error_ = rotate_status;
+      return rotate_status;
     }
     Status close_status = wal_->Close();
     if (!close_status.ok()) {
@@ -839,6 +983,7 @@ Status DB::Flush() {
     imm_wal_number_ = wal_number_;
     wal_number_ = new_wal_number;
     mem_ = std::make_shared<MemTable>();
+    RefreshViewLocked();
     cv_.notify_all();
   }
   while (imm_ != nullptr && bg_error_.ok()) {
@@ -925,6 +1070,9 @@ DB::Stats DB::GetStats() {
   stats.memtable_bytes = mem_->ApproximateBytes();
   stats.wal_dropped_bytes = wal_dropped_bytes_;
   stats.wal_replayed_records = wal_replayed_records_;
+  stats.write_groups = write_groups_;
+  stats.grouped_writes = grouped_writes_;
+  stats.pending_writers = writers_.size();
   for (int level = 0; level < versions_->NumLevels(); level++) {
     stats.files_per_level.push_back(versions_->NumFiles(level));
     stats.bytes_per_level.push_back(versions_->LevelBytes(level));

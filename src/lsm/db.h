@@ -1,8 +1,10 @@
 #ifndef APMBENCH_LSM_DB_H_
 #define APMBENCH_LSM_DB_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -51,6 +53,15 @@ class WriteBatch {
 /// leveled as in LevelDB/HBase major compactions).
 ///
 /// Thread-safety: all public methods are safe to call concurrently.
+/// Writers go through a LevelDB-style writer queue: concurrent
+/// Put/Delete/Write callers enqueue, one leader merges the queued batches
+/// into a single WAL record, performs the single append + fsync *outside*
+/// the mutex, applies the group to the memtable, and wakes the followers.
+/// Readers never take the writer mutex: Get/Scan/NewSnapshotIterator copy
+/// a published {mem, imm, tables} view (a pointer copy under a dedicated
+/// latch, never held across I/O) and filter the live memtable by the last
+/// fully applied sequence number, so scans no longer block writers and
+/// writes never block reads. See docs/concurrency.md.
 class DB {
  public:
   /// Counters exposed for tests, benchmarks, and calibration.
@@ -67,6 +78,14 @@ class DB {
     uint64_t wal_dropped_bytes = 0;
     /// Records replayed from WALs during the last recovery.
     uint64_t wal_replayed_records = 0;
+    /// Writer-queue group commits: `write_groups` counts leader rounds
+    /// (== WAL appends), `grouped_writes` counts the Put/Delete/Write
+    /// calls those rounds covered. grouped_writes > write_groups means
+    /// batching happened.
+    uint64_t write_groups = 0;
+    uint64_t grouped_writes = 0;
+    /// Writers currently queued (including any in-flight leader).
+    uint64_t pending_writers = 0;
     std::vector<int> files_per_level;
     std::vector<uint64_t> bytes_per_level;
   };
@@ -138,6 +157,25 @@ class DB {
     bool single_output = false;  // size-tiered merges a bucket into 1 table
   };
 
+  /// One queued writer; the front of `writers_` is the current leader.
+  struct Writer {
+    explicit Writer(const WriteBatch* b) : batch(b) {}
+    const WriteBatch* batch;
+    bool done = false;
+    Status status;
+    std::condition_variable cv;
+  };
+
+  /// A consistent, atomically published snapshot of the structures a read
+  /// needs. Readers load it without mu_; any rotation/flush/compaction
+  /// republishes it. shared_ptrs keep rotated memtables and compacted
+  /// tables alive for readers still holding an old view.
+  struct ReadView {
+    std::shared_ptr<MemTable> mem;
+    std::shared_ptr<MemTable> imm;  // null when none
+    std::vector<std::shared_ptr<Table>> tables;
+  };
+
   explicit DB(const Options& options);
 
   Status OpenImpl();
@@ -150,9 +188,23 @@ class DB {
   /// immutable (and the WAL) when full. Requires `lock` held.
   Status MakeRoomForWrite(std::unique_lock<std::mutex>* lock);
 
-  /// Appends one record to the live WAL; a failure is recorded in
-  /// bg_error_ so the engine refuses further writes. Requires mu_ held.
-  Status LogWalRecord(const std::string& record);
+  /// Checks that `batch.rep_` decodes cleanly and matches its count, so a
+  /// malformed batch is rejected before any sequence number is consumed or
+  /// WAL byte written.
+  static Status ValidateBatch(const WriteBatch& batch);
+
+  /// Decodes `rep` (a validated concatenation of batch ops) into `mem`
+  /// starting at `base_seq`. Called by the group leader without mu_.
+  static void ApplyBatchRep(MemTable* mem, const Slice& rep,
+                            uint64_t base_seq);
+
+  /// Republishes the reader view from mem_/imm_/tables_. Requires mu_.
+  void RefreshViewLocked();
+
+  /// Copies the current reader view under the view latch. Readers call
+  /// this instead of touching mu_; the latch is held only for the
+  /// shared_ptr copy, never across I/O or traversal.
+  std::shared_ptr<const ReadView> CurrentView() const;
 
   void BackgroundThread();
   /// Flushes imm_ to a level-0 table. Called on the background thread
@@ -176,6 +228,26 @@ class DB {
   std::mutex mu_;
   std::condition_variable cv_;
 
+  /// Writer queue for group commit (guarded by mu_). The leader stays at
+  /// the front until it pops its whole group, so at most one thread ever
+  /// appends to the WAL or inserts into mem_ at a time — that single
+  /// writer is what the skip list's reader-safety contract requires.
+  std::deque<Writer*> writers_;
+
+  /// Published reader snapshot; see ReadView. Guarded by its own latch
+  /// (not mu_) so readers copy the pointer without ever waiting on
+  /// writer I/O. A plain mutex rather than std::atomic<shared_ptr>:
+  /// libstdc++'s _Sp_atomic unlocks its internal spinlock with a relaxed
+  /// RMW, which is a formal data race (and a TSan report) between a
+  /// reader's pointer load and the next store.
+  mutable std::mutex view_mu_;
+  std::shared_ptr<const ReadView> view_;
+
+  /// Highest sequence number whose write group is fully applied to the
+  /// memtable. Readers filter the live memtable by it so half-applied
+  /// groups stay invisible and batches remain atomic.
+  std::atomic<uint64_t> applied_seq_{0};
+
   std::shared_ptr<MemTable> mem_;
   std::shared_ptr<MemTable> imm_;  // being flushed; null when none
   std::unique_ptr<LogWriter> wal_;
@@ -194,6 +266,8 @@ class DB {
 
   uint64_t wal_dropped_bytes_ = 0;
   uint64_t wal_replayed_records_ = 0;
+  uint64_t write_groups_ = 0;
+  uint64_t grouped_writes_ = 0;
   uint64_t num_flushes_ = 0;
   uint64_t num_compactions_ = 0;
   uint64_t compaction_bytes_read_ = 0;

@@ -10,52 +10,73 @@ constexpr size_t kEntryOverhead = 64;
 
 void MemTable::Put(const Slice& key, const Slice& value, uint64_t seq) {
   Entry entry;
-  entry.seq = seq;
   entry.tombstone = false;
   entry.value = value.ToString();
-  bytes_ += key.size() + value.size() + kEntryOverhead;
-  table_.Insert(key.ToString(), std::move(entry));
+  bytes_.fetch_add(key.size() + value.size() + kEntryOverhead,
+                   std::memory_order_relaxed);
+  table_.Insert(MemKey{key.ToString(), seq}, std::move(entry));
 }
 
 void MemTable::Delete(const Slice& key, uint64_t seq) {
   Entry entry;
-  entry.seq = seq;
   entry.tombstone = true;
-  bytes_ += key.size() + kEntryOverhead;
-  table_.Insert(key.ToString(), std::move(entry));
+  bytes_.fetch_add(key.size() + kEntryOverhead, std::memory_order_relaxed);
+  table_.Insert(MemKey{key.ToString(), seq}, std::move(entry));
 }
 
 MemTable::GetResult MemTable::Get(const Slice& key, std::string* value,
-                                  uint64_t* seq) const {
-  const Entry* entry = table_.Find(key.ToString());
-  if (entry == nullptr) return GetResult::kAbsent;
-  if (seq != nullptr) *seq = entry->seq;
-  if (entry->tombstone) return GetResult::kDeleted;
-  *value = entry->value;
+                                  uint64_t* seq, uint64_t seq_limit) const {
+  // The newest version with sequence <= seq_limit is the first entry at or
+  // after (key, seq_limit) in (key asc, seq desc) order.
+  Table::Iterator iter(&table_);
+  iter.Seek(MemKey{key.ToString(), seq_limit});
+  if (!iter.Valid() || Slice(iter.key().user_key).Compare(key) != 0) {
+    return GetResult::kAbsent;
+  }
+  const Entry& entry = iter.value();
+  if (seq != nullptr) *seq = iter.key().seq;
+  if (entry.tombstone) return GetResult::kDeleted;
+  *value = entry.value;
   return GetResult::kFound;
 }
 
 class MemTableIterator final : public Iterator {
  public:
-  explicit MemTableIterator(const MemTable::Table* table) : iter_(table) {}
+  MemTableIterator(const MemTable::Table* table, uint64_t seq_limit)
+      : iter_(table), seq_limit_(seq_limit) {}
 
   bool Valid() const override { return iter_.Valid(); }
-  void SeekToFirst() override { iter_.SeekToFirst(); }
-  void Seek(const Slice& target) override { iter_.Seek(target.ToString()); }
-  void Next() override { iter_.Next(); }
+  void SeekToFirst() override {
+    iter_.SeekToFirst();
+    SkipInvisible();
+  }
+  void Seek(const Slice& target) override {
+    // (target, kMaxSeq) sorts before every stored version of `target`.
+    iter_.Seek(MemTable::MemKey{target.ToString(), MemTable::kMaxSeq});
+    SkipInvisible();
+  }
+  void Next() override {
+    iter_.Next();
+    SkipInvisible();
+  }
 
-  Slice key() const override { return Slice(iter_.key()); }
+  Slice key() const override { return Slice(iter_.key().user_key); }
   Slice value() const override { return Slice(iter_.value().value); }
   bool IsTombstone() const override { return iter_.value().tombstone; }
-  uint64_t seq() const override { return iter_.value().seq; }
+  uint64_t seq() const override { return iter_.key().seq; }
   Status status() const override { return Status::OK(); }
 
  private:
+  void SkipInvisible() {
+    while (iter_.Valid() && iter_.key().seq > seq_limit_) iter_.Next();
+  }
+
   MemTable::Table::Iterator iter_;
+  const uint64_t seq_limit_;
 };
 
-std::unique_ptr<Iterator> MemTable::NewIterator() const {
-  return std::make_unique<MemTableIterator>(&table_);
+std::unique_ptr<Iterator> MemTable::NewIterator(uint64_t seq_limit) const {
+  return std::make_unique<MemTableIterator>(&table_, seq_limit);
 }
 
 }  // namespace apmbench::lsm

@@ -1,6 +1,7 @@
 #ifndef APMBENCH_LSM_MEMTABLE_H_
 #define APMBENCH_LSM_MEMTABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -12,12 +13,21 @@
 namespace apmbench::lsm {
 
 /// In-memory write buffer backed by a skip list, as in Cassandra's
-/// memtable / HBase's memstore. Stores at most one entry per user key
-/// (newest wins); deletions are tombstone entries so they shadow older
-/// SSTable data after a flush. Not internally synchronized — the DB
-/// serializes writers and uses an immutable handoff for flushes.
+/// memtable / HBase's memstore. Entries are keyed by (user key, sequence
+/// number descending), so every Put/Delete inserts a fresh node and
+/// nothing is ever overwritten in place — the LevelDB memtable layout.
+/// That makes the structure insert-only, which is what lets a single
+/// writer (the group-commit leader) apply entries while readers traverse
+/// the skip list lock-free: published nodes are immutable.
+///
+/// Deletions are tombstone entries so they shadow older SSTable data
+/// after a flush. Readers pass a `seq_limit` to see a consistent prefix
+/// of the write history (the DB uses its last fully applied sequence
+/// number, which keeps half-applied write groups invisible).
 class MemTable {
  public:
+  static constexpr uint64_t kMaxSeq = UINT64_MAX;
+
   MemTable() = default;
 
   MemTable(const MemTable&) = delete;
@@ -27,40 +37,56 @@ class MemTable {
   void Delete(const Slice& key, uint64_t seq);
 
   enum class GetResult { kFound, kDeleted, kAbsent };
-  /// Looks up `key`; on kFound, `*value` receives the stored value. `*seq`
-  /// (optional) receives the entry's write sequence number on any hit.
-  GetResult Get(const Slice& key, std::string* value,
-                uint64_t* seq = nullptr) const;
+  /// Looks up the newest version of `key` with sequence <= `seq_limit`;
+  /// on kFound, `*value` receives the stored value. `*seq` (optional)
+  /// receives the entry's write sequence number on any hit.
+  GetResult Get(const Slice& key, std::string* value, uint64_t* seq = nullptr,
+                uint64_t seq_limit = kMaxSeq) const;
 
   /// Approximate heap footprint of stored entries, used against
   /// Options::memtable_bytes.
-  size_t ApproximateBytes() const { return bytes_; }
+  size_t ApproximateBytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  /// Number of stored entries. With multi-versioning this counts every
+  /// version, not distinct user keys.
   size_t EntryCount() const { return table_.size(); }
 
-  /// Iterator over current contents. The MemTable must outlive it and must
-  /// not be mutated while the iterator is live (the DB guarantees this by
-  /// only iterating the immutable memtable or under its mutex).
-  std::unique_ptr<Iterator> NewIterator() const;
+  /// Iterator over entries with sequence <= `seq_limit`, in (key asc, seq
+  /// desc) order — a key with several versions appears newest-first, which
+  /// is exactly what DedupIterator expects. Safe to use concurrently with
+  /// the single writer; the MemTable must outlive it.
+  std::unique_ptr<Iterator> NewIterator(uint64_t seq_limit = kMaxSeq) const;
 
  private:
-  struct Entry {
+  struct MemKey {
+    std::string user_key;
     uint64_t seq = 0;
+  };
+
+  struct Entry {
     bool tombstone = false;
     std::string value;
   };
 
   struct KeyCompare {
-    int operator()(const std::string& a, const std::string& b) const {
-      return Slice(a).Compare(Slice(b));
+    int operator()(const MemKey& a, const MemKey& b) const {
+      int c = Slice(a.user_key).Compare(Slice(b.user_key));
+      if (c != 0) return c;
+      // Newer versions sort first so a seek to (key, limit) lands on the
+      // newest visible version.
+      if (a.seq > b.seq) return -1;
+      if (a.seq < b.seq) return 1;
+      return 0;
     }
   };
 
-  using Table = SkipList<std::string, Entry, KeyCompare>;
+  using Table = SkipList<MemKey, Entry, KeyCompare>;
 
   friend class MemTableIterator;
 
   Table table_;
-  size_t bytes_ = 0;
+  std::atomic<size_t> bytes_{0};
 };
 
 }  // namespace apmbench::lsm

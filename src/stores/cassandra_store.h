@@ -17,6 +17,10 @@ namespace apmbench::stores {
 /// this store does the same. Scans fan out to every node (the random
 /// partitioner gives no single-node key locality) and merge, as a
 /// Cassandra coordinator does for range slices.
+///
+/// Thread-safety: the adapter adds no locking — routing state is
+/// immutable after Open, and concurrency is handled by the LSM engine's
+/// writer queue and lock-free reads (see docs/concurrency.md).
 class CassandraStore final : public ycsb::DB {
  public:
   static Status Open(const StoreOptions& options,

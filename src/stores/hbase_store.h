@@ -19,6 +19,10 @@ namespace apmbench::stores {
 /// column family, qualifier, and timestamp. That per-cell schema is why
 /// the paper measured HBase at 7.5 GB per node for 700 MB of raw data
 /// (Figure 17). Ordered partitioning keeps scans region-local.
+///
+/// Thread-safety: the adapter adds no locking — the region map is
+/// immutable after Open, and concurrency is handled by the LSM engine's
+/// writer queue and lock-free reads (see docs/concurrency.md).
 class HBaseStore final : public ycsb::DB {
  public:
   static Status Open(const StoreOptions& options,

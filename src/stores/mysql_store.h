@@ -21,6 +21,10 @@ namespace apmbench::stores {
 /// the start key with *no LIMIT*, dragging the shard's whole tail;
 /// `StoreOptions::mysql_limit_scans` enables the fixed query for the
 /// ablation comparison.
+///
+/// Thread-safety: the adapter adds no locking — sharding is stateless,
+/// and concurrency is handled by the B+tree's reader/writer lock and
+/// group-committed binlog (see docs/concurrency.md).
 class MySQLStore final : public ycsb::DB {
  public:
   static Status Open(const StoreOptions& options,

@@ -16,6 +16,10 @@ namespace apmbench::stores {
 /// by the Jedis ring — the exact deployment the paper ran after the Redis
 /// cluster version proved unusable. The Jedis ring's imbalance is visible
 /// through `ring().OwnershipShares()`.
+///
+/// Thread-safety: the adapter adds no locking — the shard ring is
+/// immutable after Open, and concurrency is handled by HashKV's
+/// reader/writer lock and group-committed AOF (see docs/concurrency.md).
 class RedisStore final : public ycsb::DB {
  public:
   static Status Open(const StoreOptions& options,

@@ -17,6 +17,11 @@ namespace apmbench::stores {
 /// Scans return NotSupported: the Voldemort YCSB client has no scan
 /// operation, which is why the paper omits Voldemort from workloads RS
 /// and RSW.
+///
+/// Thread-safety: the adapter adds no locking — the partition ring is
+/// immutable after Open, and concurrency is handled by the B+tree's
+/// reader/writer lock and group-committed binlog (see
+/// docs/concurrency.md).
 class VoldemortStore final : public ycsb::DB {
  public:
   static Status Open(const StoreOptions& options,

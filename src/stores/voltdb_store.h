@@ -14,6 +14,10 @@ namespace apmbench::stores {
 /// Reads, writes, and deletes are single-partition stored procedures;
 /// scans are multi-partition transactions. The store is in-memory only,
 /// as the paper ran it (no snapshot/command-log configured).
+///
+/// Thread-safety: the adapter adds no locking — concurrency is handled by
+/// the engine's lock-free per-partition submission queues (see
+/// docs/concurrency.md).
 class VoltDBStore final : public ycsb::DB {
  public:
   static Status Open(const StoreOptions& options,

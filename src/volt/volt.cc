@@ -9,49 +9,75 @@
 
 namespace apmbench::volt {
 
-VoltEngine::Site::Site() : thread_(&Site::Loop, this) {}
+VoltEngine::Site::Site() {
+  Task* stub = new Task();
+  head_.store(stub, std::memory_order_relaxed);
+  tail_ = stub;
+  thread_ = std::thread(&Site::Loop, this);
+}
 
 VoltEngine::Site::~Site() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-    cv_.notify_all();
-  }
+  stop_.store(true, std::memory_order_release);
+  signal_.fetch_add(1, std::memory_order_release);
+  signal_.notify_one();
   if (thread_.joinable()) thread_.join();
+  // The loop drained the queue before exiting; free the last dummy node.
+  delete tail_;
+}
+
+void VoltEngine::Site::Push(Task* task) {
+  // Vyukov MPSC push: claim the head slot, then link the previous node to
+  // us. Between the exchange and the store the chain has a gap the
+  // consumer reads as "empty"; the signal bump below closes the race.
+  Task* prev = head_.exchange(task, std::memory_order_acq_rel);
+  prev->next.store(task, std::memory_order_release);
+}
+
+bool VoltEngine::Site::Pop(std::function<void()>* work) {
+  Task* tail = tail_;
+  Task* next = tail->next.load(std::memory_order_acquire);
+  if (next == nullptr) return false;
+  *work = std::move(next->work);
+  // `next` becomes the new dummy node; the old one is fully ours.
+  tail_ = next;
+  delete tail;
+  return true;
 }
 
 void VoltEngine::Site::Submit(std::function<void()> work) {
-  std::lock_guard<std::mutex> lock(mu_);
-  queue_.push_back(std::move(work));
-  cv_.notify_all();
+  Task* task = new Task();
+  task->work = std::move(work);
+  Push(task);
+  signal_.fetch_add(1, std::memory_order_release);
+  signal_.notify_one();
 }
 
 void VoltEngine::Site::Execute(const std::function<void()>& work) {
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  bool done = false;
-  Submit([&]() {
+  std::atomic<bool> done{false};
+  Submit([&work, &done]() {
     work();
-    std::lock_guard<std::mutex> lock(done_mu);
-    done = true;
-    done_cv.notify_all();
+    done.store(true, std::memory_order_release);
+    done.notify_one();
   });
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done; });
+  done.wait(false, std::memory_order_acquire);
 }
 
 void VoltEngine::Site::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::function<void()> work;
   for (;;) {
-    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-    if (queue_.empty() && stop_) return;
-    while (!queue_.empty()) {
-      std::function<void()> work = std::move(queue_.front());
-      queue_.pop_front();
-      lock.unlock();
+    // Read the eventcount before scanning the queue: a producer bumps it
+    // only after its node is linked, so either we see the node now or the
+    // count moves past `seq` and wait() returns immediately.
+    const uint64_t seq = signal_.load(std::memory_order_acquire);
+    bool ran = false;
+    while (Pop(&work)) {
       work();
-      lock.lock();
+      work = nullptr;
+      ran = true;
     }
+    if (ran) continue;
+    if (stop_.load(std::memory_order_acquire)) return;
+    signal_.wait(seq, std::memory_order_acquire);
   }
 }
 
@@ -104,16 +130,13 @@ Status VoltEngine::Recover() {
   std::unique_ptr<WritableFile> log;
   APM_RETURN_IF_ERROR(
       env->NewAppendableFile(options_.command_log_path, &log));
-  std::lock_guard<std::mutex> lock(log_mu_);
-  command_log_ = std::move(log);
+  command_log_ = std::make_unique<GroupCommitLog>(std::move(log));
   return Status::OK();
 }
 
 Status VoltEngine::LogCommand(uint8_t op, const Slice& key,
                               const Slice& value) {
-  if (recovering_) return Status::OK();
-  std::lock_guard<std::mutex> lock(log_mu_);
-  if (command_log_ == nullptr) return Status::OK();
+  if (recovering_ || command_log_ == nullptr) return Status::OK();
   std::string payload;
   payload.push_back(static_cast<char>(op));
   PutLengthPrefixedSlice(&payload, key);
@@ -122,9 +145,10 @@ Status VoltEngine::LogCommand(uint8_t op, const Slice& key,
   PutFixed32(&framed, MaskCrc(Crc32c(payload.data(), payload.size())));
   PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
   framed.append(payload);
-  APM_RETURN_IF_ERROR(command_log_->Append(framed));
-  if (options_.sync_command_log) return command_log_->Sync();
-  return command_log_->Flush();
+  // Concurrent transactions' records share one write (and one fsync in
+  // synchronous mode) via group commit; VoltDB's command log batches the
+  // same way.
+  return command_log_->Append(framed, options_.sync_command_log);
 }
 
 VoltEngine::~VoltEngine() = default;

@@ -2,19 +2,17 @@
 #define APMBENCH_VOLT_VOLT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/env.h"
+#include "common/group_commit.h"
 #include "common/slice.h"
 #include "common/status.h"
 
@@ -39,6 +37,13 @@ struct Options {
 /// site; scans are multi-partition transactions that fence every site, the
 /// behavior that makes them expensive — and that makes the synchronous
 /// YCSB client scale poorly, as the paper observed.
+///
+/// Thread-safety: all public methods are safe to call concurrently (after
+/// Recover() returns). Partitions stay serial by design, but submission is
+/// lock-free: each site has a Vyukov-style MPSC queue, so concurrent
+/// clients enqueue with one atomic exchange instead of contending on a
+/// mutex, and the site thread sleeps on a C++20 atomic wait when idle.
+/// Command-log appends from concurrent transactions are group-committed.
 class VoltEngine {
  public:
   struct Stats {
@@ -75,28 +80,53 @@ class VoltEngine {
   Stats GetStats();
 
  private:
-  /// One single-threaded execution site.
+  /// One single-threaded execution site. Producers hand work over through
+  /// a lock-free multi-producer/single-consumer linked queue (Vyukov's
+  /// design: push is one exchange + one store, never a lock, never a
+  /// wait); the site thread is the only consumer and parks on an
+  /// atomic-wait eventcount when the queue runs dry.
   class Site {
    public:
     Site();
+    /// Joins the site thread. Callers must not Submit concurrently with
+    /// destruction (the engine's sites outlive every client call).
     ~Site();
 
     /// Enqueues `work` and returns immediately; work items run serially
-    /// in submission order.
+    /// in submission order. Lock-free.
     void Submit(std::function<void()> work);
-    /// Enqueues `work` and blocks until it has run.
+    /// Enqueues `work` and blocks until it has run (atomic wait/notify,
+    /// no mutex/condvar handshake).
     void Execute(const std::function<void()>& work);
 
     /// Single-threaded table with a primary-key tree index.
     std::map<std::string, std::string, std::less<>> rows;
 
    private:
+    struct Task {
+      std::function<void()> work;
+      std::atomic<Task*> next{nullptr};
+    };
+
+    void Push(Task* task);
+    /// Consumer only: moves the next task's work into `*work`. Returns
+    /// false when the queue looks empty (including the transient window
+    /// where a producer has swung head_ but not yet linked its node; that
+    /// producer's signal bump re-wakes the consumer afterwards).
+    bool Pop(std::function<void()>* work);
     void Loop();
 
-    std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
-    bool stop_ = false;
+    /// Producers push here; tail_ is touched only by the site thread. The
+    /// queue always holds one dummy node (the current tail) so producers
+    /// never contend with the consumer on the same pointer.
+    std::atomic<Task*> head_;
+    Task* tail_;
+
+    /// Eventcount: bumped after every push; the consumer re-reads it
+    /// before sleeping so a wakeup between "queue empty" and "wait" is
+    /// never lost.
+    std::atomic<uint64_t> signal_{0};
+    std::atomic<bool> stop_{false};
     std::thread thread_;
   };
 
@@ -104,8 +134,7 @@ class VoltEngine {
 
   Options options_;
   std::vector<std::unique_ptr<Site>> sites_;
-  std::mutex log_mu_;
-  std::unique_ptr<WritableFile> command_log_;
+  std::unique_ptr<GroupCommitLog> command_log_;
   bool recovering_ = false;
   std::atomic<uint64_t> single_partition_txns_{0};
   std::atomic<uint64_t> multi_partition_txns_{0};

@@ -43,7 +43,15 @@ TEST(MemTableTest, OverwriteKeepsLatest) {
   std::string value;
   EXPECT_EQ(mem.Get("k", &value), MemTable::GetResult::kFound);
   EXPECT_EQ(value, "v2");
-  EXPECT_EQ(mem.EntryCount(), 1u);
+  // The memtable is multi-version (insert-only so readers can run
+  // lock-free against the writer): both versions are stored, the newest
+  // wins on read, and older versions are visible at lower seq limits.
+  EXPECT_EQ(mem.EntryCount(), 2u);
+  EXPECT_EQ(mem.Get("k", &value, nullptr, /*seq_limit=*/1),
+            MemTable::GetResult::kFound);
+  EXPECT_EQ(value, "v1");
+  EXPECT_EQ(mem.Get("k", &value, nullptr, /*seq_limit=*/0),
+            MemTable::GetResult::kAbsent);
 }
 
 TEST(MemTableTest, IteratorOrderedWithSeqs) {

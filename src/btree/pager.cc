@@ -1,7 +1,9 @@
 #include "btree/pager.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "common/cache.h"
 #include "common/coding.h"
 #include "common/logging.h"
 
@@ -25,9 +27,28 @@ void Pager::PageHandle::Release() {
 
 Pager::Pager(const PagerOptions& options) : options_(options) {
   env_ = options_.env != nullptr ? options_.env : Env::Default();
+  shard_bits_ = std::max(0, std::min(options_.pool_shard_bits, 8));
   size_t frame_count = options_.buffer_pool_bytes / options_.page_size;
   if (frame_count < 8) frame_count = 8;
-  frames_.resize(frame_count);
+  // Every shard needs enough frames to pin a root-to-leaf path; drop
+  // shards for tiny pools instead of inflating the configured capacity
+  // (InnoDB likewise ignores buffer_pool_instances for small pools).
+  while (shard_bits_ > 0 && (frame_count >> shard_bits_) < 8) {
+    shard_bits_--;
+  }
+  size_t num_shards = size_t{1} << shard_bits_;
+  size_t frames_per_shard = std::max<size_t>(8, frame_count / num_shards);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; i++) {
+    auto shard = std::make_unique<Shard>();
+    shard->frames.resize(frames_per_shard);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Pager::Shard& Pager::ShardFor(uint32_t page_id) {
+  uint32_t hash = CacheKeyHash(/*owner=*/page_id, /*offset=*/0);
+  return *shards_[CacheShardOf(hash, shard_bits_)];
 }
 
 Pager::~Pager() {
@@ -109,37 +130,36 @@ Status Pager::WritePageToDisk(uint32_t page_id, const char* data) {
                       Slice(data, options_.page_size));
 }
 
-void Pager::TouchLru(size_t frame_index) {
-  Frame& frame = frames_[frame_index];
+void Pager::TouchLru(Shard* shard, size_t frame_index) {
+  Frame& frame = shard->frames[frame_index];
   if (frame.in_lru) {
-    lru_.splice(lru_.begin(), lru_, frame.lru_it);
+    shard->lru.splice(shard->lru.begin(), shard->lru, frame.lru_it);
   } else {
-    lru_.push_front(frame_index);
-    frame.lru_it = lru_.begin();
+    shard->lru.push_front(frame_index);
+    frame.lru_it = shard->lru.begin();
     frame.in_lru = true;
   }
 }
 
-Status Pager::GetFreeFrame(size_t* frame_index) {
-  // First look for a frame that has never been used.
-  for (size_t i = 0; i < frames_.size(); i++) {
-    if (frames_[i].data == nullptr) {
-      frames_[i].data = std::make_unique<char[]>(options_.page_size);
-      *frame_index = i;
-      return Status::OK();
-    }
+Status Pager::GetFreeFrame(Shard* shard, size_t* frame_index) {
+  // First hand out a frame that has never been used.
+  if (shard->next_unused < shard->frames.size()) {
+    size_t index = shard->next_unused++;
+    shard->frames[index].data = std::make_unique<char[]>(options_.page_size);
+    *frame_index = index;
+    return Status::OK();
   }
   // Evict the least recently used unpinned page.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+  for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
     size_t index = *it;
-    Frame& frame = frames_[index];
+    Frame& frame = shard->frames[index];
     if (frame.pins > 0) continue;
     if (frame.dirty) {
       APM_RETURN_IF_ERROR(WritePageToDisk(frame.page_id, frame.data.get()));
       frame.dirty = false;
     }
-    page_table_.erase(frame.page_id);
-    lru_.erase(frame.lru_it);
+    shard->page_table.erase(frame.page_id);
+    shard->lru.erase(frame.lru_it);
     frame.in_lru = false;
     *frame_index = index;
     return Status::OK();
@@ -148,69 +168,78 @@ Status Pager::GetFreeFrame(size_t* frame_index) {
 }
 
 Status Pager::FetchPage(uint32_t page_id, PageHandle* handle) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    hits_++;
-    Frame& frame = frames_[it->second];
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_table.find(page_id);
+  if (it != shard.page_table.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    Frame& frame = shard.frames[it->second];
     frame.pins++;
-    TouchLru(it->second);
+    TouchLru(&shard, it->second);
     *handle = PageHandle(this, page_id, frame.data.get());
     return Status::OK();
   }
-  misses_++;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   size_t index;
-  APM_RETURN_IF_ERROR(GetFreeFrame(&index));
-  Frame& frame = frames_[index];
+  APM_RETURN_IF_ERROR(GetFreeFrame(&shard, &index));
+  Frame& frame = shard.frames[index];
   APM_RETURN_IF_ERROR(ReadPageFromDisk(page_id, frame.data.get()));
   frame.page_id = page_id;
   frame.dirty = false;
   frame.pins = 1;
-  page_table_[page_id] = index;
-  TouchLru(index);
+  shard.page_table[page_id] = index;
+  TouchLru(&shard, index);
   *handle = PageHandle(this, page_id, frame.data.get());
   return Status::OK();
 }
 
 Status Pager::NewPage(uint32_t* page_id, PageHandle* handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // page_count_ / meta_dirty_ are guarded by the BTree's exclusive lock
+  // (NewPage is only reachable from mutators); only the frame bookkeeping
+  // needs the shard mutex.
   *page_id = page_count_++;
   meta_dirty_ = true;
+  Shard& shard = ShardFor(*page_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
   size_t index;
-  APM_RETURN_IF_ERROR(GetFreeFrame(&index));
-  Frame& frame = frames_[index];
+  APM_RETURN_IF_ERROR(GetFreeFrame(&shard, &index));
+  Frame& frame = shard.frames[index];
   memset(frame.data.get(), 0, options_.page_size);
   frame.page_id = *page_id;
   frame.dirty = true;
   frame.pins = 1;
-  page_table_[*page_id] = index;
-  TouchLru(index);
+  shard.page_table[*page_id] = index;
+  TouchLru(&shard, index);
   *handle = PageHandle(this, *page_id, frame.data.get());
   return Status::OK();
 }
 
 void Pager::Unpin(uint32_t page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it == page_table_.end()) return;
-  Frame& frame = frames_[it->second];
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_table.find(page_id);
+  if (it == shard.page_table.end()) return;
+  Frame& frame = shard.frames[it->second];
   APM_CHECK(frame.pins > 0);
   frame.pins--;
 }
 
 void Pager::SetDirty(uint32_t page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it == page_table_.end()) return;
-  frames_[it->second].dirty = true;
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_table.find(page_id);
+  if (it == shard.page_table.end()) return;
+  shard.frames[it->second].dirty = true;
 }
 
 Status Pager::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (Frame& frame : frames_) {
-    if (frame.data != nullptr && frame.dirty) {
-      APM_RETURN_IF_ERROR(WritePageToDisk(frame.page_id, frame.data.get()));
-      frame.dirty = false;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (Frame& frame : shard->frames) {
+      if (frame.data != nullptr && frame.dirty) {
+        APM_RETURN_IF_ERROR(WritePageToDisk(frame.page_id, frame.data.get()));
+        frame.dirty = false;
+      }
     }
   }
   if (meta_dirty_) {

@@ -1,6 +1,7 @@
 #ifndef APMBENCH_BTREE_PAGER_H_
 #define APMBENCH_BTREE_PAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -22,20 +23,29 @@ struct PagerOptions {
   /// Buffer pool capacity; InnoDB's central tuning knob, sized to the
   /// machine's memory in the paper's MySQL setup.
   size_t buffer_pool_bytes = 32 * 1024 * 1024;
+  /// log2 of the number of buffer-pool shards (InnoDB's
+  /// innodb_buffer_pool_instances analogue). Pages hash to a shard, each
+  /// with its own mutex, frame array, page table, and LRU list, so
+  /// concurrent readers on different pages rarely contend. Clamped to
+  /// [0, 8].
+  int pool_shard_bits = 4;
 };
 
-/// Page file + LRU buffer pool. Page 0 is the metadata page (magic, page
-/// size, page count, root page id); pages are fetched into pinned frames
-/// and written back on eviction or checkpoint.
+/// Page file + sharded LRU buffer pool. Page 0 is the metadata page
+/// (magic, page size, page count, root page id); pages are fetched into
+/// pinned frames and written back on eviction or checkpoint.
 ///
-/// Thread-safety: pool bookkeeping (page table, LRU, pins, hit counters)
-/// has an internal mutex, so concurrent *readers* of the owning BTree can
-/// fetch pages in parallel — that mutex is held only for the lookup /
-/// eviction, never while callers use the page data. Page *contents* and
-/// the meta fields (root, page count, user counter) are protected by the
-/// BTree's reader/writer lock: mutators hold it exclusively, so a pinned
-/// page is immutable while shared-lock readers look at it. Eviction only
-/// touches unpinned frames, so it never writes a page a reader is using.
+/// Thread-safety: pool bookkeeping (page table, LRU, pins) is sharded by
+/// page-id hash — the same shard map as common/cache.h — with one mutex
+/// per shard, so concurrent *readers* of the owning BTree fetch pages in
+/// parallel and only collide when two pages land in the same shard. A
+/// shard's mutex is held only for the lookup / eviction, never while
+/// callers use the page data; hit/miss counters are atomics. Page
+/// *contents* and the meta fields (root, page count, user counter) are
+/// protected by the BTree's reader/writer lock: mutators hold it
+/// exclusively, so a pinned page is immutable while shared-lock readers
+/// look at it. Eviction only touches unpinned frames, so it never writes
+/// a page a reader is using.
 class Pager {
  public:
   static constexpr uint32_t kMetaPage = 0;
@@ -84,7 +94,8 @@ class Pager {
   };
 
   Status FetchPage(uint32_t page_id, PageHandle* handle);
-  /// Allocates a fresh page at the end of the file.
+  /// Allocates a fresh page at the end of the file. Writer-side only
+  /// (callers hold the BTree's exclusive lock, which guards page_count_).
   Status NewPage(uint32_t* page_id, PageHandle* handle);
 
   /// Writes all dirty pages (and the meta page) to disk and syncs.
@@ -107,14 +118,13 @@ class Pager {
   }
   uint32_t page_count() const { return page_count_; }
   size_t page_size() const { return options_.page_size; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
   uint64_t pool_hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return hits_;
+    return hits_.load(std::memory_order_relaxed);
   }
   uint64_t pool_misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return misses_;
+    return misses_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -127,38 +137,47 @@ class Pager {
     bool in_lru = false;
   };
 
+  /// One buffer-pool instance: frames, page table, and LRU list under a
+  /// private mutex. Pages map to shards by hashed page id.
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Frame> frames;
+    size_t next_unused = 0;  // frames[0..next_unused) have been allocated
+    std::unordered_map<uint32_t, size_t> page_table;
+    std::list<size_t> lru;  // frame indices, front = most recent
+  };
+
   explicit Pager(const PagerOptions& options);
+
+  Shard& ShardFor(uint32_t page_id);
 
   Status LoadMeta();
   Status WriteMeta();
   Status ReadPageFromDisk(uint32_t page_id, char* data);
   Status WritePageToDisk(uint32_t page_id, const char* data);
-  /// Finds a reusable frame, evicting the LRU unpinned page if needed.
-  Status GetFreeFrame(size_t* frame_index);
+  /// Finds a reusable frame in `shard`, evicting the LRU unpinned page if
+  /// needed. Called with the shard mutex held.
+  Status GetFreeFrame(Shard* shard, size_t* frame_index);
   void Unpin(uint32_t page_id);
   void SetDirty(uint32_t page_id);
-  void TouchLru(size_t frame_index);
+  static void TouchLru(Shard* shard, size_t frame_index);
 
   PagerOptions options_;
   Env* env_ = nullptr;
   std::unique_ptr<RandomRWFile> file_;
 
-  /// Guards frames_, page_table_, lru_, hits_, misses_ (the structures
-  /// concurrent readers race on). Meta fields are writer-side state
-  /// guarded by the owning BTree's exclusive lock.
-  mutable std::mutex mu_;
+  int shard_bits_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::vector<Frame> frames_;
-  std::unordered_map<uint32_t, size_t> page_table_;
-  std::list<size_t> lru_;  // frame indices, front = most recent
-
+  /// Meta fields are writer-side state guarded by the owning BTree's
+  /// exclusive lock, not by any shard mutex.
   uint32_t page_count_ = 1;  // page 0 is meta
   uint32_t root_ = 0;        // 0 = empty tree
   uint64_t user_counter_ = 0;
   bool meta_dirty_ = true;
 
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace apmbench::btree

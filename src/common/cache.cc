@@ -1,0 +1,281 @@
+#include "common/cache.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+namespace apmbench {
+
+uint32_t CacheKeyHash(uint64_t owner, uint64_t offset) {
+  // splitmix64 finalizer over the combined key; the top bits (used for
+  // shard selection) are as well-mixed as the bottom bits (used for the
+  // per-shard hash table).
+  uint64_t x = owner * 0x9e3779b97f4a7c15ULL ^ offset;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<uint32_t>(x >> 32);
+}
+
+/// An entry in the cache. Doubly linked on exactly one of the shard's two
+/// circular lists (lru_: refs == 1, evictable; in_use_: refs >= 2,
+/// pinned) while in_cache, and always on its owner's list. `refs` counts
+/// the cache's own reference (while in_cache) plus one per outstanding
+/// handle.
+struct ShardedLRUCache::Handle {
+  uint64_t owner;
+  uint64_t offset;
+  void* value;
+  Deleter deleter;
+  size_t charge;
+  uint32_t hash;
+  uint32_t refs;
+  bool in_cache;
+  Handle* next;
+  Handle* prev;
+  Handle* owner_next;
+  Handle* owner_prev;
+};
+
+struct ShardedLRUCache::Shard {
+  struct Key {
+    uint64_t owner;
+    uint64_t offset;
+    bool operator==(const Key& o) const {
+      return owner == o.owner && offset == o.offset;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return CacheKeyHash(k.owner, k.offset);
+    }
+  };
+  /// Dummy head of a circular doubly linked list of owner entries.
+  struct OwnerList {
+    Handle head;
+    OwnerList() {
+      head.owner_next = &head;
+      head.owner_prev = &head;
+    }
+  };
+
+  std::mutex mu;
+  size_t capacity = 0;
+  size_t usage = 0;
+  Handle lru;     // dummy head; lru.next is oldest
+  Handle in_use;  // dummy head; order irrelevant
+  std::unordered_map<Key, Handle*, KeyHash> table;
+  std::unordered_map<uint64_t, OwnerList> owners;
+
+  Shard() {
+    lru.next = &lru;
+    lru.prev = &lru;
+    in_use.next = &in_use;
+    in_use.prev = &in_use;
+  }
+
+  static void ListRemove(Handle* e) {
+    e->next->prev = e->prev;
+    e->prev->next = e->next;
+  }
+  static void ListAppend(Handle* list, Handle* e) {
+    // Make e the newest entry (list->prev side).
+    e->next = list;
+    e->prev = list->prev;
+    e->prev->next = e;
+    e->next->prev = e;
+  }
+
+  void OwnerListAdd(Handle* e) {
+    Handle* head = &owners[e->owner].head;
+    e->owner_next = head->owner_next;
+    e->owner_prev = head;
+    e->owner_next->owner_prev = e;
+    head->owner_next = e;
+  }
+  void OwnerListRemove(Handle* e) {
+    e->owner_next->owner_prev = e->owner_prev;
+    e->owner_prev->owner_next = e->owner_next;
+    Handle* head = &owners[e->owner].head;
+    if (head->owner_next == head) owners.erase(e->owner);
+  }
+
+  /// Drops one reference. Requires mu held; the deleter runs under the
+  /// lock (values are plain buffers; deleters never re-enter the cache).
+  void Unref(Handle* e) {
+    assert(e->refs > 0);
+    e->refs--;
+    if (e->refs == 0) {
+      assert(!e->in_cache);
+      (*e->deleter)(e->value);
+      delete e;
+    } else if (e->in_cache && e->refs == 1) {
+      // No outstanding handles: back onto the LRU list, evictable again.
+      ListRemove(e);
+      ListAppend(&lru, e);
+    }
+  }
+
+  void Ref(Handle* e) {
+    if (e->in_cache && e->refs == 1) {
+      // Becomes pinned: off the LRU list so eviction cannot touch it.
+      ListRemove(e);
+      ListAppend(&in_use, e);
+    }
+    e->refs++;
+  }
+
+  /// Detaches `e` from the cache (table entry already removed by the
+  /// caller). Requires mu held.
+  void FinishErase(Handle* e) {
+    assert(e->in_cache);
+    e->in_cache = false;
+    ListRemove(e);
+    OwnerListRemove(e);
+    usage -= e->charge;
+    Unref(e);
+  }
+};
+
+ShardedLRUCache::ShardedLRUCache(size_t capacity_bytes, int shard_bits)
+    : capacity_(capacity_bytes),
+      shard_bits_(shard_bits < 0 ? 0 : (shard_bits > 8 ? 8 : shard_bits)),
+      num_shards_(1 << shard_bits_),
+      shards_(new Shard[static_cast<size_t>(num_shards_)]) {
+  // Round the per-shard budget up so the total is never below the
+  // requested capacity.
+  const size_t per_shard =
+      (capacity_bytes + static_cast<size_t>(num_shards_) - 1) /
+      static_cast<size_t>(num_shards_);
+  for (int i = 0; i < num_shards_; i++) shards_[i].capacity = per_shard;
+}
+
+ShardedLRUCache::~ShardedLRUCache() {
+  for (int i = 0; i < num_shards_; i++) {
+    Shard& shard = shards_[i];
+    assert(shard.in_use.next == &shard.in_use);  // no outstanding handles
+    for (Handle* e = shard.lru.next; e != &shard.lru;) {
+      Handle* next = e->next;
+      assert(e->in_cache && e->refs == 1);
+      (*e->deleter)(e->value);
+      delete e;
+      e = next;
+    }
+  }
+}
+
+ShardedLRUCache::Shard* ShardedLRUCache::ShardFor(uint32_t hash) const {
+  return &shards_[shard_bits_ == 0 ? 0 : CacheShardOf(hash, shard_bits_)];
+}
+
+ShardedLRUCache::Handle* ShardedLRUCache::Insert(uint64_t owner,
+                                                 uint64_t offset, void* value,
+                                                 size_t charge,
+                                                 Deleter deleter) {
+  const uint32_t hash = CacheKeyHash(owner, offset);
+  Shard* shard = ShardFor(hash);
+
+  Handle* e = new Handle();
+  e->owner = owner;
+  e->offset = offset;
+  e->value = value;
+  e->deleter = deleter;
+  e->charge = charge;
+  e->hash = hash;
+  e->refs = 1;  // the returned handle
+  e->in_cache = false;
+
+  std::lock_guard<std::mutex> lock(shard->mu);
+  if (shard->capacity > 0) {
+    e->refs++;  // the cache's reference
+    e->in_cache = true;
+    Shard::ListAppend(&shard->in_use, e);  // pinned until released
+    shard->OwnerListAdd(e);
+    shard->usage += charge;
+    auto it = shard->table.find(Shard::Key{owner, offset});
+    if (it != shard->table.end()) {
+      Handle* old = it->second;
+      it->second = e;
+      shard->FinishErase(old);
+    } else {
+      shard->table[Shard::Key{owner, offset}] = e;
+    }
+  }
+  // else: capacity 0 — hand the caller a pinned, uncached entry; the
+  // deleter runs on Release.
+
+  while (shard->usage > shard->capacity && shard->lru.next != &shard->lru) {
+    Handle* victim = shard->lru.next;  // oldest
+    assert(victim->refs == 1);
+    shard->table.erase(Shard::Key{victim->owner, victim->offset});
+    shard->FinishErase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return e;
+}
+
+ShardedLRUCache::Handle* ShardedLRUCache::Lookup(uint64_t owner,
+                                                 uint64_t offset) {
+  Shard* shard = ShardFor(CacheKeyHash(owner, offset));
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->table.find(Shard::Key{owner, offset});
+  if (it == shard->table.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard->Ref(it->second);
+  return it->second;
+}
+
+void ShardedLRUCache::Release(Handle* handle) {
+  if (handle == nullptr) return;
+  Shard* shard = ShardFor(handle->hash);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->Unref(handle);
+}
+
+void* ShardedLRUCache::Value(Handle* handle) { return handle->value; }
+
+void ShardedLRUCache::Erase(uint64_t owner, uint64_t offset) {
+  Shard* shard = ShardFor(CacheKeyHash(owner, offset));
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->table.find(Shard::Key{owner, offset});
+  if (it == shard->table.end()) return;
+  Handle* e = it->second;
+  shard->table.erase(it);
+  shard->FinishErase(e);
+}
+
+void ShardedLRUCache::EvictOwner(uint64_t owner) {
+  for (int i = 0; i < num_shards_; i++) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.owners.find(owner);
+    if (it == shard.owners.end()) continue;
+    // Collect first: FinishErase unlinks entries from this very list and
+    // frees the list head when it empties.
+    std::vector<Handle*> victims;
+    for (Handle* e = it->second.head.owner_next; e != &it->second.head;
+         e = e->owner_next) {
+      victims.push_back(e);
+    }
+    for (Handle* e : victims) {
+      shard.table.erase(Shard::Key{e->owner, e->offset});
+      shard.FinishErase(e);
+    }
+  }
+}
+
+size_t ShardedLRUCache::charge() const {
+  size_t total = 0;
+  for (int i = 0; i < num_shards_; i++) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].usage;
+  }
+  return total;
+}
+
+}  // namespace apmbench

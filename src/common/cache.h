@@ -1,0 +1,118 @@
+#ifndef APMBENCH_COMMON_CACHE_H_
+#define APMBENCH_COMMON_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace apmbench {
+
+/// Returns a well-mixed 32-bit hash of a (owner, offset) cache key. The
+/// same mix is shared by ShardedLRUCache and by the B+tree buffer pool's
+/// sharded frame index, so both layers spread keys across shards the same
+/// way.
+uint32_t CacheKeyHash(uint64_t owner, uint64_t offset);
+
+/// Maps a CacheKeyHash value to a shard in [0, 2^shard_bits).
+inline uint32_t CacheShardOf(uint32_t hash, int shard_bits) {
+  // Shifting by the full width is undefined, so bits == 0 (a single
+  // shard) is its own case.
+  return shard_bits == 0 ? 0 : hash >> (32 - shard_bits);
+}
+
+/// Default shard count (16 shards), matching LevelDB's kNumShardBits.
+inline constexpr int kDefaultCacheShardBits = 4;
+
+/// A sharded, reference-counted LRU cache in the LevelDB/RocksDB
+/// ShardedLRUCache mold. Entries are keyed by an (owner, offset) pair of
+/// integers — for SSTable blocks the owner is the file number — and each
+/// shard is an independent LRU protected by its own mutex, selected by
+/// the top bits of the key hash, so concurrent readers on different
+/// blocks rarely contend.
+///
+/// Reference counting: Insert and Lookup return a *pinned* Handle; the
+/// caller reads the value in place (zero-copy) and must call Release
+/// exactly once. A pinned entry lives on the shard's in-use list, where
+/// eviction cannot touch it — it stays charged against capacity but is
+/// never freed under a reader. When the last reference drops the entry
+/// returns to the LRU list (still cached) or, if it was erased or evicted
+/// meanwhile, its deleter runs.
+///
+/// EvictOwner(owner) is O(entries of that owner): every entry is also
+/// linked on a per-owner intrusive list, so dropping a compacted file's
+/// blocks never scans the whole cache.
+///
+/// Thread-safety: every method is safe to call concurrently. Hit/miss/
+/// eviction counters are atomics (readable without any lock).
+class ShardedLRUCache {
+ public:
+  struct Handle;  // opaque; defined in cache.cc
+
+  /// Destroys `value` when the entry's last reference drops.
+  using Deleter = void (*)(void* value);
+
+  /// `capacity_bytes` is the total charge budget across all 2^shard_bits
+  /// shards. shard_bits is clamped to [0, 8].
+  explicit ShardedLRUCache(size_t capacity_bytes,
+                           int shard_bits = kDefaultCacheShardBits);
+  ~ShardedLRUCache();
+
+  ShardedLRUCache(const ShardedLRUCache&) = delete;
+  ShardedLRUCache& operator=(const ShardedLRUCache&) = delete;
+
+  /// Inserts `value` under (owner, offset), replacing any existing entry,
+  /// and returns a pinned handle to it. Always succeeds: with capacity 0
+  /// (or an over-budget cache) the entry is still returned pinned, it is
+  /// just not retained once released. The cache owns `value` from this
+  /// point; `deleter` runs when the last reference drops.
+  Handle* Insert(uint64_t owner, uint64_t offset, void* value, size_t charge,
+                 Deleter deleter);
+
+  /// Returns a pinned handle to the cached entry, or nullptr on miss.
+  Handle* Lookup(uint64_t owner, uint64_t offset);
+
+  /// Drops one reference taken by Insert/Lookup.
+  void Release(Handle* handle);
+
+  /// The value a pinned handle points at; valid until Release.
+  static void* Value(Handle* handle);
+
+  /// Removes the entry if present; pinned readers keep their references.
+  void Erase(uint64_t owner, uint64_t offset);
+
+  /// Removes every entry belonging to `owner` (a deleted SSTable). O(1)
+  /// per entry via the per-owner handle lists.
+  void EvictOwner(uint64_t owner);
+
+  /// Total bytes currently charged (includes pinned entries).
+  size_t charge() const;
+
+  size_t capacity() const { return capacity_; }
+  int num_shards() const { return num_shards_; }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard;
+
+  Shard* ShardFor(uint32_t hash) const;
+
+  const size_t capacity_;
+  const int shard_bits_;
+  const int num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace apmbench
+
+#endif  // APMBENCH_COMMON_CACHE_H_

@@ -2,66 +2,143 @@
 #define APMBENCH_LSM_BLOCK_CACHE_H_
 
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
+#include <utility>
+
+#include "common/cache.h"
 
 namespace apmbench::lsm {
 
-/// A sharded-free, mutex-protected LRU cache of SSTable data blocks,
-/// keyed by (file number, block offset). Models the key/row caches the
-/// paper's stores rely on for their memory-bound performance.
+/// The SSTable block cache: a thin typed wrapper over the generic
+/// ShardedLRUCache (see common/cache.h), keyed by (file number, block
+/// offset). Models the key/row caches the paper's stores rely on for
+/// their memory-bound performance.
+///
+/// Lookup/Insert return a BlockHandle that *pins* the block in place:
+/// readers parse the cached bytes directly (zero-copy) and the entry
+/// cannot be evicted — though it stays charged — until the handle is
+/// destroyed. Index and bloom-filter blocks are pinned this way for a
+/// Table's whole lifetime, so they are cache-charged without per-table
+/// heap copies.
+///
+/// Thread-safety: all methods are safe to call concurrently; the shards
+/// make concurrent Lookups on different blocks contention-free, and the
+/// stats counters are atomics.
 class BlockCache {
  public:
-  explicit BlockCache(size_t capacity_bytes);
+  explicit BlockCache(size_t capacity_bytes,
+                      int shard_bits = kDefaultCacheShardBits)
+      : cache_(capacity_bytes, shard_bits) {}
 
-  using BlockHandle = std::shared_ptr<const std::string>;
+  /// A move-only pin on a block's bytes. Either references a cache entry
+  /// (released on destruction) or owns an uncached block outright (the
+  /// fill_cache=false / no-cache path); readers treat both identically.
+  class BlockHandle {
+   public:
+    BlockHandle() = default;
+    ~BlockHandle() { Reset(); }
 
-  /// Returns the cached block or nullptr.
-  BlockHandle Lookup(uint64_t file_number, uint64_t offset);
+    BlockHandle(BlockHandle&& other) noexcept
+        : cache_(other.cache_),
+          handle_(other.handle_),
+          data_(other.data_),
+          owned_(std::move(other.owned_)) {
+      other.cache_ = nullptr;
+      other.handle_ = nullptr;
+      other.data_ = nullptr;
+    }
+    BlockHandle& operator=(BlockHandle&& other) noexcept {
+      if (this != &other) {
+        Reset();
+        cache_ = other.cache_;
+        handle_ = other.handle_;
+        data_ = other.data_;
+        owned_ = std::move(other.owned_);
+        other.cache_ = nullptr;
+        other.handle_ = nullptr;
+        other.data_ = nullptr;
+      }
+      return *this;
+    }
+    BlockHandle(const BlockHandle&) = delete;
+    BlockHandle& operator=(const BlockHandle&) = delete;
 
-  /// Inserts `block`, evicting least-recently-used entries beyond capacity.
-  void Insert(uint64_t file_number, uint64_t offset, BlockHandle block);
+    const std::string* get() const { return data_; }
+    const std::string& operator*() const { return *data_; }
+    explicit operator bool() const { return data_ != nullptr; }
+    bool operator==(std::nullptr_t) const { return data_ == nullptr; }
+    bool operator!=(std::nullptr_t) const { return data_ != nullptr; }
+
+    void Reset() {
+      if (handle_ != nullptr) {
+        cache_->Release(handle_);
+        handle_ = nullptr;
+        cache_ = nullptr;
+      }
+      owned_.reset();
+      data_ = nullptr;
+    }
+
+   private:
+    friend class BlockCache;
+    ShardedLRUCache* cache_ = nullptr;
+    ShardedLRUCache::Handle* handle_ = nullptr;
+    const std::string* data_ = nullptr;
+    std::shared_ptr<const std::string> owned_;
+  };
+
+  /// Returns a pinned handle to the cached block, or an empty handle.
+  BlockHandle Lookup(uint64_t file_number, uint64_t offset) {
+    BlockHandle handle;
+    ShardedLRUCache::Handle* h = cache_.Lookup(file_number, offset);
+    if (h != nullptr) {
+      handle.cache_ = &cache_;
+      handle.handle_ = h;
+      handle.data_ = static_cast<const std::string*>(ShardedLRUCache::Value(h));
+    }
+    return handle;
+  }
+
+  /// Inserts `block` (replacing any previous entry) and returns a pinned
+  /// handle to the now-cache-owned bytes. Never fails: over-capacity
+  /// inserts are still returned pinned, just not retained on release.
+  BlockHandle Insert(uint64_t file_number, uint64_t offset,
+                     std::string block) {
+    auto* value = new std::string(std::move(block));
+    ShardedLRUCache::Handle* h = cache_.Insert(
+        file_number, offset, value, value->size(),
+        [](void* v) { delete static_cast<std::string*>(v); });
+    BlockHandle handle;
+    handle.cache_ = &cache_;
+    handle.handle_ = h;
+    handle.data_ = static_cast<const std::string*>(ShardedLRUCache::Value(h));
+    return handle;
+  }
+
+  /// Wraps an uncached block in a handle (fill_cache=false / cache-less
+  /// tables), so readers have one code path.
+  static BlockHandle Wrap(std::string block) {
+    BlockHandle handle;
+    handle.owned_ = std::make_shared<const std::string>(std::move(block));
+    handle.data_ = handle.owned_.get();
+    return handle;
+  }
 
   /// Drops every block belonging to `file_number` (called when a table is
-  /// deleted by compaction).
-  void EvictFile(uint64_t file_number);
+  /// deleted by compaction). O(1) per cached block of the file. Pinned
+  /// readers of the dropped blocks keep their handles.
+  void EvictFile(uint64_t file_number) { cache_.EvictOwner(file_number); }
 
-  size_t charge() const;
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t charge() const { return cache_.charge(); }
+  size_t capacity() const { return cache_.capacity(); }
+  int num_shards() const { return cache_.num_shards(); }
+  uint64_t hits() const { return cache_.hits(); }
+  uint64_t misses() const { return cache_.misses(); }
+  uint64_t evictions() const { return cache_.evictions(); }
 
  private:
-  struct CacheKey {
-    uint64_t file_number;
-    uint64_t offset;
-    bool operator==(const CacheKey& other) const {
-      return file_number == other.file_number && offset == other.offset;
-    }
-  };
-  struct CacheKeyHash {
-    size_t operator()(const CacheKey& k) const {
-      return std::hash<uint64_t>()(k.file_number * 0x9e3779b97f4a7c15ULL ^
-                                   k.offset);
-    }
-  };
-  struct CacheEntry {
-    CacheKey key;
-    BlockHandle block;
-  };
-
-  void EvictIfNeeded();
-
-  const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<CacheEntry> lru_;  // front = most recent
-  std::unordered_map<CacheKey, std::list<CacheEntry>::iterator, CacheKeyHash>
-      index_;
-  size_t charge_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  ShardedLRUCache cache_;
 };
 
 }  // namespace apmbench::lsm

@@ -50,7 +50,8 @@ void WriteBatch::Delete(const Slice& key) {
 DB::DB(const Options& options) : options_(options) {
   env_ = options_.env != nullptr ? options_.env : Env::Default();
   options_.env = env_;
-  cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes);
+  cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes,
+                                        options_.block_cache_shard_bits);
   versions_ = std::make_unique<VersionSet>(options_, env_);
   mem_ = std::make_shared<MemTable>();
 }
@@ -1067,6 +1068,8 @@ DB::Stats DB::GetStats() {
   stats.compaction_bytes_written = compaction_bytes_written_;
   stats.cache_hits = cache_->hits();
   stats.cache_misses = cache_->misses();
+  stats.cache_charge = cache_->charge();
+  stats.cache_evictions = cache_->evictions();
   stats.memtable_bytes = mem_->ApproximateBytes();
   stats.wal_dropped_bytes = wal_dropped_bytes_;
   stats.wal_replayed_records = wal_replayed_records_;
@@ -1076,8 +1079,57 @@ DB::Stats DB::GetStats() {
   for (int level = 0; level < versions_->NumLevels(); level++) {
     stats.files_per_level.push_back(versions_->NumFiles(level));
     stats.bytes_per_level.push_back(versions_->LevelBytes(level));
+    uint64_t hits = 0, misses = 0;
+    for (const auto& meta : versions_->files(level)) {
+      auto it = tables_.find(meta.number);
+      if (it == tables_.end()) continue;
+      hits += it->second->cache_hits();
+      misses += it->second->cache_misses();
+    }
+    stats.cache_hits_per_level.push_back(hits);
+    stats.cache_misses_per_level.push_back(misses);
   }
   return stats;
+}
+
+bool DB::GetProperty(const Slice& property, std::string* value) {
+  value->clear();
+  if (property == Slice("lsm.cache-charge")) {
+    *value = std::to_string(cache_->charge());
+    return true;
+  }
+  if (property == Slice("lsm.cache-stats")) {
+    Stats stats = GetStats();
+    char line[160];
+    snprintf(line, sizeof(line),
+             "block cache: %d shards, charge %llu / capacity %llu, "
+             "hits %llu, misses %llu, evictions %llu\n",
+             cache_->num_shards(),
+             static_cast<unsigned long long>(stats.cache_charge),
+             static_cast<unsigned long long>(cache_->capacity()),
+             static_cast<unsigned long long>(stats.cache_hits),
+             static_cast<unsigned long long>(stats.cache_misses),
+             static_cast<unsigned long long>(stats.cache_evictions));
+    value->append(line);
+    for (size_t level = 0; level < stats.cache_hits_per_level.size();
+         level++) {
+      const uint64_t hits = stats.cache_hits_per_level[level];
+      const uint64_t misses = stats.cache_misses_per_level[level];
+      if (stats.files_per_level[level] == 0 && hits == 0 && misses == 0) {
+        continue;
+      }
+      const uint64_t total = hits + misses;
+      snprintf(line, sizeof(line),
+               "L%zu: %d files, hits %llu, misses %llu, hit_rate %.3f\n",
+               level, stats.files_per_level[level],
+               static_cast<unsigned long long>(hits),
+               static_cast<unsigned long long>(misses),
+               total > 0 ? static_cast<double>(hits) / total : 0.0);
+      value->append(line);
+    }
+    return true;
+  }
+  return false;
 }
 
 }  // namespace apmbench::lsm

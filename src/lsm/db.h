@@ -72,6 +72,14 @@ class DB {
     uint64_t compaction_bytes_written = 0;
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
+    /// Bytes currently charged to the block cache (data blocks plus the
+    /// pinned index/filter blocks) and entries evicted so far.
+    uint64_t cache_charge = 0;
+    uint64_t cache_evictions = 0;
+    /// Data-block cache hits/misses of the tables on each level (indexed
+    /// like files_per_level).
+    std::vector<uint64_t> cache_hits_per_level;
+    std::vector<uint64_t> cache_misses_per_level;
     uint64_t memtable_bytes = 0;
     /// Bytes discarded as torn WAL tails during the last recovery (benign
     /// interrupted appends; mid-log damage fails Open instead).
@@ -146,6 +154,13 @@ class DB {
   Status VerifyIntegrity();
 
   Stats GetStats();
+
+  /// Named introspection properties, LevelDB-style. Supported:
+  ///   "lsm.cache-stats"  — multi-line per-level cache hit rates plus
+  ///                        totals, charge, and capacity
+  ///   "lsm.cache-charge" — bytes currently charged to the block cache
+  /// Returns false for unknown properties.
+  bool GetProperty(const Slice& property, std::string* value);
 
   const Options& options() const { return options_; }
 

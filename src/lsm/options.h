@@ -51,6 +51,12 @@ struct Options {
   /// Capacity of the shared LRU block cache.
   size_t block_cache_bytes = 32 * 1024 * 1024;
 
+  /// log2 of the block cache's shard count (4 → 16 shards, the
+  /// LevelDB/RocksDB default). Each shard is an independent LRU with its
+  /// own mutex; more shards means less contention between concurrent
+  /// readers. Clamped to [0, 8].
+  int block_cache_shard_bits = 4;
+
   /// fsync the WAL on every write (the paper's systems run with
   /// group-commit / periodic sync; default off to match).
   bool sync_writes = false;

@@ -185,7 +185,10 @@ Status Table::Open(const Options& options, Env* env, const std::string& path,
     return Status::Corruption("bad table magic: " + path);
   }
 
-  // Load the index block.
+  // Load the index block and pin it in the cache for the table's
+  // lifetime: the IndexEntry last_key slices point into the pinned bytes,
+  // so the table keeps no private copy and the block is charged against
+  // the cache budget exactly once.
   std::string index_data(index_size, '\0');
   Slice index_slice;
   APM_RETURN_IF_ERROR(
@@ -193,21 +196,28 @@ Status Table::Open(const Options& options, Env* env, const std::string& path,
   if (index_slice.size() != index_size) {
     return Status::Corruption("short index read: " + path);
   }
-  Slice in = index_slice;
+  if (index_slice.data() != index_data.data()) {
+    index_data.assign(index_slice.data(), index_slice.size());
+  }
+  t->index_block_ =
+      cache != nullptr
+          ? cache->Insert(file_number, index_offset, std::move(index_data))
+          : BlockCache::Wrap(std::move(index_data));
+  Slice in(*t->index_block_);
   while (!in.empty()) {
     uint32_t klen;
     if (!GetVarint32(&in, &klen) || in.size() < klen + 12) {
       return Status::Corruption("bad index entry: " + path);
     }
     IndexEntry entry;
-    entry.last_key.assign(in.data(), klen);
+    entry.last_key = Slice(in.data(), klen);
     in.RemovePrefix(klen);
     GetFixed64(&in, &entry.offset);
     GetFixed32(&in, &entry.size);
-    t->index_.push_back(std::move(entry));
+    t->index_.push_back(entry);
   }
 
-  // Load the bloom filter.
+  // Load the bloom filter, pinned and charged the same way.
   if (filter_size > 0) {
     std::string filter_data(filter_size, '\0');
     Slice filter_slice;
@@ -216,7 +226,14 @@ Status Table::Open(const Options& options, Env* env, const std::string& path,
     if (filter_slice.size() != filter_size) {
       return Status::Corruption("short filter read: " + path);
     }
-    t->filter_.assign(filter_slice.data(), filter_slice.size());
+    if (filter_slice.data() != filter_data.data()) {
+      filter_data.assign(filter_slice.data(), filter_slice.size());
+    }
+    t->filter_block_ =
+        cache != nullptr
+            ? cache->Insert(file_number, filter_offset, std::move(filter_data))
+            : BlockCache::Wrap(std::move(filter_data));
+    t->filter_ = Slice(*t->filter_block_);
   }
 
   *table = std::move(t);
@@ -227,7 +244,11 @@ Status Table::ReadBlock(uint64_t offset, uint32_t size,
                         BlockCache::BlockHandle* block, bool fill_cache) {
   if (cache_ != nullptr) {
     *block = cache_->Lookup(file_number_, offset);
-    if (*block != nullptr) return Status::OK();
+    if (*block != nullptr) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   if (size < 5) return Status::Corruption("block too small");
   std::string raw(size, '\0');
@@ -240,23 +261,21 @@ Status Table::ReadBlock(uint64_t offset, uint32_t size,
   }
   auto type = static_cast<CompressionType>(
       static_cast<uint8_t>(result.data()[size - 5]));
-  std::shared_ptr<std::string> data;
+  std::string data;
   if (type == CompressionType::kLz) {
-    auto decompressed = std::make_shared<std::string>();
-    if (!lz::Uncompress(Slice(result.data(), size - 5),
-                        decompressed.get())) {
+    if (!lz::Uncompress(Slice(result.data(), size - 5), &data)) {
       return Status::Corruption("block decompression failed");
     }
-    data = std::move(decompressed);
   } else if (type == CompressionType::kNone) {
-    data = std::make_shared<std::string>(result.data(), size - 5);
+    data.assign(result.data(), size - 5);
   } else {
     return Status::Corruption("unknown block compression type");
   }
-  *block = data;
-  if (cache_ != nullptr && fill_cache) {
-    cache_->Insert(file_number_, offset, data);
-  }
+  // Inserting returns the entry already pinned, so concurrent readers of
+  // a hot block share the cache-owned bytes with no extra copy.
+  *block = cache_ != nullptr && fill_cache
+               ? cache_->Insert(file_number_, offset, std::move(data))
+               : BlockCache::Wrap(std::move(data));
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef APMBENCH_LSM_SSTABLE_H_
 #define APMBENCH_LSM_SSTABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -76,8 +77,12 @@ class TableBuilder {
   bool finished_ = false;
 };
 
-/// Reader for an SSTable. The index and bloom filter live in memory; data
-/// blocks are fetched through the shared BlockCache.
+/// Reader for an SSTable. The index and bloom-filter blocks are pinned,
+/// cache-charged entries — the table holds handles for its lifetime and
+/// its index entries are slices into the pinned bytes, so opening a table
+/// adds no private heap copies. Data blocks are fetched through the
+/// shared BlockCache zero-copy: readers parse the pinned cached bytes in
+/// place.
 class Table {
  public:
   /// Opens the table at `path`; `file_number` identifies it in the cache.
@@ -96,11 +101,20 @@ class Table {
   uint64_t file_number() const { return file_number_; }
   uint64_t file_size() const { return file_size_; }
 
+  /// Data-block cache hits/misses observed through this table (feeds the
+  /// per-level hit rates in DB::Stats).
+  uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class TableIterator;
 
   struct IndexEntry {
-    std::string last_key;
+    Slice last_key;  // points into the pinned index block
     uint64_t offset;
     uint32_t size;
   };
@@ -117,8 +131,15 @@ class Table {
   uint64_t file_number_ = 0;
   uint64_t file_size_ = 0;
   BlockCache* cache_ = nullptr;
+  /// Lifetime pins on the index / bloom-filter blocks. Pinned entries are
+  /// charged to the cache but never evicted; EvictFile only unlinks them,
+  /// the bytes stay valid until the Table goes away.
+  BlockCache::BlockHandle index_block_;
+  BlockCache::BlockHandle filter_block_;
   std::vector<IndexEntry> index_;
-  std::string filter_;
+  Slice filter_;  // empty when the table has no filter
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
 };
 
 /// Parses the entries of one data block; used by Table::Get and iterators.

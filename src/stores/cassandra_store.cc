@@ -13,7 +13,10 @@ CassandraStore::CassandraStore(const StoreOptions& options)
             /*seed=*/1),
       replication_factor_(
           std::max(1, std::min(options.replication_factor,
-                               options.num_nodes))) {}
+                               options.num_nodes))),
+      fanout_(options.fanout_threads > 0
+                  ? options.fanout_threads
+                  : FanoutExecutor::DefaultPoolSize(options.num_nodes)) {}
 
 Status CassandraStore::Open(const StoreOptions& options,
                             std::unique_ptr<CassandraStore>* store) {
@@ -27,6 +30,7 @@ Status CassandraStore::Open(const StoreOptions& options,
     db_options.env = options.env;
     db_options.memtable_bytes = options.memtable_bytes;
     db_options.block_cache_bytes = options.block_cache_bytes;
+    db_options.block_cache_shard_bits = options.block_cache_shard_bits;
     db_options.bloom_bits_per_key = options.bloom_bits_per_key;
     db_options.compression = options.lsm_compression;
     db_options.compaction_style = lsm::CompactionStyle::kSizeTiered;
@@ -97,25 +101,23 @@ Status CassandraStore::ScanKeyed(const std::string& table,
   (void)table;
   records->clear();
   // Random partitioning scatters the key range over every node; the
-  // coordinator collects each node's candidates and merges by key.
+  // coordinator queries all nodes in parallel and k-way merges the
+  // sorted candidate runs, deduplicating the keys replicas contribute
+  // twice and stopping at `count` globally-smallest keys.
+  std::vector<std::vector<std::pair<std::string, std::string>>> runs(
+      nodes_.size());
+  std::vector<FanoutExecutor::Task> tasks;
+  tasks.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    tasks.push_back([this, &runs, &start_key, count, i]() {
+      return nodes_[i]->Scan(lsm::ReadOptions(), start_key, count, &runs[i]);
+    });
+  }
+  APM_RETURN_IF_ERROR(fanout_.RunAll(std::move(tasks)));
   std::vector<std::pair<std::string, std::string>> merged;
-  for (auto& node : nodes_) {
-    std::vector<std::pair<std::string, std::string>> partial;
-    APM_RETURN_IF_ERROR(
-        node->Scan(lsm::ReadOptions(), start_key, count, &partial));
-    merged.insert(merged.end(), std::make_move_iterator(partial.begin()),
-                  std::make_move_iterator(partial.end()));
-  }
-  std::sort(merged.begin(), merged.end());
-  // Replicas contribute duplicate keys; keep the first of each.
-  merged.erase(std::unique(merged.begin(), merged.end(),
-                           [](const auto& a, const auto& b) {
-                             return a.first == b.first;
-                           }),
-               merged.end());
-  if (static_cast<int>(merged.size()) > count) {
-    merged.resize(static_cast<size_t>(count));
-  }
+  MergeSortedRuns(
+      &runs, static_cast<size_t>(count), /*dedup=*/true,
+      [](const auto& kv) -> const std::string& { return kv.first; }, &merged);
   records->reserve(merged.size());
   for (const auto& [key, value] : merged) {
     ycsb::KeyedRecord entry;
@@ -133,12 +135,21 @@ Status CassandraStore::Insert(const std::string& table, const Slice& key,
   (void)table;
   std::string value;
   EncodeRow(record, &value);
-  // SimpleStrategy ring walk: the write lands on every replica.
-  for (int node : ring_.RouteReplicas(key, replication_factor_)) {
-    APM_RETURN_IF_ERROR(
-        nodes_[static_cast<size_t>(node)]->Put(key, Slice(value)));
+  // SimpleStrategy ring walk: the write lands on every replica, issued
+  // in parallel as a coordinator does (consistency ALL: every replica
+  // must acknowledge).
+  std::vector<int> replicas = ring_.RouteReplicas(key, replication_factor_);
+  if (replicas.size() == 1) {
+    return nodes_[static_cast<size_t>(replicas[0])]->Put(key, Slice(value));
   }
-  return Status::OK();
+  std::vector<FanoutExecutor::Task> tasks;
+  tasks.reserve(replicas.size());
+  for (int node : replicas) {
+    tasks.push_back([this, node, &key, &value]() {
+      return nodes_[static_cast<size_t>(node)]->Put(key, Slice(value));
+    });
+  }
+  return fanout_.RunAll(std::move(tasks));
 }
 
 Status CassandraStore::Update(const std::string& table, const Slice& key,
@@ -149,19 +160,32 @@ Status CassandraStore::Update(const std::string& table, const Slice& key,
 
 Status CassandraStore::Delete(const std::string& table, const Slice& key) {
   (void)table;
-  for (int node : ring_.RouteReplicas(key, replication_factor_)) {
-    APM_RETURN_IF_ERROR(nodes_[static_cast<size_t>(node)]->Delete(key));
+  std::vector<int> replicas = ring_.RouteReplicas(key, replication_factor_);
+  if (replicas.size() == 1) {
+    return nodes_[static_cast<size_t>(replicas[0])]->Delete(key);
   }
-  return Status::OK();
+  std::vector<FanoutExecutor::Task> tasks;
+  tasks.reserve(replicas.size());
+  for (int node : replicas) {
+    tasks.push_back([this, node, &key]() {
+      return nodes_[static_cast<size_t>(node)]->Delete(key);
+    });
+  }
+  return fanout_.RunAll(std::move(tasks));
 }
 
 Status CassandraStore::DiskUsage(uint64_t* bytes) {
-  *bytes = 0;
-  for (auto& node : nodes_) {
-    uint64_t node_bytes = 0;
-    APM_RETURN_IF_ERROR(node->DiskUsage(&node_bytes));
-    *bytes += node_bytes;
+  // Every node walks its directory tree; fan the walks out in parallel.
+  std::vector<uint64_t> per_node(nodes_.size(), 0);
+  std::vector<FanoutExecutor::Task> tasks;
+  tasks.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    tasks.push_back(
+        [this, &per_node, i]() { return nodes_[i]->DiskUsage(&per_node[i]); });
   }
+  APM_RETURN_IF_ERROR(fanout_.RunAll(std::move(tasks)));
+  *bytes = 0;
+  for (uint64_t node_bytes : per_node) *bytes += node_bytes;
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cluster/routing.h"
+#include "common/fanout.h"
 #include "lsm/db.h"
 #include "stores/store_options.h"
 #include "ycsb/db.h"
@@ -53,6 +54,7 @@ class CassandraStore final : public ycsb::DB {
   StoreOptions options_;
   cluster::TokenRing ring_;
   int replication_factor_;
+  FanoutExecutor fanout_;
   std::vector<std::unique_ptr<lsm::DB>> nodes_;
 };
 

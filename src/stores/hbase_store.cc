@@ -85,7 +85,11 @@ bool HBaseStore::ParseCellKey(const Slice& cell_key, Slice* row,
 
 HBaseStore::HBaseStore(const StoreOptions& options,
                        cluster::RegionMap regions)
-    : options_(options), regions_(std::move(regions)) {}
+    : options_(options),
+      regions_(std::move(regions)),
+      fanout_(options.fanout_threads > 0
+                  ? options.fanout_threads
+                  : FanoutExecutor::DefaultPoolSize(options.num_nodes)) {}
 
 Status HBaseStore::Open(const StoreOptions& options,
                         std::unique_ptr<HBaseStore>* store) {
@@ -105,6 +109,7 @@ Status HBaseStore::Open(const StoreOptions& options,
     db_options.env = options.env;
     db_options.memtable_bytes = options.memtable_bytes;
     db_options.block_cache_bytes = options.block_cache_bytes;
+    db_options.block_cache_shard_bits = options.block_cache_shard_bits;
     db_options.bloom_bits_per_key = options.bloom_bits_per_key;
     db_options.compression = options.lsm_compression;
     db_options.compaction_style = lsm::CompactionStyle::kLeveled;
@@ -216,17 +221,40 @@ Status HBaseStore::ScanKeyed(const std::string& table,
                              std::vector<ycsb::KeyedRecord>* records) {
   (void)table;
   records->clear();
+  // Ordered regions partition the key space, so a wave of consecutive
+  // regions can be scanned in parallel and concatenated in region order
+  // — the parallel-scanner pattern of HBase clients. Each wave spans up
+  // to one region per region server; most 50-record scans finish in the
+  // first wave's first region, the rest walk on wave by wave.
   std::vector<std::pair<std::string, ycsb::Record>> rows;
   int region = regions_.RegionOf(start_key);
   std::string cursor = start_key.ToString();
   while (static_cast<int>(rows.size()) < count &&
          region < regions_.num_regions()) {
-    int node = region % regions_.num_servers();
-    std::string region_end = regions_.RegionEndKey(region);
-    APM_RETURN_IF_ERROR(CollectRows(node, cursor, region_end,
-                                    count, &rows));
-    region++;
-    cursor = region_end;
+    const int wave = std::min(regions_.num_regions() - region,
+                              std::max(1, regions_.num_servers()));
+    std::vector<std::vector<std::pair<std::string, ycsb::Record>>> runs(
+        static_cast<size_t>(wave));
+    std::vector<FanoutExecutor::Task> tasks;
+    tasks.reserve(static_cast<size_t>(wave));
+    const int want = count - static_cast<int>(rows.size());
+    for (int w = 0; w < wave; w++) {
+      const int r = region + w;
+      std::string from = w == 0 ? cursor : regions_.RegionEndKey(r - 1);
+      tasks.push_back([this, &runs, w, r, from = std::move(from), want]() {
+        return CollectRows(r % regions_.num_servers(), from,
+                           regions_.RegionEndKey(r), want, &runs[w]);
+      });
+    }
+    APM_RETURN_IF_ERROR(fanout_.RunAll(std::move(tasks)));
+    for (auto& run : runs) {
+      for (auto& row : run) {
+        if (static_cast<int>(rows.size()) >= count) break;
+        rows.push_back(std::move(row));
+      }
+    }
+    region += wave;
+    cursor = regions_.RegionEndKey(region - 1);
   }
   records->reserve(rows.size());
   for (auto& [row, record] : rows) {
@@ -255,12 +283,16 @@ Status HBaseStore::Delete(const std::string& table, const Slice& key) {
 }
 
 Status HBaseStore::DiskUsage(uint64_t* bytes) {
-  *bytes = 0;
-  for (auto& node : nodes_) {
-    uint64_t node_bytes = 0;
-    APM_RETURN_IF_ERROR(node->DiskUsage(&node_bytes));
-    *bytes += node_bytes;
+  std::vector<uint64_t> per_node(nodes_.size(), 0);
+  std::vector<FanoutExecutor::Task> tasks;
+  tasks.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    tasks.push_back(
+        [this, &per_node, i]() { return nodes_[i]->DiskUsage(&per_node[i]); });
   }
+  APM_RETURN_IF_ERROR(fanout_.RunAll(std::move(tasks)));
+  *bytes = 0;
+  for (uint64_t node_bytes : per_node) *bytes += node_bytes;
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cluster/routing.h"
+#include "common/fanout.h"
 #include "lsm/db.h"
 #include "stores/store_options.h"
 #include "ycsb/db.h"
@@ -64,6 +65,7 @@ class HBaseStore final : public ycsb::DB {
 
   StoreOptions options_;
   cluster::RegionMap regions_;
+  FanoutExecutor fanout_;
   std::vector<std::unique_ptr<lsm::DB>> nodes_;
 };
 

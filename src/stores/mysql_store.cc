@@ -7,7 +7,11 @@
 namespace apmbench::stores {
 
 MySQLStore::MySQLStore(const StoreOptions& options)
-    : options_(options), sharder_(options.num_nodes) {}
+    : options_(options),
+      sharder_(options.num_nodes),
+      fanout_(options.fanout_threads > 0
+                  ? options.fanout_threads
+                  : FanoutExecutor::DefaultPoolSize(options.num_nodes)) {}
 
 Status MySQLStore::Open(const StoreOptions& options,
                         std::unique_ptr<MySQLStore>* store) {
@@ -23,6 +27,9 @@ Status MySQLStore::Open(const StoreOptions& options,
     db_options.path = dir + "/innodb.db";
     db_options.env = options.env;
     db_options.buffer_pool_bytes = options.buffer_pool_bytes;
+    // One shard-bits knob drives both engines' caches: the lsm block
+    // cache and the btree buffer pool share the shard map.
+    db_options.pool_shard_bits = options.block_cache_shard_bits;
     if (options.mysql_binlog) {
       db_options.binlog_path = dir + "/binlog.001";
     }
@@ -122,12 +129,18 @@ Status MySQLStore::Delete(const std::string& table, const Slice& key) {
 }
 
 Status MySQLStore::DiskUsage(uint64_t* bytes) {
-  *bytes = 0;
-  for (auto& node : nodes_) {
-    uint64_t node_bytes = 0;
-    APM_RETURN_IF_ERROR(node->DiskUsage(&node_bytes));
-    *bytes += node_bytes;
+  // Scans stay single-shard by design (the paper's RS collapse depends
+  // on it); the multi-node operation here is the disk sweep.
+  std::vector<uint64_t> per_node(nodes_.size(), 0);
+  std::vector<FanoutExecutor::Task> tasks;
+  tasks.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    tasks.push_back(
+        [this, &per_node, i]() { return nodes_[i]->DiskUsage(&per_node[i]); });
   }
+  APM_RETURN_IF_ERROR(fanout_.RunAll(std::move(tasks)));
+  *bytes = 0;
+  for (uint64_t node_bytes : per_node) *bytes += node_bytes;
   return Status::OK();
 }
 

@@ -5,7 +5,11 @@
 namespace apmbench::stores {
 
 RedisStore::RedisStore(const StoreOptions& options)
-    : options_(options), ring_(options.num_nodes) {}
+    : options_(options),
+      ring_(options.num_nodes),
+      fanout_(options.fanout_threads > 0
+                  ? options.fanout_threads
+                  : FanoutExecutor::DefaultPoolSize(options.num_nodes)) {}
 
 Status RedisStore::Open(const StoreOptions& options,
                         std::unique_ptr<RedisStore>* store) {
@@ -48,19 +52,24 @@ Status RedisStore::ScanKeyed(const std::string& table,
   (void)table;
   records->clear();
   // Hash sharding scatters the key range: the client queries every
-  // instance's sorted index and merges (the YCSB Redis client keeps an
-  // index sorted set per instance for exactly this).
+  // instance's sorted index in parallel and k-way merges (the YCSB Redis
+  // client keeps an index sorted set per instance for exactly this). The
+  // merge stops once `count` globally-smallest keys are emitted, so a
+  // shard's surplus candidates are never decoded.
+  std::vector<std::vector<std::pair<std::string, std::string>>> runs(
+      nodes_.size());
+  std::vector<FanoutExecutor::Task> tasks;
+  tasks.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    tasks.push_back([this, &runs, &start_key, count, i]() {
+      return nodes_[i]->Scan(start_key, count, &runs[i]);
+    });
+  }
+  APM_RETURN_IF_ERROR(fanout_.RunAll(std::move(tasks)));
   std::vector<std::pair<std::string, std::string>> merged;
-  for (auto& node : nodes_) {
-    std::vector<std::pair<std::string, std::string>> partial;
-    APM_RETURN_IF_ERROR(node->Scan(start_key, count, &partial));
-    merged.insert(merged.end(), std::make_move_iterator(partial.begin()),
-                  std::make_move_iterator(partial.end()));
-  }
-  std::sort(merged.begin(), merged.end());
-  if (static_cast<int>(merged.size()) > count) {
-    merged.resize(static_cast<size_t>(count));
-  }
+  MergeSortedRuns(
+      &runs, static_cast<size_t>(count), /*dedup=*/false,
+      [](const auto& kv) -> const std::string& { return kv.first; }, &merged);
   records->reserve(merged.size());
   for (const auto& [key, value] : merged) {
     ycsb::KeyedRecord entry;

@@ -7,7 +7,10 @@ namespace apmbench::stores {
 
 VoldemortStore::VoldemortStore(const StoreOptions& options)
     : options_(options),
-      ring_(options.num_nodes, /*partitions_per_node=*/2, /*seed=*/11) {}
+      ring_(options.num_nodes, /*partitions_per_node=*/2, /*seed=*/11),
+      fanout_(options.fanout_threads > 0
+                  ? options.fanout_threads
+                  : FanoutExecutor::DefaultPoolSize(options.num_nodes)) {}
 
 Status VoldemortStore::Open(const StoreOptions& options,
                             std::unique_ptr<VoldemortStore>* store) {
@@ -23,6 +26,7 @@ Status VoldemortStore::Open(const StoreOptions& options,
     db_options.path = dir + "/bdb.db";
     db_options.env = options.env;
     db_options.buffer_pool_bytes = options.buffer_pool_bytes;
+    db_options.pool_shard_bits = options.block_cache_shard_bits;
     std::unique_ptr<btree::BTree> db;
     APM_RETURN_IF_ERROR(btree::BTree::Open(db_options, &db));
     s->nodes_.push_back(std::move(db));
@@ -107,12 +111,18 @@ Status VoldemortStore::Delete(const std::string& table, const Slice& key) {
 }
 
 Status VoldemortStore::DiskUsage(uint64_t* bytes) {
-  *bytes = 0;
-  for (auto& node : nodes_) {
-    uint64_t node_bytes = 0;
-    APM_RETURN_IF_ERROR(node->DiskUsage(&node_bytes));
-    *bytes += node_bytes;
+  // Scans stay NotSupported (matching the Voldemort YCSB client); the
+  // multi-node operation here is the disk sweep.
+  std::vector<uint64_t> per_node(nodes_.size(), 0);
+  std::vector<FanoutExecutor::Task> tasks;
+  tasks.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    tasks.push_back(
+        [this, &per_node, i]() { return nodes_[i]->DiskUsage(&per_node[i]); });
   }
+  APM_RETURN_IF_ERROR(fanout_.RunAll(std::move(tasks)));
+  *bytes = 0;
+  for (uint64_t node_bytes : per_node) *bytes += node_bytes;
   return Status::OK();
 }
 

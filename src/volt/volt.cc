@@ -5,6 +5,7 @@
 
 #include "common/coding.h"
 #include "common/crc32.h"
+#include "common/fanout.h"
 #include "common/hash.h"
 
 namespace apmbench::volt {
@@ -223,15 +224,11 @@ Status VoltEngine::Scan(const Slice& start, int count,
     std::unique_lock<std::mutex> lock(done_mu);
     done_cv.wait(lock, [&] { return remaining == 0; });
   }
-  // K-way merge of the per-partition sorted fragments.
-  for (auto& partial : partials) {
-    out->insert(out->end(), std::make_move_iterator(partial.begin()),
-                std::make_move_iterator(partial.end()));
-  }
-  std::sort(out->begin(), out->end());
-  if (static_cast<int>(out->size()) > count) {
-    out->resize(static_cast<size_t>(count));
-  }
+  // K-way merge of the per-partition sorted fragments, stopping at
+  // `count` instead of sorting every candidate.
+  MergeSortedRuns(
+      &partials, static_cast<size_t>(count), /*dedup=*/false,
+      [](const auto& kv) -> const std::string& { return kv.first; }, out);
   multi_partition_txns_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }

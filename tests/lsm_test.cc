@@ -180,27 +180,29 @@ TEST(BloomTest, EmptyFilterMatchesAll) {
 }
 
 TEST(BlockCacheTest, InsertLookupEvict) {
-  BlockCache cache(100);
-  auto block = std::make_shared<const std::string>(std::string(40, 'x'));
-  cache.Insert(1, 0, block);
+  // One shard so the capacity/LRU arithmetic is exact (the sharded paths
+  // are covered by cache_test.cc).
+  BlockCache cache(100, /*shard_bits=*/0);
+  cache.Insert(1, 0, std::string(40, 'x'));  // pin released immediately
   EXPECT_NE(cache.Lookup(1, 0), nullptr);
   EXPECT_EQ(cache.Lookup(1, 999), nullptr);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
 
   // Fill beyond capacity: LRU (file 1) evicted.
-  cache.Insert(2, 0, std::make_shared<const std::string>(std::string(40, 'y')));
-  cache.Insert(3, 0, std::make_shared<const std::string>(std::string(40, 'z')));
+  cache.Insert(2, 0, std::string(40, 'y'));
+  cache.Insert(3, 0, std::string(40, 'z'));
   EXPECT_EQ(cache.Lookup(1, 0), nullptr);
   EXPECT_NE(cache.Lookup(3, 0), nullptr);
   EXPECT_LE(cache.charge(), 100u);
+  EXPECT_EQ(cache.evictions(), 1u);
 }
 
 TEST(BlockCacheTest, EvictFileRemovesAllBlocks) {
   BlockCache cache(1000);
-  cache.Insert(7, 0, std::make_shared<const std::string>("aaa"));
-  cache.Insert(7, 10, std::make_shared<const std::string>("bbb"));
-  cache.Insert(8, 0, std::make_shared<const std::string>("ccc"));
+  cache.Insert(7, 0, "aaa");
+  cache.Insert(7, 10, "bbb");
+  cache.Insert(8, 0, "ccc");
   cache.EvictFile(7);
   EXPECT_EQ(cache.Lookup(7, 0), nullptr);
   EXPECT_EQ(cache.Lookup(7, 10), nullptr);

@@ -240,6 +240,44 @@ TEST(RedisStoreTest, NodeStatsShowImbalance) {
             1.15);
 }
 
+// Regression test for the cross-shard scan: fanning a scan out to every
+// node and k-way merging the runs must return exactly what a single node
+// holding all the data would — same keys, same order, no over-fetch past
+// `count` and no shard-boundary gaps.
+TEST(RedisStoreTest, CrossShardScanMatchesSingleNode) {
+  StoreOptions sharded_options;
+  sharded_options.num_nodes = 5;
+  std::unique_ptr<RedisStore> sharded;
+  ASSERT_TRUE(RedisStore::Open(sharded_options, &sharded).ok());
+  StoreOptions single_options;
+  single_options.num_nodes = 1;
+  std::unique_ptr<RedisStore> single;
+  ASSERT_TRUE(RedisStore::Open(single_options, &single).ok());
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 400; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "user%08d", i * 3);
+    keys.push_back(key);
+    ASSERT_TRUE(sharded->Insert("t", key, MakeRecord(i)).ok());
+    ASSERT_TRUE(single->Insert("t", key, MakeRecord(i)).ok());
+  }
+
+  Random rng(97);
+  for (int i = 0; i < 50; i++) {
+    const std::string& start = keys[rng.Uniform(keys.size())];
+    int count = 1 + static_cast<int>(rng.Uniform(60));
+    std::vector<ycsb::KeyedRecord> got, expected;
+    ASSERT_TRUE(sharded->ScanKeyed("t", start, count, &got).ok());
+    ASSERT_TRUE(single->ScanKeyed("t", start, count, &expected).ok());
+    ASSERT_EQ(got.size(), expected.size()) << "start=" << start;
+    for (size_t j = 0; j < got.size(); j++) {
+      EXPECT_EQ(got[j].key, expected[j].key);
+      EXPECT_EQ(got[j].record, expected[j].record);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace apmbench::stores
 

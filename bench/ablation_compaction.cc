@@ -2,20 +2,41 @@
 // compaction in the real LSM engine — the design choice behind the
 // Cassandra-like and HBase-like stores. Reports write amplification,
 // table counts, and read cost under an overwrite-heavy load.
+//
+// A second experiment sweeps the parallel compaction pipeline:
+// compaction-pool size x concurrent writer count, reporting sustained
+// put throughput, admission-control stalls (slowdown/stop micros), the
+// highest L0 run count observed while the load ran, and write
+// amplification. This is the scaling evidence for the flush/compaction
+// thread split: more compaction threads should hold L0 lower and stall
+// writers less without costing ingest throughput.
+//
+//   ablation_compaction [out=BENCH_compaction.json] [build=<label>]
+//
+// With out= set, the sweep also emits one JSON row per point through the
+// shared JsonResultWriter shape.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/clock.h"
 #include "common/env.h"
+#include "common/properties.h"
 #include "common/random.h"
 #include "lsm/db.h"
 
 namespace {
 
 using namespace apmbench;
+
+// ---------------------------------------------------------------------------
+// Experiment 1: compaction style.
 
 struct AblationResult {
   uint64_t user_bytes = 0;
@@ -80,14 +101,7 @@ AblationResult RunStyle(lsm::CompactionStyle style, int64_t records) {
   return result;
 }
 
-}  // namespace
-
-int main() {
-  const int64_t records = benchutil::ScaleRecords() * 8;
-  printf("APMBench compaction ablation: %lld overwrite-heavy writes per "
-         "style (set APMBENCH_SCALE to change)\n",
-         static_cast<long long>(records));
-
+void RunStyleAblation(int64_t records) {
   AblationResult size_tiered =
       RunStyle(lsm::CompactionStyle::kSizeTiered, records);
   AblationResult leveled = RunStyle(lsm::CompactionStyle::kLeveled, records);
@@ -119,5 +133,191 @@ int main() {
   printf("\nExpected shape: leveled pays more write amplification to keep "
          "fewer overlapping tables (cheaper reads); size-tiered favors the "
          "write-dominated APM workload.\n");
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 2: compaction-pool size x write concurrency.
+
+struct SweepResult {
+  double ops_per_sec = 0;
+  int max_l0 = 0;
+  double write_amp = 0;
+  uint64_t num_compactions = 0;
+  uint64_t stall_slowdown_us = 0;
+  uint64_t stall_slowdown_writes = 0;
+  uint64_t stall_stop_us = 0;
+  uint64_t stall_stop_writes = 0;
+};
+
+SweepResult RunSweepPoint(int compaction_threads, int writer_threads,
+                          int64_t records) {
+  SweepResult result;
+  std::string dir = "/tmp/apmbench-ablation-lsm";
+  Env::Default()->RemoveDirRecursively(dir);
+
+  // Size-tiered with a small memtable: every table is an L0 sorted run,
+  // so the admission-control triggers bound exactly what the sweep
+  // watches. Tight slowdown/stop triggers make contention visible even
+  // at benchmark scale.
+  lsm::Options options;
+  options.dir = dir;
+  options.memtable_bytes = 128 * 1024;
+  options.compaction_style = lsm::CompactionStyle::kSizeTiered;
+  options.size_tiered_min_files = 4;
+  options.compaction_threads = compaction_threads;
+  options.level0_slowdown_trigger = 8;
+  options.level0_stop_trigger = 16;
+  std::unique_ptr<lsm::DB> db;
+  Status status = lsm::DB::Open(options, &db);
+  if (!status.ok()) {
+    fprintf(stderr, "[warn] open: %s\n", status.ToString().c_str());
+    return result;
+  }
+
+  // One sampler watches the L0 run count while the writers hammer the
+  // engine; its maximum is the experiment's "was L0 actually bounded?"
+  // evidence.
+  std::atomic<bool> done{false};
+  std::atomic<int> max_l0{0};
+  std::thread sampler([&] {
+    while (!done.load()) {
+      lsm::DB::Stats stats = db->GetStats();
+      if (!stats.files_per_level.empty()) {
+        int l0 = stats.files_per_level[0];
+        int prev = max_l0.load();
+        while (l0 > prev && !max_l0.compare_exchange_weak(prev, l0)) {
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  const std::string value(100, 'v');
+  const int64_t per_writer = records / writer_threads;
+  const uint64_t keyspace = static_cast<uint64_t>(records) / 2;
+  uint64_t user_bytes = 0;
+  uint64_t start = NowMicros();
+  std::vector<std::thread> writers;
+  for (int t = 0; t < writer_threads; t++) {
+    writers.emplace_back([&, t] {
+      Random rng(100 + t);
+      for (int64_t i = 0; i < per_writer; i++) {
+        char key[32];
+        snprintf(key, sizeof(key), "user%021llu",
+                 static_cast<unsigned long long>(rng.Uniform(keyspace)));
+        db->Put(key, value);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  uint64_t elapsed = NowMicros() - start;
+  done.store(true);
+  sampler.join();
+  user_bytes = static_cast<uint64_t>(per_writer) * writer_threads *
+               (25 + value.size());
+
+  lsm::DB::Stats stats = db->GetStats();
+  result.ops_per_sec = elapsed > 0
+                           ? static_cast<double>(per_writer) * writer_threads *
+                                 1e6 / static_cast<double>(elapsed)
+                           : 0;
+  result.max_l0 = max_l0.load();
+  result.write_amp =
+      user_bytes ? static_cast<double>(stats.compaction_bytes_written) /
+                       static_cast<double>(user_bytes)
+                 : 0;
+  result.num_compactions = stats.num_compactions;
+  result.stall_slowdown_us = stats.stall_slowdown_micros;
+  result.stall_slowdown_writes = stats.stall_slowdown_writes;
+  result.stall_stop_us = stats.stall_stop_micros;
+  result.stall_stop_writes = stats.stall_stop_writes;
+
+  db.reset();
+  Env::Default()->RemoveDirRecursively(dir);
+  return result;
+}
+
+void RunParallelismSweep(int64_t records, benchutil::JsonResultWriter* out,
+                         const std::string& build_label) {
+  printf("\nParallel compaction sweep: %lld puts per point, "
+         "slowdown/stop triggers 8/16 L0 runs\n",
+         static_cast<long long>(records));
+  printf("%-8s %-8s %12s %7s %10s %12s %12s %12s\n", "cthreads", "writers",
+         "puts/sec", "max_l0", "write_amp", "compactions", "slowdown_ms",
+         "stop_ms");
+  for (int compaction_threads : {1, 2, 4}) {
+    for (int writer_threads : {1, 4}) {
+      SweepResult r =
+          RunSweepPoint(compaction_threads, writer_threads, records);
+      printf("%-8d %-8d %12.0f %7d %10.2f %12llu %12.1f %12.1f\n",
+             compaction_threads, writer_threads, r.ops_per_sec, r.max_l0,
+             r.write_amp,
+             static_cast<unsigned long long>(r.num_compactions),
+             static_cast<double>(r.stall_slowdown_us) / 1000.0,
+             static_cast<double>(r.stall_stop_us) / 1000.0);
+      if (out != nullptr) {
+        out->AddRow()
+            .Str("bench", "compaction_sweep")
+            .Str("style", "size_tiered")
+            .Int("compaction_threads", compaction_threads)
+            .Int("writer_threads", writer_threads)
+            .Num("ops_per_sec", r.ops_per_sec)
+            .Int("max_l0", r.max_l0)
+            .Num("write_amp", r.write_amp)
+            .Int("compactions", static_cast<int64_t>(r.num_compactions))
+            .Int("stall_slowdown_us",
+                 static_cast<int64_t>(r.stall_slowdown_us))
+            .Int("stall_slowdown_writes",
+                 static_cast<int64_t>(r.stall_slowdown_writes))
+            .Int("stall_stop_us", static_cast<int64_t>(r.stall_stop_us))
+            .Int("stall_stop_writes",
+                 static_cast<int64_t>(r.stall_stop_writes))
+            .Str("build", build_label);
+      }
+    }
+  }
+  printf("Expected shape: larger pools hold max_l0 near the slowdown "
+         "trigger and shrink stall time; puts/sec should not regress "
+         "against cthreads=1.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string build_label = "dev";
+  for (int i = 1; i < argc; i++) {
+    apmbench::Properties props;
+    if (!props.ParseArg(argv[i]).ok()) {
+      fprintf(stderr, "usage: %s [out=<path>] [build=<label>]\n", argv[0]);
+      return 2;
+    }
+    if (props.Contains("out")) out_path = props.GetString("out");
+    if (props.Contains("build")) build_label = props.GetString("build");
+  }
+
+  const int64_t records = benchutil::ScaleRecords() * 8;
+  printf("APMBench compaction ablation: %lld overwrite-heavy writes per "
+         "style (set APMBENCH_SCALE to change)\n",
+         static_cast<long long>(records));
+
+  RunStyleAblation(records);
+
+  std::unique_ptr<benchutil::JsonResultWriter> results;
+  if (!out_path.empty()) {
+    results = std::make_unique<benchutil::JsonResultWriter>(out_path);
+  }
+  RunParallelismSweep(benchutil::ScaleRecords() * 4, results.get(),
+                      build_label);
+
+  if (results != nullptr) {
+    apmbench::Status status = results->WriteFile();
+    if (!status.ok()) {
+      fprintf(stderr, "write %s: %s\n", results->path().c_str(),
+              status.ToString().c_str());
+      return 1;
+    }
+    printf("results written to %s\n", results->path().c_str());
+  }
   return 0;
 }

@@ -1,0 +1,54 @@
+#include "common/rate_limiter.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace apmbench {
+
+RateLimiter::RateLimiter(uint64_t bytes_per_sec, uint64_t burst_bytes)
+    : bytes_per_sec_(bytes_per_sec),
+      burst_bytes_(burst_bytes > 0 ? burst_bytes
+                                   : std::max<uint64_t>(bytes_per_sec, 1)) {
+  last_refill_us_ = NowMicros();
+  available_ = burst_bytes_;  // start full so the first write is not delayed
+}
+
+void RateLimiter::RefillLocked(uint64_t now_micros) {
+  if (now_micros <= last_refill_us_) return;
+  const uint64_t elapsed = now_micros - last_refill_us_;
+  const uint64_t tokens = elapsed * bytes_per_sec_ / 1000000;
+  if (tokens == 0) return;  // keep last_refill_us_ so sub-token time accrues
+  available_ = std::min(burst_bytes_, available_ + tokens);
+  last_refill_us_ = now_micros;
+}
+
+void RateLimiter::Request(uint64_t bytes) {
+  if (bytes == 0) return;
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (bytes_per_sec_ == 0) return;
+
+  const uint64_t start = NowMicros();
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t remaining = bytes;
+  while (remaining > 0) {
+    // Admit at most one burst per installment so a multi-burst request
+    // yields the bucket between installments instead of draining it dry
+    // in one shot.
+    const uint64_t want = std::min(remaining, burst_bytes_);
+    RefillLocked(NowMicros());
+    if (available_ >= want) {
+      available_ -= want;
+      remaining -= want;
+      continue;
+    }
+    const uint64_t deficit = want - available_;
+    const uint64_t wait_us = deficit * 1000000 / bytes_per_sec_ + 1;
+    cv_.wait_for(lock, std::chrono::microseconds(wait_us));
+  }
+  lock.unlock();
+  cv_.notify_all();
+  total_wait_micros_.fetch_add(NowMicros() - start, std::memory_order_relaxed);
+}
+
+}  // namespace apmbench

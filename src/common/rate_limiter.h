@@ -1,0 +1,71 @@
+#ifndef APMBENCH_COMMON_RATE_LIMITER_H_
+#define APMBENCH_COMMON_RATE_LIMITER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace apmbench {
+
+/// A token-bucket rate limiter for background I/O, modeled on RocksDB's
+/// GenericRateLimiter. Flush and compaction charge the bytes they are
+/// about to write; when the bucket is empty the caller sleeps until it
+/// refills, which converts background write bursts into a bounded,
+/// steady stream so foreground writes keep their share of the device.
+///
+/// One limiter is typically shared by every background producer of a DB
+/// (or by all node-local engines of a store), so the configured rate is a
+/// global budget, not a per-thread one.
+///
+/// Thread-safe. A rate of 0 means unlimited: Request() returns
+/// immediately and costs one atomic add.
+class RateLimiter {
+ public:
+  /// `bytes_per_sec` is the sustained refill rate; `burst_bytes` caps how
+  /// many unused tokens may accumulate (defaults to one second's worth).
+  explicit RateLimiter(uint64_t bytes_per_sec, uint64_t burst_bytes = 0);
+
+  RateLimiter(const RateLimiter&) = delete;
+  RateLimiter& operator=(const RateLimiter&) = delete;
+
+  /// Blocks until `bytes` tokens are available, then consumes them.
+  /// Requests larger than the burst size are admitted in burst-sized
+  /// installments, so a huge single request cannot starve smaller ones
+  /// forever. Never fails; an unlimited limiter never blocks.
+  void Request(uint64_t bytes);
+
+  /// True when the limiter actually limits (bytes_per_sec > 0).
+  bool enabled() const { return bytes_per_sec_ > 0; }
+
+  uint64_t bytes_per_sec() const { return bytes_per_sec_; }
+
+  /// Total bytes that have passed through Request().
+  uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Total microseconds callers have spent blocked in Request().
+  uint64_t total_wait_micros() const {
+    return total_wait_micros_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Refreshes `available_` from the elapsed time. Requires mu_ held.
+  void RefillLocked(uint64_t now_micros);
+
+  const uint64_t bytes_per_sec_;
+  const uint64_t burst_bytes_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t available_ = 0;       // tokens in the bucket, guarded by mu_
+  uint64_t last_refill_us_ = 0;  // guarded by mu_
+
+  std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<uint64_t> total_wait_micros_{0};
+};
+
+}  // namespace apmbench
+
+#endif  // APMBENCH_COMMON_RATE_LIMITER_H_

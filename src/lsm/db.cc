@@ -1,8 +1,11 @@
 #include "lsm/db.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
+#include <thread>
 
+#include "common/clock.h"
 #include "common/coding.h"
 #include "common/logging.h"
 
@@ -54,6 +57,15 @@ DB::DB(const Options& options) : options_(options) {
                                         options_.block_cache_shard_bits);
   versions_ = std::make_unique<VersionSet>(options_, env_);
   mem_ = std::make_shared<MemTable>();
+  rate_limiter_ = options_.rate_limiter;
+  if (rate_limiter_ == nullptr && options_.rate_limit_bytes_per_sec > 0) {
+    rate_limiter_ =
+        std::make_shared<RateLimiter>(options_.rate_limit_bytes_per_sec);
+  }
+  if (options_.subcompactions > 1) {
+    subcompaction_pool_ =
+        std::make_unique<FanoutExecutor>(options_.subcompactions - 1);
+  }
 }
 
 Status DB::Open(const Options& options, std::unique_ptr<DB>* db) {
@@ -96,6 +108,28 @@ Status DB::OpenImpl() {
   }
   APM_RETURN_IF_ERROR(ReplayWals());
 
+  // Remove orphaned SSTables: a crash between table creation and the
+  // manifest apply (or between a compaction and its deferred zombie
+  // unlink) leaves .sst files on disk that no manifest references. Any
+  // data they held is either in the manifest's tables or still in a WAL
+  // that was just replayed, so deleting them is safe. Must happen before
+  // background threads start creating new tables.
+  {
+    std::vector<std::string> children;
+    APM_RETURN_IF_ERROR(env_->GetChildren(options_.dir, &children));
+    for (const auto& name : children) {
+      if (name.size() <= 4 || name.substr(name.size() - 4) != ".sst") {
+        continue;
+      }
+      uint64_t number =
+          strtoull(name.substr(0, name.size() - 4).c_str(), nullptr, 10);
+      if (tables_.count(number) == 0) {
+        APM_LOG_INFO("lsm: removing orphaned table %s", name.c_str());
+        env_->RemoveFile(options_.dir + "/" + name);
+      }
+    }
+  }
+
   // Start the fresh WAL for the live memtable. ReplayWals allocated
   // wal_number_ above every WAL it found on disk.
   std::unique_ptr<WritableFile> wal_file;
@@ -112,7 +146,12 @@ Status DB::OpenImpl() {
   applied_seq_.store(versions_->last_seq(), std::memory_order_release);
   RefreshViewLocked();
 
-  bg_thread_ = std::thread(&DB::BackgroundThread, this);
+  flush_thread_ = std::thread(&DB::FlushThreadMain, this);
+  const int pool = std::max(1, options_.compaction_threads);
+  compaction_threads_.reserve(pool);
+  for (int i = 0; i < pool; i++) {
+    compaction_threads_.emplace_back(&DB::CompactionThreadMain, this);
+  }
   return Status::OK();
 }
 
@@ -230,7 +269,7 @@ Status DB::ReplayWals() {
     std::vector<FileMeta> outputs;
     std::vector<uint64_t> numbers;
     APM_RETURN_IF_ERROR(WriteTables(iter.get(), /*single_output=*/true,
-                                    &outputs, &numbers));
+                                    /*output_level=*/0, &outputs, &numbers));
     VersionEdit edit;
     for (const auto& meta : outputs) {
       edit.added.push_back({0, meta});
@@ -265,8 +304,14 @@ Status DB::Close() {
     while (imm_ != nullptr && bg_error_.ok()) cv_.wait(lock);
     shutting_down_ = true;
     cv_.notify_all();
+    compaction_cv_.notify_all();
   }
-  if (bg_thread_.joinable()) bg_thread_.join();
+  // In-flight compaction jobs run to completion; the pool threads exit
+  // once shutting_down_ is visible at the top of their loops.
+  if (flush_thread_.joinable()) flush_thread_.join();
+  for (auto& t : compaction_threads_) {
+    if (t.joinable()) t.join();
+  }
   Status s;
   if (wal_ != nullptr) {
     // Make acknowledged records durable before closing: with
@@ -278,6 +323,10 @@ Status DB::Close() {
     wal_.reset();
   }
   std::lock_guard<std::mutex> lock(mu_);
+  // Unlink whatever zombie files are now unreferenced. Tables still held
+  // by a user's live snapshot iterator stay readable (the Table keeps its
+  // file handle); their files become orphans that the next Open removes.
+  CollectZombiesLocked();
   close_status_ = s;
   return s;
 }
@@ -291,14 +340,50 @@ DB::~DB() {
 }
 
 Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock) {
-  // Once a WAL or flush failure is recorded the engine refuses writes:
-  // continuing could acknowledge records that recovery cannot honor.
-  if (!bg_error_.ok()) return bg_error_;
-  while (mem_->ApproximateBytes() >= options_.memtable_bytes) {
+  // One bounded delay per write group: at the slowdown trigger each
+  // leader pays ~1ms once, smoothly shedding ingest rate instead of
+  // letting L0 race from "fine" straight to a hard stop.
+  bool allow_delay = options_.level0_slowdown_trigger > 0;
+  bool counted_stop = false;
+  for (;;) {
+    // Once a WAL or flush failure is recorded the engine refuses writes:
+    // continuing could acknowledge records that recovery cannot honor.
     if (!bg_error_.ok()) return bg_error_;
+    const int l0_files = versions_->NumFiles(0);
+    if (allow_delay && l0_files >= options_.level0_slowdown_trigger &&
+        (options_.level0_stop_trigger == 0 ||
+         l0_files < options_.level0_stop_trigger)) {
+      allow_delay = false;
+      compaction_cv_.notify_all();
+      const uint64_t start = NowMicros();
+      lock->unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      lock->lock();
+      stall_slowdown_micros_ += NowMicros() - start;
+      stall_slowdown_writes_++;
+      continue;
+    }
+    if (mem_->ApproximateBytes() < options_.memtable_bytes) {
+      return Status::OK();
+    }
     if (imm_ != nullptr) {
       // Backpressure: the previous memtable is still being flushed.
       cv_.wait(*lock);
+      continue;
+    }
+    if (options_.level0_stop_trigger > 0 &&
+        l0_files >= options_.level0_stop_trigger) {
+      // Rotating now would soon land another L0 file; hold the writer
+      // until compaction brings the count back down (job completions
+      // notify cv_).
+      if (!counted_stop) {
+        counted_stop = true;
+        stall_stop_writes_++;
+      }
+      compaction_cv_.notify_all();
+      const uint64_t start = NowMicros();
+      cv_.wait(*lock);
+      stall_stop_micros_ += NowMicros() - start;
       continue;
     }
     // Rotate memtable and WAL.
@@ -658,15 +743,21 @@ std::unique_ptr<Iterator> DB::NewSnapshotIterator(
                                             std::move(tables));
 }
 
-Status DB::WriteTables(Iterator* iter, bool single_output,
+Status DB::WriteTables(Iterator* iter, bool single_output, int output_level,
                        std::vector<FileMeta>* outputs,
                        std::vector<uint64_t>* numbers) {
   std::unique_ptr<TableBuilder> builder;
   uint64_t current_number = 0;
+  // Rate-limiter charging: pay for bytes in ~64 KiB installments as the
+  // builder grows, so background I/O is smoothed rather than charged in
+  // one table-sized burst at Finish.
+  constexpr uint64_t kChargeChunk = 64 * 1024;
+  uint64_t charged = 0;
   auto open_builder = [&]() -> Status {
     current_number = versions_->NewFileNumber();
     builder = std::make_unique<TableBuilder>(options_, env_,
                                              TablePath(current_number));
+    charged = 0;
     return builder->Open();
   };
   auto finish_builder = [&]() -> Status {
@@ -682,9 +773,15 @@ Status DB::WriteTables(Iterator* iter, bool single_output,
     meta.num_entries = builder->NumEntries();
     meta.smallest = builder->smallest_key();
     meta.largest = builder->largest_key();
+    if (rate_limiter_ != nullptr && meta.file_size > charged) {
+      rate_limiter_->Request(meta.file_size - charged);
+    }
     outputs->push_back(std::move(meta));
     numbers->push_back(current_number);
-    compaction_bytes_written_ += builder->FileSize();
+    compaction_bytes_written_.fetch_add(builder->FileSize(),
+                                        std::memory_order_relaxed);
+    compaction_written_per_level_[output_level].fetch_add(
+        builder->FileSize(), std::memory_order_relaxed);
     builder.reset();
     return Status::OK();
   };
@@ -696,6 +793,13 @@ Status DB::WriteTables(Iterator* iter, bool single_output,
     }
     APM_RETURN_IF_ERROR(builder->Add(iter->key(), iter->value(), iter->seq(),
                                      iter->IsTombstone()));
+    if (rate_limiter_ != nullptr) {
+      const uint64_t estimate = builder->CurrentSizeEstimate();
+      if (estimate >= charged + kChargeChunk) {
+        rate_limiter_->Request(estimate - charged);
+        charged = estimate;
+      }
+    }
     if (!single_output && builder->CurrentSizeEstimate() >= max_output) {
       APM_RETURN_IF_ERROR(finish_builder());
     }
@@ -704,30 +808,43 @@ Status DB::WriteTables(Iterator* iter, bool single_output,
   return finish_builder();
 }
 
-void DB::BackgroundThread() {
+void DB::FlushThreadMain() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!shutting_down_) {
-    CompactionJob job;
-    if (imm_ != nullptr) {
-      bg_active_ = true;
+    if (imm_ != nullptr && bg_error_.ok()) {
       lock.unlock();
       BackgroundFlush();
       lock.lock();
-      bg_active_ = false;
+      // Writers waiting on imm_, Flush/Close drains, and the compaction
+      // pool (a flush may have pushed L0 over a trigger) all need waking.
       cv_.notify_all();
-      continue;
-    }
-    if (bg_error_.ok() && PickCompaction(&job)) {
-      bg_active_ = true;
-      lock.unlock();
-      BackgroundCompact(job);
-      lock.lock();
-      bg_active_ = false;
-      manual_compaction_ = false;
-      cv_.notify_all();
+      compaction_cv_.notify_all();
       continue;
     }
     cv_.wait(lock);
+  }
+}
+
+void DB::CompactionThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutting_down_) {
+    CompactionJob job;
+    if (bg_error_.ok() && PickCompaction(&job)) {
+      running_compactions_++;
+      lock.unlock();
+      RunCompaction(job);
+      lock.lock();
+      running_compactions_--;
+      versions_->ReleaseFiles(job.inputs);
+      if (job.manual) manual_compaction_running_ = false;
+      // Stalled writers watch the L0 count on cv_; peers retry picks on
+      // compaction_cv_ (released claims may unblock them, and one
+      // compaction often makes the next one eligible).
+      cv_.notify_all();
+      compaction_cv_.notify_all();
+      continue;
+    }
+    compaction_cv_.wait(lock);
   }
 }
 
@@ -742,8 +859,8 @@ void DB::BackgroundFlush() {
   std::vector<uint64_t> numbers;
   // File numbers come from an atomic counter, so the flush I/O can run
   // without blocking foreground operations.
-  Status s = WriteTables(iter.get(), /*single_output=*/true, &outputs,
-                         &numbers);
+  Status s = WriteTables(iter.get(), /*single_output=*/true,
+                         /*output_level=*/0, &outputs, &numbers);
   std::lock_guard<std::mutex> lock(mu_);
   if (!s.ok()) {
     bg_error_ = s;
@@ -769,6 +886,7 @@ void DB::BackgroundFlush() {
   imm_.reset();
   num_flushes_++;
   RefreshViewLocked();
+  CollectZombiesLocked();
 }
 
 uint64_t DB::MaxBytesForLevel(int level) const {
@@ -778,15 +896,28 @@ uint64_t DB::MaxBytesForLevel(int level) const {
 }
 
 bool DB::PickCompaction(CompactionJob* job) {
-  // Called with mu_ held.
-  if (manual_compaction_) {
+  // Called with mu_ held. A successful pick claims job->inputs in the
+  // VersionSet; concurrent picks skip claimed files, so two in-flight
+  // jobs can never share (or range-overlap through the overlap scans
+  // below) an input table. The caller releases the claims when the job
+  // finishes.
+  if (manual_compaction_requested_ || manual_compaction_running_) {
+    if (manual_compaction_running_) return false;
+    // A manual compaction wants *every* table; wait for in-flight jobs
+    // to drain (their completions re-signal compaction_cv_) and suppress
+    // new auto picks meanwhile so the claim set empties.
+    if (versions_->NumClaimed() > 0) return false;
     job->inputs.clear();
+    job->input_levels.clear();
     for (int level = 0; level < versions_->NumLevels(); level++) {
-      for (const auto& f : versions_->files(level)) job->inputs.push_back(f);
+      for (const auto& f : versions_->files(level)) {
+        job->inputs.push_back(f);
+        job->input_levels.push_back(level);
+      }
     }
     if (job->inputs.empty()) {
       // Nothing to do; release the waiter in CompactAll.
-      manual_compaction_ = false;
+      manual_compaction_requested_ = false;
       cv_.notify_all();
       return false;
     }
@@ -796,12 +927,22 @@ bool DB::PickCompaction(CompactionJob* job) {
             : 0;
     job->drop_tombstones = true;
     job->single_output = true;
+    job->manual = true;
+    manual_compaction_requested_ = false;
+    manual_compaction_running_ = true;
+    versions_->ClaimFiles(job->inputs);
     return true;
   }
 
   if (options_.compaction_style == CompactionStyle::kSizeTiered) {
-    // Bucket level-0 files by similar size (Cassandra STCS).
-    std::vector<FileMeta> files = versions_->files(0);
+    // Bucket level-0 files by similar size (Cassandra STCS). Files
+    // claimed by an in-flight job are invisible to this pick, so a
+    // second thread buckets only the remainder — disjoint by
+    // construction.
+    std::vector<FileMeta> files;
+    for (const auto& f : versions_->files(0)) {
+      if (!versions_->IsClaimed(f.number)) files.push_back(f);
+    }
     if (static_cast<int>(files.size()) < options_.size_tiered_min_files) {
       return false;
     }
@@ -833,14 +974,20 @@ bool DB::PickCompaction(CompactionJob* job) {
       return false;
     }
     job->inputs = std::move(bucket);
+    job->input_levels.assign(job->inputs.size(), 0);
     job->output_level = 0;
     job->drop_tombstones = job->inputs.size() == versions_->TotalFiles();
     job->single_output = true;
+    versions_->ClaimFiles(job->inputs);
     return true;
   }
 
   // Leveled compaction.
-  if (versions_->NumFiles(0) >= options_.level0_compaction_trigger) {
+  if (versions_->NumFiles(0) >= options_.level0_compaction_trigger &&
+      !versions_->AnyClaimed(versions_->files(0))) {
+    // L0→L1 jobs are serialized by the claim check above: level-0 files
+    // overlap each other, and two concurrent L0 jobs could emit
+    // overlapping level-1 outputs even from disjoint inputs.
     job->inputs = versions_->files(0);
     // Level-0 files overlap; take all of level 1 that intersects any of
     // them. Level-1 ranges are disjoint, so a linear filter suffices.
@@ -853,54 +1000,118 @@ bool DB::PickCompaction(CompactionJob* job) {
         largest = f.largest;
       }
     }
+    job->input_levels.assign(job->inputs.size(), 0);
+    bool overlap_claimed = false;
     for (const auto& f : versions_->files(1)) {
       if (Slice(f.largest).Compare(smallest) >= 0 &&
           Slice(f.smallest).Compare(largest) <= 0) {
+        if (versions_->IsClaimed(f.number)) {
+          overlap_claimed = true;
+          break;
+        }
         job->inputs.push_back(f);
+        job->input_levels.push_back(1);
       }
     }
-    job->output_level = 1;
-    job->drop_tombstones = job->inputs.size() == versions_->TotalFiles();
-    job->single_output = false;
-    return true;
+    if (!overlap_claimed) {
+      job->output_level = 1;
+      job->drop_tombstones = job->inputs.size() == versions_->TotalFiles();
+      job->single_output = false;
+      versions_->ClaimFiles(job->inputs);
+      return true;
+    }
+    job->inputs.clear();
+    job->input_levels.clear();
   }
   for (int level = 1; level < versions_->NumLevels() - 1; level++) {
     if (versions_->LevelBytes(level) <= MaxBytesForLevel(level)) continue;
     const auto& files = versions_->files(level);
     if (files.empty()) continue;
-    const FileMeta& pick = files.front();
-    job->inputs.push_back(pick);
-    for (const auto& f : versions_->files(level + 1)) {
-      if (Slice(f.largest).Compare(pick.smallest) >= 0 &&
-          Slice(f.smallest).Compare(pick.largest) <= 0) {
-        job->inputs.push_back(f);
+    // Round-robin through the level, LevelDB-style: resume after the
+    // largest key of the last file compacted out of it, skipping files
+    // another job has claimed.
+    const std::string& ptr = versions_->CompactPointer(level);
+    const FileMeta* pick = nullptr;
+    for (const auto& f : files) {
+      if (versions_->IsClaimed(f.number)) continue;
+      if (!ptr.empty() && Slice(f.largest).Compare(ptr) <= 0) continue;
+      pick = &f;
+      break;
+    }
+    if (pick == nullptr) {  // wrap around
+      for (const auto& f : files) {
+        if (!versions_->IsClaimed(f.number)) {
+          pick = &f;
+          break;
+        }
       }
     }
+    if (pick == nullptr) continue;  // whole level in flight
+    job->inputs.clear();
+    job->input_levels.clear();
+    job->inputs.push_back(*pick);
+    job->input_levels.push_back(level);
+    bool overlap_claimed = false;
+    for (const auto& f : versions_->files(level + 1)) {
+      if (Slice(f.largest).Compare(pick->smallest) >= 0 &&
+          Slice(f.smallest).Compare(pick->largest) <= 0) {
+        if (versions_->IsClaimed(f.number)) {
+          overlap_claimed = true;
+          break;
+        }
+        job->inputs.push_back(f);
+        job->input_levels.push_back(level + 1);
+      }
+    }
+    if (overlap_claimed) continue;
     job->output_level = level + 1;
     job->drop_tombstones = job->inputs.size() == versions_->TotalFiles();
     job->single_output = false;
+    versions_->SetCompactPointer(level, pick->largest);
+    versions_->ClaimFiles(job->inputs);
     return true;
   }
   return false;
 }
 
-void DB::BackgroundCompact(const CompactionJob& job) {
-  // Snapshot the input tables (immutable; no mutex needed to read them,
-  // but fetching the shared_ptrs requires it).
-  std::vector<std::shared_ptr<Table>> inputs;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& meta : job.inputs) {
-      auto it = tables_.find(meta.number);
-      if (it == tables_.end()) {
-        bg_error_ = Status::Corruption("compaction input table missing");
-        return;
-      }
-      inputs.push_back(it->second);
-      compaction_bytes_read_ += meta.file_size;
-    }
-  }
+namespace {
 
+/// Restricts an iterator to keys strictly below `end` (empty = no bound);
+/// used to hand each subcompaction its own slice of the merged key space.
+class ClampIterator final : public Iterator {
+ public:
+  ClampIterator(std::unique_ptr<Iterator> base, std::string end)
+      : base_(std::move(base)), end_(std::move(end)) {}
+
+  bool Valid() const override {
+    return base_->Valid() &&
+           (end_.empty() || base_->key().Compare(Slice(end_)) < 0);
+  }
+  void SeekToFirst() override { base_->SeekToFirst(); }
+  void Seek(const Slice& target) override { base_->Seek(target); }
+  void Next() override { base_->Next(); }
+  Slice key() const override { return base_->key(); }
+  Slice value() const override { return base_->value(); }
+  bool IsTombstone() const override { return base_->IsTombstone(); }
+  uint64_t seq() const override { return base_->seq(); }
+  Status status() const override { return base_->status(); }
+
+ private:
+  std::unique_ptr<Iterator> base_;
+  std::string end_;
+};
+
+}  // namespace
+
+Status DB::RunSubcompaction(const std::vector<std::shared_ptr<Table>>& inputs,
+                            const CompactionJob& job, const std::string& start,
+                            const std::string& end,
+                            std::vector<FileMeta>* outputs,
+                            std::vector<uint64_t>* numbers) {
+  // Every subtask merges over *all* input tables (so dedup sees every
+  // version of a key) but only consumes its [start, end) slice; the
+  // slices partition the key space, so the concatenated outputs hold
+  // each surviving key exactly once.
   ReadOptions read_options;
   read_options.fill_cache = false;
   std::vector<std::unique_ptr<Iterator>> children;
@@ -910,25 +1121,100 @@ void DB::BackgroundCompact(const CompactionJob& job) {
   }
   auto merged = NewDedupIterator(NewMergingIterator(std::move(children)),
                                  /*skip_tombstones=*/job.drop_tombstones);
-  merged->SeekToFirst();
+  auto clamped = std::make_unique<ClampIterator>(std::move(merged), end);
+  if (start.empty()) {
+    clamped->SeekToFirst();
+  } else {
+    clamped->Seek(Slice(start));
+  }
+  return WriteTables(clamped.get(), job.single_output, job.output_level,
+                     outputs, numbers);
+}
 
-  std::vector<FileMeta> outputs;
-  std::vector<uint64_t> numbers;
-  Status s = WriteTables(merged.get(), job.single_output, &outputs, &numbers);
+void DB::RunCompaction(const CompactionJob& job) {
+  // Snapshot the input tables (immutable; no mutex needed to read them,
+  // but fetching the shared_ptrs requires it).
+  std::vector<std::shared_ptr<Table>> inputs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < job.inputs.size(); i++) {
+      const auto& meta = job.inputs[i];
+      auto it = tables_.find(meta.number);
+      if (it == tables_.end()) {
+        bg_error_ = Status::Corruption("compaction input table missing");
+        return;
+      }
+      inputs.push_back(it->second);
+      compaction_bytes_read_ += meta.file_size;
+      compaction_read_per_level_[job.input_levels[i]] += meta.file_size;
+    }
+  }
+
+  // Partition the job into subcompactions along the inputs' smallest
+  // keys. Only multi-output (leveled) jobs are eligible: a size-tiered
+  // bucket or manual compaction must emit exactly one table.
+  std::vector<std::string> bounds;  // interior range boundaries
+  if (!job.single_output && options_.subcompactions > 1 &&
+      job.inputs.size() > 1) {
+    std::vector<std::string> keys;
+    for (const auto& meta : job.inputs) keys.push_back(meta.smallest);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    // The first key starts the unbounded leading range; the remaining
+    // candidates split the space into at most `subcompactions` pieces.
+    if (keys.size() > 1) {
+      const size_t max_pieces = std::min<size_t>(
+          static_cast<size_t>(options_.subcompactions), keys.size());
+      const size_t step = (keys.size() + max_pieces - 1) / max_pieces;
+      for (size_t i = step; i < keys.size(); i += step) {
+        bounds.push_back(keys[i]);
+      }
+    }
+  }
+  const size_t pieces = bounds.size() + 1;
+
+  std::vector<std::vector<FileMeta>> piece_outputs(pieces);
+  std::vector<std::vector<uint64_t>> piece_numbers(pieces);
+  Status s;
+  if (pieces == 1) {
+    s = RunSubcompaction(inputs, job, std::string(), std::string(),
+                         &piece_outputs[0], &piece_numbers[0]);
+  } else {
+    std::vector<FanoutExecutor::Task> tasks;
+    tasks.reserve(pieces);
+    for (size_t i = 0; i < pieces; i++) {
+      const std::string start = i == 0 ? std::string() : bounds[i - 1];
+      const std::string end = i == pieces - 1 ? std::string() : bounds[i];
+      tasks.push_back([this, &inputs, &job, start, end, &piece_outputs,
+                       &piece_numbers, i]() {
+        return RunSubcompaction(inputs, job, start, end, &piece_outputs[i],
+                                &piece_numbers[i]);
+      });
+    }
+    s = subcompaction_pool_->RunAll(std::move(tasks));
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   if (!s.ok()) {
+    // Drop whatever outputs finished before the failure; partially built
+    // tables were already abandoned by their builders, and anything left
+    // behind is swept as an orphan at the next Open.
+    for (const auto& numbers : piece_numbers) {
+      for (uint64_t number : numbers) env_->RemoveFile(TablePath(number));
+    }
     bg_error_ = s;
     return;
   }
   VersionEdit edit;
   for (const auto& meta : job.inputs) edit.removed.push_back(meta.number);
-  for (const auto& meta : outputs) {
-    edit.added.push_back({job.output_level, meta});
-    Status open_status = OpenTable(meta);
-    if (!open_status.ok()) {
-      bg_error_ = open_status;
-      return;
+  for (const auto& outputs : piece_outputs) {
+    for (const auto& meta : outputs) {
+      edit.added.push_back({job.output_level, meta});
+      Status open_status = OpenTable(meta);
+      if (!open_status.ok()) {
+        bg_error_ = open_status;
+        return;
+      }
     }
   }
   s = versions_->LogAndApply(edit);
@@ -937,14 +1223,40 @@ void DB::BackgroundCompact(const CompactionJob& job) {
     return;
   }
   for (const auto& meta : job.inputs) {
-    tables_.erase(meta.number);
+    // The input tables leave the live version but their files are not
+    // unlinked yet: an open snapshot iterator, an older ReadView, or a
+    // concurrent job's merge may still be reading them. They park on the
+    // zombie list until the last reference drops (CollectZombiesLocked).
+    auto it = tables_.find(meta.number);
+    if (it != tables_.end()) {
+      zombies_.emplace(meta.number, std::move(it->second));
+      tables_.erase(it);
+    }
     cache_->EvictFile(meta.number);
-    env_->RemoveFile(TablePath(meta.number));
   }
   num_compactions_++;
+  compactions_per_level_[job.output_level]++;
+  if (pieces > 1) num_subcompactions_ += pieces;
   // Readers holding the old view keep the dropped tables alive through
   // their shared_ptrs; new readers pick up the compacted set here.
   RefreshViewLocked();
+  CollectZombiesLocked();
+}
+
+void DB::CollectZombiesLocked() {
+  for (auto it = zombies_.begin(); it != zombies_.end();) {
+    // One reference = the zombie map's own. The table left tables_ and
+    // every republished view, so no new reference can be minted; the
+    // count only falls. Destroying the Table closes its file handle
+    // before the unlink.
+    if (it->second.use_count() == 1) {
+      const uint64_t number = it->first;
+      it = zombies_.erase(it);
+      env_->RemoveFile(TablePath(number));
+    } else {
+      ++it;
+    }
+  }
 }
 
 Status DB::Flush() {
@@ -990,16 +1302,26 @@ Status DB::Flush() {
   while (imm_ != nullptr && bg_error_.ok()) {
     cv_.wait(lock);
   }
+  // Deterministic GC point for callers that just released iterators.
+  CollectZombiesLocked();
   return bg_error_;
 }
 
 Status DB::CompactAll() {
   APM_RETURN_IF_ERROR(Flush());
   std::unique_lock<std::mutex> lock(mu_);
-  manual_compaction_ = true;
-  cv_.notify_all();
-  while ((manual_compaction_ || bg_active_) && bg_error_.ok()) {
+  manual_compaction_requested_ = true;
+  compaction_cv_.notify_all();
+  // The request drains in-flight jobs first (auto picks are suppressed
+  // while it is pending), then one thread claims every table. Completion
+  // of each job re-signals both condition variables.
+  while ((manual_compaction_requested_ || manual_compaction_running_) &&
+         bg_error_.ok()) {
     cv_.wait(lock);
+  }
+  if (!bg_error_.ok()) {
+    // Don't leave a poisoned request suppressing future picks.
+    manual_compaction_requested_ = false;
   }
   return bg_error_;
 }
@@ -1065,7 +1387,20 @@ DB::Stats DB::GetStats() {
   stats.num_flushes = num_flushes_;
   stats.num_compactions = num_compactions_;
   stats.compaction_bytes_read = compaction_bytes_read_;
-  stats.compaction_bytes_written = compaction_bytes_written_;
+  stats.compaction_bytes_written =
+      compaction_bytes_written_.load(std::memory_order_relaxed);
+  stats.stall_slowdown_micros = stall_slowdown_micros_;
+  stats.stall_slowdown_writes = stall_slowdown_writes_;
+  stats.stall_stop_micros = stall_stop_micros_;
+  stats.stall_stop_writes = stall_stop_writes_;
+  stats.running_compactions = static_cast<uint64_t>(running_compactions_);
+  stats.claimed_files = versions_->NumClaimed();
+  stats.num_subcompactions = num_subcompactions_;
+  stats.zombie_tables = zombies_.size();
+  if (rate_limiter_ != nullptr) {
+    stats.rate_limited_bytes = rate_limiter_->total_bytes();
+    stats.rate_limit_wait_micros = rate_limiter_->total_wait_micros();
+  }
   stats.cache_hits = cache_->hits();
   stats.cache_misses = cache_->misses();
   stats.cache_charge = cache_->charge();
@@ -1088,6 +1423,11 @@ DB::Stats DB::GetStats() {
     }
     stats.cache_hits_per_level.push_back(hits);
     stats.cache_misses_per_level.push_back(misses);
+    stats.compactions_per_level.push_back(compactions_per_level_[level]);
+    stats.compaction_read_per_level.push_back(
+        compaction_read_per_level_[level]);
+    stats.compaction_written_per_level.push_back(
+        compaction_written_per_level_[level].load(std::memory_order_relaxed));
   }
   return stats;
 }
@@ -1125,6 +1465,56 @@ bool DB::GetProperty(const Slice& property, std::string* value) {
                static_cast<unsigned long long>(hits),
                static_cast<unsigned long long>(misses),
                total > 0 ? static_cast<double>(hits) / total : 0.0);
+      value->append(line);
+    }
+    return true;
+  }
+  if (property == Slice("lsm.compaction-stats")) {
+    Stats stats = GetStats();
+    char line[200];
+    snprintf(line, sizeof(line),
+             "compaction: %d threads, %llu running, %llu claimed inputs, "
+             "%llu zombie tables, %llu jobs (%llu subcompactions)\n",
+             std::max(1, options_.compaction_threads),
+             static_cast<unsigned long long>(stats.running_compactions),
+             static_cast<unsigned long long>(stats.claimed_files),
+             static_cast<unsigned long long>(stats.zombie_tables),
+             static_cast<unsigned long long>(stats.num_compactions),
+             static_cast<unsigned long long>(stats.num_subcompactions));
+    value->append(line);
+    snprintf(line, sizeof(line),
+             "stalls: slowdown %llu writes / %llu us, stop %llu writes / "
+             "%llu us\n",
+             static_cast<unsigned long long>(stats.stall_slowdown_writes),
+             static_cast<unsigned long long>(stats.stall_slowdown_micros),
+             static_cast<unsigned long long>(stats.stall_stop_writes),
+             static_cast<unsigned long long>(stats.stall_stop_micros));
+    value->append(line);
+    if (rate_limiter_ != nullptr) {
+      snprintf(line, sizeof(line),
+               "rate limit: %llu bytes/s, %llu bytes through, wait %llu us\n",
+               static_cast<unsigned long long>(rate_limiter_->bytes_per_sec()),
+               static_cast<unsigned long long>(stats.rate_limited_bytes),
+               static_cast<unsigned long long>(stats.rate_limit_wait_micros));
+      value->append(line);
+    }
+    for (size_t level = 0; level < stats.files_per_level.size(); level++) {
+      if (stats.files_per_level[level] == 0 &&
+          stats.compactions_per_level[level] == 0 &&
+          stats.compaction_written_per_level[level] == 0) {
+        continue;
+      }
+      snprintf(line, sizeof(line),
+               "L%zu: %d files / %llu bytes, %llu compactions, read %llu, "
+               "written %llu\n",
+               level, stats.files_per_level[level],
+               static_cast<unsigned long long>(stats.bytes_per_level[level]),
+               static_cast<unsigned long long>(
+                   stats.compactions_per_level[level]),
+               static_cast<unsigned long long>(
+                   stats.compaction_read_per_level[level]),
+               static_cast<unsigned long long>(
+                   stats.compaction_written_per_level[level]));
       value->append(line);
     }
     return true;

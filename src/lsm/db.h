@@ -1,6 +1,7 @@
 #ifndef APMBENCH_LSM_DB_H_
 #define APMBENCH_LSM_DB_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -14,6 +15,8 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/fanout.h"
+#include "common/rate_limiter.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "lsm/block_cache.h"
@@ -48,9 +51,12 @@ class WriteBatch {
 
 /// A log-structured merge-tree storage engine: writes go to a write-ahead
 /// log and an in-memory memtable; full memtables are flushed to immutable
-/// SSTables by a background thread, which also merges tables according to
-/// the configured compaction style (size-tiered as in Cassandra, or
-/// leveled as in LevelDB/HBase major compactions).
+/// SSTables by a dedicated flush thread, while a pool of compaction
+/// threads merges tables according to the configured compaction style
+/// (size-tiered as in Cassandra, or leveled as in LevelDB/HBase major
+/// compactions). Writers are admission-controlled against L0 growth
+/// (slowdown/stop triggers) so ingest cannot outrun compaction
+/// unboundedly; see docs/concurrency.md, "Write path".
 ///
 /// Thread-safety: all public methods are safe to call concurrently.
 /// Writers go through a LevelDB-style writer queue: concurrent
@@ -94,8 +100,34 @@ class DB {
     uint64_t grouped_writes = 0;
     /// Writers currently queued (including any in-flight leader).
     uint64_t pending_writers = 0;
+    /// Write admission control (see MakeRoomForWrite): time and write
+    /// groups delayed by the level0_slowdown_trigger (bounded one-time
+    /// delay) and blocked at the level0_stop_trigger.
+    uint64_t stall_slowdown_micros = 0;
+    uint64_t stall_slowdown_writes = 0;
+    uint64_t stall_stop_micros = 0;
+    uint64_t stall_stop_writes = 0;
+    /// Compaction jobs executing right now and input files claimed by
+    /// them (the scheduler's queue depth).
+    uint64_t running_compactions = 0;
+    uint64_t claimed_files = 0;
+    /// Subcompaction subtasks run so far (counted only when a job was
+    /// actually split).
+    uint64_t num_subcompactions = 0;
+    /// Tables removed from the live version but kept alive (file not yet
+    /// unlinked) because an iterator or in-flight job still reads them.
+    uint64_t zombie_tables = 0;
+    /// Background-I/O rate limiter totals (zero when unlimited).
+    uint64_t rate_limited_bytes = 0;
+    uint64_t rate_limit_wait_micros = 0;
     std::vector<int> files_per_level;
     std::vector<uint64_t> bytes_per_level;
+    /// Compaction work by level: jobs that output into the level, bytes
+    /// read from the level's files as compaction input, bytes written
+    /// into the level as compaction/flush output.
+    std::vector<uint64_t> compactions_per_level;
+    std::vector<uint64_t> compaction_read_per_level;
+    std::vector<uint64_t> compaction_written_per_level;
   };
 
   /// Opens (creating or recovering) the database in `options.dir`.
@@ -159,6 +191,9 @@ class DB {
   ///   "lsm.cache-stats"  — multi-line per-level cache hit rates plus
   ///                        totals, charge, and capacity
   ///   "lsm.cache-charge" — bytes currently charged to the block cache
+  ///   "lsm.compaction-stats" — scheduler state (running jobs, claims,
+  ///                        zombies), stall totals, and per-level
+  ///                        compaction counters
   /// Returns false for unknown properties.
   bool GetProperty(const Slice& property, std::string* value);
 
@@ -167,9 +202,13 @@ class DB {
  private:
   struct CompactionJob {
     std::vector<FileMeta> inputs;
+    /// Level each entry of `inputs` currently lives on (parallel vector),
+    /// for per-level read attribution.
+    std::vector<int> input_levels;
     int output_level = 0;
     bool drop_tombstones = false;
     bool single_output = false;  // size-tiered merges a bucket into 1 table
+    bool manual = false;         // a CompactAll request
   };
 
   /// One queued writer; the front of `writers_` is the current leader.
@@ -199,8 +238,12 @@ class DB {
   std::string TablePath(uint64_t number) const;
   std::string WalPath(uint64_t number) const;
 
-  /// Blocks the writer until the memtable has room, rotating it to
-  /// immutable (and the WAL) when full. Requires `lock` held.
+  /// Write admission control + memtable rotation (RocksDB semantics).
+  /// Requires `lock` held. In order: injects a bounded one-time delay
+  /// when L0 reaches level0_slowdown_trigger, waits for the pending flush
+  /// when both memtables are full, blocks at level0_stop_trigger until
+  /// compaction catches up, and rotates the memtable/WAL when the live
+  /// memtable is full.
   Status MakeRoomForWrite(std::unique_lock<std::mutex>* lock);
 
   /// Checks that `batch.rep_` decodes cleanly and matches its count, so a
@@ -221,17 +264,47 @@ class DB {
   /// shared_ptr copy, never across I/O or traversal.
   std::shared_ptr<const ReadView> CurrentView() const;
 
-  void BackgroundThread();
-  /// Flushes imm_ to a level-0 table. Called on the background thread
-  /// without the mutex held (imm_ is immutable); re-acquires it to apply.
+  /// The dedicated flush thread: turns imm_ into a level-0 table as soon
+  /// as one exists. Never runs compactions, so a long merge cannot delay
+  /// the flush that unblocks writers.
+  void FlushThreadMain();
+  /// One compaction-pool thread: picks (and claims) a job under mu_,
+  /// merges it outside, applies the edit, releases the claims.
+  void CompactionThreadMain();
+  /// Flushes imm_ to a level-0 table. Called on the flush thread without
+  /// the mutex held (imm_ is immutable); re-acquires it to apply.
   void BackgroundFlush();
+  /// Picks the next compaction and claims its inputs so no concurrent
+  /// pick can select an overlapping set. Requires mu_; the caller must
+  /// ReleaseFiles(job->inputs) when the job finishes.
   bool PickCompaction(CompactionJob* job);
-  void BackgroundCompact(const CompactionJob& job);
+  /// Runs one claimed job end to end (requires mu_ NOT held): merges the
+  /// inputs — split into parallel subcompactions when eligible — applies
+  /// the version edit, and moves the inputs to the zombie list.
+  void RunCompaction(const CompactionJob& job);
+  /// Merges `inputs` over the key range [start, end) (empty = unbounded)
+  /// into new tables. Requires mu_ NOT held.
+  Status RunSubcompaction(const std::vector<std::shared_ptr<Table>>& inputs,
+                          const CompactionJob& job, const std::string& start,
+                          const std::string& end,
+                          std::vector<FileMeta>* outputs,
+                          std::vector<uint64_t>* numbers);
   uint64_t MaxBytesForLevel(int level) const;
 
+  /// Unlinks zombie tables nothing references anymore. A table moves to
+  /// zombies_ when a compaction drops it from the live version; its file
+  /// may only be deleted once no snapshot iterator or older ReadView
+  /// still holds the Table (use_count drops to the map's own reference —
+  /// no new references can be minted once it left the view). Requires
+  /// mu_.
+  void CollectZombiesLocked();
+
   /// Writes the contents of `iter` into one or more new tables at
-  /// `output_level`. Requires the mutex NOT held.
-  Status WriteTables(Iterator* iter, bool single_output,
+  /// `output_level` (stats attribution only — placement happens in the
+  /// caller's VersionEdit). Charges the rate limiter as bytes accumulate.
+  /// Requires the mutex NOT held; safe to run from several threads at
+  /// once.
+  Status WriteTables(Iterator* iter, bool single_output, int output_level,
                      std::vector<FileMeta>* outputs,
                      std::vector<uint64_t>* numbers);
 
@@ -271,11 +344,28 @@ class DB {
 
   std::unordered_map<uint64_t, std::shared_ptr<Table>> tables_;
 
-  std::thread bg_thread_;
+  /// Tables compacted out of the live version whose files cannot be
+  /// unlinked yet; see CollectZombiesLocked. Guarded by mu_.
+  std::unordered_map<uint64_t, std::shared_ptr<Table>> zombies_;
+
+  std::thread flush_thread_;
+  std::vector<std::thread> compaction_threads_;
+  /// Wakes the compaction pool: signaled when a flush lands a new L0
+  /// file, a job finishes (cascading work, claim releases), a manual
+  /// compaction is requested, or at shutdown.
+  std::condition_variable compaction_cv_;
+  /// Shared executor for subcompaction subtasks; null when
+  /// Options::subcompactions <= 1. Callers participate, so concurrent
+  /// jobs can share it without deadlock.
+  std::unique_ptr<FanoutExecutor> subcompaction_pool_;
+  /// Token bucket charged by WriteTables; null when unlimited.
+  std::shared_ptr<RateLimiter> rate_limiter_;
+
   bool shutting_down_ = false;
   bool closed_ = false;
-  bool bg_active_ = false;
-  bool manual_compaction_ = false;
+  int running_compactions_ = 0;
+  bool manual_compaction_requested_ = false;
+  bool manual_compaction_running_ = false;
   Status bg_error_;
   Status close_status_;
 
@@ -285,8 +375,21 @@ class DB {
   uint64_t grouped_writes_ = 0;
   uint64_t num_flushes_ = 0;
   uint64_t num_compactions_ = 0;
+  uint64_t num_subcompactions_ = 0;
+  uint64_t stall_slowdown_micros_ = 0;
+  uint64_t stall_slowdown_writes_ = 0;
+  uint64_t stall_stop_micros_ = 0;
+  uint64_t stall_stop_writes_ = 0;
   uint64_t compaction_bytes_read_ = 0;
-  uint64_t compaction_bytes_written_ = 0;
+  /// Accumulated in WriteTables, which runs outside mu_ and concurrently
+  /// across flush + compaction threads — hence atomic, unlike the
+  /// counters above (all mutated under mu_).
+  std::atomic<uint64_t> compaction_bytes_written_{0};
+  std::array<std::atomic<uint64_t>, Options::kNumLevels>
+      compaction_written_per_level_{};
+  /// Input attribution, updated under mu_ when a job starts.
+  std::array<uint64_t, Options::kNumLevels> compaction_read_per_level_{};
+  std::array<uint64_t, Options::kNumLevels> compactions_per_level_{};
 };
 
 }  // namespace apmbench::lsm

@@ -3,12 +3,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/compression.h"
 
 namespace apmbench {
 class Env;
+class RateLimiter;
 }
 
 namespace apmbench::lsm {
@@ -73,6 +75,35 @@ struct Options {
   int level0_compaction_trigger = 4;
   /// Leveled: byte budget of level 1; each deeper level is 10x larger.
   uint64_t level1_max_bytes = 32ull * 1024 * 1024;
+
+  /// Size of the compaction thread pool. Flushes always run on their own
+  /// dedicated thread; these threads only run compactions, so a long
+  /// merge can never delay memtable flushes. Clamped to >= 1.
+  int compaction_threads = 2;
+
+  /// Maximum number of parallel subcompactions per leveled compaction
+  /// job: the job's key range is partitioned and the pieces are merged
+  /// concurrently through a shared FanoutExecutor. 1 disables splitting.
+  int subcompactions = 1;
+
+  /// Write admission control (RocksDB semantics). When the number of
+  /// level-0 sorted runs reaches `level0_slowdown_trigger`, each write is
+  /// delayed once by ~1ms to let compaction gain ground; at
+  /// `level0_stop_trigger` writers block until the count drops. Under the
+  /// size-tiered style every table lives in L0, so these bound the total
+  /// sorted-run count (universal-compaction style). 0 disables a trigger.
+  int level0_slowdown_trigger = 20;
+  int level0_stop_trigger = 36;
+
+  /// Byte budget per second for background I/O (flush + compaction),
+  /// enforced by a token-bucket RateLimiter. 0 = unlimited. Ignored when
+  /// `rate_limiter` is set explicitly.
+  uint64_t rate_limit_bytes_per_sec = 0;
+
+  /// Optional explicit limiter, shared across DBs so several LSM nodes
+  /// of one store draw from a single machine-wide budget. When null and
+  /// rate_limit_bytes_per_sec > 0, the DB creates a private one.
+  std::shared_ptr<RateLimiter> rate_limiter;
 
   /// Number of levels maintained by the leveled strategy.
   static constexpr int kNumLevels = 7;

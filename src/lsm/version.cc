@@ -109,6 +109,21 @@ Status VersionSet::Recover(bool* found) {
   return Status::OK();
 }
 
+bool VersionSet::AnyClaimed(const std::vector<FileMeta>& files) const {
+  for (const auto& f : files) {
+    if (claimed_.count(f.number)) return true;
+  }
+  return false;
+}
+
+void VersionSet::ClaimFiles(const std::vector<FileMeta>& files) {
+  for (const auto& f : files) claimed_.insert(f.number);
+}
+
+void VersionSet::ReleaseFiles(const std::vector<FileMeta>& files) {
+  for (const auto& f : files) claimed_.erase(f.number);
+}
+
 Status VersionSet::LogAndApply(const VersionEdit& edit) {
   for (uint64_t number : edit.removed) {
     for (auto& level : levels_) {

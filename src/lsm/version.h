@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/env.h"
@@ -86,6 +87,31 @@ class VersionSet {
   /// the initial manifest of a fresh database.
   Status Persist();
 
+  // --- In-flight compaction claims (externally synchronized, like the
+  // rest of this class). A compaction job claims its input files at pick
+  // time; picking skips claimed files, so two concurrently running jobs
+  // can never merge overlapping inputs. Claims survive until the job
+  // releases them (success or failure).
+
+  /// True if any file in `files` is claimed by an in-flight job.
+  bool AnyClaimed(const std::vector<FileMeta>& files) const;
+  bool IsClaimed(uint64_t number) const {
+    return claimed_.count(number) != 0;
+  }
+  void ClaimFiles(const std::vector<FileMeta>& files);
+  void ReleaseFiles(const std::vector<FileMeta>& files);
+  size_t NumClaimed() const { return claimed_.size(); }
+
+  /// Round-robin cursor for picking the next file to compact out of
+  /// `level` (LevelDB's compact_pointer_): the largest key of the last
+  /// compacted file. Empty = start from the beginning.
+  const std::string& CompactPointer(int level) const {
+    return compact_pointer_[level];
+  }
+  void SetCompactPointer(int level, std::string key) {
+    compact_pointer_[level] = std::move(key);
+  }
+
  private:
   std::string ManifestPath() const;
 
@@ -95,6 +121,8 @@ class VersionSet {
   std::atomic<uint64_t> next_file_number_{1};
   uint64_t last_seq_ = 0;
   uint64_t log_number_ = 0;
+  std::unordered_set<uint64_t> claimed_;
+  std::vector<std::string> compact_pointer_{Options::kNumLevels};
 };
 
 }  // namespace apmbench::lsm

@@ -4,6 +4,7 @@
 
 #include "common/clock.h"
 #include "common/coding.h"
+#include "common/rate_limiter.h"
 
 namespace apmbench::stores {
 
@@ -24,6 +25,13 @@ Status CassandraStore::Open(const StoreOptions& options,
     return Status::InvalidArgument("StoreOptions::base_dir must be set");
   }
   std::unique_ptr<CassandraStore> s(new CassandraStore(options));
+  // One token bucket for the whole store: the simulated nodes share one
+  // machine's disk, so their background I/O draws from one budget.
+  std::shared_ptr<RateLimiter> rate_limiter;
+  if (options.lsm_rate_limit_bytes_per_sec > 0) {
+    rate_limiter =
+        std::make_shared<RateLimiter>(options.lsm_rate_limit_bytes_per_sec);
+  }
   for (int i = 0; i < options.num_nodes; i++) {
     lsm::Options db_options;
     db_options.dir = options.base_dir + "/node" + std::to_string(i);
@@ -34,6 +42,10 @@ Status CassandraStore::Open(const StoreOptions& options,
     db_options.bloom_bits_per_key = options.bloom_bits_per_key;
     db_options.compression = options.lsm_compression;
     db_options.compaction_style = lsm::CompactionStyle::kSizeTiered;
+    db_options.compaction_threads = options.lsm_compaction_threads;
+    db_options.level0_slowdown_trigger = options.lsm_level0_slowdown_trigger;
+    db_options.level0_stop_trigger = options.lsm_level0_stop_trigger;
+    db_options.rate_limiter = rate_limiter;
     std::unique_ptr<lsm::DB> db;
     APM_RETURN_IF_ERROR(lsm::DB::Open(db_options, &db));
     s->nodes_.push_back(std::move(db));

@@ -47,6 +47,20 @@ struct StoreOptions {
   /// SSTable block compression (the paper runs uncompressed; Section 8
   /// lists the compression tradeoff as future work).
   CompressionType lsm_compression = CompressionType::kNone;
+  /// Compaction pool size per LSM node (flushes always get a dedicated
+  /// thread; see lsm::Options::compaction_threads).
+  int lsm_compaction_threads = 2;
+  /// Parallel subcompactions per leveled compaction job (HBase-like
+  /// store); 1 disables splitting.
+  int lsm_subcompactions = 1;
+  /// Write admission control per node: L0 sorted-run counts at which
+  /// writes are first delayed (~1ms once per write) and then blocked
+  /// until compaction catches up. 0 disables a trigger.
+  int lsm_level0_slowdown_trigger = 20;
+  int lsm_level0_stop_trigger = 36;
+  /// Background-I/O (flush + compaction) byte budget per second, shared
+  /// by every node of the store through one token bucket. 0 = unlimited.
+  uint64_t lsm_rate_limit_bytes_per_sec = 0;
 
   /// B+tree engines (mysql-like, voldemort-like).
   size_t buffer_pool_bytes = 32 * 1024 * 1024;

@@ -23,6 +23,7 @@
 #include "common/clock.h"
 #include "common/env.h"
 #include "common/properties.h"
+#include "net/remote_store.h"
 #include "stores/factory.h"
 #include "ycsb/client.h"
 #include "ycsb/timeseries.h"
@@ -40,12 +41,35 @@ int Usage(const char* argv0) {
           "[target=OPS] [warmup=S] [interval=S] [status=S]\n"
           "          [series_json=F|-] [series_csv=F|-] [propertyfile=F] "
           "[<property>=<value> ...]\n"
-          "stores: cassandra hbase voldemort redis voltdb mysql\n",
+          "stores: cassandra hbase voldemort redis voltdb mysql\n"
+          "        remote (addr=host:port connections=N, see store_server)\n",
           argv0);
   return 2;
 }
 
+/// store=remote drives a store_server over the binary protocol instead of
+/// an embedded engine: addr=host:port connections=N [pipeline=N].
+Status OpenRemoteStore(const Properties& args,
+                       std::unique_ptr<ycsb::DB>* db) {
+  net::ClientOptions options;
+  std::string addr = args.GetString("addr", "127.0.0.1:7421");
+  size_t colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("addr must be host:port, got " + addr);
+  }
+  options.host = addr.substr(0, colon);
+  options.port = std::stoi(addr.substr(colon + 1));
+  options.connections = static_cast<int>(args.GetInt("connections", 8));
+  options.max_pipeline =
+      static_cast<size_t>(args.GetInt("pipeline", 128));
+  std::unique_ptr<net::RemoteStore> remote;
+  APM_RETURN_IF_ERROR(net::RemoteStore::Open(options, &remote));
+  *db = std::move(remote);
+  return Status::OK();
+}
+
 Status OpenStore(const Properties& args, std::unique_ptr<ycsb::DB>* db) {
+  if (args.GetString("store") == "remote") return OpenRemoteStore(args, db);
   stores::StoreOptions options;
   options.base_dir = args.GetString("dir", "/tmp/apmbench-ycsb");
   options.num_nodes = static_cast<int>(args.GetInt("nodes", 1));

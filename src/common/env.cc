@@ -9,15 +9,47 @@
 #include <cerrno>
 #include <cstring>
 
+#include <atomic>
+
 namespace apmbench {
 
 namespace {
+
+std::atomic<PosixPreadFunc> g_pread_hook{nullptr};
 
 Status PosixError(const std::string& context, int err) {
   if (err == ENOENT) {
     return Status::NotFound(context + ": " + strerror(err));
   }
   return Status::IOError(context + ": " + strerror(err));
+}
+
+/// Reads exactly `n` bytes at `offset` unless end-of-file intervenes,
+/// retrying EINTR and continuing after short returns — the kernel may
+/// deliver fewer bytes than asked for any reason (signals, readahead
+/// misses), and treating that as the end of the data corrupts reads.
+Status PreadFully(int fd, uint64_t offset, size_t n, Slice* result,
+                  char* scratch, const std::string& path) {
+  PosixPreadFunc hook = g_pread_hook.load(std::memory_order_acquire);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r;
+    if (hook != nullptr) {
+      r = hook(fd, scratch + got, n - got,
+               static_cast<int64_t>(offset + got));
+    } else {
+      r = pread(fd, scratch + got, n - got,
+                static_cast<off_t>(offset + got));
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return PosixError("pread " + path, errno);
+    }
+    if (r == 0) break;  // end of file
+    got += static_cast<size_t>(r);
+  }
+  *result = Slice(scratch, got);
+  return Status::OK();
 }
 
 class PosixWritableFile final : public WritableFile {
@@ -106,12 +138,7 @@ class PosixRandomAccessFile final : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
-    ssize_t r = pread(fd_, scratch, n, static_cast<off_t>(offset));
-    if (r < 0) {
-      return PosixError("pread " + path_, errno);
-    }
-    *result = Slice(scratch, static_cast<size_t>(r));
-    return Status::OK();
+    return PreadFully(fd_, offset, n, result, scratch, path_);
   }
 
   uint64_t Size() const override { return size_; }
@@ -130,12 +157,7 @@ class PosixRandomRWFile final : public RandomRWFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
-    ssize_t r = pread(fd_, scratch, n, static_cast<off_t>(offset));
-    if (r < 0) {
-      return PosixError("pread " + path_, errno);
-    }
-    *result = Slice(scratch, static_cast<size_t>(r));
-    return Status::OK();
+    return PreadFully(fd_, offset, n, result, scratch, path_);
   }
 
   Status Write(uint64_t offset, const Slice& data) override {
@@ -357,6 +379,10 @@ class PosixEnv final : public Env {
 };
 
 }  // namespace
+
+void SetPosixPreadForTesting(PosixPreadFunc fn) {
+  g_pread_hook.store(fn, std::memory_order_release);
+}
 
 Env* Env::Default() {
   static PosixEnv* env = new PosixEnv();

@@ -11,6 +11,15 @@
 
 namespace apmbench {
 
+/// Test seam: when non-null, the POSIX Env issues positional reads through
+/// this function instead of ::pread, so EINTR and short-read handling can
+/// be exercised deterministically (a signal-heavy process sharing the
+/// address space — e.g. the network server — makes both real). Production
+/// code leaves it null; tests must restore the null hook when done.
+using PosixPreadFunc = long (*)(int fd, void* buf, unsigned long count,
+                                int64_t offset);
+void SetPosixPreadForTesting(PosixPreadFunc fn);
+
 /// Append-only file used for logs (WAL, commit log, binlog, AOF) and
 /// SSTable construction. Buffered; `Sync` flushes to the OS and fsyncs.
 class WritableFile {

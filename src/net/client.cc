@@ -1,0 +1,220 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace apmbench::net {
+
+/// One socket plus its bookkeeping. Writes are serialized under
+/// `send_mu` (a frame must hit the stream contiguously); the reader
+/// thread owns the receive side and resolves pending calls by
+/// request_id.
+struct Client::Conn {
+  int fd = -1;
+  std::thread reader;
+
+  std::mutex send_mu;
+
+  std::mutex mu;
+  std::condition_variable cv;  // signaled when in-flight count drops
+  std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending;
+  bool dead = false;
+  Status death_status;
+};
+
+Status Client::Pending::Wait() {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [this] { return done; });
+  return transport;
+}
+
+Client::Client(const ClientOptions& options) : options_(options) {}
+
+Client::~Client() { Close(); }
+
+Status Client::Connect() {
+  if (connected_) return Status::InvalidArgument("client already connected");
+  const int n = options_.connections > 0 ? options_.connections : 1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host " + options_.host);
+  }
+  for (int i = 0; i < n; i++) {
+    int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      Close();
+      return Status::IOError(std::string("socket: ") + strerror(errno));
+    }
+    int r;
+    do {
+      r = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    } while (r != 0 && errno == EINTR);
+    if (r != 0) {
+      Status s = Status::IOError(std::string("connect: ") + strerror(errno));
+      close(fd);
+      Close();
+      return s;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conns_.push_back(std::move(conn));
+  }
+  for (auto& conn : conns_) {
+    conn->reader = std::thread(&Client::ReaderMain, this, conn.get());
+  }
+  connected_ = true;
+  return Status::OK();
+}
+
+void Client::Close() {
+  for (auto& conn : conns_) {
+    // shutdown() unblocks the reader's recv; the reader then fails any
+    // stragglers and exits.
+    if (conn->fd >= 0) shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& conn : conns_) {
+    if (conn->reader.joinable()) conn->reader.join();
+    FailAll(conn.get(), Status::IOError("client closed"));
+    if (conn->fd >= 0) {
+      close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  conns_.clear();
+  connected_ = false;
+}
+
+std::shared_ptr<Client::Pending> Client::AsyncCall(const Request& request) {
+  auto handle = std::make_shared<Pending>();
+  if (conns_.empty()) {
+    std::lock_guard<std::mutex> lock(handle->mu);
+    handle->done = true;
+    handle->transport = Status::InvalidArgument("client not connected");
+    return handle;
+  }
+  Conn* conn = conns_[next_conn_.fetch_add(1, std::memory_order_relaxed) %
+                      conns_.size()]
+                   .get();
+  const uint64_t id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(conn->mu);
+    conn->cv.wait(lock, [&] {
+      return conn->dead || conn->pending.size() < options_.max_pipeline;
+    });
+    if (conn->dead) {
+      std::lock_guard<std::mutex> hl(handle->mu);
+      handle->done = true;
+      handle->transport = conn->death_status;
+      return handle;
+    }
+    conn->pending.emplace(id, handle);
+  }
+  std::string wire;
+  EncodeRequest(request, id, &wire);
+  bool write_failed = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->send_mu);
+    size_t sent = 0;
+    while (sent < wire.size()) {
+      ssize_t n = send(conn->fd, wire.data() + sent, wire.size() - sent,
+                       MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        write_failed = true;
+        break;
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+  if (write_failed) {
+    FailAll(conn, Status::IOError(std::string("send: ") + strerror(errno)));
+  }
+  return handle;
+}
+
+Status Client::Call(const Request& request, Response* response) {
+  auto handle = AsyncCall(request);
+  Status transport = handle->Wait();
+  if (!transport.ok()) return transport;
+  *response = handle->response();
+  return response->status;
+}
+
+void Client::ReaderMain(Conn* conn) {
+  FrameDecoder decoder;
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FailAll(conn, Status::IOError(std::string("recv: ") + strerror(errno)));
+      return;
+    }
+    if (n == 0) {
+      FailAll(conn, Status::IOError("connection closed by server"));
+      return;
+    }
+    decoder.Feed(buf, static_cast<size_t>(n));
+    Frame frame;
+    for (;;) {
+      FrameDecoder::Result r = decoder.Next(&frame);
+      if (r == FrameDecoder::Result::kNeedMore) break;
+      if (r == FrameDecoder::Result::kError) {
+        FailAll(conn, Status::Corruption("bad response frame: " +
+                                         decoder.error()));
+        return;
+      }
+      std::shared_ptr<Pending> handle;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        auto it = conn->pending.find(frame.request_id);
+        if (it != conn->pending.end()) {
+          handle = std::move(it->second);
+          conn->pending.erase(it);
+        }
+      }
+      conn->cv.notify_all();
+      if (handle == nullptr) continue;  // duplicate/unknown id: ignore
+      Response response;
+      const bool ok = DecodeResponse(frame, &response);
+      std::lock_guard<std::mutex> lock(handle->mu);
+      handle->done = true;
+      if (ok) {
+        handle->response_ = std::move(response);
+      } else {
+        handle->transport = Status::Corruption("malformed response payload");
+      }
+      handle->cv.notify_all();
+    }
+  }
+}
+
+void Client::FailAll(Conn* conn, const Status& status) {
+  std::unordered_map<uint64_t, std::shared_ptr<Pending>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->dead) return;
+    conn->dead = true;
+    conn->death_status = status;
+    orphans.swap(conn->pending);
+  }
+  conn->cv.notify_all();
+  for (auto& [id, handle] : orphans) {
+    std::lock_guard<std::mutex> lock(handle->mu);
+    handle->done = true;
+    handle->transport = status;
+    handle->cv.notify_all();
+  }
+}
+
+}  // namespace apmbench::net

@@ -1,0 +1,88 @@
+#ifndef APMBENCH_NET_CLIENT_H_
+#define APMBENCH_NET_CLIENT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+
+namespace apmbench::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Sockets to open; requests are spread round-robin. Many workload
+  /// threads can multiplex pipelined requests over few sockets.
+  int connections = 1;
+  /// Cap on in-flight requests per socket; `Call` blocks past it.
+  size_t max_pipeline = 128;
+};
+
+/// An asynchronous binary-protocol client: N sockets, each with a reader
+/// thread matching responses to callers by request_id, so any number of
+/// threads can pipeline requests concurrently over the same socket.
+class Client {
+ public:
+  /// A pending remote call. Wait() blocks until the response (or the
+  /// connection's failure) arrives.
+  class Pending {
+   public:
+    /// Returns the transport status; on OK, `response()` is valid and
+    /// carries the remote operation's own status.
+    Status Wait();
+    const Response& response() const { return response_; }
+
+   private:
+    friend class Client;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status transport;
+    Response response_;
+  };
+
+  explicit Client(const ClientOptions& options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Opens all sockets and starts reader threads.
+  Status Connect();
+  /// Fails outstanding calls, closes sockets, joins readers. Idempotent.
+  void Close();
+
+  /// Sends `request` on one of the sockets; the returned handle resolves
+  /// when the reply arrives. Blocks only when the chosen socket already
+  /// has max_pipeline requests in flight.
+  std::shared_ptr<Pending> AsyncCall(const Request& request);
+
+  /// AsyncCall + Wait. On transport failure returns that error; otherwise
+  /// returns the remote status and fills `response`.
+  Status Call(const Request& request, Response* response);
+
+ private:
+  struct Conn;
+
+  void ReaderMain(Conn* conn);
+  /// Fails every pending call on `conn` and marks it dead.
+  void FailAll(Conn* conn, const Status& status);
+
+  const ClientOptions options_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::atomic<uint64_t> next_conn_{0};
+  std::atomic<uint64_t> next_request_id_{1};
+  bool connected_ = false;
+};
+
+}  // namespace apmbench::net
+
+#endif  // APMBENCH_NET_CLIENT_H_

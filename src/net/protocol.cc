@@ -1,0 +1,279 @@
+#include "net/protocol.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace apmbench::net {
+
+namespace {
+
+/// Rebuilds a Status from its wire code + message.
+Status StatusFromWire(uint8_t code, std::string message) {
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kNotFound:
+      return Status::NotFound(std::move(message));
+    case Status::Code::kCorruption:
+      return Status::Corruption(std::move(message));
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case Status::Code::kIOError:
+      return Status::IOError(std::move(message));
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(std::move(message));
+    case Status::Code::kBusy:
+      return Status::Busy(std::move(message));
+    case Status::Code::kAborted:
+      return Status::Aborted(std::move(message));
+  }
+  return Status::Corruption("unknown wire status code");
+}
+
+}  // namespace
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kPing:
+      return "PING";
+    case Opcode::kRead:
+      return "READ";
+    case Opcode::kScan:
+      return "SCAN";
+    case Opcode::kInsert:
+      return "INSERT";
+    case Opcode::kUpdate:
+      return "UPDATE";
+    case Opcode::kDelete:
+      return "DELETE";
+    case Opcode::kDiskUsage:
+      return "DISK_USAGE";
+  }
+  return "UNKNOWN";
+}
+
+bool IsValidOpcode(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(Opcode::kPing) &&
+         raw <= static_cast<uint8_t>(Opcode::kDiskUsage);
+}
+
+void AppendFrame(Opcode op, uint64_t request_id, const Slice& payload,
+                 std::string* out) {
+  out->push_back(static_cast<char>(kFrameMagic));
+  out->push_back(static_cast<char>(kProtocolVersion));
+  out->push_back(static_cast<char>(op));
+  out->push_back(0);  // flags
+  PutFixed64(out, request_id);
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload.data(), payload.size());
+  PutFixed32(out, MaskCrc(Crc32c(payload.data(), payload.size())));
+}
+
+FrameDecoder::Result FrameDecoder::Fail(const std::string& message) {
+  failed_ = true;
+  error_ = message;
+  return Result::kError;
+}
+
+void FrameDecoder::Feed(const char* data, size_t n) {
+  if (failed_) return;  // connection is doomed; don't grow the buffer
+  // Compact once the consumed prefix dominates, keeping the buffer
+  // proportional to the unparsed tail rather than the connection's
+  // lifetime traffic.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+FrameDecoder::Result FrameDecoder::Next(Frame* frame) {
+  if (failed_) return Result::kError;
+  const size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return Result::kNeedMore;
+  const char* h = buf_.data() + pos_;
+  const uint8_t magic = static_cast<uint8_t>(h[0]);
+  const uint8_t version = static_cast<uint8_t>(h[1]);
+  const uint8_t opcode = static_cast<uint8_t>(h[2]);
+  const uint8_t flags = static_cast<uint8_t>(h[3]);
+  if (magic != kFrameMagic) return Fail("bad frame magic");
+  if (version != kProtocolVersion) {
+    return Fail("unsupported protocol version " + std::to_string(version));
+  }
+  if (!IsValidOpcode(opcode)) {
+    return Fail("unknown opcode " + std::to_string(opcode));
+  }
+  if (flags != 0) return Fail("nonzero reserved flags");
+  const uint32_t payload_len = DecodeFixed32(h + 12);
+  if (payload_len > kMaxPayloadBytes) {
+    return Fail("oversized payload length " + std::to_string(payload_len));
+  }
+  const size_t total =
+      kFrameHeaderBytes + payload_len + kFrameTrailerBytes;
+  if (avail < total) return Result::kNeedMore;
+  const char* payload = h + kFrameHeaderBytes;
+  const uint32_t expected =
+      UnmaskCrc(DecodeFixed32(payload + payload_len));
+  if (Crc32c(payload, payload_len) != expected) {
+    return Fail("payload CRC mismatch");
+  }
+  frame->op = static_cast<Opcode>(opcode);
+  frame->request_id = DecodeFixed64(h + 4);
+  frame->payload.assign(payload, payload_len);
+  pos_ += total;
+  return Result::kFrame;
+}
+
+void EncodeRequest(const Request& request, uint64_t request_id,
+                   std::string* out) {
+  std::string payload;
+  switch (request.op) {
+    case Opcode::kPing:
+    case Opcode::kDiskUsage:
+      break;
+    case Opcode::kRead:
+    case Opcode::kDelete:
+      PutLengthPrefixedSlice(&payload, Slice(request.table));
+      PutLengthPrefixedSlice(&payload, Slice(request.key));
+      break;
+    case Opcode::kScan:
+      PutLengthPrefixedSlice(&payload, Slice(request.table));
+      PutLengthPrefixedSlice(&payload, Slice(request.key));
+      PutVarint32(&payload, static_cast<uint32_t>(request.count));
+      break;
+    case Opcode::kInsert:
+    case Opcode::kUpdate: {
+      PutLengthPrefixedSlice(&payload, Slice(request.table));
+      PutLengthPrefixedSlice(&payload, Slice(request.key));
+      std::string encoded;
+      ycsb::EncodeRecord(request.record, &encoded);
+      payload.append(encoded);
+      break;
+    }
+  }
+  AppendFrame(request.op, request_id, Slice(payload), out);
+}
+
+bool DecodeRequest(const Frame& frame, Request* request) {
+  *request = Request();
+  request->op = frame.op;
+  Slice in(frame.payload);
+  switch (frame.op) {
+    case Opcode::kPing:
+    case Opcode::kDiskUsage:
+      return in.empty();
+    case Opcode::kRead:
+    case Opcode::kDelete: {
+      Slice table, key;
+      if (!GetLengthPrefixedSlice(&in, &table) ||
+          !GetLengthPrefixedSlice(&in, &key) || !in.empty()) {
+        return false;
+      }
+      request->table = table.ToString();
+      request->key = key.ToString();
+      return true;
+    }
+    case Opcode::kScan: {
+      Slice table, key;
+      uint32_t count;
+      if (!GetLengthPrefixedSlice(&in, &table) ||
+          !GetLengthPrefixedSlice(&in, &key) || !GetVarint32(&in, &count) ||
+          !in.empty()) {
+        return false;
+      }
+      request->table = table.ToString();
+      request->key = key.ToString();
+      request->count = static_cast<int>(count);
+      return true;
+    }
+    case Opcode::kInsert:
+    case Opcode::kUpdate: {
+      Slice table, key;
+      if (!GetLengthPrefixedSlice(&in, &table) ||
+          !GetLengthPrefixedSlice(&in, &key)) {
+        return false;
+      }
+      request->table = table.ToString();
+      request->key = key.ToString();
+      return ycsb::DecodeRecord(in, &request->record);
+    }
+  }
+  return false;
+}
+
+void EncodeResponse(Opcode op, uint64_t request_id, const Response& response,
+                    std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(response.status.code()));
+  PutLengthPrefixedSlice(&payload, Slice(response.status.message()));
+  if (response.status.ok()) {
+    switch (op) {
+      case Opcode::kRead: {
+        std::string encoded;
+        ycsb::EncodeRecord(response.record, &encoded);
+        payload.append(encoded);
+        break;
+      }
+      case Opcode::kScan: {
+        PutVarint32(&payload,
+                    static_cast<uint32_t>(response.records.size()));
+        std::string encoded;
+        for (const auto& keyed : response.records) {
+          PutLengthPrefixedSlice(&payload, Slice(keyed.key));
+          ycsb::EncodeRecord(keyed.record, &encoded);
+          PutLengthPrefixedSlice(&payload, Slice(encoded));
+        }
+        break;
+      }
+      case Opcode::kDiskUsage:
+        PutFixed64(&payload, response.disk_bytes);
+        break;
+      default:
+        break;
+    }
+  }
+  AppendFrame(op, request_id, Slice(payload), out);
+}
+
+bool DecodeResponse(const Frame& frame, Response* response) {
+  *response = Response();
+  Slice in(frame.payload);
+  if (in.empty()) return false;
+  const uint8_t code = static_cast<uint8_t>(in[0]);
+  if (code > static_cast<uint8_t>(Status::Code::kAborted)) return false;
+  in.RemovePrefix(1);
+  Slice message;
+  if (!GetLengthPrefixedSlice(&in, &message)) return false;
+  response->status = StatusFromWire(code, message.ToString());
+  if (!response->status.ok()) return in.empty();
+  switch (frame.op) {
+    case Opcode::kRead:
+      return ycsb::DecodeRecord(in, &response->record);
+    case Opcode::kScan: {
+      uint32_t n;
+      if (!GetVarint32(&in, &n)) return false;
+      // Each record needs at least one byte of payload, so a count larger
+      // than the remaining bytes is malformed — reject before reserving.
+      if (n > in.size()) return false;
+      response->records.reserve(n);
+      for (uint32_t i = 0; i < n; i++) {
+        Slice key, encoded;
+        ycsb::KeyedRecord keyed;
+        if (!GetLengthPrefixedSlice(&in, &key) ||
+            !GetLengthPrefixedSlice(&in, &encoded) ||
+            !ycsb::DecodeRecord(encoded, &keyed.record)) {
+          return false;
+        }
+        keyed.key = key.ToString();
+        response->records.push_back(std::move(keyed));
+      }
+      return in.empty();
+    }
+    case Opcode::kDiskUsage:
+      return GetFixed64(&in, &response->disk_bytes) && in.empty();
+    default:
+      return in.empty();
+  }
+}
+
+}  // namespace apmbench::net

@@ -1,0 +1,134 @@
+#ifndef APMBENCH_NET_PROTOCOL_H_
+#define APMBENCH_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "ycsb/db.h"
+
+namespace apmbench::net {
+
+/// The wire protocol between `net::Client` and `net::Server`: a versioned,
+/// length-prefixed binary framing (the shape of the memcached/Redis binary
+/// protocols) carrying the YCSB `DB` operations. Every message is one
+/// frame (little-endian):
+///
+///   offset 0   u8   magic        0xA7
+///          1   u8   version      kProtocolVersion
+///          2   u8   opcode
+///          3   u8   flags        (reserved, must be 0)
+///          4   u64  request_id   client-chosen; echoed in the reply so
+///                                pipelined responses can be correlated
+///          12  u32  payload_len  must be <= kMaxPayloadBytes
+///          16  ...  payload
+///   16+len     u32  masked CRC-32C of the payload
+///
+/// Request payloads (all strings length-prefixed with a varint):
+///   kPing, kDiskUsage   (empty)
+///   kRead, kDelete      table, key
+///   kScan               table, start_key, varint32 count
+///   kInsert, kUpdate    table, key, record (ycsb::EncodeRecord)
+///
+/// Reply frames reuse the request's opcode and request_id; direction
+/// disambiguates. Reply payload: u8 status code, message, then per-op:
+///   kRead               record
+///   kScan               varint32 n, then n x (key, record)
+///   kDiskUsage          u64 bytes
+/// See docs/serving.md for the full layout and design notes.
+
+inline constexpr uint8_t kFrameMagic = 0xA7;
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 16;
+inline constexpr size_t kFrameTrailerBytes = 4;
+/// Upper bound on a frame payload; a decoder rejects bigger lengths
+/// before allocating, so a corrupt or hostile length prefix cannot OOM
+/// the process.
+inline constexpr uint32_t kMaxPayloadBytes = 32u << 20;
+
+enum class Opcode : uint8_t {
+  kPing = 1,
+  kRead = 2,
+  kScan = 3,
+  kInsert = 4,
+  kUpdate = 5,
+  kDelete = 6,
+  kDiskUsage = 7,
+};
+
+const char* OpcodeName(Opcode op);
+bool IsValidOpcode(uint8_t raw);
+
+/// One parsed frame; `payload` owns its bytes (they outlive the decoder's
+/// input buffer).
+struct Frame {
+  Opcode op = Opcode::kPing;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Appends one complete frame (header + payload + CRC trailer) to `out`.
+void AppendFrame(Opcode op, uint64_t request_id, const Slice& payload,
+                 std::string* out);
+
+/// Incremental frame parser for a byte stream: `Feed` arbitrary chunks
+/// (a syscall's worth of bytes, possibly containing many frames or a
+/// fraction of one), then drain complete frames with `Next`. Once a
+/// structural error is detected (bad magic/version/flags, oversized
+/// length, CRC mismatch) the decoder latches kError — a corrupt stream
+/// cannot be resynchronized and the connection must be dropped.
+class FrameDecoder {
+ public:
+  enum class Result { kNeedMore, kFrame, kError };
+
+  void Feed(const char* data, size_t n);
+  Result Next(Frame* frame);
+
+  /// Human-readable description of the latched error (empty when none).
+  const std::string& error() const { return error_; }
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  Result Fail(const std::string& message);
+
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  std::string error_;
+  bool failed_ = false;
+};
+
+/// A decoded request, the wire form of one ycsb::DB call.
+struct Request {
+  Opcode op = Opcode::kPing;
+  std::string table;
+  std::string key;
+  int count = 0;        // kScan
+  ycsb::Record record;  // kInsert / kUpdate
+};
+
+/// A decoded reply. `status` carries the remote operation's outcome
+/// (NotFound, Corruption, ... survive the wire).
+struct Response {
+  Status status;
+  ycsb::Record record;                     // kRead
+  std::vector<ycsb::KeyedRecord> records;  // kScan
+  uint64_t disk_bytes = 0;                 // kDiskUsage
+};
+
+/// Appends the request as a complete frame.
+void EncodeRequest(const Request& request, uint64_t request_id,
+                   std::string* out);
+/// Parses a request frame's payload; false on malformed data.
+bool DecodeRequest(const Frame& frame, Request* request);
+
+/// Appends the reply as a complete frame (opcode = the request's).
+void EncodeResponse(Opcode op, uint64_t request_id, const Response& response,
+                    std::string* out);
+/// Parses a reply frame's payload; false on malformed data.
+bool DecodeResponse(const Frame& frame, Response* response);
+
+}  // namespace apmbench::net
+
+#endif  // APMBENCH_NET_PROTOCOL_H_

@@ -1,0 +1,87 @@
+#include "net/remote_store.h"
+
+#include <utility>
+
+#include "common/status.h"
+
+namespace apmbench::net {
+
+Status RemoteStore::Open(const ClientOptions& options,
+                         std::unique_ptr<RemoteStore>* store) {
+  std::unique_ptr<RemoteStore> s(new RemoteStore(options));
+  APM_RETURN_IF_ERROR(s->client_.Connect());
+  Request ping;
+  ping.op = Opcode::kPing;
+  Response response;
+  APM_RETURN_IF_ERROR(s->client_.Call(ping, &response));
+  *store = std::move(s);
+  return Status::OK();
+}
+
+Status RemoteStore::Read(const std::string& table, const Slice& key,
+                         ycsb::Record* record) {
+  Request request;
+  request.op = Opcode::kRead;
+  request.table = table;
+  request.key = key.ToString();
+  Response response;
+  Status s = client_.Call(request, &response);
+  if (s.ok()) *record = std::move(response.record);
+  return s;
+}
+
+Status RemoteStore::ScanKeyed(const std::string& table,
+                              const Slice& start_key, int count,
+                              std::vector<ycsb::KeyedRecord>* records) {
+  Request request;
+  request.op = Opcode::kScan;
+  request.table = table;
+  request.key = start_key.ToString();
+  request.count = count;
+  Response response;
+  Status s = client_.Call(request, &response);
+  if (s.ok()) *records = std::move(response.records);
+  return s;
+}
+
+Status RemoteStore::Insert(const std::string& table, const Slice& key,
+                           const ycsb::Record& record) {
+  Request request;
+  request.op = Opcode::kInsert;
+  request.table = table;
+  request.key = key.ToString();
+  request.record = record;
+  Response response;
+  return client_.Call(request, &response);
+}
+
+Status RemoteStore::Update(const std::string& table, const Slice& key,
+                           const ycsb::Record& record) {
+  Request request;
+  request.op = Opcode::kUpdate;
+  request.table = table;
+  request.key = key.ToString();
+  request.record = record;
+  Response response;
+  return client_.Call(request, &response);
+}
+
+Status RemoteStore::Delete(const std::string& table, const Slice& key) {
+  Request request;
+  request.op = Opcode::kDelete;
+  request.table = table;
+  request.key = key.ToString();
+  Response response;
+  return client_.Call(request, &response);
+}
+
+Status RemoteStore::DiskUsage(uint64_t* bytes) {
+  Request request;
+  request.op = Opcode::kDiskUsage;
+  Response response;
+  Status s = client_.Call(request, &response);
+  if (s.ok()) *bytes = response.disk_bytes;
+  return s;
+}
+
+}  // namespace apmbench::net

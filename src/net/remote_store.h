@@ -1,0 +1,43 @@
+#ifndef APMBENCH_NET_REMOTE_STORE_H_
+#define APMBENCH_NET_REMOTE_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "net/client.h"
+#include "ycsb/db.h"
+
+namespace apmbench::net {
+
+/// A ycsb::DB whose operations execute on a remote `store_server` over
+/// the binary protocol. Thread-safe: workload threads share the client's
+/// pipelined sockets, which is exactly how the closed-loop serving bench
+/// drives hundreds of connections.
+class RemoteStore : public ycsb::DB {
+ public:
+  /// Connects and pings the server; returns the transport error on
+  /// failure.
+  static Status Open(const ClientOptions& options,
+                     std::unique_ptr<RemoteStore>* store);
+
+  Status Read(const std::string& table, const Slice& key,
+              ycsb::Record* record) override;
+  Status ScanKeyed(const std::string& table, const Slice& start_key,
+                   int count,
+                   std::vector<ycsb::KeyedRecord>* records) override;
+  Status Insert(const std::string& table, const Slice& key,
+                const ycsb::Record& record) override;
+  Status Update(const std::string& table, const Slice& key,
+                const ycsb::Record& record) override;
+  Status Delete(const std::string& table, const Slice& key) override;
+  Status DiskUsage(uint64_t* bytes) override;
+
+ private:
+  explicit RemoteStore(const ClientOptions& options) : client_(options) {}
+
+  Client client_;
+};
+
+}  // namespace apmbench::net
+
+#endif  // APMBENCH_NET_REMOTE_STORE_H_

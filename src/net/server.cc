@@ -1,0 +1,538 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+namespace apmbench::net {
+
+namespace {
+
+constexpr int kListenBacklog = 511;
+constexpr size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+/// Per-connection state. The owning event loop is the only thread that
+/// touches the fd, the epoll registration, and the decoder; everything
+/// under `mu` is shared with workers. The fd is closed exactly once, by
+/// the owning loop, which also removes the connection from its map — a
+/// worker never holds a raw fd, so an abrupt client disconnect can
+/// neither leak the descriptor nor let a stale worker write into a
+/// recycled one.
+struct Server::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+
+  const int fd;
+  EventLoop* loop = nullptr;
+  FrameDecoder decoder;  // event-loop thread only
+
+  std::mutex mu;
+  /// Decoded requests awaiting execution, in arrival order.
+  std::deque<std::pair<uint64_t, Request>> pending;
+  /// True while the connection is queued for / being drained by a worker.
+  bool scheduled = false;
+  /// True when max_pipeline stopped the read path; the worker clears it
+  /// and wakes the loop once the backlog drains.
+  bool read_paused = false;
+  /// Encoded responses not yet written to the socket. Per-connection, so
+  /// a half-written response to a vanished client can never bleed into
+  /// another connection's stream.
+  std::string outbuf;
+  bool want_write = false;  // EPOLLOUT armed
+  bool closed = false;
+  /// Set with `closed` when the loop must flush-then-close (not used yet;
+  /// teardown currently drops undelivered output).
+  bool notified = false;  // already in the loop's notify queue
+};
+
+/// One epoll event loop: its own epoll set, a wakeup eventfd, and the
+/// connections it owns.
+struct Server::EventLoop {
+  int index = 0;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+
+  std::mutex mu;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  /// Connections whose workers produced output or resumed reading.
+  std::deque<std::shared_ptr<Connection>> notify_queue;
+};
+
+Server::Server(const ServerOptions& options, ycsb::DB* db)
+    : options_(options), db_(db) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.exchange(true)) {
+    return Status::InvalidArgument("server already started");
+  }
+  stopping_.store(false);
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen host " + options_.host);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = Status::IOError(std::string("bind: ") + strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (listen(listen_fd_, kListenBacklog) != 0) {
+    Status s = Status::IOError(std::string("listen: ") + strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  const int nloops = options_.event_threads > 0 ? options_.event_threads : 1;
+  for (int i = 0; i < nloops; i++) {
+    auto loop = std::make_unique<EventLoop>();
+    loop->index = i;
+    loop->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    loop->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->epoll_fd < 0 || loop->wake_fd < 0) {
+      Status s = Status::IOError("epoll/eventfd setup failed");
+      if (loop->epoll_fd >= 0) close(loop->epoll_fd);
+      if (loop->wake_fd >= 0) close(loop->wake_fd);
+      close(listen_fd_);
+      listen_fd_ = -1;
+      for (auto& l : loops_) {
+        close(l->epoll_fd);
+        close(l->wake_fd);
+      }
+      loops_.clear();
+      running_.store(false);
+      return s;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake_fd;
+    epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev);
+    if (i == 0) {
+      // Loop 0 owns the listening socket (level-triggered is fine: the
+      // accept handler drains the backlog each wakeup).
+      ev.events = EPOLLIN;
+      ev.data.fd = listen_fd_;
+      epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+    }
+    loops_.push_back(std::move(loop));
+  }
+  for (auto& loop : loops_) {
+    loop_threads_.emplace_back(&Server::EventLoopMain, this, loop.get());
+  }
+  const int nworkers = options_.worker_threads > 0 ? options_.worker_threads
+                                                   : 1;
+  for (int i = 0; i < nworkers; i++) {
+    worker_threads_.emplace_back(&Server::WorkerMain, this);
+  }
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.load() || stopping_.exchange(true)) {
+    // Already stopped or another Stop in flight; wait for threads below
+    // only from the first caller.
+    if (!running_.load()) return;
+  }
+  // Wake every loop; they close their connections and exit.
+  for (auto& loop : loops_) {
+    uint64_t one = 1;
+    ssize_t ignored = write(loop->wake_fd, &one, sizeof(one));
+    (void)ignored;
+  }
+  for (auto& t : loop_threads_) {
+    if (t.joinable()) t.join();
+  }
+  loop_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    work_queue_.clear();
+  }
+  work_cv_.notify_all();
+  for (auto& t : worker_threads_) {
+    if (t.joinable()) t.join();
+  }
+  worker_threads_.clear();
+  for (auto& loop : loops_) {
+    close(loop->epoll_fd);
+    close(loop->wake_fd);
+  }
+  loops_.clear();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false);
+}
+
+Server::Stats Server::GetStats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.closed = closed_.load(std::memory_order_relaxed);
+  s.open_connections = open_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses = responses_.load(std::memory_order_relaxed);
+  s.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::EventLoopMain(EventLoop* loop) {
+  std::vector<epoll_event> events(256);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int n = epoll_wait(loop->epoll_fd, events.data(),
+                       static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; i++) {
+      const epoll_event& ev = events[i];
+      if (ev.data.fd == loop->wake_fd) {
+        uint64_t drain;
+        while (read(loop->wake_fd, &drain, sizeof(drain)) > 0) {
+        }
+        // Handle worker notifications: flush new output, resume paused
+        // reads.
+        for (;;) {
+          std::shared_ptr<Connection> conn;
+          {
+            std::lock_guard<std::mutex> lock(loop->mu);
+            if (loop->notify_queue.empty()) break;
+            conn = std::move(loop->notify_queue.front());
+            loop->notify_queue.pop_front();
+          }
+          bool resume_read = false;
+          {
+            std::lock_guard<std::mutex> lock(conn->mu);
+            conn->notified = false;
+            if (conn->closed) continue;
+            resume_read = !conn->read_paused && conn->decoder.error().empty();
+          }
+          FlushWrite(loop, conn);
+          // The worker may have lifted backpressure: parse whatever is
+          // already buffered and pull fresh bytes off the socket.
+          if (resume_read) DrainRead(loop, conn);
+        }
+        continue;
+      }
+      if (ev.data.fd == listen_fd_) {
+        AcceptAll(loop);
+        continue;
+      }
+      std::shared_ptr<Connection> conn;
+      {
+        std::lock_guard<std::mutex> lock(loop->mu);
+        auto it = loop->conns.find(ev.data.fd);
+        if (it == loop->conns.end()) continue;  // already torn down
+        conn = it->second;
+      }
+      if (ev.events & (EPOLLERR | EPOLLHUP)) {
+        Teardown(loop, conn, /*protocol_error=*/false);
+        continue;
+      }
+      if (ev.events & EPOLLOUT) FlushWrite(loop, conn);
+      if (ev.events & (EPOLLIN | EPOLLRDHUP)) DrainRead(loop, conn);
+    }
+  }
+  // Shutdown: close every connection this loop owns.
+  std::vector<std::shared_ptr<Connection>> leftover;
+  {
+    std::lock_guard<std::mutex> lock(loop->mu);
+    for (auto& [fd, conn] : loop->conns) leftover.push_back(conn);
+  }
+  for (auto& conn : leftover) Teardown(loop, conn, false);
+}
+
+void Server::AcceptAll(EventLoop* accept_loop) {
+  (void)accept_loop;
+  for (;;) {
+    int fd = accept4(listen_fd_, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      // A queued connection reset before accept is not our problem.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EAGAIN or transient accept error: wait for next event
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      close(fd);
+      return;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(fd);
+    EventLoop* target =
+        loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) %
+               loops_.size()]
+            .get();
+    conn->loop = target;
+    {
+      std::lock_guard<std::mutex> lock(target->mu);
+      target->conns.emplace(fd, conn);
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+    ev.data.fd = fd;
+    if (epoll_ctl(target->epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      std::lock_guard<std::mutex> lock(target->mu);
+      target->conns.erase(fd);
+      close(fd);
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    open_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::DrainRead(EventLoop* loop,
+                       const std::shared_ptr<Connection>& conn) {
+  char buf[kReadChunk];
+  for (;;) {
+    // Extract every complete frame already buffered, unless backpressure
+    // pauses the pipeline.
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (conn->closed) return;
+        if (conn->pending.size() >= options_.max_pipeline) {
+          conn->read_paused = true;
+          return;  // leave unread bytes in the socket: TCP backpressure
+        }
+      }
+      Frame frame;
+      FrameDecoder::Result r = conn->decoder.Next(&frame);
+      if (r == FrameDecoder::Result::kNeedMore) break;
+      if (r == FrameDecoder::Result::kError) {
+        Teardown(loop, conn, /*protocol_error=*/true);
+        return;
+      }
+      Request request;
+      if (!DecodeRequest(frame, &request)) {
+        Teardown(loop, conn, /*protocol_error=*/true);
+        return;
+      }
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      bool schedule = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->pending.emplace_back(frame.request_id, std::move(request));
+        if (!conn->scheduled) {
+          conn->scheduled = true;
+          schedule = true;
+        }
+      }
+      if (schedule) EnqueueWork(conn);
+    }
+    ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      bytes_in_.fetch_add(static_cast<uint64_t>(n),
+                          std::memory_order_relaxed);
+      conn->decoder.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      // Orderly close from the peer; undelivered pipeline output is
+      // dropped with the connection.
+      Teardown(loop, conn, /*protocol_error=*/false);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    Teardown(loop, conn, /*protocol_error=*/false);  // e.g. ECONNRESET
+    return;
+  }
+}
+
+void Server::FlushWrite(EventLoop* loop,
+                        const std::shared_ptr<Connection>& conn) {
+  std::unique_lock<std::mutex> lock(conn->mu);
+  if (conn->closed) return;
+  while (!conn->outbuf.empty()) {
+    ssize_t n = send(conn->fd, conn->outbuf.data(), conn->outbuf.size(),
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_out_.fetch_add(static_cast<uint64_t>(n),
+                           std::memory_order_relaxed);
+      conn->outbuf.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLRDHUP | EPOLLOUT | EPOLLET;
+        ev.data.fd = conn->fd;
+        epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+      }
+      return;
+    }
+    // Peer vanished mid-response (EPIPE/ECONNRESET). The half-written
+    // bytes die with this connection's private buffer.
+    lock.unlock();
+    Teardown(loop, conn, /*protocol_error=*/false);
+    return;
+  }
+  if (conn->want_write) {
+    conn->want_write = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+    ev.data.fd = conn->fd;
+    epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+}
+
+void Server::Teardown(EventLoop* loop,
+                      const std::shared_ptr<Connection>& conn,
+                      bool protocol_error) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    conn->pending.clear();
+    conn->outbuf.clear();
+    conn->outbuf.shrink_to_fit();
+  }
+  {
+    std::lock_guard<std::mutex> lock(loop->mu);
+    loop->conns.erase(conn->fd);
+  }
+  epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  close(conn->fd);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  open_.fetch_sub(1, std::memory_order_relaxed);
+  if (protocol_error) bad_frames_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::EnqueueWork(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    work_queue_.push_back(conn);
+  }
+  work_cv_.notify_one();
+}
+
+void Server::NotifyLoop(const std::shared_ptr<Connection>& conn) {
+  EventLoop* loop = conn->loop;
+  {
+    std::lock_guard<std::mutex> lock(loop->mu);
+    loop->notify_queue.push_back(conn);
+  }
+  uint64_t one = 1;
+  ssize_t ignored = write(loop->wake_fd, &one, sizeof(one));
+  (void)ignored;
+}
+
+void Server::ExecuteRequest(const Request& request, Response* response) {
+  *response = Response();
+  switch (request.op) {
+    case Opcode::kPing:
+      break;
+    case Opcode::kRead:
+      response->status =
+          db_->Read(request.table, Slice(request.key), &response->record);
+      break;
+    case Opcode::kScan:
+      response->status = db_->ScanKeyed(request.table, Slice(request.key),
+                                        request.count, &response->records);
+      break;
+    case Opcode::kInsert:
+      response->status =
+          db_->Insert(request.table, Slice(request.key), request.record);
+      break;
+    case Opcode::kUpdate:
+      response->status =
+          db_->Update(request.table, Slice(request.key), request.record);
+      break;
+    case Opcode::kDelete:
+      response->status = db_->Delete(request.table, Slice(request.key));
+      break;
+    case Opcode::kDiskUsage:
+      response->status = db_->DiskUsage(&response->disk_bytes);
+      break;
+  }
+}
+
+void Server::WorkerMain() {
+  for (;;) {
+    std::shared_ptr<Connection> conn;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               !work_queue_.empty();
+      });
+      if (work_queue_.empty()) return;  // stopping
+      conn = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+    // Drain this connection's pipeline: take the whole backlog at once
+    // (the server-side batch), execute in order, then hand the encoded
+    // responses back to the event loop in one notification.
+    for (;;) {
+      std::deque<std::pair<uint64_t, Request>> batch;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (conn->pending.empty() || conn->closed) {
+          conn->scheduled = false;
+          break;
+        }
+        batch.swap(conn->pending);
+      }
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      std::string out;
+      Response response;
+      for (const auto& [request_id, request] : batch) {
+        ExecuteRequest(request, &response);
+        EncodeResponse(request.op, request_id, response, &out);
+        responses_.fetch_add(1, std::memory_order_relaxed);
+      }
+      bool notify = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->closed) {
+          conn->outbuf.append(out);
+          // Lift backpressure once the backlog has drained.
+          if (conn->read_paused &&
+              conn->pending.size() < options_.max_pipeline / 2 + 1) {
+            conn->read_paused = false;
+          }
+          if (!conn->notified) {
+            conn->notified = true;
+            notify = true;
+          }
+        }
+      }
+      if (notify) NotifyLoop(conn);
+    }
+  }
+}
+
+}  // namespace apmbench::net

@@ -1,0 +1,121 @@
+#ifndef APMBENCH_NET_SERVER_H_
+#define APMBENCH_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+#include "ycsb/db.h"
+
+namespace apmbench::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port readable via `port()` after
+  /// Start (tests and single-machine benches never collide).
+  int port = 0;
+  /// Event-loop threads. Each owns an epoll set; connections are assigned
+  /// round-robin at accept and stay on their loop for life.
+  int event_threads = 1;
+  /// Worker threads executing decoded requests against the store. One
+  /// worker drains one connection at a time (responses stay in request
+  /// order — the pipelining contract); concurrent workers on different
+  /// connections are what feed the engines' group commit.
+  int worker_threads = 4;
+  /// Per-connection cap on decoded-but-unexecuted requests. Beyond it the
+  /// server stops reading from that socket (TCP backpressure) until the
+  /// backlog drains — load shedding for a client that pipelines faster
+  /// than the store executes.
+  size_t max_pipeline = 1024;
+};
+
+/// An epoll-based (edge-triggered) binary-protocol server hosting one
+/// ycsb::DB behind net/protocol framing. See docs/serving.md.
+class Server {
+ public:
+  /// `db` must be thread-safe and outlive the server.
+  Server(const ServerOptions& options, ycsb::DB* db);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  Status Start();
+  /// Closes every connection (dropping undelivered output and pending
+  /// requests), stops all threads, and releases every fd. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start).
+  int port() const { return port_; }
+
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t closed = 0;
+    uint64_t open_connections = 0;
+    uint64_t requests = 0;
+    uint64_t responses = 0;
+    /// Connections dropped for protocol violations (bad frame, bad
+    /// request payload).
+    uint64_t bad_frames = 0;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+    /// Worker drain rounds; requests / batches > 1 means pipelined
+    /// requests were executed in server-side batches.
+    uint64_t batches = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Connection;
+  struct EventLoop;
+
+  void EventLoopMain(EventLoop* loop);
+  void WorkerMain();
+
+  void AcceptAll(EventLoop* loop);
+  void DrainRead(EventLoop* loop, const std::shared_ptr<Connection>& conn);
+  void FlushWrite(EventLoop* loop, const std::shared_ptr<Connection>& conn);
+  void Teardown(EventLoop* loop, const std::shared_ptr<Connection>& conn,
+                bool protocol_error);
+  /// Queues `conn` for a worker (caller must have set conn->scheduled).
+  void EnqueueWork(const std::shared_ptr<Connection>& conn);
+  /// Wakes `loop` to flush `conn`'s output / resume reading.
+  void NotifyLoop(const std::shared_ptr<Connection>& conn);
+  void ExecuteRequest(const Request& request, Response* response);
+
+  const ServerOptions options_;
+  ycsb::DB* const db_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::vector<std::thread> loop_threads_;
+  std::atomic<uint64_t> next_loop_{0};
+
+  // Worker pool: connections with pending requests, one entry per
+  // scheduled connection.
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Connection>> work_queue_;
+  std::vector<std::thread> worker_threads_;
+
+  // Stats (relaxed atomics; read via GetStats).
+  std::atomic<uint64_t> accepted_{0}, closed_{0}, open_{0}, requests_{0},
+      responses_{0}, bad_frames_{0}, bytes_in_{0}, bytes_out_{0},
+      batches_{0};
+};
+
+}  // namespace apmbench::net
+
+#endif  // APMBENCH_NET_SERVER_H_

@@ -42,6 +42,14 @@ bool DecodeCellValue(const Slice& cell_value, Slice* value) {
   return true;
 }
 
+/// Cursor for resuming a cell scan strictly after `last_cell_key`:
+/// appending the minimum byte yields the smallest key greater than it.
+/// (Appending '\x01' — the old cursor — skipped any cell key extending
+/// `last_cell_key` with a NUL byte when a page ended exactly there.)
+std::string NextCellCursor(const std::string& last_cell_key) {
+  return last_cell_key + '\0';
+}
+
 /// Default pre-split sample: the YCSB key space ("user" + FNV-hashed
 /// sequence numbers), which is what the benchmark loads.
 std::vector<std::string> DefaultSplitSample() {
@@ -163,17 +171,28 @@ Status HBaseStore::Read(const std::string& table, const Slice& key,
   lsm::DB* db = nodes_[static_cast<size_t>(node)].get();
   std::string prefix = key.ToString();
   prefix.push_back('\0');
-  std::vector<std::pair<std::string, std::string>> cells;
-  APM_RETURN_IF_ERROR(
-      db->Scan(lsm::ReadOptions(), Slice(prefix), kCellBatch, &cells));
-  for (const auto& [cell_key, cell_value] : cells) {
-    if (!Slice(cell_key).StartsWith(Slice(prefix))) break;
-    Slice row, qualifier, value;
-    if (!ParseCellKey(Slice(cell_key), &row, &qualifier) ||
-        !DecodeCellValue(Slice(cell_value), &value)) {
-      return Status::Corruption("bad cell");
+  // Page through the row's cells: a wide row can span engine scan
+  // batches, and stopping after one batch would silently truncate it.
+  std::string scan_from = prefix;
+  for (;;) {
+    std::vector<std::pair<std::string, std::string>> cells;
+    APM_RETURN_IF_ERROR(
+        db->Scan(lsm::ReadOptions(), Slice(scan_from), kCellBatch, &cells));
+    bool past_row = false;
+    for (const auto& [cell_key, cell_value] : cells) {
+      if (!Slice(cell_key).StartsWith(Slice(prefix))) {
+        past_row = true;
+        break;
+      }
+      Slice row, qualifier, value;
+      if (!ParseCellKey(Slice(cell_key), &row, &qualifier) ||
+          !DecodeCellValue(Slice(cell_value), &value)) {
+        return Status::Corruption("bad cell");
+      }
+      record->emplace_back(qualifier.ToString(), value.ToString());
     }
-    record->emplace_back(qualifier.ToString(), value.ToString());
+    if (past_row || static_cast<int>(cells.size()) < kCellBatch) break;
+    scan_from = NextCellCursor(cells.back().first);
   }
   if (record->empty()) return Status::NotFound();
   return Status::OK();
@@ -220,8 +239,7 @@ Status HBaseStore::CollectRows(
       current_record.emplace_back(qualifier.ToString(), value.ToString());
     }
     if (static_cast<int>(cells.size()) < kCellBatch) break;  // exhausted
-    // Continue after the last cell seen.
-    scan_from = cells.back().first + '\x01';
+    scan_from = NextCellCursor(cells.back().first);
   }
   if (!current_row.empty() && static_cast<int>(rows->size()) < max_rows) {
     rows->emplace_back(current_row, std::move(current_record));
@@ -282,14 +300,25 @@ Status HBaseStore::Delete(const std::string& table, const Slice& key) {
   lsm::DB* db = nodes_[static_cast<size_t>(node)].get();
   std::string prefix = key.ToString();
   prefix.push_back('\0');
-  std::vector<std::pair<std::string, std::string>> cells;
-  APM_RETURN_IF_ERROR(
-      db->Scan(lsm::ReadOptions(), Slice(prefix), kCellBatch, &cells));
+  // Page like Read does: deleting only the first batch of a wide row
+  // would leave the tail behind and resurrect the row on the next read.
   lsm::WriteBatch batch;
-  for (const auto& [cell_key, cell_value] : cells) {
-    (void)cell_value;
-    if (!Slice(cell_key).StartsWith(Slice(prefix))) break;
-    batch.Delete(Slice(cell_key));
+  std::string scan_from = prefix;
+  for (;;) {
+    std::vector<std::pair<std::string, std::string>> cells;
+    APM_RETURN_IF_ERROR(
+        db->Scan(lsm::ReadOptions(), Slice(scan_from), kCellBatch, &cells));
+    bool past_row = false;
+    for (const auto& [cell_key, cell_value] : cells) {
+      (void)cell_value;
+      if (!Slice(cell_key).StartsWith(Slice(prefix))) {
+        past_row = true;
+        break;
+      }
+      batch.Delete(Slice(cell_key));
+    }
+    if (past_row || static_cast<int>(cells.size()) < kCellBatch) break;
+    scan_from = NextCellCursor(cells.back().first);
   }
   if (batch.Count() == 0) return Status::NotFound();
   return db->Write(batch);

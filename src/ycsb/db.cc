@@ -46,6 +46,10 @@ bool DecodeRecord(const Slice& data, Record* record) {
   Slice in = data;
   uint32_t count;
   if (!GetVarint32(&in, &count)) return false;
+  // A field needs at least two bytes (two length prefixes), so a count
+  // beyond the remaining bytes is malformed — reject it before reserving
+  // rather than letting a hostile prefix drive a huge allocation.
+  if (count > in.size()) return false;
   record->reserve(count);
   for (uint32_t i = 0; i < count; i++) {
     Slice field, value;

@@ -8,7 +8,10 @@
 // Status and stop the engine, never silently lose data.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
+#include <cerrno>
 #include <map>
 #include <memory>
 #include <string>
@@ -746,6 +749,90 @@ TEST(CompactionCrashTest, PowerLossDuringBackgroundCompaction) {
         << "power loss during compaction lost " << Key(i);
     EXPECT_EQ(value, Value(i));
   }
+}
+
+// ---------------------------------------------------------------------------
+// POSIX read-path robustness: positional reads must retry EINTR and
+// continue after short returns. A signal-heavy process (the network
+// server shares this address space) makes both routine; regression for
+// the paths that used to surface them as truncation/corruption.
+
+std::atomic<uint64_t> g_hostile_pread_calls{0};
+
+/// A pread that behaves like a kernel under signal pressure: every fifth
+/// call is interrupted (EINTR), the rest deliver at most 7 bytes.
+long HostilePread(int fd, void* buf, unsigned long count, int64_t offset) {
+  uint64_t n = g_hostile_pread_calls.fetch_add(1, std::memory_order_relaxed);
+  if (n % 5 == 4) {
+    errno = EINTR;
+    return -1;
+  }
+  unsigned long chunk = count < 7 ? count : 7;
+  return pread(fd, buf, chunk, static_cast<off_t>(offset));
+}
+
+struct ScopedPreadHook {
+  explicit ScopedPreadHook(PosixPreadFunc fn) { SetPosixPreadForTesting(fn); }
+  ~ScopedPreadHook() { SetPosixPreadForTesting(nullptr); }
+};
+
+TEST(PreadRobustnessTest, RandomAccessReadSurvivesEintrAndShortReads) {
+  ScopedTempDir dir("pread");
+  FaultInjectionEnv env(Env::Default());
+  const std::string path = dir.path() + "/file";
+  std::string payload;
+  for (int i = 0; i < 100; i++) payload += Value(i);
+  ASSERT_TRUE(env.WriteStringToFile(path, Slice(payload)).ok());
+
+  ScopedPreadHook hook(&HostilePread);
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env.NewRandomAccessFile(path, &file).ok());
+  std::vector<char> scratch(payload.size() + 64);
+  Slice result;
+  // A full-file read must come back complete despite the 7-byte chunks.
+  ASSERT_TRUE(file->Read(0, payload.size(), &result, scratch.data()).ok());
+  EXPECT_EQ(result.ToString(), payload);
+  // Reads crossing end-of-file still return the short tail, not an error.
+  ASSERT_TRUE(
+      file->Read(payload.size() - 10, 100, &result, scratch.data()).ok());
+  EXPECT_EQ(result.ToString(), payload.substr(payload.size() - 10));
+  // Reads entirely past end-of-file return empty.
+  ASSERT_TRUE(
+      file->Read(payload.size() + 10, 100, &result, scratch.data()).ok());
+  EXPECT_EQ(result.size(), 0u);
+
+  std::unique_ptr<RandomRWFile> rw;
+  ASSERT_TRUE(env.NewRandomRWFile(path, &rw).ok());
+  ASSERT_TRUE(rw->Read(0, payload.size(), &result, scratch.data()).ok());
+  EXPECT_EQ(result.ToString(), payload);
+}
+
+TEST(PreadRobustnessTest, LsmRecoversAndReadsUnderHostilePread) {
+  ScopedTempDir dir("pread-lsm");
+  FaultInjectionEnv env(Env::Default());
+  const int n = 200;
+  {
+    std::unique_ptr<lsm::DB> db;
+    ASSERT_TRUE(
+        lsm::DB::Open(MakeLsmOptions(dir.path(), &env, false), &db).ok());
+    for (int i = 0; i < n; i++) {
+      ASSERT_TRUE(db->Put(Key(i), Value(i)).ok());
+    }
+  }
+  // Recovery and every subsequent Get run over sstables/logs through the
+  // hostile pread: short reads used to surface as Corruption.
+  ScopedPreadHook hook(&HostilePread);
+  std::unique_ptr<lsm::DB> db;
+  ASSERT_TRUE(
+      lsm::DB::Open(MakeLsmOptions(dir.path(), &env, false), &db).ok());
+  lsm::ReadOptions read_options;
+  for (int i = 0; i < n; i++) {
+    std::string value;
+    ASSERT_TRUE(db->Get(read_options, Key(i), &value).ok())
+        << "hostile pread corrupted read of " << Key(i);
+    EXPECT_EQ(value, Value(i));
+  }
+  ASSERT_TRUE(db->VerifyIntegrity().ok());
 }
 
 TEST(HashKvCrashTest, AofRewriteRenameFailureKeepsAppending) {

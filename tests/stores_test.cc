@@ -171,6 +171,81 @@ TEST(HBaseStoreTest, CellKeyRoundTrip) {
   EXPECT_EQ(qualifier.ToString(), "field2");
 }
 
+// --- kCellBatch boundary regressions ---------------------------------------
+// The store assembles rows from the LSM engine in fixed 256-cell scan
+// pages; these pin the exact-page-edge behavior of Read/Delete/ScanKeyed.
+
+TEST(HBaseStoreTest, WideRowSurvivesCellBatchBoundary) {
+  ScopedTempDir dir("hbase-wide");
+  StoreOptions options;
+  options.base_dir = dir.path();
+  options.num_nodes = 1;
+  options.regions_per_server = 1;
+  std::unique_ptr<HBaseStore> store;
+  ASSERT_TRUE(HBaseStore::Open(options, &store).ok());
+
+  // A row wider than one engine scan page (kCellBatch = 256 cells).
+  ycsb::Record record;
+  for (int i = 0; i < 300; i++) {
+    char q[16];
+    snprintf(q, sizeof(q), "f%03d", i);
+    record.emplace_back(q, "v" + std::to_string(i));
+  }
+  ASSERT_TRUE(store->Insert("t", "wide-row", record).ok());
+
+  // Read must page past the first 256 cells instead of truncating.
+  ycsb::Record got;
+  ASSERT_TRUE(store->Read("t", "wide-row", &got).ok());
+  ASSERT_EQ(got.size(), record.size());
+  std::map<std::string, std::string> by_field(got.begin(), got.end());
+  for (const auto& [field, value] : record) {
+    EXPECT_EQ(by_field[field], value) << field;
+  }
+
+  // Delete must remove every cell; deleting only the first page leaves
+  // the tail behind and resurrects the row.
+  ASSERT_TRUE(store->Delete("t", "wide-row").ok());
+  EXPECT_TRUE(store->Read("t", "wide-row", &got).IsNotFound());
+}
+
+TEST(HBaseStoreTest, ScanResumesExactlyAtCellBatchEdge) {
+  ScopedTempDir dir("hbase-edge");
+  StoreOptions options;
+  options.base_dir = dir.path();
+  options.num_nodes = 1;
+  options.regions_per_server = 1;
+  std::unique_ptr<HBaseStore> store;
+  ASSERT_TRUE(HBaseStore::Open(options, &store).ok());
+
+  // 51 filler rows x 5 cells = 255 cells, so the edge row's first cell is
+  // cell 256 — the last cell of scan page one — and its second cell (a
+  // qualifier extending the first with a NUL byte, the smallest possible
+  // successor key) opens page two. The old resume cursor (last key +
+  // '\x01') skipped exactly such cells, truncating the row.
+  for (int i = 0; i < 51; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "a%02d", i);
+    ASSERT_TRUE(store->Insert("t", key, MakeRecord(i)).ok());
+  }
+  ycsb::Record edge;
+  edge.emplace_back("q", "v-first");
+  edge.emplace_back(std::string("q\0x", 3), "v-second");
+  ASSERT_TRUE(store->Insert("t", "b-edge", edge).ok());
+
+  std::vector<ycsb::KeyedRecord> out;
+  ASSERT_TRUE(store->ScanKeyed("t", "a", 60, &out).ok());
+  ASSERT_EQ(out.size(), 52u);
+  // Filler rows arrive whole and exactly once (no double-count at the
+  // page edge)...
+  for (int i = 0; i < 51; i++) {
+    EXPECT_EQ(out[static_cast<size_t>(i)].record.size(), 5u)
+        << out[static_cast<size_t>(i)].key;
+  }
+  // ...and the edge row keeps both cells.
+  EXPECT_EQ(out.back().key, "b-edge");
+  EXPECT_EQ(out.back().record.size(), 2u);
+}
+
 TEST(HBaseStoreTest, PerCellStorageInflatesDisk) {
   ScopedTempDir dir_h("hbase-disk");
   ScopedTempDir dir_c("cassandra-disk");

@@ -1,25 +1,62 @@
 // The paper's Section-8 future work, implemented: the impact of
-// replication on throughput. Sweeps the Cassandra model's replication
-// factor at 8 nodes across workloads R and W: each write lands on RF
-// replicas (consistency level ONE), so write capacity shrinks roughly as
-// 1/RF while reads are served by a single replica.
+// replication on throughput and availability.
+//
+// Two scenarios:
+//
+//  * sweep — the Cassandra model's replication factor at 8 nodes across
+//    workloads R and W (simulated cluster): each write lands on RF
+//    replicas (consistency level ONE), so write capacity shrinks roughly
+//    as 1/RF while reads are served by a single replica.
+//
+//  * failover — kill-a-node-under-load against the *real* CassandraStore:
+//    mixed readers/writers hammer an rf>1 cluster while one node is
+//    killed mid-run and revived later. Reports the throughput dip while
+//    the node is down (reads fail over, writes detour through fsynced
+//    hints), the recovery time (revive until the hint queue drained and
+//    the node is marked live), and — the invariant the whole cluster
+//    lifecycle exists for — zero lost acked writes: every write
+//    acknowledged during the outage must be readable afterwards, and an
+//    anti-entropy Repair() must leave all replicas with identical
+//    digests. Exits non-zero if either check fails, so CI can smoke it.
+//
+// Usage:
+//   ablation_replication [mode=all|sweep|failover] [seconds=6] [nodes=4]
+//                        [rf=3] [threads=4] [records=20000]
+//                        [dir=/tmp/apmbench-failover] [out=<path>]
+//                        [build=<label>]
+//
+// With out= set, the failover phases and summary are emitted as JSON rows
+// through the shared JsonResultWriter shape (mergeable into
+// BENCH_engines.json).
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/env.h"
+#include "common/properties.h"
+#include "common/random.h"
 #include "simstores/runner.h"
+#include "stores/cassandra_store.h"
 
-int main() {
-  using namespace apmbench;
+namespace {
+
+using namespace apmbench;
+
+void RunRfSweep() {
   using namespace apmbench::simstores;
   using benchutil::PrintRow;
 
   const int nodes = 8;
-  printf("APMBench replication ablation (paper Section 8 future work): "
-         "Cassandra model, %d nodes\n\n", nodes);
-
+  printf("=== RF sweep (simulated cluster, %d nodes) ===\n\n", nodes);
   const std::vector<std::string> workloads = {"R", "RW", "W"};
   PrintRow("RF", {"R ops/s", "RW ops/s", "W ops/s", "W write ms"});
   for (int rf : {1, 2, 3}) {
@@ -48,6 +85,333 @@ int main() {
   printf("\nExpected shape: read-heavy throughput is nearly RF-independent "
          "(reads hit one replica); write-heavy throughput falls roughly as "
          "1/RF as every replica absorbs the write and its compaction "
-         "debt.\n");
-  return 0;
+         "debt.\n\n");
+}
+
+std::string BenchKey(int64_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%08lld", static_cast<long long>(i));
+  return buf;
+}
+
+ycsb::Record BenchRecord(int64_t version) {
+  return {{"field0", std::to_string(version)},
+          {"field1", std::string(64, 'x')}};
+}
+
+int64_t RecordVersion(const ycsb::Record& record) {
+  for (const auto& [name, value] : record) {
+    if (name == "field0") return atoll(value.c_str());
+  }
+  return -1;
+}
+
+struct FailoverConfig {
+  int nodes = 4;
+  int rf = 3;
+  int threads = 4;
+  int64_t records = 20000;
+  double seconds = 6.0;
+  std::string dir = "/tmp/apmbench-failover";
+};
+
+// One kill-a-node-under-load run; returns the number of failed
+// invariants (lost acked writes, unconverged replicas).
+int RunFailover(const FailoverConfig& config,
+                benchutil::JsonResultWriter* json,
+                const std::string& build) {
+  printf("=== Kill-a-node under load (real CassandraStore, %d nodes, "
+         "rf=%d, %d client threads) ===\n\n",
+         config.nodes, config.rf, config.threads);
+
+  Env* env = Env::Default();
+  env->RemoveDirRecursively(config.dir);
+  env->CreateDirIfMissing(config.dir);
+  stores::StoreOptions options;
+  options.base_dir = config.dir;
+  options.num_nodes = config.nodes;
+  options.replication_factor = config.rf;
+  options.membership_probation_micros = 100 * 1000;
+  std::unique_ptr<stores::CassandraStore> store;
+  Status status = stores::CassandraStore::Open(options, &store);
+  if (!status.ok()) {
+    fprintf(stderr, "[warn] open: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Preload so the read side has data from the first interval.
+  {
+    std::vector<std::thread> loaders;
+    std::atomic<int64_t> next{0};
+    for (int t = 0; t < config.threads; t++) {
+      loaders.emplace_back([&]() {
+        for (;;) {
+          int64_t i = next.fetch_add(1);
+          if (i >= config.records) return;
+          store->Insert("t", BenchKey(i), BenchRecord(0));
+        }
+      });
+    }
+    for (auto& t : loaders) t.join();
+  }
+
+  const int victim = 1;
+  const uint64_t start = NowMicros();
+  const uint64_t kill_at = start + static_cast<uint64_t>(
+      config.seconds * 1e6 / 3);
+  const uint64_t revive_at = start + static_cast<uint64_t>(
+      config.seconds * 1e6 * 2 / 3);
+  const uint64_t end_at = start + static_cast<uint64_t>(config.seconds * 1e6);
+
+  std::atomic<uint64_t> ops{0};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> recovery_micros{0};
+
+  // acked[t]: per-writer map key index -> highest version acknowledged.
+  std::vector<std::map<int64_t, int64_t>> acked(
+      static_cast<size_t>(config.threads));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < config.threads; t++) {
+    workers.emplace_back([&, t]() {
+      Random rng(static_cast<uint64_t>(2024 + t));
+      int64_t version = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        int64_t i = static_cast<int64_t>(
+            rng.Uniform(static_cast<size_t>(config.records)));
+        if (rng.Uniform(2) == 0) {
+          ycsb::Record record;
+          store->Read("t", BenchKey(i), &record);
+        } else {
+          // Writers own disjoint key stripes so per-key versions are
+          // totally ordered and verifiable afterwards.
+          int64_t key = i - (i % config.threads) + t;
+          if (key >= config.records) key -= config.threads;
+          if (store->Insert("t", BenchKey(key), BenchRecord(++version))
+                  .ok()) {
+            int64_t& high = acked[static_cast<size_t>(t)][key];
+            if (version > high) high = version;
+          }
+        }
+        ops.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // The monitor drives the fault schedule, samples interval throughput,
+  // and timestamps recovery (node live again with its hint queue empty).
+  struct Interval {
+    double t_seconds;
+    double ops_per_sec;
+    const char* phase;
+  };
+  std::vector<Interval> intervals;
+  {
+    const uint64_t tick = 100 * 1000;
+    uint64_t last_ops = 0, last_time = start;
+    bool killed = false, revived = false;
+    while (NowMicros() < end_at) {
+      std::this_thread::sleep_for(std::chrono::microseconds(tick));
+      uint64_t now = NowMicros();
+      if (!killed && now >= kill_at) {
+        store->KillNode(victim);
+        killed = true;
+        printf("-- kill node %d at t=%.1fs\n", victim,
+               static_cast<double>(now - start) / 1e6);
+      }
+      if (!revived && now >= revive_at) {
+        store->ReviveNode(victim);
+        revived = true;
+        printf("-- revive node %d at t=%.1fs\n", victim,
+               static_cast<double>(now - start) / 1e6);
+      }
+      if (revived && recovery_micros.load() == 0 &&
+          store->membership().IsLive(victim) &&
+          store->PendingHints(victim) == 0) {
+        recovery_micros.store(now - revive_at);
+      }
+      uint64_t total = ops.load(std::memory_order_relaxed);
+      double rate = static_cast<double>(total - last_ops) /
+                    (static_cast<double>(now - last_time) / 1e6);
+      const char* phase = !killed ? "baseline"
+                          : !revived ? "node_down"
+                                     : "recovered";
+      intervals.push_back(
+          {static_cast<double>(now - start) / 1e6, rate, phase});
+      last_ops = total;
+      last_time = now;
+    }
+  }
+  stop.store(true);
+  for (auto& t : workers) t.join();
+
+  // Settle: drain any hints left (the node is alive, so this must
+  // succeed), then the verification passes below run on a quiet cluster.
+  status = store->FlushHints();
+  if (!status.ok()) {
+    fprintf(stderr, "[warn] flush hints: %s\n", status.ToString().c_str());
+  }
+  if (recovery_micros.load() == 0) {
+    recovery_micros.store(NowMicros() - revive_at);
+  }
+
+  double phase_sum[3] = {0, 0, 0};
+  int phase_n[3] = {0, 0, 0};
+  double dip_min = -1;
+  for (const Interval& iv : intervals) {
+    int p = iv.phase[0] == 'b' ? 0 : iv.phase[0] == 'n' ? 1 : 2;
+    phase_sum[p] += iv.ops_per_sec;
+    phase_n[p]++;
+    if (p == 1 && (dip_min < 0 || iv.ops_per_sec < dip_min)) {
+      dip_min = iv.ops_per_sec;
+    }
+  }
+  double baseline = phase_n[0] ? phase_sum[0] / phase_n[0] : 0;
+  double degraded = phase_n[1] ? phase_sum[1] / phase_n[1] : 0;
+  double recovered = phase_n[2] ? phase_sum[2] / phase_n[2] : 0;
+  double dip_pct =
+      baseline > 0 ? 100.0 * (baseline - degraded) / baseline : 0;
+
+  // Invariant 1: zero lost acked writes — every write acknowledged
+  // (including those acked against the dead node via durable hints) must
+  // be readable with at least its acked version.
+  int64_t acked_writes = 0, lost = 0;
+  for (const auto& per_thread : acked) {
+    for (const auto& [key, version] : per_thread) {
+      acked_writes++;
+      ycsb::Record record;
+      Status rs = store->Read("t", BenchKey(key), &record);
+      if (!rs.ok() || RecordVersion(record) < version) lost++;
+    }
+  }
+
+  // Invariant 2: after repair, every replica pair's digests agree.
+  stores::RepairStats repair;
+  status = store->Repair(&repair);
+  if (!status.ok()) {
+    fprintf(stderr, "[warn] repair: %s\n", status.ToString().c_str());
+  }
+  bool converged = false;
+  status = store->CheckReplicasConverged(&converged);
+  if (!status.ok()) {
+    fprintf(stderr, "[warn] converge check: %s\n",
+            status.ToString().c_str());
+  }
+
+  stores::ClusterStats stats = store->GetClusterStats();
+  printf("\nphase        mean ops/s\n");
+  printf("baseline     %10.0f\n", baseline);
+  printf("node down    %10.0f   (min interval %.0f, dip %.0f%%)\n",
+         degraded, dip_min, dip_pct);
+  printf("recovered    %10.0f\n", recovered);
+  printf("\nrecovery time          %.0f ms (revive -> node live, hints "
+         "drained)\n", static_cast<double>(recovery_micros.load()) / 1e3);
+  printf("acked writes verified  %lld (lost: %lld)\n",
+         static_cast<long long>(acked_writes), static_cast<long long>(lost));
+  printf("hints queued/replayed  %llu / %llu\n",
+         static_cast<unsigned long long>(stats.hints_queued),
+         static_cast<unsigned long long>(stats.hints_replayed));
+  printf("failed-over reads      %llu, read repairs %llu\n",
+         static_cast<unsigned long long>(stats.failed_over_reads),
+         static_cast<unsigned long long>(stats.read_repairs));
+  printf("repair                 %llu pairs, %llu diverged buckets, %llu "
+         "rows shipped\n",
+         static_cast<unsigned long long>(repair.pairs_compared),
+         static_cast<unsigned long long>(repair.buckets_diverged),
+         static_cast<unsigned long long>(repair.rows_shipped));
+  printf("replicas converged     %s\n\n", converged ? "yes" : "NO");
+
+  if (json != nullptr) {
+    const struct {
+      const char* phase;
+      double rate;
+    } rows[] = {{"baseline", baseline},
+                {"node_down", degraded},
+                {"recovered", recovered}};
+    for (const auto& row : rows) {
+      json->AddRow()
+          .Str("bench", "failover")
+          .Str("store", "cassandra")
+          .Int("nodes", config.nodes)
+          .Int("rf", config.rf)
+          .Int("threads", config.threads)
+          .Str("phase", row.phase)
+          .Num("ops_per_sec", row.rate)
+          .Str("build", build);
+    }
+    json->AddRow()
+        .Str("bench", "failover_summary")
+        .Str("store", "cassandra")
+        .Int("nodes", config.nodes)
+        .Int("rf", config.rf)
+        .Int("threads", config.threads)
+        .Num("recovery_ms", static_cast<double>(recovery_micros.load()) / 1e3)
+        .Num("throughput_dip_pct", dip_pct)
+        .Int("acked_writes", acked_writes)
+        .Int("lost_acked_writes", lost)
+        .Int("hints_queued", static_cast<int64_t>(stats.hints_queued))
+        .Int("hints_replayed", static_cast<int64_t>(stats.hints_replayed))
+        .Int("repair_rows_shipped", static_cast<int64_t>(repair.rows_shipped))
+        .Int("converged", converged ? 1 : 0)
+        .Str("build", build);
+  }
+
+  store.reset();
+  env->RemoveDirRecursively(config.dir);
+  int failures = 0;
+  if (lost > 0) {
+    fprintf(stderr, "FAIL: %lld acked writes lost\n",
+            static_cast<long long>(lost));
+    failures++;
+  }
+  if (!converged) {
+    fprintf(stderr, "FAIL: replicas did not converge after repair\n");
+    failures++;
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace apmbench;
+
+  Properties args;
+  for (int i = 1; i < argc; i++) {
+    if (!args.ParseArg(argv[i]).ok()) {
+      fprintf(stderr,
+              "usage: %s [mode=all|sweep|failover] [seconds=S] [nodes=N] "
+              "[rf=R] [threads=T] [records=K] [dir=<path>] [out=<path>] "
+              "[build=<label>]\n",
+              argv[0]);
+      return 1;
+    }
+  }
+  const std::string mode = args.GetString("mode", "all");
+  printf("APMBench replication ablation (paper Section 8 future work)\n\n");
+
+  if (mode == "all" || mode == "sweep") RunRfSweep();
+
+  int failures = 0;
+  if (mode == "all" || mode == "failover") {
+    FailoverConfig config;
+    config.nodes = static_cast<int>(args.GetInt("nodes", config.nodes));
+    config.rf = static_cast<int>(args.GetInt("rf", config.rf));
+    config.threads = static_cast<int>(args.GetInt("threads", config.threads));
+    config.records = args.GetInt("records", config.records);
+    config.seconds = static_cast<double>(args.GetInt("seconds", 6));
+    config.dir = args.GetString("dir", config.dir);
+
+    const std::string out_path = args.GetString("out", "");
+    benchutil::JsonResultWriter json(out_path);
+    failures = RunFailover(config, out_path.empty() ? nullptr : &json,
+                           args.GetString("build", "dev"));
+    if (!out_path.empty() && !json.empty()) {
+      Status status = json.WriteFile();
+      if (!status.ok()) {
+        fprintf(stderr, "[warn] write %s: %s\n", json.path().c_str(),
+                status.ToString().c_str());
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,127 @@
+#include "cluster/hints.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace apmbench::cluster {
+
+namespace {
+constexpr size_t kFrameHeader = 8;  // masked crc32c (4) + length (4)
+}
+
+HintLog::HintLog(Env* env, std::string path)
+    : env_(env), path_(std::move(path)) {}
+
+Status HintLog::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_ = 0;
+  if (!env_->FileExists(path_)) return Status::OK();
+  std::string contents;
+  APM_RETURN_IF_ERROR(env_->ReadFileToString(path_, &contents));
+  uint64_t records = 0, dropped = 0;
+  APM_RETURN_IF_ERROR(ParseAll(
+      contents, [](const Hint&) { return Status::OK(); }, &records,
+      &dropped));
+  pending_ = records;
+  return Status::OK();
+}
+
+Status HintLog::EnsureWriterLocked() {
+  if (log_ != nullptr) return Status::OK();
+  std::unique_ptr<WritableFile> file;
+  APM_RETURN_IF_ERROR(env_->NewAppendableFile(path_, &file));
+  log_ = std::make_unique<GroupCommitLog>(std::move(file));
+  return Status::OK();
+}
+
+Status HintLog::Append(OpKind op, const Slice& key, const Slice& value) {
+  std::string payload;
+  payload.push_back(static_cast<char>(op));
+  PutLengthPrefixedSlice(&payload, key);
+  PutLengthPrefixedSlice(&payload, value);
+  std::string record;
+  PutFixed32(&record, MaskCrc(Crc32c(payload.data(), payload.size())));
+  PutFixed32(&record, static_cast<uint32_t>(payload.size()));
+  record.append(payload);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  APM_RETURN_IF_ERROR(EnsureWriterLocked());
+  // sync=true: the hint substitutes for a replica ack, so it must be as
+  // durable as the write it stands in for.
+  APM_RETURN_IF_ERROR(log_->Append(Slice(record), /*sync=*/true));
+  pending_++;
+  return Status::OK();
+}
+
+Status HintLog::ParseAll(const std::string& contents,
+                         const std::function<Status(const Hint&)>& consume,
+                         uint64_t* records, uint64_t* dropped_bytes) {
+  *records = 0;
+  *dropped_bytes = 0;
+  size_t offset = 0;
+  while (offset < contents.size()) {
+    if (contents.size() - offset < kFrameHeader) {
+      *dropped_bytes = contents.size() - offset;  // torn header
+      return Status::OK();
+    }
+    Slice header(contents.data() + offset, kFrameHeader);
+    uint32_t masked = 0, length = 0;
+    GetFixed32(&header, &masked);
+    GetFixed32(&header, &length);
+    if (contents.size() - offset - kFrameHeader < length) {
+      *dropped_bytes = contents.size() - offset;  // torn payload
+      return Status::OK();
+    }
+    const char* payload = contents.data() + offset + kFrameHeader;
+    if (UnmaskCrc(masked) != Crc32c(payload, length)) {
+      // CRC failure at the very end is a torn append; anything with data
+      // after it is real damage.
+      if (offset + kFrameHeader + length == contents.size()) {
+        *dropped_bytes = contents.size() - offset;
+        return Status::OK();
+      }
+      return Status::Corruption("hint log damaged mid-file");
+    }
+    Slice body(payload, length);
+    if (body.empty()) return Status::Corruption("empty hint record");
+    Hint hint;
+    hint.op = static_cast<OpKind>(body[0]);
+    body.RemovePrefix(1);
+    if ((hint.op != OpKind::kPut && hint.op != OpKind::kDelete) ||
+        !GetLengthPrefixedSlice(&body, &hint.key) ||
+        !GetLengthPrefixedSlice(&body, &hint.value) || !body.empty()) {
+      return Status::Corruption("undecodable hint record");
+    }
+    APM_RETURN_IF_ERROR(consume(hint));
+    (*records)++;
+    offset += kFrameHeader + length;
+  }
+  return Status::OK();
+}
+
+Status HintLog::Replay(const std::function<Status(const Hint&)>& apply) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_ == 0) return Status::OK();
+  // Close the writer so the file contents are complete and a fresh log
+  // can be created after truncation.
+  if (log_ != nullptr) {
+    APM_RETURN_IF_ERROR(log_->Close());
+    log_.reset();
+  }
+  std::string contents;
+  APM_RETURN_IF_ERROR(env_->ReadFileToString(path_, &contents));
+  uint64_t records = 0, dropped = 0;
+  APM_RETURN_IF_ERROR(ParseAll(contents, apply, &records, &dropped));
+  // Every hint applied: drop the queue. A failure above returned before
+  // this point, keeping the file intact for the next replay.
+  APM_RETURN_IF_ERROR(env_->RemoveFile(path_));
+  pending_ = 0;
+  return Status::OK();
+}
+
+uint64_t HintLog::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+}  // namespace apmbench::cluster

@@ -1,0 +1,89 @@
+#ifndef APMBENCH_CLUSTER_HINTS_H_
+#define APMBENCH_CLUSTER_HINTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/env.h"
+#include "common/group_commit.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace apmbench::cluster {
+
+/// Durable hinted-handoff queue for one target node (Cassandra's hinted
+/// handoff): when a write cannot reach one of its replicas, the
+/// coordinator appends the operation here — group-committed and fsynced,
+/// so acknowledging the write to the client is safe — and replays the
+/// queue in order once the node is marked live again.
+///
+/// Records are framed like the engines' WALs ([masked crc32c][length]
+/// [payload]); the payload is (op, key, value). A torn tail from a crash
+/// mid-append is dropped on open (that hint's write was never
+/// acknowledged, because Append returns only after the fsync); mid-log
+/// damage surfaces as Corruption.
+///
+/// Replay deletes the log only after every hint applied cleanly, so a
+/// crash mid-replay keeps the full queue and the next replay starts over.
+/// That makes replay at-least-once; hints are last-write-wins puts and
+/// blind deletes applied in append order, so re-applying a prefix is
+/// idempotent as long as no *newer* direct write raced in between — the
+/// store guarantees that by routing writes for a node back through its
+/// hint queue until the queue is empty (see CassandraStore).
+///
+/// Thread-safe; Append blocks while a Replay is in progress (and vice
+/// versa), which is what preserves the append order == apply order
+/// invariant.
+class HintLog {
+ public:
+  enum class OpKind : uint8_t { kPut = 1, kDelete = 2 };
+
+  struct Hint {
+    OpKind op;
+    Slice key;
+    Slice value;  // empty for kDelete
+  };
+
+  /// `path` is the queue's backing file, created lazily on first Append.
+  HintLog(Env* env, std::string path);
+
+  /// Counts hints already on disk (recovery after restart/crash). Call
+  /// once before use; a missing file is an empty queue.
+  Status Open();
+
+  /// Durably queues one hint; returns only after the record is fsynced.
+  Status Append(OpKind op, const Slice& key, const Slice& value);
+
+  /// Applies every queued hint in append order through `apply`, then
+  /// truncates the queue. Stops at the first failing apply, keeping the
+  /// whole queue for a retry. No-op when empty.
+  Status Replay(const std::function<Status(const Hint&)>& apply);
+
+  /// Hints currently queued (durable but not yet replayed).
+  uint64_t pending() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  /// Requires mu_ held. Opens the group-commit writer if needed.
+  Status EnsureWriterLocked();
+
+  /// Parses `contents`, invoking `consume` per record. A torn tail is
+  /// tolerated and counted; mid-log damage returns Corruption.
+  static Status ParseAll(const std::string& contents,
+                         const std::function<Status(const Hint&)>& consume,
+                         uint64_t* records, uint64_t* dropped_bytes);
+
+  Env* const env_;
+  const std::string path_;
+  mutable std::mutex mu_;
+  std::unique_ptr<GroupCommitLog> log_;
+  uint64_t pending_ = 0;
+};
+
+}  // namespace apmbench::cluster
+
+#endif  // APMBENCH_CLUSTER_HINTS_H_

@@ -1,0 +1,102 @@
+#include "cluster/membership.h"
+
+#include <cassert>
+
+#include "common/clock.h"
+
+namespace apmbench::cluster {
+
+Membership::Membership(int num_nodes, MembershipOptions options)
+    : options_(std::move(options)),
+      nodes_(static_cast<size_t>(num_nodes)) {
+  assert(num_nodes > 0);
+  if (options_.error_threshold < 1) options_.error_threshold = 1;
+}
+
+uint64_t Membership::Now() const {
+  return options_.now_micros ? options_.now_micros() : NowMicros();
+}
+
+Membership::NodeState Membership::StateOfLocked(const Node& n) const {
+  if (!n.down) return NodeState::kUp;
+  if (Now() >= n.down_since + options_.probation_micros) {
+    return NodeState::kProbation;
+  }
+  return NodeState::kDown;
+}
+
+Membership::NodeState Membership::StateOf(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StateOfLocked(nodes_[static_cast<size_t>(node)]);
+}
+
+bool Membership::IsLive(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !nodes_[static_cast<size_t>(node)].down;
+}
+
+bool Membership::TryClaimProbe(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Node& n = nodes_[static_cast<size_t>(node)];
+  if (StateOfLocked(n) != NodeState::kProbation || n.probe_inflight) {
+    return false;
+  }
+  n.probe_inflight = true;
+  counters_.probes_claimed++;
+  return true;
+}
+
+void Membership::ReportSuccess(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Node& n = nodes_[static_cast<size_t>(node)];
+  n.consecutive_errors = 0;
+  n.probe_inflight = false;
+  if (n.down) {
+    n.down = false;
+    counters_.transitions_up++;
+    recovered_.push_back(node);
+  }
+}
+
+void Membership::MarkDownLocked(Node* n) {
+  n->consecutive_errors = 0;
+  n->probe_inflight = false;
+  n->down_since = Now();
+  if (!n->down) {
+    n->down = true;
+    counters_.transitions_down++;
+  }
+}
+
+void Membership::ReportError(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.down) {
+    // A failed probe (or a straggler request issued before the node went
+    // down): restart the probation timer.
+    MarkDownLocked(&n);
+    return;
+  }
+  if (++n.consecutive_errors >= options_.error_threshold) {
+    MarkDownLocked(&n);
+  }
+}
+
+void Membership::MarkDown(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MarkDownLocked(&nodes_[static_cast<size_t>(node)]);
+}
+
+std::vector<int> Membership::TakeRecovered() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  out.swap(recovered_);
+  return out;
+}
+
+Membership::Counters Membership::GetCounters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace apmbench::cluster

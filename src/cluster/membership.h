@@ -1,0 +1,147 @@
+#ifndef APMBENCH_CLUSTER_MEMBERSHIP_H_
+#define APMBENCH_CLUSTER_MEMBERSHIP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace apmbench::cluster {
+
+/// Tuning for the per-node liveness tracker.
+struct MembershipOptions {
+  /// Consecutive failed operations against a node before it is marked
+  /// down. 1 marks a node down on its first error.
+  int error_threshold = 3;
+
+  /// How long a node stays down before a single probe request may be
+  /// sent its way. A successful probe marks the node up; a failed probe
+  /// restarts the probation timer.
+  uint64_t probation_micros = 500 * 1000;
+
+  /// Injectable clock (microseconds, monotonic) so tests can drive the
+  /// down -> probation transition deterministically. Null uses NowMicros.
+  std::function<uint64_t()> now_micros;
+};
+
+/// Per-node liveness state for a store's simulated cluster, in the style
+/// of Cassandra's failure detector (simplified: error-threshold marking
+/// plus timed probation instead of phi-accrual). The store adapters report
+/// every node operation's outcome; routing layers consult IsLive /
+/// TryClaimProbe to steer requests away from dead nodes while still
+/// letting exactly one request at a time probe a node whose probation
+/// expired.
+///
+/// Thread-safe: operations fan out from many client threads at once.
+class Membership {
+ public:
+  enum class NodeState { kUp, kDown, kProbation };
+
+  Membership(int num_nodes, MembershipOptions options);
+
+  /// Current state; kProbation means the node is down but its probation
+  /// window has elapsed, so a probe may be claimed.
+  NodeState StateOf(int node) const;
+
+  /// True when the node is up (probation is not live: callers must claim
+  /// a probe to touch a down node).
+  bool IsLive(int node) const;
+
+  /// Claims the single in-flight probe of a node in probation. Returns
+  /// true for exactly one caller per probation window; that caller must
+  /// follow up with ReportSuccess or ReportError for the node.
+  bool TryClaimProbe(int node);
+
+  /// A node operation completed (any definitive answer, including
+  /// NotFound). Resets the error streak; a down node becomes up.
+  void ReportSuccess(int node);
+
+  /// A node operation failed (IOError-style). At error_threshold
+  /// consecutive errors the node is marked down; a failed probe sends the
+  /// node straight back down with a fresh probation timer.
+  void ReportError(int node);
+
+  /// Marks the node down immediately (deterministic fault injection and
+  /// administrative down), regardless of the error streak.
+  void MarkDown(int node);
+
+  /// Nodes that transitioned down -> up since the last call, in
+  /// transition order; the hinted-handoff layer drains this to trigger
+  /// hint replay exactly once per recovery.
+  std::vector<int> TakeRecovered();
+
+  struct Counters {
+    uint64_t transitions_down = 0;
+    uint64_t transitions_up = 0;
+    uint64_t probes_claimed = 0;
+  };
+  Counters GetCounters() const;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    bool down = false;
+    int consecutive_errors = 0;
+    uint64_t down_since = 0;
+    bool probe_inflight = false;
+  };
+
+  uint64_t Now() const;
+  /// Requires mu_ held.
+  NodeState StateOfLocked(const Node& n) const;
+  void MarkDownLocked(Node* n);
+
+  MembershipOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Node> nodes_;
+  std::vector<int> recovered_;
+  Counters counters_;
+};
+
+/// FaultInjectionEnv-style seam for node-level faults: tests and benches
+/// kill whole nodes deterministically, and the store adapters consult the
+/// seam before every node operation — the node analogue of failing a
+/// filesystem call. Kill/Revive may race with operations in flight; the
+/// flags are atomic and an operation observes the node as killed or not,
+/// never a torn state.
+class NodeFaultSeam {
+ public:
+  explicit NodeFaultSeam(int num_nodes)
+      : killed_(std::make_unique<std::atomic<bool>[]>(
+            static_cast<size_t>(num_nodes))),
+        num_nodes_(num_nodes) {
+    for (int i = 0; i < num_nodes; i++) killed_[i].store(false);
+  }
+
+  void Kill(int node) {
+    killed_[static_cast<size_t>(node)].store(true, std::memory_order_relaxed);
+  }
+  void Revive(int node) {
+    killed_[static_cast<size_t>(node)].store(false,
+                                             std::memory_order_relaxed);
+  }
+  bool IsKilled(int node) const {
+    return killed_[static_cast<size_t>(node)].load(std::memory_order_relaxed);
+  }
+  /// OK, or the IOError a request against a dead node would see.
+  Status Check(int node) const {
+    if (IsKilled(node)) {
+      return Status::IOError("injected node fault: node " +
+                             std::to_string(node) + " is down");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<std::atomic<bool>[]> killed_;
+  int num_nodes_;
+};
+
+}  // namespace apmbench::cluster
+
+#endif  // APMBENCH_CLUSTER_MEMBERSHIP_H_

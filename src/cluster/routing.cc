@@ -8,11 +8,13 @@
 
 namespace apmbench::cluster {
 
-namespace {
-
-uint64_t KeyHash64(const Slice& key) {
+uint64_t RingHash(const Slice& key) {
   return MurmurHash64A(key.data(), key.size(), 0x1234ABCD);
 }
+
+namespace {
+
+uint64_t KeyHash64(const Slice& key) { return RingHash(key); }
 
 }  // namespace
 
@@ -159,13 +161,32 @@ int RegionMap::Route(const Slice& key) const {
   return RegionOf(key) % num_servers_;
 }
 
-std::vector<int> RegionMap::RouteScan(const Slice& start) const {
-  int region = RegionOf(start);
+std::vector<int> RegionMap::RouteScan(const Slice& start,
+                                      const Slice& end_key) const {
+  int first = RegionOf(start);
+  int last = end_key.empty() ? num_regions() - 1 : RegionOf(end_key);
   std::vector<int> servers;
-  servers.push_back(region % num_servers_);
-  if (region + 1 < num_regions()) {
-    int next = (region + 1) % num_servers_;
-    if (next != servers[0]) servers.push_back(next);
+  for (int region = first; region <= last; region++) {
+    int server = region % num_servers_;
+    if (std::find(servers.begin(), servers.end(), server) == servers.end()) {
+      servers.push_back(server);
+      if (static_cast<int>(servers.size()) == num_servers_) break;
+    }
+  }
+  return servers;
+}
+
+std::vector<int> RegionMap::RouteScan(const Slice& start, int count) const {
+  int first = RegionOf(start);
+  int last = std::min(num_regions() - 1,
+                      first + std::max(0, count - 1));
+  std::vector<int> servers;
+  for (int region = first; region <= last; region++) {
+    int server = region % num_servers_;
+    if (std::find(servers.begin(), servers.end(), server) == servers.end()) {
+      servers.push_back(server);
+      if (static_cast<int>(servers.size()) == num_servers_) break;
+    }
   }
   return servers;
 }

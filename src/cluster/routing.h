@@ -11,6 +11,11 @@
 
 namespace apmbench::cluster {
 
+/// The 64-bit key hash every hash-partitioned router here places on its
+/// ring. Exported so replica-aware layers (anti-entropy repair) can
+/// bucket keys into the same hash space the ring partitions.
+uint64_t RingHash(const Slice& key);
+
 /// Cassandra-style token ring: each node owns the arc of the hash ring
 /// ending at its token. The paper found the default *random* token
 /// selection "frequently resulted in a highly unbalanced workload" and
@@ -102,10 +107,20 @@ class RegionMap {
   int RegionOf(const Slice& key) const;
   /// Server hosting `key`.
   int Route(const Slice& key) const;
-  /// Servers covering the scan [start, start+count) assuming uniform
-  /// region population; conservatively the server of `start` plus the
-  /// next region's server when the scan may cross a boundary.
-  std::vector<int> RouteScan(const Slice& start) const;
+  /// Servers covering a scan from `start` up to (and including) the
+  /// region holding `end_key` — empty `end_key` means the scan is
+  /// unbounded and every region from `start` onward may be touched. The
+  /// walk visits each covered region in order, deduplicating servers,
+  /// and stops early once every server is included. (The pre-fix version
+  /// returned only the start region's server plus one neighbor, so any
+  /// scan crossing two or more boundaries silently missed servers.)
+  std::vector<int> RouteScan(const Slice& start,
+                             const Slice& end_key = Slice()) const;
+  /// Servers covering a scan of up to `count` rows from `start`. Regions
+  /// partition the sample population evenly (FromSample), so the worst
+  /// case is one row per region: the walk covers min(count, remaining)
+  /// regions.
+  std::vector<int> RouteScan(const Slice& start, int count) const;
 
   int num_regions() const { return static_cast<int>(boundaries_.size()) + 1; }
   int num_servers() const { return num_servers_; }

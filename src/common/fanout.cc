@@ -61,6 +61,12 @@ void FanoutExecutor::WorkerLoop() {
 }
 
 Status FanoutExecutor::RunAll(std::vector<Task> tasks) {
+  return RunAll(std::move(tasks), nullptr);
+}
+
+Status FanoutExecutor::RunAll(std::vector<Task> tasks,
+                              std::vector<Status>* statuses) {
+  if (statuses != nullptr) statuses->clear();
   if (tasks.empty()) return Status::OK();
   auto batch = std::make_shared<Batch>();
   batch->tasks = std::move(tasks);
@@ -79,10 +85,12 @@ Status FanoutExecutor::RunAll(std::vector<Task> tasks) {
     batch->done_cv.wait(
         lock, [&]() { return batch->completed == batch->tasks.size(); });
   }
+  Status first;
   for (const Status& status : batch->statuses) {
-    if (!status.ok()) return status;
+    if (first.ok() && !status.ok()) first = status;
   }
-  return Status::OK();
+  if (statuses != nullptr) *statuses = std::move(batch->statuses);
+  return first;
 }
 
 }  // namespace apmbench

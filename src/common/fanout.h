@@ -54,6 +54,13 @@ class FanoutExecutor {
 
   Status RunAll(std::vector<Task> tasks);
 
+  /// Like RunAll, but additionally reports every task's own Status in
+  /// task order through `statuses` (resized to tasks.size()). This is
+  /// how replica-aware callers distinguish "all acked" from "partially
+  /// acked": the collapsed first-error return hides which replicas kept
+  /// the write.
+  Status RunAll(std::vector<Task> tasks, std::vector<Status>* statuses);
+
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:

@@ -26,9 +26,26 @@ struct StoreOptions {
   int num_nodes = 1;
 
   /// Replicas per key for the Cassandra-like store (the paper runs 1;
-  /// Section 8 lists replication as future work). Writes go to all
-  /// replicas, reads to the primary (consistency ONE, synchronous).
+  /// Section 8 lists replication as future work). Writes go to every
+  /// live replica; reads take the first live replica in ring order and
+  /// fail over to the next on error (see docs/cluster.md).
   int replication_factor = 1;
+
+  /// Cluster lifecycle knobs (Cassandra-like store; see docs/cluster.md).
+  /// Consecutive failed operations before a node is marked down.
+  int membership_error_threshold = 3;
+  /// How long a down node waits before a single probe may test it again.
+  uint64_t membership_probation_micros = 500 * 1000;
+  /// Queue writes for unreachable replicas as durable hints, replayed
+  /// when the replica recovers; off turns a partial rf>1 write into a
+  /// reported error (divergence stays visible via the write report).
+  bool hinted_handoff = true;
+  /// Repair stale or missing replicas discovered on the read path by
+  /// writing the winning row back to them.
+  bool read_repair = true;
+  /// Merkle-style digest leaves per node pair in CassandraStore::Repair;
+  /// more buckets ship finer-grained differing ranges.
+  int repair_digest_buckets = 64;
 
   Env* env = nullptr;
 

@@ -7,7 +7,12 @@
 #include <string>
 #include <vector>
 
+#include "cluster/hints.h"
+#include "cluster/membership.h"
+#include "common/fault_env.h"
 #include "common/random.h"
+#include "stores/cassandra_store.h"
+#include "tests/test_util.h"
 
 namespace apmbench::cluster {
 namespace {
@@ -154,6 +159,25 @@ TEST(RegionMapTest, ScanServersCoverBoundary) {
   EXPECT_EQ(servers[1], 1);
 }
 
+TEST(RegionMapTest, ScanCrossingManyBoundariesCoversAllServers) {
+  // Regression: a scan that crosses two or more region boundaries must
+  // return every server hosting a touched region. The pre-fix RouteScan
+  // returned only the start region's server plus one next region, so a
+  // scan from region 0 over regions {0..5} on 3 servers silently missed
+  // server 2 (regions 2 and 5) — verified failing before the fix.
+  RegionMap regions({"b", "c", "d", "e", "f"}, 3);  // 6 regions, 3 servers
+  ASSERT_EQ(regions.num_regions(), 6);
+  // Unbounded scan from the first region touches every region, so every
+  // server must appear.
+  auto servers = regions.RouteScan("a");
+  EXPECT_EQ(servers.size(), 3u) << "unbounded scan must cover all servers";
+  std::vector<int> sorted = servers;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2}));
+  // First server is still the start region's host.
+  EXPECT_EQ(servers[0], 0);
+}
+
 TEST(PartitionRingTest, TwoPartitionsPerNodeBalance) {
   PartitionRing ring(12, 2, 3);
   EXPECT_EQ(ring.num_partitions(), 24);
@@ -172,8 +196,567 @@ TEST(PartitionRingTest, PartitionToNodeStriping) {
   }
 }
 
+TEST(MembershipTest, ErrorThresholdMarksDownThenProbationThenUp) {
+  uint64_t now = 1000;
+  MembershipOptions options;
+  options.error_threshold = 3;
+  options.probation_micros = 500;
+  options.now_micros = [&now]() { return now; };
+  Membership membership(2, options);
+
+  EXPECT_EQ(membership.StateOf(1), Membership::NodeState::kUp);
+  membership.ReportError(1);
+  membership.ReportError(1);
+  EXPECT_TRUE(membership.IsLive(1)) << "below the threshold the node is up";
+  membership.ReportError(1);
+  EXPECT_EQ(membership.StateOf(1), Membership::NodeState::kDown);
+  EXPECT_FALSE(membership.IsLive(1));
+  EXPECT_FALSE(membership.TryClaimProbe(1)) << "probation has not elapsed";
+
+  now += 499;
+  EXPECT_EQ(membership.StateOf(1), Membership::NodeState::kDown);
+  now += 1;
+  EXPECT_EQ(membership.StateOf(1), Membership::NodeState::kProbation);
+  EXPECT_TRUE(membership.TryClaimProbe(1));
+  EXPECT_FALSE(membership.TryClaimProbe(1)) << "one probe per window";
+
+  membership.ReportSuccess(1);
+  EXPECT_EQ(membership.StateOf(1), Membership::NodeState::kUp);
+  std::vector<int> recovered = membership.TakeRecovered();
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0], 1);
+  EXPECT_TRUE(membership.TakeRecovered().empty());
+
+  Membership::Counters counters = membership.GetCounters();
+  EXPECT_EQ(counters.transitions_down, 1u);
+  EXPECT_EQ(counters.transitions_up, 1u);
+  EXPECT_EQ(counters.probes_claimed, 1u);
+}
+
+TEST(MembershipTest, FailedProbeRestartsProbation) {
+  uint64_t now = 0;
+  MembershipOptions options;
+  options.error_threshold = 1;
+  options.probation_micros = 500;
+  options.now_micros = [&now]() { return now; };
+  Membership membership(1, options);
+
+  membership.ReportError(0);
+  now += 500;
+  ASSERT_TRUE(membership.TryClaimProbe(0));
+  membership.ReportError(0);  // the probe failed
+  EXPECT_EQ(membership.StateOf(0), Membership::NodeState::kDown)
+      << "a failed probe restarts the probation timer";
+  now += 499;
+  EXPECT_FALSE(membership.TryClaimProbe(0));
+  now += 1;
+  EXPECT_TRUE(membership.TryClaimProbe(0));
+  EXPECT_EQ(membership.GetCounters().probes_claimed, 2u);
+}
+
+std::string HintToString(const HintLog::Hint& hint) {
+  return (hint.op == HintLog::OpKind::kPut ? "put:" : "del:") +
+         hint.key.ToString() + ":" + hint.value.ToString();
+}
+
+TEST(HintLogTest, AppendsReplayInOrderThenTruncate) {
+  testutil::ScopedTempDir dir("hints");
+  HintLog log(Env::Default(), dir.path() + "/node0.hints");
+  ASSERT_TRUE(log.Open().ok());
+  EXPECT_EQ(log.pending(), 0u);
+  ASSERT_TRUE(log.Append(HintLog::OpKind::kPut, "k1", "v1").ok());
+  ASSERT_TRUE(log.Append(HintLog::OpKind::kDelete, "k2", "").ok());
+  ASSERT_TRUE(log.Append(HintLog::OpKind::kPut, "k1", "v2").ok());
+  EXPECT_EQ(log.pending(), 3u);
+
+  std::vector<std::string> applied;
+  ASSERT_TRUE(log.Replay([&](const HintLog::Hint& hint) {
+                   applied.push_back(HintToString(hint));
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(applied, (std::vector<std::string>{"put:k1:v1", "del:k2:",
+                                               "put:k1:v2"}));
+  EXPECT_EQ(log.pending(), 0u);
+  EXPECT_FALSE(Env::Default()->FileExists(log.path()))
+      << "a fully replayed queue is truncated";
+  ASSERT_TRUE(log.Replay([&](const HintLog::Hint&) {
+                   ADD_FAILURE() << "empty queue must not apply anything";
+                   return Status::OK();
+                 })
+                  .ok());
+}
+
+TEST(HintLogTest, FailedReplayKeepsWholeQueueForIdempotentRetry) {
+  testutil::ScopedTempDir dir("hints-retry");
+  HintLog log(Env::Default(), dir.path() + "/node0.hints");
+  ASSERT_TRUE(log.Open().ok());
+  ASSERT_TRUE(log.Append(HintLog::OpKind::kPut, "a", "1").ok());
+  ASSERT_TRUE(log.Append(HintLog::OpKind::kPut, "b", "2").ok());
+  ASSERT_TRUE(log.Append(HintLog::OpKind::kDelete, "a", "").ok());
+
+  int calls = 0;
+  Status s = log.Replay([&](const HintLog::Hint&) {
+    return ++calls == 2 ? Status::IOError("replica died mid-replay")
+                        : Status::OK();
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(log.pending(), 3u)
+      << "a failed replay keeps the whole queue, not just the tail";
+
+  // The retry re-applies from the start: replay is at-least-once, and the
+  // hints (LWW puts, blind deletes, in order) make that idempotent.
+  std::vector<std::string> applied;
+  ASSERT_TRUE(log.Replay([&](const HintLog::Hint& hint) {
+                   applied.push_back(HintToString(hint));
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(applied,
+            (std::vector<std::string>{"put:a:1", "put:b:2", "del:a:"}));
+  EXPECT_EQ(log.pending(), 0u);
+}
+
+TEST(HintLogTest, ReopenRecoversPendingHints) {
+  testutil::ScopedTempDir dir("hints-reopen");
+  const std::string path = dir.path() + "/node0.hints";
+  {
+    HintLog log(Env::Default(), path);
+    ASSERT_TRUE(log.Open().ok());
+    ASSERT_TRUE(log.Append(HintLog::OpKind::kPut, "a", "1").ok());
+    ASSERT_TRUE(log.Append(HintLog::OpKind::kPut, "b", "2").ok());
+  }
+  HintLog log(Env::Default(), path);
+  ASSERT_TRUE(log.Open().ok());
+  EXPECT_EQ(log.pending(), 2u) << "hints are durable across restart";
+  std::vector<std::string> applied;
+  ASSERT_TRUE(log.Replay([&](const HintLog::Hint& hint) {
+                   applied.push_back(HintToString(hint));
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(applied, (std::vector<std::string>{"put:a:1", "put:b:2"}));
+}
+
 }  // namespace
 }  // namespace apmbench::cluster
+
+namespace apmbench::stores {
+namespace {
+
+ycsb::Record FailoverRecord(int i) {
+  return {{"field0", "value-" + std::to_string(i)},
+          {"field1", std::string(40, static_cast<char>('a' + (i % 26)))}};
+}
+
+TEST(CassandraFailoverTest, PartialReplicaWriteAcksAndReadFailsOver) {
+  // rf=3 on 4 nodes with one replica killed: the write must still be
+  // acknowledged (two live replicas plus a durable hint for the dead
+  // one) and the partial outcome must be visible to the caller; a read
+  // of the key must fail over past the dead primary to a live replica.
+  // Verified failing before the fix: Insert returned the first replica
+  // error even though two replicas kept the write (silent divergence,
+  // no partial-ack information), and Read consulted only
+  // ring().Route(key), so it failed outright.
+  testutil::ScopedTempDir dir("cass-failover");
+  StoreOptions options;
+  options.base_dir = dir.path();
+  options.num_nodes = 4;
+  options.replication_factor = 3;
+  std::unique_ptr<CassandraStore> store;
+  ASSERT_TRUE(CassandraStore::Open(options, &store).ok());
+
+  const std::string key = "user000000000000000000042";
+  std::vector<int> replicas = store->ring().RouteReplicas(key, 3);
+  ASSERT_EQ(replicas.size(), 3u);
+  store->KillNode(replicas[0]);
+
+  EXPECT_TRUE(store->Insert("t", key, FailoverRecord(1)).ok())
+      << "a 2-of-3 write with a durable hint must be acked";
+  ycsb::Record record;
+  EXPECT_TRUE(store->Read("t", key, &record).ok())
+      << "read must fail over past the dead primary";
+}
+
+StoreOptions LifecycleOptions(const std::string& base_dir, int nodes,
+                              int rf) {
+  StoreOptions options;
+  options.base_dir = base_dir;
+  options.num_nodes = nodes;
+  options.replication_factor = rf;
+  // Down nodes become probe-able immediately: recovery in tests is driven
+  // by explicit Revive + traffic, not wall-clock probation.
+  options.membership_probation_micros = 0;
+  return options;
+}
+
+std::string LifecycleKey(int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%06d", i);
+  return buf;
+}
+
+// First value of field0, or "" — enough to tell row versions apart.
+std::string Field0(const ycsb::Record& record) {
+  for (const auto& [name, value] : record) {
+    if (name == "field0") return value;
+  }
+  return std::string();
+}
+
+TEST(CassandraFailoverTest, WriteReportShowsPartialReplicaOutcomes) {
+  testutil::ScopedTempDir dir("cass-report");
+  std::unique_ptr<CassandraStore> store;
+  ASSERT_TRUE(
+      CassandraStore::Open(LifecycleOptions(dir.path(), 4, 3), &store).ok());
+
+  const std::string key = "user000000000000000000007";
+  WriteReport report;
+  ASSERT_TRUE(store->InsertWithReport("t", key, FailoverRecord(1), &report)
+                  .ok());
+  EXPECT_TRUE(report.fully_acked());
+  EXPECT_EQ(report.acked, 3);
+
+  std::vector<int> replicas = store->ring().RouteReplicas(key, 3);
+  store->KillNode(replicas[0]);
+  ASSERT_TRUE(store->InsertWithReport("t", key, FailoverRecord(2), &report)
+                  .ok());
+  EXPECT_EQ(report.acked, 2);
+  EXPECT_EQ(report.hinted, 1);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_FALSE(report.fully_acked());
+  ASSERT_EQ(report.replicas.size(), 3u);
+  for (const ReplicaOutcome& outcome : report.replicas) {
+    if (outcome.node == replicas[0]) {
+      EXPECT_FALSE(outcome.status.ok());
+      EXPECT_TRUE(outcome.hinted);
+    } else {
+      EXPECT_TRUE(outcome.status.ok());
+      EXPECT_FALSE(outcome.hinted);
+    }
+  }
+  EXPECT_EQ(store->PendingHints(replicas[0]), 1u);
+}
+
+TEST(CassandraFailoverTest, PartialWriteVisibleWithoutHintedHandoff) {
+  // With hinted handoff off there is no durable stand-in for the dead
+  // replica, so the write must surface an error — but the report still
+  // shows which replicas kept it (the old fanout collapsed this to a
+  // bare first-error, hiding the 1-of-3 divergence).
+  testutil::ScopedTempDir dir("cass-nohints");
+  StoreOptions options = LifecycleOptions(dir.path(), 4, 3);
+  options.hinted_handoff = false;
+  std::unique_ptr<CassandraStore> store;
+  ASSERT_TRUE(CassandraStore::Open(options, &store).ok());
+
+  const std::string key = "user000000000000000000011";
+  std::vector<int> replicas = store->ring().RouteReplicas(key, 3);
+  store->KillNode(replicas[0]);
+  WriteReport report;
+  EXPECT_FALSE(store->InsertWithReport("t", key, FailoverRecord(3), &report)
+                   .ok());
+  EXPECT_EQ(report.acked, 2);
+  EXPECT_EQ(report.hinted, 0);
+  EXPECT_EQ(report.failed, 1);
+  EXPECT_EQ(store->PendingHints(replicas[0]), 0u);
+}
+
+TEST(CassandraFailoverTest, HintReplayHealsDeadReplicaAndConverges) {
+  testutil::ScopedTempDir dir("cass-heal");
+  std::unique_ptr<CassandraStore> store;
+  ASSERT_TRUE(
+      CassandraStore::Open(LifecycleOptions(dir.path(), 4, 3), &store).ok());
+
+  const int dead = 1;
+  store->KillNode(dead);
+  std::vector<std::string> hinted_keys;
+  for (int i = 0; i < 24; i++) {
+    std::string key = LifecycleKey(i);
+    ASSERT_TRUE(store->Insert("t", key, FailoverRecord(i)).ok());
+    std::vector<int> replicas = store->ring().RouteReplicas(key, 3);
+    if (std::find(replicas.begin(), replicas.end(), dead) != replicas.end()) {
+      hinted_keys.push_back(key);
+    }
+  }
+  ASSERT_FALSE(hinted_keys.empty());
+  EXPECT_EQ(store->PendingHints(dead), hinted_keys.size());
+
+  store->ReviveNode(dead);
+  ASSERT_TRUE(store->FlushHints().ok());
+  EXPECT_EQ(store->PendingHints(dead), 0u);
+  for (const std::string& key : hinted_keys) {
+    ycsb::Record record;
+    EXPECT_TRUE(store->ReadAt(dead, key, &record).ok())
+        << "replayed hint missing for " << key;
+  }
+  bool converged = false;
+  ASSERT_TRUE(store->CheckReplicasConverged(&converged).ok());
+  EXPECT_TRUE(converged);
+
+  ClusterStats stats = store->GetClusterStats();
+  EXPECT_EQ(stats.hints_queued, hinted_keys.size());
+  EXPECT_EQ(stats.hints_replayed, hinted_keys.size());
+  EXPECT_EQ(stats.hints_pending, 0u);
+}
+
+TEST(CassandraFailoverTest, HintReplayDoesNotResurrectDeletedKey) {
+  testutil::ScopedTempDir dir("cass-delete");
+  std::unique_ptr<CassandraStore> store;
+  ASSERT_TRUE(
+      CassandraStore::Open(LifecycleOptions(dir.path(), 4, 3), &store).ok());
+
+  const std::string key = "user000000000000000000023";
+  ASSERT_TRUE(store->Insert("t", key, FailoverRecord(1)).ok());
+  const int dead = store->ring().RouteReplicas(key, 3)[0];
+  store->KillNode(dead);
+  ASSERT_TRUE(store->Update("t", key, FailoverRecord(2)).ok());
+  ASSERT_TRUE(store->Delete("t", key).ok());
+  EXPECT_EQ(store->PendingHints(dead), 2u);
+
+  store->ReviveNode(dead);
+  ASSERT_TRUE(store->FlushHints().ok());
+  ycsb::Record record;
+  EXPECT_TRUE(store->ReadAt(dead, key, &record).IsNotFound())
+      << "the replayed delete must land after the replayed update";
+  EXPECT_TRUE(store->Read("t", key, &record).IsNotFound());
+}
+
+TEST(CassandraFailoverTest, DirectWritesDrainQueuedHintsFirst) {
+  // The ordering invariant behind idempotent replay: while a node has
+  // queued hints, new writes for it go through (or behind) the queue, so
+  // a later replay can never clobber a newer direct write.
+  testutil::ScopedTempDir dir("cass-order");
+  std::unique_ptr<CassandraStore> store;
+  ASSERT_TRUE(
+      CassandraStore::Open(LifecycleOptions(dir.path(), 4, 3), &store).ok());
+
+  const std::string key = "user000000000000000000031";
+  const int dead = store->ring().RouteReplicas(key, 3)[0];
+  store->KillNode(dead);
+  ASSERT_TRUE(store->Insert("t", key, FailoverRecord(1)).ok());
+  EXPECT_EQ(store->PendingHints(dead), 1u);
+
+  store->ReviveNode(dead);
+  // No explicit FlushHints: the next write must drain the queue itself
+  // before landing directly.
+  ASSERT_TRUE(store->Insert("t", key, FailoverRecord(2)).ok());
+  EXPECT_EQ(store->PendingHints(dead), 0u);
+  ycsb::Record record;
+  ASSERT_TRUE(store->ReadAt(dead, key, &record).ok());
+  EXPECT_EQ(Field0(record), "value-2")
+      << "the hinted value-1 must not overwrite the direct value-2";
+}
+
+TEST(CassandraFailoverTest, ReadRepairHealsStaleReplica) {
+  testutil::ScopedTempDir dir("cass-readrepair");
+  StoreOptions options = LifecycleOptions(dir.path(), 4, 3);
+  options.hinted_handoff = false;  // isolate the read-repair path
+  std::unique_ptr<CassandraStore> store;
+  ASSERT_TRUE(CassandraStore::Open(options, &store).ok());
+
+  const std::string key = "user000000000000000000047";
+  std::vector<int> replicas = store->ring().RouteReplicas(key, 3);
+  store->KillNode(replicas[0]);
+  EXPECT_FALSE(store->Insert("t", key, FailoverRecord(5)).ok())
+      << "no hints: a partial write is an error (but is not rolled back)";
+  store->ReviveNode(replicas[0]);
+
+  ycsb::Record record;
+  ASSERT_TRUE(store->Read("t", key, &record).ok())
+      << "the live replicas kept the write";
+  EXPECT_EQ(Field0(record), "value-5");
+
+  // The read saw replicas[0] answer NotFound and wrote the row back.
+  ASSERT_TRUE(store->ReadAt(replicas[0], key, &record).ok())
+      << "read repair must heal the stale replica";
+  EXPECT_EQ(Field0(record), "value-5");
+  ClusterStats stats = store->GetClusterStats();
+  EXPECT_GE(stats.failed_over_reads, 1u);
+  EXPECT_GE(stats.read_repairs, 1u);
+  bool converged = false;
+  ASSERT_TRUE(store->CheckReplicasConverged(&converged).ok());
+  EXPECT_TRUE(converged);
+}
+
+TEST(CassandraFailoverTest, RepairConvergesDivergedReplicas) {
+  testutil::ScopedTempDir dir("cass-repair");
+  StoreOptions options = LifecycleOptions(dir.path(), 5, 3);
+  options.hinted_handoff = false;  // leave divergence for repair to find
+  options.read_repair = false;
+  std::unique_ptr<CassandraStore> store;
+  ASSERT_TRUE(CassandraStore::Open(options, &store).ok());
+
+  // Baseline rows on every replica, plus one key that will go stale.
+  const std::string stale_key = "user000000000000000000500";
+  for (int i = 0; i < 30; i++) {
+    ASSERT_TRUE(store->Insert("t", LifecycleKey(i), FailoverRecord(i)).ok());
+  }
+  ASSERT_TRUE(store->Insert("t", stale_key, FailoverRecord(1)).ok());
+  const int dead = store->ring().RouteReplicas(stale_key, 3)[0];
+
+  store->KillNode(dead);
+  std::vector<std::string> diverged_keys;
+  for (int i = 100; i < 130; i++) {
+    std::string key = LifecycleKey(i);
+    std::vector<int> replicas = store->ring().RouteReplicas(key, 3);
+    bool hits_dead =
+        std::find(replicas.begin(), replicas.end(), dead) != replicas.end();
+    Status s = store->Insert("t", key, FailoverRecord(i));
+    EXPECT_EQ(s.ok(), !hits_dead);
+    if (hits_dead) diverged_keys.push_back(key);
+  }
+  // A newer version the dead node misses: repair must ship it forward,
+  // never the stale copy back.
+  ASSERT_FALSE(store->Update("t", stale_key, FailoverRecord(2)).ok());
+  ASSERT_FALSE(diverged_keys.empty());
+  store->ReviveNode(dead);
+
+  bool converged = true;
+  ASSERT_TRUE(store->CheckReplicasConverged(&converged).ok());
+  EXPECT_FALSE(converged);
+
+  RepairStats stats;
+  ASSERT_TRUE(store->Repair(&stats).ok());
+  EXPECT_EQ(stats.pairs_compared, 10u);  // 5 choose 2
+  EXPECT_GT(stats.buckets_diverged, 0u);
+  EXPECT_GE(stats.rows_shipped, diverged_keys.size());
+
+  ASSERT_TRUE(store->CheckReplicasConverged(&converged).ok());
+  EXPECT_TRUE(converged);
+  for (const std::string& key : diverged_keys) {
+    ycsb::Record record;
+    EXPECT_TRUE(store->ReadAt(dead, key, &record).ok())
+        << "repair must ship " << key << " to the recovered node";
+  }
+  ycsb::Record record;
+  ASSERT_TRUE(store->ReadAt(dead, stale_key, &record).ok());
+  EXPECT_EQ(Field0(record), "value-2")
+      << "last-write-wins: repair ships the newer version forward";
+}
+
+TEST(CassandraFailoverTest, ScanToleratesUpToRfMinusOneDeadNodes) {
+  testutil::ScopedTempDir dir("cass-scan");
+  std::unique_ptr<CassandraStore> store;
+  ASSERT_TRUE(
+      CassandraStore::Open(LifecycleOptions(dir.path(), 4, 2), &store).ok());
+  for (int i = 0; i < 40; i++) {
+    ASSERT_TRUE(store->Insert("t", LifecycleKey(i), FailoverRecord(i)).ok());
+  }
+
+  store->KillNode(3);
+  std::vector<ycsb::KeyedRecord> records;
+  ASSERT_TRUE(store->ScanKeyed("t", LifecycleKey(0), 40, &records).ok())
+      << "rf=2 keeps a live replica of every key with one node dead";
+  ASSERT_EQ(records.size(), 40u);
+  for (int i = 0; i < 40; i++) {
+    EXPECT_EQ(records[static_cast<size_t>(i)].key, LifecycleKey(i));
+  }
+
+  store->KillNode(0);
+  EXPECT_FALSE(store->ScanKeyed("t", LifecycleKey(0), 40, &records).ok())
+      << "two dead nodes exceed what rf=2 can cover";
+}
+
+TEST(CassandraFailoverTest, MembershipDiscoversDeathThroughTraffic) {
+  testutil::ScopedTempDir dir("cass-member");
+  StoreOptions options = LifecycleOptions(dir.path(), 3, 2);
+  options.membership_error_threshold = 2;
+  std::unique_ptr<CassandraStore> store;
+  ASSERT_TRUE(CassandraStore::Open(options, &store).ok());
+
+  const std::string key = "user000000000000000000003";
+  ASSERT_TRUE(store->Insert("t", key, FailoverRecord(9)).ok());
+  const int dead = store->ring().RouteReplicas(key, 2)[0];
+  store->KillNode(dead);
+
+  ycsb::Record record;
+  ASSERT_TRUE(store->Read("t", key, &record).ok());
+  EXPECT_TRUE(store->membership().IsLive(dead))
+      << "one error is below the threshold";
+  ASSERT_TRUE(store->Read("t", key, &record).ok());
+  EXPECT_FALSE(store->membership().IsLive(dead))
+      << "the second consecutive error marks the node down";
+
+  store->ReviveNode(dead);
+  // probation_micros = 0: the next read claims the probe, the probe
+  // succeeds, and the node is back up.
+  ASSERT_TRUE(store->Read("t", key, &record).ok());
+  EXPECT_TRUE(store->membership().IsLive(dead));
+  ClusterStats stats = store->GetClusterStats();
+  EXPECT_EQ(stats.membership.transitions_down, 1u);
+  EXPECT_EQ(stats.membership.transitions_up, 1u);
+  EXPECT_GE(stats.membership.probes_claimed, 1u);
+  EXPECT_GE(stats.failed_over_reads, 2u);
+}
+
+TEST(CassandraFailoverTest, CrashDuringHintReplayLosesNoAckedWrite) {
+  // The end-to-end durability story: writes acked while a replica was
+  // dead survive (a) the replica's death, (b) a crash in the middle of
+  // hint replay, and (c) the power loss taking the other replicas'
+  // unsynced WAL tails — because the fsynced hint queue is the ack's
+  // durable stand-in. A delete acked the same way stays deleted.
+  FaultInjectionEnv fault_env(Env::Default());
+  testutil::ScopedTempDir dir("cass-crash");
+  StoreOptions options = LifecycleOptions(dir.path(), 3, 2);
+  options.env = &fault_env;
+  options.membership_error_threshold = 1;
+
+  const std::string deleted_key = "user000000000000000000777";
+  std::vector<std::string> hinted_keys;
+  int dead = -1;
+  {
+    std::unique_ptr<CassandraStore> store;
+    ASSERT_TRUE(CassandraStore::Open(options, &store).ok());
+    ASSERT_TRUE(store->Insert("t", deleted_key, FailoverRecord(1)).ok());
+    dead = store->ring().RouteReplicas(deleted_key, 2)[0];
+    store->KillNode(dead);
+
+    for (int i = 0; hinted_keys.size() < 6 && i < 200; i++) {
+      std::string key = LifecycleKey(i);
+      std::vector<int> replicas = store->ring().RouteReplicas(key, 2);
+      if (std::find(replicas.begin(), replicas.end(), dead) ==
+          replicas.end()) {
+        continue;
+      }
+      ASSERT_TRUE(store->Insert("t", key, FailoverRecord(i)).ok())
+          << "one live replica plus a durable hint must ack";
+      hinted_keys.push_back(key);
+    }
+    ASSERT_EQ(hinted_keys.size(), 6u);
+    ASSERT_TRUE(store->Delete("t", deleted_key).ok());
+    ASSERT_EQ(store->PendingHints(dead), 7u);
+
+    // Recovery begins: the replay applies a couple of hints, then the
+    // node's WAL starts failing and the machine loses power.
+    store->ReviveNode(dead);
+    fault_env.FailAfter(FaultOp::kAppend, 2);
+    EXPECT_FALSE(store->FlushHints().ok());
+    fault_env.SetFilesystemActive(false);
+  }
+  fault_env.SetFilesystemActive(true);
+  fault_env.ClearAllFaults();
+  ASSERT_TRUE(fault_env.DropUnsyncedData().ok());
+  fault_env.ResetState();
+
+  std::unique_ptr<CassandraStore> store;
+  ASSERT_TRUE(CassandraStore::Open(options, &store).ok());
+  EXPECT_EQ(store->PendingHints(dead), 7u)
+      << "a crashed replay keeps the whole durable queue";
+  ASSERT_TRUE(store->FlushHints().ok());
+  EXPECT_EQ(store->PendingHints(dead), 0u);
+
+  for (size_t i = 0; i < hinted_keys.size(); i++) {
+    ycsb::Record record;
+    ASSERT_TRUE(store->Read("t", hinted_keys[i], &record).ok())
+        << "acked write lost: " << hinted_keys[i];
+  }
+  ycsb::Record record;
+  EXPECT_TRUE(store->Read("t", deleted_key, &record).IsNotFound())
+      << "the acked delete must not be resurrected";
+}
+
+}  // namespace
+}  // namespace apmbench::stores
 
 namespace apmbench::cluster {
 namespace {

@@ -8,13 +8,21 @@
 // reads should scale with threads on a multi-core host.
 //
 // Usage: micro_engines [engine=lsm|btree|hashkv|volt] [op=put|get|scan]
-//                      [mode=cache_scan] [out=BENCH_engines.json]
+//                      [mode=cache_scan|format] [out=BENCH_engines.json]
 //                      [build=<label>]
 //
 // mode=cache_scan runs the read-path sweep instead of the engine sweep:
 // threads x {cache-hit get, cold get, cross-shard scan}, with the
 // measured block-cache hit rate in each lsm row (the scaling evidence
 // for the sharded block cache and the store-layer fan-out executor).
+//
+// mode=format compares the two SSTable formats head to head: v1 (plain
+// blocks) vs v2 (arena memtable writes, prefix-compressed restart-point
+// blocks, prefix bloom filters) x put/get/scan x the thread sweep. Every
+// row carries heap bytes allocated per operation (global operator-new
+// accounting — the arena claim), the live index-block bytes and on-disk
+// footprint (the prefix-compression claim), and for scans the number of
+// tables skipped via prefix blooms (the bounded-scan claim).
 //
 // Environment:
 //   APMBENCH_BENCH_SECONDS  seconds measured per point (default 0.5)
@@ -23,9 +31,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +51,53 @@
 #include "stores/redis_store.h"
 #include "stores/store_options.h"
 #include "volt/volt.h"
+
+// --- Global allocation accounting (mode=format) ---------------------------
+//
+// Replacing the global allocation functions lets the format sweep report
+// heap bytes allocated per operation across the whole process: the arena
+// memtable's claim is precisely that the v2 write path performs fewer,
+// larger allocations than one-new-per-Put. Counting is two relaxed
+// fetch_adds, cheap enough to leave on for every mode.
+
+namespace {
+std::atomic<uint64_t> g_heap_bytes{0};
+std::atomic<uint64_t> g_heap_allocs{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_heap_bytes.fetch_add(size, std::memory_order_relaxed);
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = CountedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  if (void* p = CountedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+// Frees pair with CountedAlloc's malloc; GCC cannot see that and warns
+// about free() on operator-new memory at inlined call sites.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 
@@ -417,6 +475,142 @@ void SweepCacheScan(const SweepConfig& config) {
   Env::Default()->RemoveDirRecursively(dir);
 }
 
+// --- Storage-format sweep (mode=format) -----------------------------------
+
+void ReportFormat(const SweepConfig& config, uint32_t version,
+                  const std::string& op, int threads, const MeasureResult& r,
+                  double alloc_bytes_per_op, uint64_t index_bytes,
+                  uint64_t disk_bytes, int64_t prefix_bloom_skips) {
+  printf("lsm-v%u   %-5s %4d threads  %12.0f ops/s  (%7.0f alloc B/op, "
+         "index %6.1f KiB",
+         version, op.c_str(), threads, r.ops_per_sec, alloc_bytes_per_op,
+         static_cast<double>(index_bytes) / 1024.0);
+  if (prefix_bloom_skips >= 0) {
+    printf(", %lld table skips", static_cast<long long>(prefix_bloom_skips));
+  }
+  printf(")\n");
+  fflush(stdout);
+  auto& row = config.out->AddRow()
+                  .Str("engine", "lsm")
+                  .Str("mode", "format")
+                  .Int("format_version", version)
+                  .Str("op", op)
+                  .Int("threads", threads)
+                  .Num("ops_per_sec", r.ops_per_sec)
+                  .Int("total_ops", static_cast<int64_t>(r.total_ops))
+                  .Num("seconds", r.elapsed)
+                  .Num("alloc_bytes_per_op", alloc_bytes_per_op)
+                  .Int("index_bytes", static_cast<int64_t>(index_bytes))
+                  .Int("disk_bytes", static_cast<int64_t>(disk_bytes));
+  if (prefix_bloom_skips >= 0) row.Int("prefix_bloom_skips", prefix_bloom_skips);
+  if (!config.build_label.empty()) row.Str("build", config.build_label);
+}
+
+void SweepFormat(const SweepConfig& config) {
+  const std::string dir = "/tmp/apmbench-micro-format";
+  const uint64_t kGroups = 32;
+  constexpr size_t kPrefixLen = 9;  // "fmtNNNNN/" below
+  const uint64_t preload = config.preload;
+  const uint64_t per_group = preload / kGroups;
+
+  // Keys are grouped under 9-byte prefixes and the preload flushes once
+  // per group, so each SSTable covers one prefix: the layout a
+  // metric-per-agent APM schema produces, and the one where a bounded
+  // scan's prefix bloom can rule whole tables out.
+  auto group_key = [](uint64_t group, uint64_t i) {
+    char buf[40];
+    snprintf(buf, sizeof(buf), "fmt%05llu/user%012llu",
+             static_cast<unsigned long long>(group),
+             static_cast<unsigned long long>(i));
+    return std::string(buf);
+  };
+
+  for (uint32_t version : {uint32_t{1}, uint32_t{2}}) {
+    for (int threads : config.thread_counts) {
+      Env::Default()->RemoveDirRecursively(dir);
+      lsm::Options options;
+      options.dir = dir;
+      options.memtable_bytes = 4 * 1024 * 1024;
+      options.format_version = version;
+      // Identical knobs for both versions; v1 tables simply cannot carry
+      // a prefix filter, which is part of what the sweep shows.
+      options.prefix_bloom_length = kPrefixLen;
+      std::unique_ptr<lsm::DB> db;
+      if (!lsm::DB::Open(options, &db).ok()) return;
+      for (uint64_t g = 0; g < kGroups; g++) {
+        for (uint64_t i = 0; i < per_group; i++) {
+          db->Put(group_key(g, i), MakeValue());
+        }
+        db->Flush();
+      }
+      lsm::DB::Stats loaded = db->GetStats();
+      uint64_t disk_bytes = 0;
+      db->DiskUsage(&disk_bytes);
+
+      auto measure = [&](const char* op, auto&& body) {
+        const uint64_t bytes_before =
+            g_heap_bytes.load(std::memory_order_relaxed);
+        const uint64_t skips_before = db->GetStats().prefix_bloom_skips;
+        auto r = Measure(threads, config.seconds, body);
+        const double alloc_per_op =
+            r.total_ops > 0
+                ? static_cast<double>(
+                      g_heap_bytes.load(std::memory_order_relaxed) -
+                      bytes_before) /
+                      static_cast<double>(r.total_ops)
+                : 0.0;
+        const int64_t skips =
+            std::string(op) == "scan"
+                ? static_cast<int64_t>(db->GetStats().prefix_bloom_skips -
+                                       skips_before)
+                : -1;
+        ReportFormat(config, version, op, threads, r, alloc_per_op,
+                     loaded.index_bytes, disk_bytes, skips);
+      };
+
+      if (WantOp(config, "get")) {
+        measure("get", [&](int t) {
+          auto rng = std::make_shared<Random>(5000 + t);
+          return [&, rng]() {
+            std::string value;
+            db->Get(lsm::ReadOptions(),
+                    group_key(rng->Uniform(kGroups), rng->Uniform(per_group)),
+                    &value);
+          };
+        });
+      }
+      if (WantOp(config, "scan")) {
+        // Short bounded scan within one prefix group — the workload the
+        // prefix bloom exists for.
+        measure("scan", [&](int t) {
+          auto rng = std::make_shared<Random>(6000 + t);
+          return [&, rng]() {
+            lsm::ReadOptions bounded;
+            bounded.prefix_same_as_start = true;
+            std::vector<std::pair<std::string, std::string>> out;
+            db->Scan(bounded,
+                     group_key(rng->Uniform(kGroups), rng->Uniform(per_group)),
+                     50, &out);
+          };
+        });
+      }
+      if (WantOp(config, "put")) {
+        // Disjoint fresh key ranges per thread, above the preload set.
+        measure("put", [&](int t) {
+          auto next = std::make_shared<uint64_t>(
+              per_group + (static_cast<uint64_t>(t) << 32));
+          return [&, next]() {
+            db->Put(group_key(static_cast<uint64_t>(t) % kGroups, (*next)++),
+                    MakeValue());
+          };
+        });
+      }
+      db.reset();
+      Env::Default()->RemoveDirRecursively(dir);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -432,7 +626,7 @@ int main(int argc, char** argv) {
     if (!props.ParseArg(argv[i]).ok()) {
       fprintf(stderr,
               "usage: %s [engine=lsm|btree|hashkv|volt] [op=put|get|scan] "
-              "[mode=cache_scan] [out=<path>] [build=<label>]\n",
+              "[mode=cache_scan|format] [out=<path>] [build=<label>]\n",
               argv[0]);
       return 2;
     }
@@ -452,6 +646,8 @@ int main(int argc, char** argv) {
 
   if (mode == "cache_scan") {
     SweepCacheScan(config);
+  } else if (mode == "format") {
+    SweepFormat(config);
   } else {
     if (only_engine.empty() || only_engine == "lsm") SweepLsm(config);
     if (only_engine.empty() || only_engine == "btree") SweepBtree(config);

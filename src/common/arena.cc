@@ -1,0 +1,57 @@
+#include "common/arena.h"
+
+#include <cassert>
+
+namespace apmbench {
+
+Arena::Arena(size_t block_bytes)
+    : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+char* Arena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateAligned(size_t bytes) {
+  constexpr size_t kAlign = alignof(std::max_align_t);
+  static_assert((kAlign & (kAlign - 1)) == 0, "alignment must be a power of 2");
+  size_t mod = reinterpret_cast<uintptr_t>(alloc_ptr_) & (kAlign - 1);
+  size_t slop = mod == 0 ? 0 : kAlign - mod;
+  size_t needed = bytes + slop;
+  if (needed <= alloc_remaining_) {
+    char* result = alloc_ptr_ + slop;
+    alloc_ptr_ += needed;
+    alloc_remaining_ -= needed;
+    return result;
+  }
+  // AllocateFallback always hands out block-start (malloc-aligned) memory.
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateFallback(size_t bytes) {
+  if (bytes > block_bytes_ / 4) {
+    // Oversized allocation gets its own block so the remainder of the
+    // current block is not wasted on it.
+    return AllocateNewBlock(bytes);
+  }
+  char* block = AllocateNewBlock(block_bytes_);
+  alloc_ptr_ = block + bytes;
+  alloc_remaining_ = block_bytes_ - bytes;
+  return block;
+}
+
+char* Arena::AllocateNewBlock(size_t block_bytes) {
+  char* block = new char[block_bytes];
+  blocks_.emplace_back(block);
+  memory_usage_.fetch_add(block_bytes + sizeof(blocks_[0]),
+                          std::memory_order_relaxed);
+  return block;
+}
+
+}  // namespace apmbench

@@ -113,6 +113,44 @@ bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
   return true;
 }
 
+char* EncodeVarint64(char* dst, uint64_t value) {
+  auto* p = reinterpret_cast<unsigned char*>(dst);
+  while (value >= 0x80) {
+    *p++ = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  *p++ = static_cast<unsigned char>(value);
+  return reinterpret_cast<char*>(p);
+}
+
+char* EncodeVarint32(char* dst, uint32_t value) {
+  return EncodeVarint64(dst, value);
+}
+
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(*p);
+    p++;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value) {
+  uint64_t v;
+  const char* q = GetVarint64Ptr(p, limit, &v);
+  if (q == nullptr || v > UINT32_MAX) return nullptr;
+  *value = static_cast<uint32_t>(v);
+  return q;
+}
+
 int VarintLength(uint64_t value) {
   int len = 1;
   while (value >= 0x80) {

@@ -31,6 +31,14 @@ bool GetVarint32(Slice* input, uint32_t* value);
 bool GetVarint64(Slice* input, uint64_t* value);
 bool GetLengthPrefixedSlice(Slice* input, Slice* result);
 
+/// Raw-pointer variants for hot decode paths (memtable entries, block
+/// scans) that cannot afford Slice bookkeeping. Encode returns the byte
+/// past the encoding; Get returns nullptr on truncated/malformed input.
+char* EncodeVarint32(char* dst, uint32_t value);
+char* EncodeVarint64(char* dst, uint64_t value);
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
 /// Number of bytes a varint encoding of `value` occupies.
 int VarintLength(uint64_t value);
 

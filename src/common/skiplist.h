@@ -6,7 +6,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <new>
+#include <type_traits>
 
+#include "common/arena.h"
 #include "common/random.h"
 
 namespace apmbench {
@@ -31,14 +33,32 @@ namespace apmbench {
 ///    either path.
 ///
 /// `Comparator` is a stateless functor returning <0/0/>0 like memcmp.
+/// `Comparator` may be stateful when passed to the constructor (the LSM
+/// memtable's comparator decodes arena-encoded entries).
+///
+/// When constructed with an `Arena`, nodes are bump-allocated from it and
+/// never individually freed — the arena owns all node memory and outlives
+/// the list. Arena mode requires `Key` and `Value` to be trivially
+/// destructible (the destructor does not visit nodes) and makes Erase a
+/// pure unlink: the node's bytes stay reserved until the arena is dropped.
 template <typename Key, typename Value, typename Comparator>
 class SkipList {
  public:
   static constexpr int kMaxHeight = 12;
 
-  SkipList() : rng_(0xdecafbadULL), head_(NewNode(Key(), Value(), kMaxHeight)) {}
+  explicit SkipList(Arena* arena = nullptr, Comparator cmp = Comparator())
+      : cmp_(cmp),
+        rng_(0xdecafbadULL),
+        arena_(arena),
+        head_(NewNode(Key(), Value(), kMaxHeight)) {
+    // Arena-backed nodes are reclaimed wholesale without running Node
+    // destructors, so Key/Value must not own heap state in that mode.
+    assert(arena_ == nullptr || (std::is_trivially_destructible_v<Key> &&
+                                 std::is_trivially_destructible_v<Value>));
+  }
 
   ~SkipList() {
+    if (arena_ != nullptr) return;  // the arena owns every node's bytes
     Node* node = head_;
     while (node != nullptr) {
       Node* next = node->Next(0);
@@ -166,10 +186,11 @@ class SkipList {
     }
   };
 
-  static Node* NewNode(const Key& key, const Value& value, int height) {
-    char* mem = new char[sizeof(Node) +
-                         sizeof(std::atomic<Node*>) *
-                             static_cast<size_t>(height - 1)];
+  Node* NewNode(const Key& key, const Value& value, int height) {
+    const size_t bytes = sizeof(Node) + sizeof(std::atomic<Node*>) *
+                                            static_cast<size_t>(height - 1);
+    char* mem = arena_ != nullptr ? arena_->AllocateAligned(bytes)
+                                  : new char[bytes];
     Node* node = new (mem) Node();
     node->key = key;
     node->value = value;
@@ -181,7 +202,8 @@ class SkipList {
     return node;
   }
 
-  static void DeleteNode(Node* node) {
+  void DeleteNode(Node* node) {
+    if (arena_ != nullptr) return;  // unlink only; the arena keeps the bytes
     node->~Node();
     delete[] reinterpret_cast<char*>(node);
   }
@@ -212,6 +234,7 @@ class SkipList {
 
   Comparator cmp_;
   Random rng_;
+  Arena* arena_;  // nullptr = heap-allocated nodes (hashkv, redis index)
   Node* head_;
   std::atomic<int> height_{1};
   std::atomic<size_t> size_{0};

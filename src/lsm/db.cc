@@ -53,10 +53,19 @@ void WriteBatch::Delete(const Slice& key) {
 DB::DB(const Options& options) : options_(options) {
   env_ = options_.env != nullptr ? options_.env : Env::Default();
   options_.env = env_;
+  // The arena charges whole blocks up front, so a memtable must span
+  // several blocks before the flush trigger can fire — otherwise a
+  // memtable_bytes smaller than one block degenerates into a flush per
+  // write. Clamp the block size rather than reject the combination:
+  // tiny write buffers are a legitimate way to force flush churn.
+  if (options_.arena_block_bytes > options_.memtable_bytes / 4) {
+    options_.arena_block_bytes =
+        std::max<size_t>(256, options_.memtable_bytes / 4);
+  }
   cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes,
                                         options_.block_cache_shard_bits);
   versions_ = std::make_unique<VersionSet>(options_, env_);
-  mem_ = std::make_shared<MemTable>();
+  mem_ = std::make_shared<MemTable>(options_.arena_block_bytes);
   rate_limiter_ = options_.rate_limiter;
   if (rate_limiter_ == nullptr && options_.rate_limit_bytes_per_sec > 0) {
     rate_limiter_ =
@@ -71,6 +80,12 @@ DB::DB(const Options& options) : options_(options) {
 Status DB::Open(const Options& options, std::unique_ptr<DB>* db) {
   if (options.dir.empty()) {
     return Status::InvalidArgument("Options::dir must be set");
+  }
+  if (options.format_version < kTableFormatV1 ||
+      options.format_version > kMaxSupportedTableFormat) {
+    return Status::InvalidArgument(
+        "Options::format_version must be 1 or 2, got " +
+        std::to_string(options.format_version));
   }
   std::unique_ptr<DB> impl(new DB(options));
   APM_RETURN_IF_ERROR(impl->OpenImpl());
@@ -281,7 +296,7 @@ Status DB::ReplayWals() {
     edit.has_log_number = true;
     edit.log_number = wal_number_;
     APM_RETURN_IF_ERROR(versions_->LogAndApply(edit));
-    mem_ = std::make_shared<MemTable>();
+    mem_ = std::make_shared<MemTable>(options_.arena_block_bytes);
     num_flushes_++;
   }
   for (uint64_t number : wal_numbers) {
@@ -363,7 +378,7 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock) {
       stall_slowdown_writes_++;
       continue;
     }
-    if (mem_->ApproximateBytes() < options_.memtable_bytes) {
+    if (mem_->ApproximateMemoryUsage() < options_.memtable_bytes) {
       return Status::OK();
     }
     if (imm_ != nullptr) {
@@ -413,7 +428,7 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock) {
     imm_ = std::move(mem_);
     imm_wal_number_ = wal_number_;
     wal_number_ = new_wal_number;
-    mem_ = std::make_shared<MemTable>();
+    mem_ = std::make_shared<MemTable>(options_.arena_block_bytes);
     RefreshViewLocked();
     cv_.notify_all();
   }
@@ -619,16 +634,42 @@ Status DB::Scan(const ReadOptions& read_options, const Slice& start,
   // consistent point-in-time view — so scans no longer block writers.
   std::shared_ptr<const ReadView> view = CurrentView();
   const uint64_t seq_limit = applied_seq_.load(std::memory_order_acquire);
+
+  // With prefix_same_as_start the caller promises to consume only keys
+  // sharing the scan prefix, so the scan is bounded: tables whose prefix
+  // bloom rules the prefix out are skipped entirely (the way point gets
+  // skip on the full-key bloom), and the result is truncated when a key
+  // leaves the prefix range. A table built with a *shorter* prefix than
+  // the scan's may still be probed — every returned key shares the scan
+  // prefix and therefore the table's shorter one, so a negative remains
+  // authoritative; a table with a longer prefix is never skipped.
+  Slice prefix;
+  if (read_options.prefix_same_as_start && options_.prefix_bloom_length > 0) {
+    prefix = Slice(start.data(),
+                   std::min(start.size(), options_.prefix_bloom_length));
+  }
+
   std::vector<std::unique_ptr<Iterator>> children;
   children.push_back(view->mem->NewIterator(seq_limit));
   if (view->imm != nullptr) children.push_back(view->imm->NewIterator());
   for (const auto& table : view->tables) {
+    const size_t table_prefix_len = table->prefix_bloom_length();
+    if (table_prefix_len > 0 && table_prefix_len <= prefix.size() &&
+        !table->MayMatchPrefix(Slice(prefix.data(), table_prefix_len))) {
+      prefix_bloom_skips_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     children.push_back(table->NewIterator(read_options));
   }
   auto iter = NewDedupIterator(NewMergingIterator(std::move(children)),
                                /*skip_tombstones=*/true);
   iter->Seek(start);
   while (iter->Valid() && static_cast<int>(out->size()) < count) {
+    if (!prefix.empty() &&
+        (iter->key().size() < prefix.size() ||
+         Slice(iter->key().data(), prefix.size()).Compare(prefix) != 0)) {
+      break;  // sorted keys: once outside the prefix range, always outside
+    }
     out->emplace_back(iter->key().ToString(), iter->value().ToString());
     iter->Next();
   }
@@ -771,6 +812,7 @@ Status DB::WriteTables(Iterator* iter, bool single_output, int output_level,
     meta.number = current_number;
     meta.file_size = builder->FileSize();
     meta.num_entries = builder->NumEntries();
+    meta.format_version = builder->format_version();
     meta.smallest = builder->smallest_key();
     meta.largest = builder->largest_key();
     if (rate_limiter_ != nullptr && meta.file_size > charged) {
@@ -1295,7 +1337,7 @@ Status DB::Flush() {
     imm_ = std::move(mem_);
     imm_wal_number_ = wal_number_;
     wal_number_ = new_wal_number;
-    mem_ = std::make_shared<MemTable>();
+    mem_ = std::make_shared<MemTable>(options_.arena_block_bytes);
     RefreshViewLocked();
     cv_.notify_all();
   }
@@ -1405,7 +1447,18 @@ DB::Stats DB::GetStats() {
   stats.cache_misses = cache_->misses();
   stats.cache_charge = cache_->charge();
   stats.cache_evictions = cache_->evictions();
-  stats.memtable_bytes = mem_->ApproximateBytes();
+  stats.memtable_bytes = mem_->ApproximateMemoryUsage();
+  stats.prefix_bloom_skips =
+      prefix_bloom_skips_.load(std::memory_order_relaxed);
+  for (const auto& [number, table] : tables_) {
+    (void)number;
+    if (table->format_version() >= kTableFormatV2) {
+      stats.tables_format_v2++;
+    } else {
+      stats.tables_format_v1++;
+    }
+    stats.index_bytes += table->index_block_bytes();
+  }
   stats.wal_dropped_bytes = wal_dropped_bytes_;
   stats.wal_replayed_records = wal_replayed_records_;
   stats.write_groups = write_groups_;

@@ -87,6 +87,16 @@ class DB {
     std::vector<uint64_t> cache_hits_per_level;
     std::vector<uint64_t> cache_misses_per_level;
     uint64_t memtable_bytes = 0;
+    /// Live tables by on-disk format version (compaction migrates v1
+    /// tables to the configured version, so v1 counts drain over time).
+    uint64_t tables_format_v1 = 0;
+    uint64_t tables_format_v2 = 0;
+    /// Total on-disk index-block bytes across live tables (the v2
+    /// restart-point shrink is visible here).
+    uint64_t index_bytes = 0;
+    /// Tables skipped by Scan via prefix bloom filters
+    /// (ReadOptions::prefix_same_as_start).
+    uint64_t prefix_bloom_skips = 0;
     /// Bytes discarded as torn WAL tails during the last recovery (benign
     /// interrupted appends; mid-log damage fails Open instead).
     uint64_t wal_dropped_bytes = 0;
@@ -330,6 +340,10 @@ class DB {
   /// reader's pointer load and the next store.
   mutable std::mutex view_mu_;
   std::shared_ptr<const ReadView> view_;
+
+  /// Tables a Scan skipped entirely because their prefix bloom ruled out
+  /// the scan's key prefix. Updated lock-free on the read path.
+  std::atomic<uint64_t> prefix_bloom_skips_{0};
 
   /// Highest sequence number whose write group is fully applied to the
   /// memtable. Readers filter the live memtable by it so half-applied

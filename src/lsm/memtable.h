@@ -1,11 +1,11 @@
 #ifndef APMBENCH_LSM_MEMTABLE_H_
 #define APMBENCH_LSM_MEMTABLE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 
+#include "common/arena.h"
 #include "common/skiplist.h"
 #include "common/slice.h"
 #include "lsm/iterator.h"
@@ -20,6 +20,17 @@ namespace apmbench::lsm {
 /// writer (the group-commit leader) apply entries while readers traverse
 /// the skip list lock-free: published nodes are immutable.
 ///
+/// Entries and skip-list nodes are bump-allocated from a per-memtable
+/// Arena: a Put performs zero heap allocations of its own, and
+/// ApproximateMemoryUsage() is the exact number of bytes reserved, which
+/// is what the flush trigger compares against Options::memtable_bytes.
+/// Each entry is encoded contiguously in arena memory as
+///
+///   varint32 klen | key | fixed64 seq | flags u8 | varint32 vlen | value
+///
+/// with flags bit0 = tombstone; the skip-list key is the pointer to the
+/// first byte and the comparator decodes in place.
+///
 /// Deletions are tombstone entries so they shadow older SSTable data
 /// after a flush. Readers pass a `seq_limit` to see a consistent prefix
 /// of the write history (the DB uses its last fully applied sequence
@@ -28,7 +39,8 @@ class MemTable {
  public:
   static constexpr uint64_t kMaxSeq = UINT64_MAX;
 
-  MemTable() = default;
+  explicit MemTable(size_t arena_block_bytes = Arena::kDefaultBlockBytes)
+      : arena_(arena_block_bytes), table_(&arena_) {}
 
   MemTable(const MemTable&) = delete;
   MemTable& operator=(const MemTable&) = delete;
@@ -43,11 +55,11 @@ class MemTable {
   GetResult Get(const Slice& key, std::string* value, uint64_t* seq = nullptr,
                 uint64_t seq_limit = kMaxSeq) const;
 
-  /// Approximate heap footprint of stored entries, used against
-  /// Options::memtable_bytes.
-  size_t ApproximateBytes() const {
-    return bytes_.load(std::memory_order_relaxed);
-  }
+  /// Exact bytes reserved by this memtable's arena (entry bytes plus
+  /// skip-list nodes), compared against Options::memtable_bytes by the
+  /// flush trigger. Safe to read from any thread.
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+
   /// Number of stored entries. With multi-versioning this counts every
   /// version, not distinct user keys.
   size_t EntryCount() const { return table_.size(); }
@@ -59,34 +71,32 @@ class MemTable {
   std::unique_ptr<Iterator> NewIterator(uint64_t seq_limit = kMaxSeq) const;
 
  private:
-  struct MemKey {
-    std::string user_key;
+  /// Fields of an arena-encoded entry, decoded in place (slices point at
+  /// arena bytes and stay valid for the memtable's lifetime).
+  struct DecodedEntry {
+    Slice key;
+    Slice value;
     uint64_t seq = 0;
-  };
-
-  struct Entry {
     bool tombstone = false;
-    std::string value;
+  };
+  static DecodedEntry DecodeEntry(const char* p);
+
+  /// Compares encoded entries by (key asc, seq desc). A lookup key built
+  /// by LookupKey encodes only the `klen | key | seq` prefix, which is all
+  /// the comparator reads.
+  struct EntryCompare {
+    int operator()(const char* a, const char* b) const;
   };
 
-  struct KeyCompare {
-    int operator()(const MemKey& a, const MemKey& b) const {
-      int c = Slice(a.user_key).Compare(Slice(b.user_key));
-      if (c != 0) return c;
-      // Newer versions sort first so a seek to (key, limit) lands on the
-      // newest visible version.
-      if (a.seq > b.seq) return -1;
-      if (a.seq < b.seq) return 1;
-      return 0;
-    }
-  };
+  using Table = SkipList<const char*, char, EntryCompare>;
 
-  using Table = SkipList<MemKey, Entry, KeyCompare>;
+  void Add(const Slice& key, const Slice& value, uint64_t seq,
+           bool tombstone);
 
   friend class MemTableIterator;
 
+  Arena arena_;
   Table table_;
-  std::atomic<size_t> bytes_{0};
 };
 
 }  // namespace apmbench::lsm

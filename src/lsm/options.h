@@ -38,11 +38,41 @@ struct Options {
   /// to an SSTable in the background.
   size_t memtable_bytes = 8 * 1024 * 1024;
 
+  /// Arena block size for memtable bump allocation. A memtable can
+  /// overshoot `memtable_bytes` by at most one arena block (plus one
+  /// oversized value), so smaller blocks mean tighter flush accounting
+  /// and larger blocks mean fewer mallocs per memtable. DB::Open clamps
+  /// this to `memtable_bytes / 4` (floor 256) so a tiny write buffer
+  /// never degenerates into a flush per write.
+  size_t arena_block_bytes = 4 * 1024;
+
   /// Target uncompressed size of one SSTable data block.
   size_t block_size = 4 * 1024;
 
+  /// On-disk SSTable format written by flushes and compactions.
+  ///   1: plain blocks, full key per entry (the original format).
+  ///   2: prefix-compressed keys with restart points, versioned footer,
+  ///      optional prefix bloom filter.
+  /// Readers always understand both; compaction rewrites v1 tables into
+  /// the configured version, so a DB opened with format_version=2 over an
+  /// old directory converges to v2 as compaction touches each table.
+  uint32_t format_version = 2;
+
+  /// Format v2: number of entries between restart points in a block.
+  /// Keys between restarts share a prefix with their predecessor; larger
+  /// intervals compress better, smaller intervals make in-block seeks
+  /// cheaper. Clamped to >= 1.
+  int block_restart_interval = 16;
+
   /// Bloom filter bits per key in each SSTable (0 disables filters).
   int bloom_bits_per_key = 10;
+
+  /// Format v2: when > 0, each table additionally stores a bloom filter
+  /// over the first `prefix_bloom_length` bytes of its keys. Range scans
+  /// issued with ReadOptions::prefix_same_as_start can then skip whole
+  /// tables that contain no key with the scan's prefix, the way point
+  /// gets already skip on the full-key bloom. 0 disables prefix blooms.
+  size_t prefix_bloom_length = 0;
 
   /// Per-block compression of SSTable data blocks. The paper ran all
   /// systems uncompressed ("the disk usage can be reduced by using
@@ -113,6 +143,13 @@ struct Options {
 struct ReadOptions {
   /// Fill the block cache with blocks read by this operation.
   bool fill_cache = true;
+
+  /// Scan-only: promise that the caller only consumes keys sharing the
+  /// first min(prefix_bloom_length, start.size()) bytes of the scan start
+  /// key. The scan then truncates its result at the end of that prefix
+  /// range and may skip entire tables via their prefix bloom filters.
+  /// Ignored by Get.
+  bool prefix_same_as_start = false;
 };
 
 }  // namespace apmbench::lsm

@@ -1,6 +1,8 @@
 #include "lsm/sstable.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstring>
 
 #include "common/coding.h"
 #include "common/compression.h"
@@ -11,13 +13,15 @@ namespace apmbench::lsm {
 
 namespace {
 
-constexpr uint64_t kTableMagic = 0x41504d424e434831ull;  // "APMBNCH1"
-constexpr size_t kFooterSize = 8 + 4 + 8 + 4 + 8;
+constexpr uint64_t kTableMagicV1 = 0x41504d424e434831ull;  // "APMBNCH1"
+constexpr uint64_t kTableMagicV2 = 0x41504d424e434832ull;  // "APMBNCH2"
+constexpr size_t kFooterV1Size = 8 + 4 + 8 + 4 + 8;
+constexpr size_t kFooterV2Size = 8 + 4 + 8 + 4 + 8 + 4 + 4 + 4 + 8;
 
 constexpr uint8_t kFlagTombstone = 0x1;
 
-void AppendEntry(std::string* dst, const Slice& key, const Slice& value,
-                 uint64_t seq, bool tombstone) {
+void AppendEntryV1(std::string* dst, const Slice& key, const Slice& value,
+                   uint64_t seq, bool tombstone) {
   PutVarint32(dst, static_cast<uint32_t>(key.size()));
   dst->append(key.data(), key.size());
   dst->push_back(static_cast<char>(tombstone ? kFlagTombstone : 0));
@@ -26,38 +30,350 @@ void AppendEntry(std::string* dst, const Slice& key, const Slice& value,
   dst->append(value.data(), value.size());
 }
 
+size_t SharedPrefixLength(const Slice& a, const Slice& b) {
+  const size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) i++;
+  return i;
+}
+
+/// Decodes the footer from `tail`, the last min(file_size, kFooterV2Size)
+/// bytes of the file, dispatching on the trailing magic.
+Status ParseFooter(const Slice& tail, const std::string& path,
+                   TableFooter* out) {
+  if (tail.size() < 8) {
+    return Status::Corruption("table too short: " + path);
+  }
+  const uint64_t magic = DecodeFixed64(tail.data() + tail.size() - 8);
+  if (magic == kTableMagicV1) {
+    if (tail.size() < kFooterV1Size) {
+      return Status::Corruption("truncated v1 footer: " + path);
+    }
+    Slice f(tail.data() + tail.size() - kFooterV1Size, kFooterV1Size);
+    out->format_version = kTableFormatV1;
+    GetFixed64(&f, &out->index_offset);
+    GetFixed32(&f, &out->index_size);
+    GetFixed64(&f, &out->filter_offset);
+    GetFixed32(&f, &out->filter_size);
+    out->prefix_filter_offset = 0;
+    out->prefix_filter_size = 0;
+    out->prefix_bloom_length = 0;
+    return Status::OK();
+  }
+  if (magic == kTableMagicV2) {
+    if (tail.size() < kFooterV2Size) {
+      return Status::Corruption("truncated v2 footer: " + path);
+    }
+    Slice f(tail.data() + tail.size() - kFooterV2Size, kFooterV2Size);
+    GetFixed64(&f, &out->index_offset);
+    GetFixed32(&f, &out->index_size);
+    GetFixed64(&f, &out->filter_offset);
+    GetFixed32(&f, &out->filter_size);
+    GetFixed64(&f, &out->prefix_filter_offset);
+    GetFixed32(&f, &out->prefix_filter_size);
+    GetFixed32(&f, &out->prefix_bloom_length);
+    GetFixed32(&f, &out->format_version);
+    if (out->format_version < kTableFormatV2 ||
+        out->format_version > kMaxSupportedTableFormat) {
+      return Status::Corruption("unsupported table format version " +
+                                std::to_string(out->format_version) + ": " +
+                                path);
+    }
+    return Status::OK();
+  }
+  return Status::Corruption("bad table magic: " + path);
+}
+
+Status ReadFooterFrom(RandomAccessFile* file, uint64_t file_size,
+                      const std::string& path, TableFooter* out) {
+  const size_t want =
+      static_cast<size_t>(std::min<uint64_t>(file_size, kFooterV2Size));
+  char buf[kFooterV2Size];
+  Slice tail;
+  APM_RETURN_IF_ERROR(file->Read(file_size - want, want, &tail, buf));
+  if (tail.size() != want) {
+    return Status::Corruption("short footer read: " + path);
+  }
+  return ParseFooter(tail, path, out);
+}
+
 }  // namespace
 
-bool BlockParser::Next() {
-  if (input_.empty() || corrupt_) return false;
-  uint32_t klen;
-  if (!GetVarint32(&input_, &klen) || input_.size() < klen + 1) {
-    corrupt_ = true;
+Status ReadTableFooter(Env* env, const std::string& path,
+                       TableFooter* footer) {
+  std::unique_ptr<RandomAccessFile> file;
+  APM_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &file));
+  return ReadFooterFrom(file.get(), file->Size(), path, footer);
+}
+
+// ---------------------------------------------------------------------------
+// BlockBuilder (format v2)
+
+BlockBuilder::BlockBuilder(int restart_interval)
+    : restart_interval_(restart_interval < 1 ? 1 : restart_interval) {}
+
+void BlockBuilder::Add(const Slice& key, const Slice& payload) {
+  assert(!finished_);
+  size_t shared = 0;
+  if (counter_ < restart_interval_) {
+    shared = SharedPrefixLength(Slice(last_key_), key);
+  } else {
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    counter_ = 0;
+  }
+  const size_t non_shared = key.size() - shared;
+  PutVarint32(&buffer_, static_cast<uint32_t>(shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(non_shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(payload.size()));
+  buffer_.append(key.data() + shared, non_shared);
+  buffer_.append(payload.data(), payload.size());
+  last_key_.resize(shared);
+  last_key_.append(key.data() + shared, non_shared);
+  counter_++;
+  num_entries_++;
+}
+
+Slice BlockBuilder::Finish() {
+  assert(!finished_);
+  for (uint32_t restart : restarts_) PutFixed32(&buffer_, restart);
+  PutFixed32(&buffer_, static_cast<uint32_t>(restarts_.size()));
+  finished_ = true;
+  return Slice(buffer_);
+}
+
+void BlockBuilder::Reset() {
+  buffer_.clear();
+  restarts_.assign(1, 0);
+  counter_ = 0;
+  num_entries_ = 0;
+  last_key_.clear();
+  finished_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// BlockCursor
+
+BlockCursor::BlockCursor(Slice block, uint32_t format_version,
+                         bool data_block)
+    : block_(block), format_(format_version), data_block_(data_block) {
+  if (format_ >= kTableFormatV2) {
+    if (block_.size() < 8) {  // restart offset 0 + count
+      MarkCorrupt();
+      return;
+    }
+    num_restarts_ = DecodeFixed32(block_.data() + block_.size() - 4);
+    const uint64_t restart_bytes = 4ull * num_restarts_ + 4;
+    if (num_restarts_ == 0 || restart_bytes > block_.size()) {
+      MarkCorrupt();
+      return;
+    }
+    data_end_ = block_.size() - static_cast<size_t>(restart_bytes);
+  }
+}
+
+void BlockCursor::MarkCorrupt() {
+  corrupt_ = true;
+  valid_ = false;
+}
+
+bool BlockCursor::ParseV1Entry() {
+  if (remaining_.empty() || corrupt_) {
+    valid_ = false;
     return false;
   }
-  key_ = Slice(input_.data(), klen);
-  input_.RemovePrefix(klen);
-  uint8_t flags = static_cast<uint8_t>(input_[0]);
-  input_.RemovePrefix(1);
+  uint32_t klen;
+  if (!GetVarint32(&remaining_, &klen) || remaining_.size() < klen + 1) {
+    MarkCorrupt();
+    return false;
+  }
+  key_ = Slice(remaining_.data(), klen);
+  remaining_.RemovePrefix(klen);
+  const uint8_t flags = static_cast<uint8_t>(remaining_[0]);
+  remaining_.RemovePrefix(1);
   tombstone_ = (flags & kFlagTombstone) != 0;
-  if (!GetVarint64(&input_, &seq_)) {
-    corrupt_ = true;
+  if (!GetVarint64(&remaining_, &seq_)) {
+    MarkCorrupt();
     return false;
   }
   uint32_t vlen;
-  if (!GetVarint32(&input_, &vlen) || input_.size() < vlen) {
-    corrupt_ = true;
+  if (!GetVarint32(&remaining_, &vlen) || remaining_.size() < vlen) {
+    MarkCorrupt();
     return false;
   }
-  value_ = Slice(input_.data(), vlen);
-  input_.RemovePrefix(vlen);
+  value_ = Slice(remaining_.data(), vlen);
+  remaining_.RemovePrefix(vlen);
+  payload_ = Slice();
+  valid_ = true;
   return true;
 }
 
+bool BlockCursor::DecodeDataPayload() {
+  const char* p = payload_.data();
+  const char* limit = p + payload_.size();
+  if (payload_.size() < 2) return false;
+  tombstone_ = (static_cast<uint8_t>(*p) & kFlagTombstone) != 0;
+  p++;
+  p = GetVarint64Ptr(p, limit, &seq_);
+  if (p == nullptr) return false;
+  value_ = Slice(p, static_cast<size_t>(limit - p));
+  return true;
+}
+
+bool BlockCursor::ParseV2EntryAt(size_t offset) {
+  if (corrupt_) return false;
+  if (offset >= data_end_) {
+    valid_ = false;
+    return false;
+  }
+  const char* base = block_.data();
+  const char* p = base + offset;
+  const char* limit = base + data_end_;
+  uint32_t shared, non_shared, plen;
+  p = GetVarint32Ptr(p, limit, &shared);
+  if (p != nullptr) p = GetVarint32Ptr(p, limit, &non_shared);
+  if (p != nullptr) p = GetVarint32Ptr(p, limit, &plen);
+  if (p == nullptr || shared > key_buf_.size() ||
+      static_cast<size_t>(limit - p) < static_cast<size_t>(non_shared) + plen) {
+    MarkCorrupt();
+    return false;
+  }
+  key_buf_.resize(shared);
+  key_buf_.append(p, non_shared);
+  p += non_shared;
+  payload_ = Slice(p, plen);
+  next_offset_ = static_cast<size_t>(p + plen - base);
+  key_ = Slice(key_buf_);
+  if (data_block_ && !DecodeDataPayload()) {
+    MarkCorrupt();
+    return false;
+  }
+  valid_ = true;
+  return true;
+}
+
+bool BlockCursor::SeekToFirst() {
+  if (corrupt_) return false;
+  if (format_ >= kTableFormatV2) {
+    key_buf_.clear();
+    return ParseV2EntryAt(0);
+  }
+  remaining_ = block_;
+  return ParseV1Entry();
+}
+
+bool BlockCursor::Next() {
+  if (!valid_) return false;
+  if (format_ >= kTableFormatV2) return ParseV2EntryAt(next_offset_);
+  return ParseV1Entry();
+}
+
+uint32_t BlockCursor::RestartFloor(const Slice& target) {
+  // Largest restart whose (full) key is < target; restart entries always
+  // store shared = 0, so their keys decode without predecessor state.
+  uint32_t lo = 0;
+  uint32_t hi = num_restarts_ - 1;
+  while (lo < hi && !corrupt_) {
+    const uint32_t mid = lo + (hi - lo + 1) / 2;
+    const size_t offset =
+        DecodeFixed32(block_.data() + data_end_ + 4 * static_cast<size_t>(mid));
+    const char* p = block_.data() + offset;
+    const char* limit = block_.data() + data_end_;
+    uint32_t shared, non_shared, plen;
+    p = GetVarint32Ptr(p, limit, &shared);
+    if (p != nullptr) p = GetVarint32Ptr(p, limit, &non_shared);
+    if (p != nullptr) p = GetVarint32Ptr(p, limit, &plen);
+    if (p == nullptr || shared != 0 ||
+        static_cast<size_t>(limit - p) < non_shared || offset >= data_end_) {
+      MarkCorrupt();
+      return 0;
+    }
+    if (Slice(p, non_shared).Compare(target) < 0) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+bool BlockCursor::Seek(const Slice& target) {
+  if (corrupt_) return false;
+  if (format_ >= kTableFormatV2) {
+    if (data_end_ == 0) {
+      valid_ = false;
+      return false;
+    }
+    const uint32_t restart = RestartFloor(target);
+    if (corrupt_) return false;
+    key_buf_.clear();
+    const size_t offset = DecodeFixed32(block_.data() + data_end_ +
+                                        4 * static_cast<size_t>(restart));
+    if (!ParseV2EntryAt(offset)) return false;
+    while (valid_ && key_.Compare(target) < 0) Next();
+    return valid_;
+  }
+  if (!SeekToFirst()) return false;
+  while (valid_ && key_.Compare(target) < 0) Next();
+  return valid_;
+}
+
+bool BlockCursor::SeekToLast() {
+  if (corrupt_) return false;
+  if (format_ >= kTableFormatV2) {
+    if (data_end_ == 0) {
+      valid_ = false;
+      return false;
+    }
+    key_buf_.clear();
+    const size_t offset =
+        DecodeFixed32(block_.data() + data_end_ +
+                      4 * static_cast<size_t>(num_restarts_ - 1));
+    if (!ParseV2EntryAt(offset)) return false;
+    while (next_offset_ < data_end_) {
+      if (!ParseV2EntryAt(next_offset_)) return false;
+    }
+    return valid_;
+  }
+  // v1: linear walk, keeping the last decoded entry.
+  if (!SeekToFirst()) return false;
+  for (;;) {
+    Slice last_key = key_;
+    Slice last_value = value_;
+    uint64_t last_seq = seq_;
+    bool last_tombstone = tombstone_;
+    if (!ParseV1Entry()) {
+      if (corrupt_) return false;
+      key_ = last_key;
+      value_ = last_value;
+      seq_ = last_seq;
+      tombstone_ = last_tombstone;
+      valid_ = true;
+      return true;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TableBuilder
+
 TableBuilder::TableBuilder(const Options& options, Env* env, std::string path)
-    : options_(options), env_(env), path_(std::move(path)) {
+    : options_(options),
+      env_(env),
+      path_(std::move(path)),
+      format_version_(options.format_version <= kTableFormatV1
+                          ? kTableFormatV1
+                          : kTableFormatV2) {
   if (options_.bloom_bits_per_key > 0) {
     filter_ = std::make_unique<BloomFilterBuilder>(options_.bloom_bits_per_key);
+  }
+  if (format_version_ >= kTableFormatV2) {
+    const int restart_interval = std::max(1, options_.block_restart_interval);
+    data_builder_ = std::make_unique<BlockBuilder>(restart_interval);
+    index_builder_ = std::make_unique<BlockBuilder>(restart_interval);
+    if (options_.prefix_bloom_length > 0 && options_.bloom_bits_per_key > 0) {
+      prefix_filter_ = std::make_unique<PrefixBloomBuilder>(
+          options_.bloom_bits_per_key, options_.prefix_bloom_length);
+    }
   }
 }
 
@@ -65,57 +381,96 @@ TableBuilder::~TableBuilder() = default;
 
 Status TableBuilder::Open() { return env_->NewWritableFile(path_, &file_); }
 
+uint64_t TableBuilder::CurrentSizeEstimate() const {
+  if (format_version_ >= kTableFormatV2) {
+    return offset_ + (data_builder_->empty()
+                          ? 0
+                          : data_builder_->CurrentSizeEstimate());
+  }
+  return offset_ + data_block_.size();
+}
+
 Status TableBuilder::Add(const Slice& key, const Slice& value, uint64_t seq,
                          bool tombstone) {
   if (num_entries_ == 0) {
     smallest_key_ = key.ToString();
   }
   largest_key_ = key.ToString();
-  AppendEntry(&data_block_, key, value, seq, tombstone);
+  if (format_version_ >= kTableFormatV2) {
+    payload_scratch_.clear();
+    payload_scratch_.push_back(
+        static_cast<char>(tombstone ? kFlagTombstone : 0));
+    PutVarint64(&payload_scratch_, seq);
+    payload_scratch_.append(value.data(), value.size());
+    data_builder_->Add(key, Slice(payload_scratch_));
+    if (prefix_filter_ != nullptr) prefix_filter_->AddKey(key);
+  } else {
+    AppendEntryV1(&data_block_, key, value, seq, tombstone);
+  }
   if (filter_ != nullptr) filter_->AddKey(key);
   num_entries_++;
-  if (data_block_.size() >= options_.block_size) {
+  const size_t pending = format_version_ >= kTableFormatV2
+                             ? data_builder_->CurrentSizeEstimate()
+                             : data_block_.size();
+  if (pending >= options_.block_size) {
     return FlushDataBlock();
   }
   return Status::OK();
 }
 
-Status TableBuilder::FlushDataBlock() {
-  if (data_block_.empty()) return Status::OK();
+Status TableBuilder::WriteBlock(const Slice& raw, uint64_t* span) {
   // Optionally compress; fall back to the raw block when compression
   // does not pay.
-  const std::string* payload = &data_block_;
+  Slice payload = raw;
   CompressionType type = CompressionType::kNone;
   std::string compressed;
   if (options_.compression == CompressionType::kLz) {
-    lz::Compress(Slice(data_block_), &compressed);
-    if (compressed.size() < data_block_.size()) {
-      payload = &compressed;
+    lz::Compress(raw, &compressed);
+    if (compressed.size() < raw.size()) {
+      payload = Slice(compressed);
       type = CompressionType::kLz;
     }
   }
   // Trailer: 1-byte compression type + crc32c over payload+type.
   std::string trailer;
   trailer.push_back(static_cast<char>(type));
-  uint32_t crc = Crc32cExtend(Crc32c(payload->data(), payload->size()),
+  uint32_t crc = Crc32cExtend(Crc32c(payload.data(), payload.size()),
                               trailer.data(), 1);
   PutFixed32(&trailer, MaskCrc(crc));
-  APM_RETURN_IF_ERROR(file_->Append(*payload));
+  APM_RETURN_IF_ERROR(file_->Append(payload));
   APM_RETURN_IF_ERROR(file_->Append(trailer));
+  *span = payload.size() + trailer.size();
+  return Status::OK();
+}
 
-  uint64_t span = payload->size() + trailer.size();
-  PutVarint32(&index_block_, static_cast<uint32_t>(largest_key_.size()));
-  index_block_.append(largest_key_);
-  PutFixed64(&index_block_, offset_);
-  PutFixed32(&index_block_, static_cast<uint32_t>(span));
+Status TableBuilder::FlushDataBlock() {
+  const bool v2 = format_version_ >= kTableFormatV2;
+  if (v2 ? data_builder_->empty() : data_block_.empty()) return Status::OK();
 
+  const Slice raw = v2 ? data_builder_->Finish() : Slice(data_block_);
+  uint64_t span = 0;
+  APM_RETURN_IF_ERROR(WriteBlock(raw, &span));
+
+  if (v2) {
+    char handle[12];
+    EncodeFixed64(handle, offset_);
+    EncodeFixed32(handle + 8, static_cast<uint32_t>(span));
+    index_builder_->Add(Slice(largest_key_), Slice(handle, sizeof(handle)));
+    data_builder_->Reset();
+  } else {
+    PutVarint32(&index_block_, static_cast<uint32_t>(largest_key_.size()));
+    index_block_.append(largest_key_);
+    PutFixed64(&index_block_, offset_);
+    PutFixed32(&index_block_, static_cast<uint32_t>(span));
+    data_block_.clear();
+  }
   offset_ += span;
-  data_block_.clear();
   return Status::OK();
 }
 
 Status TableBuilder::Finish() {
   APM_RETURN_IF_ERROR(FlushDataBlock());
+  const bool v2 = format_version_ >= kTableFormatV2;
 
   uint64_t filter_offset = offset_;
   std::string filter_data;
@@ -125,16 +480,42 @@ Status TableBuilder::Finish() {
     offset_ += filter_data.size();
   }
 
+  uint64_t prefix_filter_offset = offset_;
+  std::string prefix_filter_data;
+  uint32_t prefix_bloom_length = 0;
+  if (v2 && prefix_filter_ != nullptr && prefix_filter_->NumPrefixes() > 0) {
+    prefix_filter_data = prefix_filter_->Finish();
+    APM_RETURN_IF_ERROR(file_->Append(prefix_filter_data));
+    offset_ += prefix_filter_data.size();
+    prefix_bloom_length = static_cast<uint32_t>(options_.prefix_bloom_length);
+  }
+
   uint64_t index_offset = offset_;
-  APM_RETURN_IF_ERROR(file_->Append(index_block_));
-  offset_ += index_block_.size();
+  uint64_t index_size = 0;
+  if (v2) {
+    const Slice raw = index_builder_->Finish();
+    APM_RETURN_IF_ERROR(file_->Append(raw));
+    index_size = raw.size();
+  } else {
+    APM_RETURN_IF_ERROR(file_->Append(index_block_));
+    index_size = index_block_.size();
+  }
+  offset_ += index_size;
 
   std::string footer;
   PutFixed64(&footer, index_offset);
-  PutFixed32(&footer, static_cast<uint32_t>(index_block_.size()));
+  PutFixed32(&footer, static_cast<uint32_t>(index_size));
   PutFixed64(&footer, filter_offset);
   PutFixed32(&footer, static_cast<uint32_t>(filter_data.size()));
-  PutFixed64(&footer, kTableMagic);
+  if (v2) {
+    PutFixed64(&footer, prefix_filter_offset);
+    PutFixed32(&footer, static_cast<uint32_t>(prefix_filter_data.size()));
+    PutFixed32(&footer, prefix_bloom_length);
+    PutFixed32(&footer, format_version_);
+    PutFixed64(&footer, kTableMagicV2);
+  } else {
+    PutFixed64(&footer, kTableMagicV1);
+  }
   APM_RETURN_IF_ERROR(file_->Append(footer));
   offset_ += footer.size();
 
@@ -153,6 +534,9 @@ void TableBuilder::Abandon() {
   env_->RemoveFile(path_);
 }
 
+// ---------------------------------------------------------------------------
+// Table
+
 Status Table::Open(const Options& options, Env* env, const std::string& path,
                    uint64_t file_number, BlockCache* cache,
                    std::unique_ptr<Table>* table) {
@@ -162,82 +546,123 @@ Status Table::Open(const Options& options, Env* env, const std::string& path,
   t->cache_ = cache;
   APM_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &t->file_));
   t->file_size_ = t->file_->Size();
-  if (t->file_size_ < kFooterSize) {
-    return Status::Corruption("table too short: " + path);
-  }
+  APM_RETURN_IF_ERROR(
+      ReadFooterFrom(t->file_.get(), t->file_size_, path, &t->footer_));
 
-  char footer_buf[kFooterSize];
-  Slice footer;
-  APM_RETURN_IF_ERROR(t->file_->Read(t->file_size_ - kFooterSize, kFooterSize,
-                                     &footer, footer_buf));
-  if (footer.size() != kFooterSize) {
-    return Status::Corruption("short footer read: " + path);
-  }
-  uint64_t index_offset, filter_offset, magic;
-  uint32_t index_size, filter_size;
-  Slice f = footer;
-  GetFixed64(&f, &index_offset);
-  GetFixed32(&f, &index_size);
-  GetFixed64(&f, &filter_offset);
-  GetFixed32(&f, &filter_size);
-  GetFixed64(&f, &magic);
-  if (magic != kTableMagic) {
-    return Status::Corruption("bad table magic: " + path);
-  }
-
-  // Load the index block and pin it in the cache for the table's
-  // lifetime: the IndexEntry last_key slices point into the pinned bytes,
-  // so the table keeps no private copy and the block is charged against
-  // the cache budget exactly once.
+  // Load the index block. Both versions read the raw bytes once; what is
+  // retained differs (see the class comment).
+  const uint32_t index_size = t->footer_.index_size;
   std::string index_data(index_size, '\0');
   Slice index_slice;
-  APM_RETURN_IF_ERROR(
-      t->file_->Read(index_offset, index_size, &index_slice, index_data.data()));
+  APM_RETURN_IF_ERROR(t->file_->Read(t->footer_.index_offset, index_size,
+                                     &index_slice, index_data.data()));
   if (index_slice.size() != index_size) {
     return Status::Corruption("short index read: " + path);
   }
   if (index_slice.data() != index_data.data()) {
     index_data.assign(index_slice.data(), index_slice.size());
   }
-  t->index_block_ =
-      cache != nullptr
-          ? cache->Insert(file_number, index_offset, std::move(index_data))
-          : BlockCache::Wrap(std::move(index_data));
-  Slice in(*t->index_block_);
-  while (!in.empty()) {
-    uint32_t klen;
-    if (!GetVarint32(&in, &klen) || in.size() < klen + 12) {
-      return Status::Corruption("bad index entry: " + path);
+
+  if (t->footer_.format_version == kTableFormatV1) {
+    // v1: pin the block in the cache for the table's lifetime; the
+    // IndexEntry last_key slices point into the pinned bytes, so the
+    // table keeps no private copy and the block is charged against the
+    // cache budget exactly once.
+    t->index_block_ =
+        cache != nullptr
+            ? cache->Insert(file_number, t->footer_.index_offset,
+                            std::move(index_data))
+            : BlockCache::Wrap(std::move(index_data));
+    Slice in(*t->index_block_);
+    while (!in.empty()) {
+      uint32_t klen;
+      if (!GetVarint32(&in, &klen) || in.size() < klen + 12) {
+        return Status::Corruption("bad index entry: " + path);
+      }
+      IndexEntry entry;
+      entry.last_key = Slice(in.data(), klen);
+      in.RemovePrefix(klen);
+      GetFixed64(&in, &entry.offset);
+      GetFixed32(&in, &entry.size);
+      t->index_.push_back(entry);
     }
-    IndexEntry entry;
-    entry.last_key = Slice(in.data(), klen);
-    in.RemovePrefix(klen);
-    GetFixed64(&in, &entry.offset);
-    GetFixed32(&in, &entry.size);
-    t->index_.push_back(entry);
+  } else {
+    // v2: the index block is prefix-compressed on disk; materialize the
+    // full keys once into index_storage_ and drop the raw block.
+    struct RawEntry {
+      size_t key_offset;
+      size_t key_size;
+      uint64_t offset;
+      uint32_t size;
+    };
+    std::vector<RawEntry> raw_entries;
+    BlockCursor cursor(Slice(index_data), kTableFormatV2,
+                       /*data_block=*/false);
+    for (bool ok = cursor.SeekToFirst(); ok; ok = cursor.Next()) {
+      const Slice payload = cursor.payload();
+      if (payload.size() != 12) {
+        return Status::Corruption("bad index entry: " + path);
+      }
+      RawEntry raw;
+      raw.key_offset = t->index_storage_.size();
+      raw.key_size = cursor.key().size();
+      raw.offset = DecodeFixed64(payload.data());
+      raw.size = DecodeFixed32(payload.data() + 8);
+      t->index_storage_.append(cursor.key().data(), cursor.key().size());
+      raw_entries.push_back(raw);
+    }
+    if (cursor.corrupt()) {
+      return Status::Corruption("bad index block: " + path);
+    }
+    t->index_.reserve(raw_entries.size());
+    for (const RawEntry& raw : raw_entries) {
+      IndexEntry entry;
+      entry.last_key =
+          Slice(t->index_storage_.data() + raw.key_offset, raw.key_size);
+      entry.offset = raw.offset;
+      entry.size = raw.size;
+      t->index_.push_back(entry);
+    }
   }
 
-  // Load the bloom filter, pinned and charged the same way.
-  if (filter_size > 0) {
-    std::string filter_data(filter_size, '\0');
-    Slice filter_slice;
-    APM_RETURN_IF_ERROR(t->file_->Read(filter_offset, filter_size,
-                                       &filter_slice, filter_data.data()));
-    if (filter_slice.size() != filter_size) {
+  // Load the bloom filter(s), pinned and charged to the cache.
+  auto load_pinned = [&](uint64_t offset, uint32_t size,
+                         BlockCache::BlockHandle* handle,
+                         Slice* contents) -> Status {
+    std::string data(size, '\0');
+    Slice read;
+    APM_RETURN_IF_ERROR(t->file_->Read(offset, size, &read, data.data()));
+    if (read.size() != size) {
       return Status::Corruption("short filter read: " + path);
     }
-    if (filter_slice.data() != filter_data.data()) {
-      filter_data.assign(filter_slice.data(), filter_slice.size());
+    if (read.data() != data.data()) {
+      data.assign(read.data(), read.size());
     }
-    t->filter_block_ =
-        cache != nullptr
-            ? cache->Insert(file_number, filter_offset, std::move(filter_data))
-            : BlockCache::Wrap(std::move(filter_data));
-    t->filter_ = Slice(*t->filter_block_);
+    *handle = cache != nullptr
+                  ? cache->Insert(file_number, offset, std::move(data))
+                  : BlockCache::Wrap(std::move(data));
+    *contents = Slice(**handle);
+    return Status::OK();
+  };
+  if (t->footer_.filter_size > 0) {
+    APM_RETURN_IF_ERROR(load_pinned(t->footer_.filter_offset,
+                                    t->footer_.filter_size, &t->filter_block_,
+                                    &t->filter_));
+  }
+  if (t->footer_.prefix_filter_size > 0) {
+    APM_RETURN_IF_ERROR(
+        load_pinned(t->footer_.prefix_filter_offset,
+                    t->footer_.prefix_filter_size, &t->prefix_filter_block_,
+                    &t->prefix_filter_));
   }
 
   *table = std::move(t);
   return Status::OK();
+}
+
+bool Table::MayMatchPrefix(const Slice& prefix) const {
+  if (prefix_filter_.empty()) return true;
+  return BloomFilterMayMatch(prefix_filter_, prefix);
 }
 
 Status Table::ReadBlock(uint64_t offset, uint32_t size,
@@ -309,23 +734,18 @@ Status Table::Get(const ReadOptions& read_options, const Slice& key,
   APM_RETURN_IF_ERROR(ReadBlock(index_[block_index].offset,
                                 index_[block_index].size, &block,
                                 read_options.fill_cache));
-  Slice block_contents(*block);
-  BlockParser parser(block_contents);
-  while (parser.Next()) {
-    int cmp = parser.key().Compare(key);
-    if (cmp == 0) {
-      if (seq != nullptr) *seq = parser.seq();
-      if (parser.tombstone()) {
-        *result = GetResult::kDeleted;
-      } else {
-        *result = GetResult::kFound;
-        value->assign(parser.value().data(), parser.value().size());
-      }
-      return Status::OK();
+  BlockCursor cursor(Slice(*block), footer_.format_version);
+  if (cursor.Seek(key) && cursor.key().Compare(key) == 0) {
+    if (seq != nullptr) *seq = cursor.seq();
+    if (cursor.tombstone()) {
+      *result = GetResult::kDeleted;
+    } else {
+      *result = GetResult::kFound;
+      value->assign(cursor.value().data(), cursor.value().size());
     }
-    if (cmp > 0) break;
+    return Status::OK();
   }
-  if (parser.corrupt()) return Status::Corruption("corrupt data block");
+  if (cursor.corrupt()) return Status::Corruption("corrupt data block");
   return Status::OK();
 }
 
@@ -348,12 +768,13 @@ class TableIterator final : public Iterator {
     int idx = table_->FindBlock(target);
     if (idx < 0) return;
     if (!LoadBlock(idx)) return;
-    // Advance within the block to the first key >= target.
-    while (parser_->Next()) {
-      if (parser_->key().Compare(target) >= 0) {
-        valid_ = true;
-        return;
-      }
+    if (cursor_->Seek(target)) {
+      valid_ = true;
+      return;
+    }
+    if (cursor_->corrupt()) {
+      status_ = Status::Corruption("corrupt data block");
+      return;
     }
     // Target is past this block's last key; move on.
     NextBlock();
@@ -361,8 +782,8 @@ class TableIterator final : public Iterator {
 
   void Next() override {
     if (!valid_) return;
-    if (parser_->Next()) return;
-    if (parser_->corrupt()) {
+    if (cursor_->Next()) return;
+    if (cursor_->corrupt()) {
       status_ = Status::Corruption("corrupt data block");
       valid_ = false;
       return;
@@ -370,10 +791,10 @@ class TableIterator final : public Iterator {
     NextBlock();
   }
 
-  Slice key() const override { return parser_->key(); }
-  Slice value() const override { return parser_->value(); }
-  bool IsTombstone() const override { return parser_->tombstone(); }
-  uint64_t seq() const override { return parser_->seq(); }
+  Slice key() const override { return cursor_->key(); }
+  Slice value() const override { return cursor_->value(); }
+  bool IsTombstone() const override { return cursor_->tombstone(); }
+  uint64_t seq() const override { return cursor_->seq(); }
   Status status() const override { return status_; }
 
  private:
@@ -386,7 +807,8 @@ class TableIterator final : public Iterator {
       status_ = s;
       return false;
     }
-    parser_ = std::make_unique<BlockParser>(Slice(*block_));
+    cursor_ = std::make_unique<BlockCursor>(Slice(*block_),
+                                            table_->footer_.format_version);
     return true;
   }
 
@@ -401,8 +823,13 @@ class TableIterator final : public Iterator {
         valid_ = false;
         return;
       }
-      if (parser_->Next()) {
+      if (cursor_->SeekToFirst()) {
         valid_ = true;
+        return;
+      }
+      if (cursor_->corrupt()) {
+        status_ = Status::Corruption("corrupt data block");
+        valid_ = false;
         return;
       }
     }
@@ -412,7 +839,7 @@ class TableIterator final : public Iterator {
   ReadOptions read_options_;
   int block_index_ = -1;
   BlockCache::BlockHandle block_;
-  std::unique_ptr<BlockParser> parser_;
+  std::unique_ptr<BlockCursor> cursor_;
   bool valid_ = false;
   Status status_;
 };

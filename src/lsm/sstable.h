@@ -15,7 +15,11 @@
 
 namespace apmbench::lsm {
 
-/// On-disk immutable sorted table (SSTable). File layout:
+/// On-disk immutable sorted table (SSTable). Two format versions exist,
+/// distinguished by the footer magic; readers understand both, writers
+/// emit Options::format_version (see docs/format.md for byte layouts).
+///
+/// v1 ("APMBNCH1"): plain blocks, every entry carries its full key:
 ///
 ///   [data block]*          entries: varint klen, key, 1-byte flags,
 ///                          varint64 seq, varint vlen, value — sorted,
@@ -23,12 +27,154 @@ namespace apmbench::lsm {
 ///   [filter block]         bloom filter over all keys (optional)
 ///   [index block]          per data block: varint klen, last key,
 ///                          fixed64 offset, fixed32 size
-///   [footer]               fixed64 index_off, fixed32 index_sz,
+///   [footer, 32 bytes]     fixed64 index_off, fixed32 index_sz,
 ///                          fixed64 filter_off, fixed32 filter_sz,
-///                          fixed32 block crc of footer prefix,
 ///                          fixed64 magic
 ///
-/// Each data block additionally carries a fixed32 crc32c trailer.
+/// v2 ("APMBNCH2"): prefix-compressed keys with restart points. Every
+/// block (data and index) is a sequence of
+///
+///   varint shared | varint non_shared | varint payload_len |
+///   key[shared..] | payload
+///
+/// followed by a restart array (fixed32 offset per restart point) and a
+/// fixed32 restart count. Entries at restart points store their full key
+/// (shared = 0); a seek binary-searches the restart array, then scans.
+/// Data payloads are `flags u8, varint64 seq, value`; index payloads are
+/// `fixed64 offset, fixed32 span`. The footer grows to 52 bytes:
+///
+///   fixed64 index_off, fixed32 index_sz, fixed64 filter_off,
+///   fixed32 filter_sz, fixed64 prefix_filter_off,
+///   fixed32 prefix_filter_sz, fixed32 prefix_bloom_length,
+///   fixed32 format_version, fixed64 magic
+///
+/// The optional prefix filter block is a bloom over the distinct
+/// `prefix_bloom_length`-byte key prefixes, letting bounded range scans
+/// skip whole tables.
+///
+/// Each data block in either version carries a 1-byte compression type
+/// plus a fixed32 masked crc32c trailer.
+constexpr uint32_t kTableFormatV1 = 1;
+constexpr uint32_t kTableFormatV2 = 2;
+constexpr uint32_t kMaxSupportedTableFormat = kTableFormatV2;
+
+/// Parsed table footer, version-normalized (v1 leaves the prefix-filter
+/// fields zero).
+struct TableFooter {
+  uint32_t format_version = kTableFormatV1;
+  uint64_t index_offset = 0;
+  uint32_t index_size = 0;
+  uint64_t filter_offset = 0;
+  uint32_t filter_size = 0;
+  uint64_t prefix_filter_offset = 0;
+  uint32_t prefix_filter_size = 0;
+  uint32_t prefix_bloom_length = 0;
+};
+
+/// Reads and validates the footer of the table at `path`. Fails with
+/// Corruption on a bad magic or an unsupported format version — the same
+/// dispatch Table::Open performs, exposed for tools, tests, and benches
+/// that need per-file format/index geometry without opening the table.
+Status ReadTableFooter(Env* env, const std::string& path, TableFooter* footer);
+
+/// Builds one v2 block: prefix-compressed keys with restart points.
+/// Generic over the payload, so data blocks and index blocks share it.
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval);
+
+  /// Adds an entry; keys must arrive in non-decreasing order.
+  void Add(const Slice& key, const Slice& payload);
+
+  /// Appends the restart array + count; the returned slice is valid until
+  /// Reset. The builder may not be Added to again until Reset.
+  Slice Finish();
+
+  void Reset();
+
+  /// Bytes Finish would produce right now.
+  size_t CurrentSizeEstimate() const {
+    return buffer_.size() + restarts_.size() * 4 + 4;
+  }
+  bool empty() const { return num_entries_ == 0; }
+  const std::string& last_key() const { return last_key_; }
+
+ private:
+  const int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_{0};  // first restart is entry 0
+  int counter_ = 0;                    // entries since the last restart
+  size_t num_entries_ = 0;
+  std::string last_key_;
+  bool finished_ = false;
+};
+
+/// Cursor over the entries of one block, dispatching on the table format:
+/// v1 blocks decode self-contained entries linearly; v2 blocks rebuild
+/// prefix-compressed keys and use the restart array for Seek/SeekToLast.
+/// Each positioning call returns Valid() afterwards. For v1 the cursor
+/// only understands *data* blocks (v1 index blocks are parsed by
+/// Table::Open); for v2 it handles any block, exposing the raw payload.
+class BlockCursor {
+ public:
+  /// `data_block` selects the typed data-payload decode (flags/seq/value);
+  /// pass false when walking a v2 index block, whose payloads are opaque
+  /// to the cursor.
+  BlockCursor(Slice block, uint32_t format_version, bool data_block = true);
+
+  bool Valid() const { return valid_; }
+  bool SeekToFirst();
+  /// Positions at the first entry with key >= target (v2: restart binary
+  /// search + short scan; v1: linear scan from the block start).
+  bool Seek(const Slice& target);
+  bool SeekToLast();
+  bool Next();
+
+  /// Valid while positioned. For v2 the key lives in an internal buffer
+  /// that the next positioning call overwrites; copy it to retain it.
+  Slice key() const { return key_; }
+  /// Raw payload bytes (v2 any block; v1 data blocks reconstruct the
+  /// equivalent view lazily — use the typed accessors instead).
+  Slice payload() const { return payload_; }
+
+  /// Typed accessors for *data* block payloads.
+  Slice value() const { return value_; }
+  uint64_t seq() const { return seq_; }
+  bool tombstone() const { return tombstone_; }
+
+  bool corrupt() const { return corrupt_; }
+
+ private:
+  bool ParseV1Entry();
+  /// Decodes the v2 entry at `offset`; `offset` must start an entry and
+  /// the current key buffer must hold its predecessor's key (or the entry
+  /// must be a restart point).
+  bool ParseV2EntryAt(size_t offset);
+  bool DecodeDataPayload();
+  /// Index of the last restart whose entry key is < target.
+  uint32_t RestartFloor(const Slice& target);
+  void MarkCorrupt();
+
+  Slice block_;
+  uint32_t format_;
+  bool data_block_;
+  // v2 geometry.
+  size_t data_end_ = 0;      // first byte of the restart array
+  uint32_t num_restarts_ = 0;
+  // Position state.
+  size_t next_offset_ = 0;   // v2: offset of the entry after the current
+  Slice remaining_;          // v1: unparsed suffix
+  std::string key_buf_;      // v2: reconstructed current key
+  Slice key_;
+  Slice payload_;
+  Slice value_;
+  uint64_t seq_ = 0;
+  bool tombstone_ = false;
+  bool valid_ = false;
+  bool corrupt_ = false;
+};
+
+/// Writes one SSTable in Options::format_version.
 class TableBuilder {
  public:
   /// Starts building table `file_number` at `path`.
@@ -44,7 +190,7 @@ class TableBuilder {
   Status Add(const Slice& key, const Slice& value, uint64_t seq,
              bool tombstone);
 
-  /// Writes filter, index, and footer, and syncs the file.
+  /// Writes filter(s), index, and footer, and syncs the file.
   Status Finish();
 
   /// Abandons the build and removes the partial file.
@@ -52,21 +198,33 @@ class TableBuilder {
 
   uint64_t FileSize() const { return file_size_; }
   /// Bytes written plus the pending data block; valid while building.
-  uint64_t CurrentSizeEstimate() const { return offset_ + data_block_.size(); }
+  uint64_t CurrentSizeEstimate() const;
   uint64_t NumEntries() const { return num_entries_; }
+  uint32_t format_version() const { return format_version_; }
   const std::string& smallest_key() const { return smallest_key_; }
   const std::string& largest_key() const { return largest_key_; }
 
  private:
   Status FlushDataBlock();
+  /// Applies the compression envelope (type byte + masked crc) and
+  /// appends; `*span` receives the on-disk byte count.
+  Status WriteBlock(const Slice& raw, uint64_t* span);
 
   const Options& options_;
   Env* env_;
   std::string path_;
   std::unique_ptr<WritableFile> file_;
+  uint32_t format_version_;
 
+  // v1 state.
   std::string data_block_;
   std::string index_block_;
+  // v2 state.
+  std::unique_ptr<BlockBuilder> data_builder_;
+  std::unique_ptr<BlockBuilder> index_builder_;
+  std::unique_ptr<class PrefixBloomBuilder> prefix_filter_;
+  std::string payload_scratch_;
+
   std::unique_ptr<class BloomFilterBuilder> filter_;
 
   std::string smallest_key_;
@@ -77,12 +235,14 @@ class TableBuilder {
   bool finished_ = false;
 };
 
-/// Reader for an SSTable. The index and bloom-filter blocks are pinned,
-/// cache-charged entries — the table holds handles for its lifetime and
-/// its index entries are slices into the pinned bytes, so opening a table
-/// adds no private heap copies. Data blocks are fetched through the
-/// shared BlockCache zero-copy: readers parse the pinned cached bytes in
-/// place.
+/// Reader for an SSTable, dispatching on the footer's format version.
+/// The bloom-filter block(s) are pinned, cache-charged entries — the
+/// table holds handles for its lifetime. A v1 index block is pinned the
+/// same way with index entries slicing into the pinned bytes; a v2 index
+/// block is prefix-compressed on disk, so Open materializes the full keys
+/// once into a private buffer and drops the raw block. Data blocks are
+/// fetched through the shared BlockCache zero-copy: readers parse the
+/// pinned cached bytes in place.
 class Table {
  public:
   /// Opens the table at `path`; `file_number` identifies it in the cache.
@@ -100,6 +260,16 @@ class Table {
 
   uint64_t file_number() const { return file_number_; }
   uint64_t file_size() const { return file_size_; }
+  uint32_t format_version() const { return footer_.format_version; }
+  /// On-disk size of the index block (the restart-point shrink shows up
+  /// here; feeds DB::Stats and the format bench).
+  uint64_t index_block_bytes() const { return footer_.index_size; }
+
+  /// Prefix length this table's prefix bloom was built over; 0 = none.
+  size_t prefix_bloom_length() const { return footer_.prefix_bloom_length; }
+  /// Returns false only when the table provably contains no key starting
+  /// with `prefix` (which must be exactly prefix_bloom_length() bytes).
+  bool MayMatchPrefix(const Slice& prefix) const;
 
   /// Data-block cache hits/misses observed through this table (feeds the
   /// per-level hit rates in DB::Stats).
@@ -114,7 +284,8 @@ class Table {
   friend class TableIterator;
 
   struct IndexEntry {
-    Slice last_key;  // points into the pinned index block
+    Slice last_key;  // v1: into the pinned index block; v2: into
+                     // index_storage_
     uint64_t offset;
     uint32_t size;
   };
@@ -130,39 +301,20 @@ class Table {
   std::unique_ptr<RandomAccessFile> file_;
   uint64_t file_number_ = 0;
   uint64_t file_size_ = 0;
+  TableFooter footer_;
   BlockCache* cache_ = nullptr;
   /// Lifetime pins on the index / bloom-filter blocks. Pinned entries are
   /// charged to the cache but never evicted; EvictFile only unlinks them,
   /// the bytes stay valid until the Table goes away.
-  BlockCache::BlockHandle index_block_;
+  BlockCache::BlockHandle index_block_;   // v1 only
   BlockCache::BlockHandle filter_block_;
+  BlockCache::BlockHandle prefix_filter_block_;
+  std::string index_storage_;             // v2: materialized index keys
   std::vector<IndexEntry> index_;
-  Slice filter_;  // empty when the table has no filter
+  Slice filter_;         // empty when the table has no filter
+  Slice prefix_filter_;  // empty when the table has no prefix bloom
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
-};
-
-/// Parses the entries of one data block; used by Table::Get and iterators.
-class BlockParser {
- public:
-  explicit BlockParser(Slice block) : input_(block) {}
-
-  /// Advances to the next entry; returns false at end or on corruption.
-  bool Next();
-
-  Slice key() const { return key_; }
-  Slice value() const { return value_; }
-  uint64_t seq() const { return seq_; }
-  bool tombstone() const { return tombstone_; }
-  bool corrupt() const { return corrupt_; }
-
- private:
-  Slice input_;
-  Slice key_;
-  Slice value_;
-  uint64_t seq_ = 0;
-  bool tombstone_ = false;
-  bool corrupt_ = false;
 };
 
 }  // namespace apmbench::lsm

@@ -127,6 +127,10 @@ Status HBaseStore::Open(const StoreOptions& options,
     db_options.block_cache_bytes = options.block_cache_bytes;
     db_options.block_cache_shard_bits = options.block_cache_shard_bits;
     db_options.bloom_bits_per_key = options.bloom_bits_per_key;
+    db_options.format_version = options.lsm_format_version;
+    db_options.block_restart_interval = options.lsm_block_restart_interval;
+    db_options.prefix_bloom_length = options.lsm_prefix_bloom_length;
+    db_options.arena_block_bytes = options.lsm_arena_block_bytes;
     db_options.compression = options.lsm_compression;
     db_options.compaction_style = lsm::CompactionStyle::kLeveled;
     db_options.compaction_threads = options.lsm_compaction_threads;

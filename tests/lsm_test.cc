@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -7,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/coding.h"
 #include "common/env.h"
 #include "common/random.h"
 #include "lsm/bloom.h"
@@ -333,6 +335,359 @@ TEST_F(SSTableTest, CorruptBlockDetected) {
   EXPECT_TRUE(s.IsCorruption());
 }
 
+// --- v2 block format: prefix compression + restart points -----------------
+
+// Encodes a v2 data-block payload: flags byte, varint seq, value bytes.
+std::string DataPayload(uint64_t seq, const std::string& value,
+                        bool tombstone = false) {
+  std::string p;
+  p.push_back(tombstone ? '\x01' : '\x00');
+  PutVarint64(&p, seq);
+  p.append(value);
+  return p;
+}
+
+TEST(BlockV2Test, EmptyBlock) {
+  BlockBuilder builder(4);
+  EXPECT_TRUE(builder.empty());
+  Slice raw = builder.Finish();
+  EXPECT_GE(raw.size(), 8u);  // restart array (entry 0) + count
+
+  BlockCursor cursor(raw, kTableFormatV2);
+  EXPECT_FALSE(cursor.SeekToFirst());
+  EXPECT_FALSE(cursor.SeekToLast());
+  EXPECT_FALSE(cursor.Seek("anything"));
+  EXPECT_FALSE(cursor.corrupt());
+}
+
+TEST(BlockV2Test, SingleKeyBlock) {
+  BlockBuilder builder(16);
+  builder.Add("only", DataPayload(7, "val"));
+  Slice raw = builder.Finish();
+
+  BlockCursor cursor(raw, kTableFormatV2);
+  ASSERT_TRUE(cursor.SeekToFirst());
+  EXPECT_EQ(cursor.key().ToString(), "only");
+  EXPECT_EQ(cursor.value().ToString(), "val");
+  EXPECT_EQ(cursor.seq(), 7u);
+  EXPECT_FALSE(cursor.tombstone());
+  EXPECT_FALSE(cursor.Next());
+
+  ASSERT_TRUE(cursor.SeekToLast());
+  EXPECT_EQ(cursor.key().ToString(), "only");
+
+  ASSERT_TRUE(cursor.Seek("aaa"));  // before the key
+  EXPECT_EQ(cursor.key().ToString(), "only");
+  ASSERT_TRUE(cursor.Seek("only"));  // exact
+  EXPECT_EQ(cursor.key().ToString(), "only");
+  EXPECT_FALSE(cursor.Seek("onlyz"));  // past the end
+  EXPECT_FALSE(cursor.corrupt());
+}
+
+TEST(BlockV2Test, SeekAcrossRestartBoundaries) {
+  // A small restart interval makes almost every Seek cross a restart
+  // boundary: the binary search must land on the floor restart and the
+  // forward scan must rebuild prefix-compressed keys correctly.
+  const int kInterval = 4;
+  const int kKeys = 103;  // deliberately not a multiple of the interval
+  BlockBuilder builder(kInterval);
+  std::vector<std::string> keys;
+  for (int i = 0; i < kKeys; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "user%04d", i * 2);  // gaps for between-seeks
+    keys.push_back(key);
+    builder.Add(key, DataPayload(static_cast<uint64_t>(i + 1), "v"));
+  }
+  Slice raw = builder.Finish();
+
+  BlockCursor cursor(raw, kTableFormatV2);
+  for (int i = 0; i < kKeys; i++) {
+    // Exact key.
+    ASSERT_TRUE(cursor.Seek(keys[i])) << keys[i];
+    EXPECT_EQ(cursor.key().ToString(), keys[i]);
+    EXPECT_EQ(cursor.seq(), static_cast<uint64_t>(i + 1));
+    // Between this key and the next: lands on the next.
+    std::string between = keys[i] + "!";
+    if (i + 1 < kKeys) {
+      ASSERT_TRUE(cursor.Seek(between));
+      EXPECT_EQ(cursor.key().ToString(), keys[i + 1]);
+    } else {
+      EXPECT_FALSE(cursor.Seek(between));
+    }
+  }
+  ASSERT_TRUE(cursor.Seek(""));  // before everything
+  EXPECT_EQ(cursor.key().ToString(), keys.front());
+  EXPECT_FALSE(cursor.corrupt());
+
+  // The same data with a restart on every entry (no prefix compression)
+  // must be strictly larger: the shared "user" prefixes are elided.
+  BlockBuilder uncompressed(1);
+  for (const auto& key : keys) {
+    uncompressed.Add(key, DataPayload(1, "v"));
+  }
+  EXPECT_LT(raw.size(), uncompressed.Finish().size());
+}
+
+TEST(BlockV2Test, SeekToLastAndFullIteration) {
+  BlockBuilder builder(3);
+  const int kKeys = 10;
+  for (int i = 0; i < kKeys; i++) {
+    builder.Add("k" + std::to_string(i),
+                DataPayload(static_cast<uint64_t>(i), std::to_string(i)));
+  }
+  Slice raw = builder.Finish();
+
+  BlockCursor cursor(raw, kTableFormatV2);
+  ASSERT_TRUE(cursor.SeekToLast());
+  EXPECT_EQ(cursor.key().ToString(), "k9");
+  EXPECT_EQ(cursor.value().ToString(), "9");
+  EXPECT_FALSE(cursor.Next());
+
+  int n = 0;
+  for (bool ok = cursor.SeekToFirst(); ok; ok = cursor.Next(), void()) {
+    EXPECT_EQ(cursor.key().ToString(), "k" + std::to_string(n));
+    n++;
+    if (n > kKeys) break;
+  }
+  EXPECT_EQ(n, kKeys);
+  EXPECT_FALSE(cursor.corrupt());
+}
+
+TEST(BlockV2Test, KeysSharingFullPrefixes) {
+  // Each key is a full prefix of the next, so non-restart entries store
+  // zero or near-zero unshared bytes — the hardest case for the key
+  // reconstruction buffer.
+  std::vector<std::string> keys;
+  std::string k;
+  for (int i = 0; i < 12; i++) {
+    k += static_cast<char>('a' + (i % 3));
+    keys.push_back(k);
+  }
+  BlockBuilder builder(4);
+  for (size_t i = 0; i < keys.size(); i++) {
+    builder.Add(keys[i], DataPayload(i + 1, "v" + std::to_string(i)));
+  }
+  Slice raw = builder.Finish();
+
+  BlockCursor cursor(raw, kTableFormatV2);
+  ASSERT_TRUE(cursor.SeekToFirst());
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(cursor.Valid());
+    EXPECT_EQ(cursor.key().ToString(), keys[i]);
+    EXPECT_EQ(cursor.value().ToString(), "v" + std::to_string(i));
+    cursor.Next();
+  }
+  EXPECT_FALSE(cursor.Valid());
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(cursor.Seek(keys[i]));
+    EXPECT_EQ(cursor.key().ToString(), keys[i]);
+  }
+  EXPECT_FALSE(cursor.corrupt());
+}
+
+TEST(BlockV2Test, InterleavedTombstones) {
+  BlockBuilder builder(4);
+  const int kKeys = 20;
+  for (int i = 0; i < kKeys; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "row%03d", i);
+    builder.Add(key, DataPayload(static_cast<uint64_t>(i + 1),
+                                 i % 2 == 0 ? "live" : "",
+                                 /*tombstone=*/i % 2 == 1));
+  }
+  Slice raw = builder.Finish();
+
+  BlockCursor cursor(raw, kTableFormatV2);
+  int n = 0;
+  for (bool ok = cursor.SeekToFirst(); ok; ok = cursor.Next()) {
+    EXPECT_EQ(cursor.tombstone(), n % 2 == 1) << n;
+    if (n % 2 == 0) {
+      EXPECT_EQ(cursor.value().ToString(), "live");
+    }
+    n++;
+  }
+  EXPECT_EQ(n, kKeys);
+  ASSERT_TRUE(cursor.Seek("row007"));
+  EXPECT_TRUE(cursor.tombstone());
+  EXPECT_EQ(cursor.seq(), 8u);
+  ASSERT_TRUE(cursor.Seek("row008"));
+  EXPECT_FALSE(cursor.tombstone());
+  EXPECT_FALSE(cursor.corrupt());
+}
+
+TEST(BlockV2Test, IndexBlockPayloadsAreOpaque) {
+  // Index blocks reuse the same format with binary 12-byte payloads; the
+  // cursor must hand them back untouched (no data-payload decode).
+  BlockBuilder builder(2);
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 5; i++) {
+    std::string p;
+    PutFixed64(&p, static_cast<uint64_t>(i) * 4096);
+    PutFixed32(&p, 512 + i);
+    payloads.push_back(p);
+    builder.Add("block" + std::to_string(i), p);
+  }
+  Slice raw = builder.Finish();
+
+  BlockCursor cursor(raw, kTableFormatV2, /*data_block=*/false);
+  int n = 0;
+  for (bool ok = cursor.SeekToFirst(); ok; ok = cursor.Next()) {
+    ASSERT_LT(n, 5);
+    EXPECT_EQ(cursor.payload().ToString(), payloads[n]);
+    n++;
+  }
+  EXPECT_EQ(n, 5);
+  EXPECT_FALSE(cursor.corrupt());
+}
+
+// --- table format versioning ----------------------------------------------
+
+TEST_F(SSTableTest, WriterEmitsConfiguredFormatVersion) {
+  for (uint32_t version : {kTableFormatV1, kTableFormatV2}) {
+    std::string path =
+        dir_.path() + "/fmt" + std::to_string(version) + ".sst";
+    options_.format_version = version;
+    TableBuilder builder(options_, Env::Default(), path);
+    ASSERT_TRUE(builder.Open().ok());
+    EXPECT_EQ(builder.format_version(), version);
+    for (int i = 0; i < 300; i++) {
+      char key[24];
+      snprintf(key, sizeof(key), "common/prefix/%05d", i);
+      ASSERT_TRUE(
+          builder.Add(key, "value", static_cast<uint64_t>(i + 1), false)
+              .ok());
+    }
+    ASSERT_TRUE(builder.Finish().ok());
+
+    TableFooter footer;
+    ASSERT_TRUE(ReadTableFooter(Env::Default(), path, &footer).ok());
+    EXPECT_EQ(footer.format_version, version);
+
+    BlockCache cache(1 << 20);
+    std::unique_ptr<Table> table;
+    ASSERT_TRUE(Table::Open(options_, Env::Default(), path, version, &cache,
+                            &table)
+                    .ok());
+    EXPECT_EQ(table->format_version(), version);
+    for (int i = 0; i < 300; i += 17) {
+      char key[24];
+      snprintf(key, sizeof(key), "common/prefix/%05d", i);
+      Table::GetResult result;
+      std::string value;
+      ASSERT_TRUE(
+          table->Get(ReadOptions(), key, &result, &value, nullptr).ok());
+      ASSERT_EQ(result, Table::GetResult::kFound) << key;
+      EXPECT_EQ(value, "value");
+    }
+  }
+}
+
+TEST_F(SSTableTest, V2IndexSmallerThanV1) {
+  // Long keys with a heavy shared prefix: both the data blocks and the
+  // index entries (last key per block) compress well under v2.
+  uint64_t sizes[3] = {0, 0, 0};  // indexed by format version
+  uint64_t index_sizes[3] = {0, 0, 0};
+  for (uint32_t version : {kTableFormatV1, kTableFormatV2}) {
+    std::string path =
+        dir_.path() + "/cmp" + std::to_string(version) + ".sst";
+    options_.format_version = version;
+    TableBuilder builder(options_, Env::Default(), path);
+    ASSERT_TRUE(builder.Open().ok());
+    for (int i = 0; i < 2000; i++) {
+      char key[48];
+      snprintf(key, sizeof(key), "org.example.metrics.host%04d.cpu", i);
+      ASSERT_TRUE(builder.Add(key, "8.25", 1, false).ok());
+    }
+    ASSERT_TRUE(builder.Finish().ok());
+    TableFooter footer;
+    ASSERT_TRUE(ReadTableFooter(Env::Default(), path, &footer).ok());
+    sizes[version] = builder.FileSize();
+    index_sizes[version] = footer.index_size;
+  }
+  EXPECT_LT(sizes[2], sizes[1]);
+  EXPECT_LT(index_sizes[2], index_sizes[1]);
+}
+
+TEST_F(SSTableTest, PrefixBloomFiltersAbsentPrefixes) {
+  options_.prefix_bloom_length = 8;
+  std::string path = dir_.path() + "/pfx.sst";
+  TableBuilder builder(options_, Env::Default(), path);
+  ASSERT_TRUE(builder.Open().ok());
+  for (int g = 0; g < 64; g++) {
+    for (int i = 0; i < 8; i++) {
+      char key[32];
+      snprintf(key, sizeof(key), "grp%05d/item%03d", g, i);
+      ASSERT_TRUE(builder.Add(key, "v", 1, false).ok());
+    }
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+
+  BlockCache cache(1 << 20);
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(
+      Table::Open(options_, Env::Default(), path, 9, &cache, &table).ok());
+  EXPECT_EQ(table->prefix_bloom_length(), 8u);
+
+  // Never a false negative.
+  for (int g = 0; g < 64; g++) {
+    char prefix[16];
+    snprintf(prefix, sizeof(prefix), "grp%05d", g);
+    EXPECT_TRUE(table->MayMatchPrefix(Slice(prefix, 8)));
+  }
+  // Absent prefixes are mostly ruled out (the filter is deterministic,
+  // the bound just leaves room for its ~1% false-positive rate).
+  int matches = 0;
+  for (int g = 10000; g < 10200; g++) {
+    char prefix[16];
+    snprintf(prefix, sizeof(prefix), "grp%05d", g);
+    if (table->MayMatchPrefix(Slice(prefix, 8))) matches++;
+  }
+  EXPECT_LT(matches, 20);
+}
+
+TEST_F(SSTableTest, FooterRejectsUnknownVersionAndMagic) {
+  std::string path = dir_.path() + "/vt.sst";
+  options_.format_version = kTableFormatV2;
+  TableBuilder builder(options_, Env::Default(), path);
+  ASSERT_TRUE(builder.Open().ok());
+  ASSERT_TRUE(builder.Add("k", "v", 1, false).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+
+  std::string data;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path, &data).ok());
+
+  // Patch the footer's format_version (the fixed32 just before the
+  // trailing fixed64 magic) to an unknown value.
+  std::string future = data;
+  std::string version99;
+  PutFixed32(&version99, 99);
+  future.replace(future.size() - 12, 4, version99);
+  std::string future_path = dir_.path() + "/vt_future.sst";
+  ASSERT_TRUE(
+      Env::Default()->WriteStringToFile(future_path, Slice(future)).ok());
+
+  TableFooter footer;
+  Status s = ReadTableFooter(Env::Default(), future_path, &footer);
+  EXPECT_TRUE(s.IsCorruption());
+  BlockCache cache(1 << 20);
+  std::unique_ptr<Table> table;
+  EXPECT_TRUE(Table::Open(options_, Env::Default(), future_path, 11, &cache,
+                          &table)
+                  .IsCorruption());
+
+  // Garbage magic fails the same way.
+  std::string bad_magic = data;
+  bad_magic.replace(bad_magic.size() - 8, 8, "XXXXXXXX");
+  std::string magic_path = dir_.path() + "/vt_magic.sst";
+  ASSERT_TRUE(
+      Env::Default()->WriteStringToFile(magic_path, Slice(bad_magic)).ok());
+  EXPECT_TRUE(ReadTableFooter(Env::Default(), magic_path, &footer)
+                  .IsCorruption());
+  EXPECT_TRUE(Table::Open(options_, Env::Default(), magic_path, 12, &cache,
+                          &table)
+                  .IsCorruption());
+}
+
 class DBTest : public ::testing::Test {
  protected:
   DBTest() : dir_("lsmdb") {
@@ -554,6 +909,149 @@ TEST_F(DBTest, RequiresDirOption) {
   Options bad;
   std::unique_ptr<DB> db;
   EXPECT_TRUE(DB::Open(bad, &db).IsInvalidArgument());
+}
+
+TEST_F(DBTest, RejectsUnsupportedFormatVersion) {
+  std::unique_ptr<DB> db;
+  options_.format_version = 0;
+  EXPECT_TRUE(DB::Open(options_, &db).IsInvalidArgument());
+  options_.format_version = kMaxSupportedTableFormat + 1;
+  EXPECT_TRUE(DB::Open(options_, &db).IsInvalidArgument());
+}
+
+// Backward compatibility: a database full of v1 tables (written by the
+// pre-refactor format) must open under the v2-writing build, serve reads,
+// and migrate to v2 as compaction rewrites the files.
+TEST_F(DBTest, V1DatabaseOpensAndCompactsToV2) {
+  options_.format_version = 1;
+  Open();
+  std::map<std::string, std::string> model;
+  for (int batch = 0; batch < 3; batch++) {
+    for (int i = 0; i < 120; i++) {
+      std::string key =
+          "row" + std::to_string(batch) + "/" + std::to_string(i);
+      std::string value = "v" + std::to_string(batch * 1000 + i);
+      ASSERT_TRUE(db_->Put(key, value).ok());
+      model[key] = value;
+    }
+    ASSERT_TRUE(db_->Flush().ok());
+  }
+  DB::Stats stats = db_->GetStats();
+  EXPECT_GE(stats.tables_format_v1, 3u);
+  EXPECT_EQ(stats.tables_format_v2, 0u);
+
+  // Reopen with the new writer default; the v1 tables must stay readable.
+  options_.format_version = 2;
+  Reopen();
+  auto verify_all = [&] {
+    std::string value;
+    for (const auto& [key, expected] : model) {
+      ASSERT_TRUE(db_->Get(ReadOptions(), key, &value).ok()) << key;
+      ASSERT_EQ(value, expected);
+    }
+    std::vector<std::pair<std::string, std::string>> rows;
+    ASSERT_TRUE(db_->Scan(ReadOptions(), "", 10000, &rows).ok());
+    ASSERT_EQ(rows.size(), model.size());
+    auto expected = model.begin();
+    for (const auto& [key, value] : rows) {
+      ASSERT_EQ(key, expected->first);
+      ASSERT_EQ(value, expected->second);
+      ++expected;
+    }
+  };
+  verify_all();
+  stats = db_->GetStats();
+  EXPECT_GE(stats.tables_format_v1, 3u);
+
+  // Major compaction rewrites every table in the configured format.
+  ASSERT_TRUE(db_->CompactAll().ok());
+  stats = db_->GetStats();
+  EXPECT_EQ(stats.tables_format_v1, 0u);
+  EXPECT_GE(stats.tables_format_v2, 1u);
+  verify_all();
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+
+  // And the migrated database still recovers.
+  Reopen();
+  verify_all();
+}
+
+// Flush accounting: the arena charges whole blocks, so a stream of tiny
+// keys can overshoot write_buffer_size by at most one arena block (plus
+// the block-vector bookkeeping the arena also counts).
+TEST_F(DBTest, TinyKeysCannotOvershootWriteBuffer) {
+  options_.memtable_bytes = 16 * 1024;
+  options_.arena_block_bytes = 1024;
+  Open();
+  uint64_t max_observed = 0;
+  for (int i = 0; i < 4000; i++) {
+    char key[12];
+    snprintf(key, sizeof(key), "t%06d", i);
+    ASSERT_TRUE(db_->Put(key, "x").ok());
+    max_observed = std::max(max_observed, db_->GetStats().memtable_bytes);
+  }
+  EXPECT_GT(db_->GetStats().num_flushes, 0u);
+  EXPECT_LE(max_observed,
+            options_.memtable_bytes + options_.arena_block_bytes + 128);
+}
+
+// The inverse accounting hazard: a memtable_bytes smaller than one arena
+// block must not flush after every write. DB::Open clamps the block size
+// to memtable_bytes / 4, so even a 2 KiB write buffer batches a few
+// dozen entries per flush instead of one.
+TEST_F(DBTest, TinyMemtableDoesNotFlushPerPut) {
+  options_.memtable_bytes = 2 * 1024;
+  options_.arena_block_bytes = 4 * 1024;  // bigger than the whole buffer
+  Open();
+  const int kPuts = 300;
+  for (int i = 0; i < kPuts; i++) {
+    char key[12];
+    snprintf(key, sizeof(key), "c%06d", i);
+    ASSERT_TRUE(db_->Put(key, "x").ok());
+  }
+  DB::Stats stats = db_->GetStats();
+  EXPECT_GT(stats.num_flushes, 0u);
+  // Unclamped, every put rotates the memtable (~300 flushes); clamped,
+  // each 2 KiB buffer holds a few dozen 20-something-byte entries.
+  EXPECT_LT(stats.num_flushes, kPuts / 4u);
+}
+
+// Short bounded scans skip tables whose prefix bloom rules the prefix out.
+TEST_F(DBTest, PrefixBloomScanSkipsDisjointTables) {
+  options_.memtable_bytes = 8 * 1024 * 1024;  // no automatic flushes
+  options_.prefix_bloom_length = 4;
+  Open();
+  const char* groups[] = {"aaaa", "bbbb", "cccc", "dddd"};
+  std::vector<std::pair<std::string, std::string>> expected;
+  for (const char* group : groups) {
+    for (int i = 0; i < 40; i++) {
+      char suffix[8];
+      snprintf(suffix, sizeof(suffix), "/%03d", i);
+      std::string key = std::string(group) + suffix;
+      ASSERT_TRUE(db_->Put(key, std::string("val-") + group).ok());
+      if (std::string(group) == "bbbb") expected.emplace_back(key, "val-bbbb");
+    }
+    // One table per prefix group, so the bloom can discriminate.
+    ASSERT_TRUE(db_->Flush().ok());
+  }
+
+  ReadOptions bounded;
+  bounded.prefix_same_as_start = true;
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(db_->Scan(bounded, "bbbb", 1000, &rows).ok());
+  // Truncated at the prefix boundary, not at the scan limit.
+  EXPECT_EQ(rows, expected);
+
+  // The cccc/dddd tables overlap the scan's key range but not its prefix;
+  // the prefix bloom lets the scan skip them without any block reads.
+  DB::Stats stats = db_->GetStats();
+  EXPECT_GE(stats.prefix_bloom_skips, 2u);
+
+  // An unbounded scan over the same start still sees past the prefix:
+  // 40 bbbb rows plus the 40 cccc and 40 dddd rows after them.
+  rows.clear();
+  ASSERT_TRUE(db_->Scan(ReadOptions(), "bbbb", 1000, &rows).ok());
+  EXPECT_EQ(rows.size(), 120u);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #ifndef APMBENCH_LSM_BLOCK_CACHE_H_
 #define APMBENCH_LSM_BLOCK_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -100,14 +101,31 @@ class BlockCache {
     return handle;
   }
 
+  /// Approximate resident bytes one cached entry occupies beyond its
+  /// block payload: the heap std::string header, the cache's Handle
+  /// (key, links, refcount, owner-list pointers), the shard hash-table
+  /// node, and allocator headers. Charged on every insert so that the
+  /// small blocks of the v2 format (prefix-compressed, often well under
+  /// block_size) cannot blow past the configured budget through
+  /// per-entry bookkeeping the old payload-only charge never counted.
+  static constexpr size_t kEntryOverheadBytes = sizeof(std::string) + 160;
+
   /// Inserts `block` (replacing any previous entry) and returns a pinned
   /// handle to the now-cache-owned bytes. Never fails: over-capacity
   /// inserts are still returned pinned, just not retained on release.
+  /// The charge is the entry's actual footprint — every payload byte the
+  /// string holds (for v2 blocks that includes the restart-point array
+  /// and restart-count trailer) plus kEntryOverheadBytes — rather than a
+  /// coarse payload estimate.
   BlockHandle Insert(uint64_t file_number, uint64_t offset,
                      std::string block) {
     auto* value = new std::string(std::move(block));
+    const size_t charge = value->capacity() + kEntryOverheadBytes;
+    inserted_payload_bytes_.fetch_add(value->size(),
+                                      std::memory_order_relaxed);
+    inserted_charged_bytes_.fetch_add(charge, std::memory_order_relaxed);
     ShardedLRUCache::Handle* h = cache_.Insert(
-        file_number, offset, value, value->size(),
+        file_number, offset, value, charge,
         [](void* v) { delete static_cast<std::string*>(v); });
     BlockHandle handle;
     handle.cache_ = &cache_;
@@ -137,8 +155,21 @@ class BlockCache {
   uint64_t misses() const { return cache_.misses(); }
   uint64_t evictions() const { return cache_.evictions(); }
 
+  /// Cumulative insert accounting for charge accuracy: payload bytes
+  /// handed to the cache vs bytes actually charged for them. The ratio
+  /// payload/charged is the cache's charge accuracy; it is surfaced in
+  /// DB stats / "lsm.cache-stats".
+  uint64_t inserted_payload_bytes() const {
+    return inserted_payload_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t inserted_charged_bytes() const {
+    return inserted_charged_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   ShardedLRUCache cache_;
+  std::atomic<uint64_t> inserted_payload_bytes_{0};
+  std::atomic<uint64_t> inserted_charged_bytes_{0};
 };
 
 }  // namespace apmbench::lsm

@@ -323,6 +323,63 @@ TEST(LsmConcurrencyTest, QueuedWritersShareOneWalSync) {
   }
 }
 
+// Deterministic check of the parallel group apply: with a sharded
+// memtable, followers that queue behind a leader blocked in the WAL
+// fsync form a multi-writer group, and that group's memtable apply runs
+// through the shard-claim protocol (counted by parallel_apply_groups).
+TEST(LsmConcurrencyTest, QueuedWritersApplyShardsInParallel) {
+  testutil::ScopedTempDir dir("conc-lsm-shards");
+  GatedSyncEnv env(Env::Default());
+
+  lsm::Options options;
+  options.dir = dir.path();
+  options.env = &env;
+  options.sync_writes = true;
+  options.memtable_shards = 8;
+  std::unique_ptr<lsm::DB> db;
+  ASSERT_TRUE(lsm::DB::Open(options, &db).ok());
+
+  env.gate()->Close();
+  std::thread leader([&] { ASSERT_TRUE(db->Put("k1", "v1").ok()); });
+  WaitFor([&] { return env.gate()->blocked() == 1; });
+
+  // Two followers queue multi-key batches whose rows hash to different
+  // shards; the next leader merges them into one group and every group
+  // member helps apply it shard-by-shard.
+  auto batch_writer = [&](int id) {
+    lsm::WriteBatch batch;
+    for (int i = 0; i < 8; i++) {
+      batch.Put("w" + std::to_string(id) + ".row" + std::to_string(i),
+                "v" + std::to_string(id));
+    }
+    ASSERT_TRUE(db->Write(batch).ok());
+  };
+  std::thread follower_b([&] { batch_writer(2); });
+  std::thread follower_c([&] { batch_writer(3); });
+  WaitFor([&] { return db->GetStats().pending_writers >= 3; });
+
+  env.gate()->Open();
+  leader.join();
+  follower_b.join();
+  follower_c.join();
+
+  lsm::DB::Stats stats = db->GetStats();
+  EXPECT_EQ(stats.write_groups, 2u);  // leader's solo round + shared round
+  // The solo round is serial (one writer); the shared round has two
+  // writers and eight shards, so it must take the parallel path.
+  EXPECT_EQ(stats.parallel_apply_groups, 1u);
+
+  std::string value;
+  ASSERT_TRUE(db->Get(lsm::ReadOptions(), "k1", &value).ok());
+  for (int id : {2, 3}) {
+    for (int i = 0; i < 8; i++) {
+      std::string key = "w" + std::to_string(id) + ".row" + std::to_string(i);
+      ASSERT_TRUE(db->Get(lsm::ReadOptions(), key, &value).ok()) << key;
+      EXPECT_EQ(value, "v" + std::to_string(id));
+    }
+  }
+}
+
 // --- Cross-engine model checks -------------------------------------------
 //
 // Each engine runs kWriters writer threads over disjoint key ranges while
@@ -459,6 +516,109 @@ TEST(LsmConcurrencyTest, WritersReadersScannersModelCheck) {
   lsm::DB::Stats stats = db->GetStats();
   EXPECT_EQ(stats.grouped_writes, uint64_t{kWriters} * kKeysPerWriter);
   EXPECT_GE(stats.write_groups, 1u);
+}
+
+// Sharded-memtable atomicity model check: each writer repeatedly commits
+// an 8-row batch whose rows hash to different shards, all rows carrying
+// the batch's version number. Because a group's sequence is published
+// only after every shard finishes applying, no reader — point Get or
+// snapshot scan — may ever observe rows from the same batch at different
+// versions, even while the parallel shard-claim apply and memtable
+// rotation race underneath.
+TEST(LsmConcurrencyTest, ShardedBatchAtomicityUnderSnapshots) {
+  testutil::ScopedTempDir dir("conc-lsm-atomic");
+  lsm::Options options;
+  options.dir = dir.path();
+  options.memtable_bytes = 32 * 1024;  // rotate memtables mid-run
+  options.memtable_shards = 8;
+  std::unique_ptr<lsm::DB> db;
+  ASSERT_TRUE(lsm::DB::Open(options, &db).ok());
+
+  constexpr int kBatchWriters = 4;
+  constexpr int kRowsPerBatch = 8;
+  constexpr int kVersions = 150;
+  auto row_key = [](int writer, int row) {
+    return "batch" + std::to_string(writer) + ".row" + std::to_string(row);
+  };
+
+  std::atomic<int> writers_left{kBatchWriters};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kBatchWriters; w++) {
+    threads.emplace_back([&, w] {
+      for (int v = 1; v <= kVersions && !failed.load(); v++) {
+        lsm::WriteBatch batch;
+        for (int r = 0; r < kRowsPerBatch; r++) {
+          batch.Put(row_key(w, r), std::to_string(v));
+        }
+        Status s = db->Write(batch);
+        if (!s.ok()) {
+          ADD_FAILURE() << "write: " << s.ToString();
+          failed.store(true);
+        }
+      }
+      writers_left.fetch_sub(1);
+    });
+  }
+
+  // Snapshot scanners: one frozen view must show every row of a writer's
+  // batch at one single version.
+  for (int t = 0; t < 2; t++) {
+    threads.emplace_back([&, t] {
+      Random rng(static_cast<uint32_t>(7 + t));
+      while (writers_left.load() > 0 && !failed.load()) {
+        const int w = static_cast<int>(rng.Uniform(kBatchWriters));
+        const std::string prefix = "batch" + std::to_string(w) + ".";
+        auto iter = db->NewSnapshotIterator(lsm::ReadOptions());
+        iter->Seek(prefix);
+        std::string version;
+        int rows = 0;
+        while (iter->Valid() && iter->key().StartsWith(prefix)) {
+          if (rows == 0) {
+            version = iter->value().ToString();
+          } else if (iter->value().ToString() != version) {
+            ADD_FAILURE() << "torn batch for writer " << w << ": row "
+                          << iter->key().ToString() << " at version "
+                          << iter->value().ToString() << " vs " << version;
+            failed.store(true);
+            break;
+          }
+          rows++;
+          iter->Next();
+        }
+        if (rows != 0 && rows != kRowsPerBatch && !failed.load()) {
+          ADD_FAILURE() << "snapshot saw " << rows << " of " << kRowsPerBatch
+                        << " rows for writer " << w;
+          failed.store(true);
+        }
+      }
+    });
+  }
+
+  // Point readers race the apply path on individual rows.
+  threads.emplace_back([&] {
+    Random rng(99);
+    while (writers_left.load() > 0 && !failed.load()) {
+      const int w = static_cast<int>(rng.Uniform(kBatchWriters));
+      const int r = static_cast<int>(rng.Uniform(kRowsPerBatch));
+      std::string value;
+      Status s = db->Get(lsm::ReadOptions(), row_key(w, r), &value);
+      if (!s.ok() && !s.IsNotFound()) {
+        ADD_FAILURE() << "get: " << s.ToString();
+        failed.store(true);
+      }
+    }
+  });
+
+  for (auto& thread : threads) thread.join();
+
+  for (int w = 0; w < kBatchWriters; w++) {
+    for (int r = 0; r < kRowsPerBatch; r++) {
+      std::string value;
+      ASSERT_TRUE(db->Get(lsm::ReadOptions(), row_key(w, r), &value).ok());
+      EXPECT_EQ(value, std::to_string(kVersions));
+    }
+  }
 }
 
 TEST(BtreeConcurrencyTest, WritersReadersScannersModelCheck) {

@@ -371,6 +371,33 @@ TEST(LsmStressTest, FormatV2PrefixBloom) {
   RunStress(options, "stress-v2-prefix");
 }
 
+TEST(LsmStressTest, ShardedMemtable) {
+  // Eight memtable shards under constant rotation: every group commit
+  // fans its rows across the shard skiplists (parallel apply when
+  // writers queue up), every rotation gathers all eight shards into one
+  // SSTable, and readers k-way-merge the shard runs mid-write. The
+  // write buffer is 8KiB rather than StressOptions' 2KiB — the minimum
+  // budget that keeps all eight shards effective (DB::Open halves the
+  // count below 1KiB/shard) while still flushing every few dozen rows.
+  lsm::Options options = StressOptions();
+  options.memtable_bytes = 8 * 1024;
+  options.compaction_style = lsm::CompactionStyle::kSizeTiered;
+  options.size_tiered_min_files = 4;
+  options.memtable_shards = 8;
+  RunStress(options, "stress-shards");
+}
+
+TEST(LsmStressTest, SingleShardMemtable) {
+  // memtable_shards=1 compiles down to the pre-shard engine (no hash
+  // routing, no merge layer, serial group apply) and must pass the same
+  // workload.
+  lsm::Options options = StressOptions();
+  options.compaction_style = lsm::CompactionStyle::kLeveled;
+  options.level0_compaction_trigger = 3;
+  options.memtable_shards = 1;
+  RunStress(options, "stress-single-shard");
+}
+
 TEST(LsmStressTest, LeveledSyncWrites) {
   lsm::Options options = StressOptions();
   options.compaction_style = lsm::CompactionStyle::kLeveled;
